@@ -1,0 +1,75 @@
+//! Criterion: ablation timings for the design choices DESIGN.md calls out —
+//! how much simulation cost each modelling feature adds (orientation,
+//! filling ratio, maldistribution iterations are exercised through the
+//! full coupled solve under different designs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tps_floorplan::{xeon_e5_v4, GridSpec, PackageGeometry, ScalarField};
+use tps_thermosyphon::{CoupledSimulation, OperatingPoint, Orientation, ThermosyphonDesign};
+use tps_units::Fraction;
+
+fn core_loaded(grid: &GridSpec, total: f64) -> ScalarField {
+    let hot = tps_floorplan::Rect::from_mm(9.0, 11.5, 9.0, 11.3);
+    let mut f = ScalarField::from_fn(grid.clone(), |x, y| {
+        if hot.contains(x, y) {
+            1.0
+        } else {
+            0.05
+        }
+    });
+    let s = total / f.total();
+    f.scale(s);
+    f
+}
+
+fn bench_orientation_ablation(c: &mut Criterion) {
+    let pkg = PackageGeometry::xeon(&xeon_e5_v4());
+    let mut group = c.benchmark_group("ablation_orientation");
+    group.sample_size(10);
+    for orientation in [Orientation::InletEast, Orientation::InletNorth] {
+        let design = ThermosyphonDesign::builder(&pkg).orientation(orientation).build();
+        let sim = CoupledSimulation::builder(design, OperatingPoint::paper())
+            .grid_pitch_mm(2.0)
+            .build();
+        let power = core_loaded(sim.grid(), 75.0);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{orientation:?}")),
+            &orientation,
+            |b, _| b.iter(|| sim.solve(std::hint::black_box(&power)).expect("converges")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_filling_ablation(c: &mut Criterion) {
+    let pkg = PackageGeometry::xeon(&xeon_e5_v4());
+    let mut group = c.benchmark_group("ablation_filling_ratio");
+    group.sample_size(10);
+    for fill in [0.35, 0.55, 0.8] {
+        let design = ThermosyphonDesign::builder(&pkg)
+            .filling_ratio(Fraction::new(fill).expect("valid fraction"))
+            .build();
+        let sim = CoupledSimulation::builder(design, OperatingPoint::paper())
+            .grid_pitch_mm(2.0)
+            .build();
+        let power = core_loaded(sim.grid(), 75.0);
+        group.bench_with_input(BenchmarkId::from_parameter(fill), &fill, |b, _| {
+            b.iter(|| sim.solve(std::hint::black_box(&power)).expect("converges"))
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_orientation_ablation, bench_filling_ablation
+}
+criterion_main!(benches);

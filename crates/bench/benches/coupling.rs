@@ -1,0 +1,90 @@
+//! Criterion: coupled thermosyphon/thermal simulation costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tps_floorplan::{xeon_e5_v4, GridSpec, PackageGeometry, ScalarField};
+use tps_thermosyphon::{
+    circulation_flow, CoupledSimulation, Evaporator, OperatingPoint, ThermosyphonDesign,
+};
+use tps_units::{Celsius, KgPerSecond, Watts};
+
+fn core_loaded(grid: &GridSpec, total: f64) -> ScalarField {
+    let hot = tps_floorplan::Rect::from_mm(9.0, 11.5, 9.0, 11.3);
+    let mut f = ScalarField::from_fn(grid.clone(), |x, y| {
+        if hot.contains(x, y) {
+            1.0
+        } else {
+            0.05
+        }
+    });
+    let s = total / f.total();
+    f.scale(s);
+    f
+}
+
+fn bench_coupled_solve(c: &mut Criterion) {
+    let pkg = PackageGeometry::xeon(&xeon_e5_v4());
+    let mut group = c.benchmark_group("coupled_solve");
+    group.sample_size(10);
+    for pitch_mm in [2.0, 1.0] {
+        let design = ThermosyphonDesign::paper_design(&pkg);
+        let sim = CoupledSimulation::builder(design, OperatingPoint::paper())
+            .grid_pitch_mm(pitch_mm)
+            .build();
+        let power = core_loaded(sim.grid(), 75.0);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{pitch_mm}mm")),
+            &pitch_mm,
+            |b, _| b.iter(|| sim.solve(std::hint::black_box(&power)).expect("converges")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_evaporator_march(c: &mut Criterion) {
+    let pkg = PackageGeometry::xeon(&xeon_e5_v4());
+    let design = ThermosyphonDesign::paper_design(&pkg);
+    let grid = GridSpec::with_pitch(*design.footprint(), 0.5e-3);
+    let evap = Evaporator::new(design);
+    let heat = ScalarField::filled(grid.clone(), 75.0 / grid.n_cells() as f64);
+    c.bench_function("evaporator_march_0.5mm", |b| {
+        b.iter(|| {
+            evap.solve(
+                std::hint::black_box(&heat),
+                Celsius::new(41.0),
+                KgPerSecond::new(1.5e-3),
+            )
+        })
+    });
+}
+
+fn bench_circulation(c: &mut Criterion) {
+    let pkg = PackageGeometry::xeon(&xeon_e5_v4());
+    let design = ThermosyphonDesign::paper_design(&pkg);
+    c.bench_function("circulation_flow", |b| {
+        b.iter(|| {
+            circulation_flow(
+                std::hint::black_box(&design),
+                Celsius::new(41.0),
+                Watts::new(75.0),
+            )
+            .expect("loop circulates")
+        })
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_coupled_solve,
+    bench_evaporator_march,
+    bench_circulation
+
+}
+criterion_main!(benches);

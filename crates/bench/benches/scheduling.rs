@@ -1,0 +1,82 @@
+//! Criterion: scheduling-path costs (profiling, selection, mapping).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tps_core::{
+    heat, ConfigSelector, CoskunBalancing, InletFirstMapping, MappingContext, MappingPolicy,
+    MinPowerSelector, PackAndCapSelector, ProposedMapping,
+};
+use tps_floorplan::CoreTopology;
+use tps_power::CState;
+use tps_thermosyphon::Orientation;
+use tps_workload::{profile_application, Benchmark, QosClass};
+
+fn bench_profiling(c: &mut Criterion) {
+    c.bench_function("profile_application_48pts", |b| {
+        b.iter(|| profile_application(std::hint::black_box(Benchmark::X264), CState::Poll))
+    });
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("config_selection");
+    group.bench_function("algorithm1", |b| {
+        b.iter(|| {
+            MinPowerSelector
+                .select(Benchmark::Ferret, QosClass::TwoX, CState::Poll)
+                .expect("feasible")
+        })
+    });
+    group.bench_function("pack_and_cap", |b| {
+        b.iter(|| {
+            PackAndCapSelector::default()
+                .select(Benchmark::Ferret, QosClass::TwoX, CState::Poll)
+                .expect("feasible")
+        })
+    });
+    group.finish();
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let topo = CoreTopology::xeon();
+    let ctx = MappingContext::new(&topo, Orientation::InletEast, CState::C1);
+    let mut group = c.benchmark_group("mapping");
+    let policies: [(&str, &dyn MappingPolicy); 3] = [
+        ("proposed", &ProposedMapping),
+        ("coskun", &CoskunBalancing),
+        ("inlet_first", &InletFirstMapping),
+    ];
+    for (name, policy) in policies {
+        group.bench_function(name, |b| {
+            b.iter(|| policy.select_cores(std::hint::black_box(5), &ctx))
+        });
+    }
+    group.finish();
+}
+
+fn bench_heat_estimate(c: &mut Criterion) {
+    let row = tps_workload::profile_config(
+        Benchmark::X264,
+        tps_workload::WorkloadConfig::baseline(),
+        CState::Poll,
+    );
+    c.bench_function("breakdown_for_mapping", |b| {
+        b.iter(|| heat::breakdown_for_mapping(std::hint::black_box(&row), &[1, 2, 3, 4, 5, 6, 7, 8]))
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_profiling,
+    bench_selection,
+    bench_mapping,
+    bench_heat_estimate
+
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion: steady-state thermal-solver scaling vs grid resolution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tps_floorplan::{xeon_e5_v4, GridSpec, PackageGeometry, ScalarField};
+use tps_thermal::{LayerStack, ThermalModel, TopBoundary};
+use tps_units::{Celsius, HeatTransferCoeff};
+
+fn bench_steady_state(c: &mut Criterion) {
+    let pkg = PackageGeometry::xeon(&xeon_e5_v4());
+    let stack = LayerStack::xeon_thermosyphon(&pkg);
+    let mut group = c.benchmark_group("steady_state");
+    group.sample_size(10);
+    for pitch_mm in [2.0, 1.0, 0.5] {
+        let grid = GridSpec::with_pitch(*stack.extent(), pitch_mm * 1e-3);
+        let model = ThermalModel::new(&stack, grid.clone());
+        let power = ScalarField::filled(grid.clone(), 75.0 / grid.n_cells() as f64);
+        let top = TopBoundary::uniform(&grid, HeatTransferCoeff::new(15_000.0), Celsius::new(40.0));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{pitch_mm}mm")),
+            &pitch_mm,
+            |b, _| {
+                b.iter(|| {
+                    model
+                        .steady_state(std::hint::black_box(&power), &top)
+                        .expect("solver converges")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_transient_step(c: &mut Criterion) {
+    let pkg = PackageGeometry::xeon(&xeon_e5_v4());
+    let stack = LayerStack::xeon_thermosyphon(&pkg);
+    let grid = GridSpec::with_pitch(*stack.extent(), 1e-3);
+    let model = ThermalModel::new(&stack, grid.clone());
+    let power = ScalarField::filled(grid.clone(), 75.0 / grid.n_cells() as f64);
+    let top = TopBoundary::uniform(&grid, HeatTransferCoeff::new(15_000.0), Celsius::new(40.0));
+    c.bench_function("transient_step_1mm", |b| {
+        let mut state = model.initial_state(Celsius::new(40.0));
+        b.iter(|| {
+            model
+                .transient_step(&mut state, tps_units::Seconds::new(0.1), &power, &top)
+                .expect("solver converges")
+        })
+    });
+}
+
+fn bench_model_assembly(c: &mut Criterion) {
+    let pkg = PackageGeometry::xeon(&xeon_e5_v4());
+    let stack = LayerStack::xeon_thermosyphon(&pkg);
+    let grid = GridSpec::with_pitch(*stack.extent(), 1e-3);
+    c.bench_function("assemble_model_1mm", |b| {
+        b.iter(|| ThermalModel::new(std::hint::black_box(&stack), grid.clone()))
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_steady_state,
+    bench_transient_step,
+    bench_model_assembly
+
+}
+criterion_main!(benches);

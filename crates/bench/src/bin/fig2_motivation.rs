@@ -1,0 +1,92 @@
+//! **Fig. 2** — motivation: die vs package thermal profile when the
+//! thermosyphon design and the workload mapping are both non-optimized.
+//!
+//! Paper reference values: die θmax 66.1 °C, θavg 55.9 °C, ∇θmax 6.6 °C/mm;
+//! package 46.4 / 42.9 / 0.5. The point of the figure: die hot spots and
+//! gradients are a scaled-up image of the package ones, and the
+//! thermosyphon alone cannot flatten them without a mapping policy.
+
+use tps_bench::{grid_pitch_from_args, state_of_the_art_design, write_artifact, Table};
+use tps_core::{heat, MappingContext, MappingPolicy, PackedMapping, Server};
+use tps_power::CState;
+use tps_thermal::render_ascii;
+use tps_workload::{profile_config, Benchmark, WorkloadConfig};
+
+fn main() {
+    let pitch = grid_pitch_from_args();
+    // Non-optimized design (uniform-flux assumption) + naive packed mapping.
+    let server = Server::builder()
+        .design(state_of_the_art_design())
+        .grid_pitch_mm(pitch)
+        .build();
+    // A mid-range load: 6 cores of facesim at f_max, idles polling.
+    let config = WorkloadConfig::new(6, 2, tps_power::CoreFrequency::F3_2)
+        .expect("valid configuration");
+    let row = profile_config(Benchmark::Facesim, config, CState::Poll);
+    let ctx = MappingContext::new(
+        server.topology(),
+        server.simulation().design().orientation(),
+        CState::Poll,
+    );
+    let mapping = PackedMapping.select_cores(6, &ctx);
+    let breakdown = heat::breakdown_for_mapping(&row, &mapping);
+    let (solution, die, package) = server
+        .solve_breakdown(&breakdown)
+        .expect("coupled solve converges");
+
+    println!("FIG. 2 — die vs package profile, non-optimized design + mapping");
+    println!(
+        "workload: {} {} on cores {:?} ({:.1} W package)\n",
+        Benchmark::Facesim,
+        config,
+        mapping,
+        breakdown.total().value()
+    );
+
+    let mut table = Table::new(vec![
+        "".into(),
+        "θmax (°C)".into(),
+        "θavg (°C)".into(),
+        "∇θmax (°C/mm)".into(),
+    ]);
+    table.row(vec![
+        "Die".into(),
+        format!("{:.1}", die.max.value()),
+        format!("{:.1}", die.avg.value()),
+        format!("{:.1}", die.max_gradient_c_per_mm),
+    ]);
+    table.row(vec![
+        "Package".into(),
+        format!("{:.1}", package.max.value()),
+        format!("{:.1}", package.avg.value()),
+        format!("{:.1}", package.max_gradient_c_per_mm),
+    ]);
+    println!("{}", table.render());
+    println!(
+        "paper:   die 66.1 / 55.9 / 6.6   package 46.4 / 42.9 / 0.5\n"
+    );
+
+    println!("(a) package thermal map (spreader layer):");
+    let spreader = solution
+        .thermal
+        .layer_by_name("spreader")
+        .expect("xeon stack has a spreader");
+    println!("{}", render_ascii(spreader));
+    println!("(b) die thermal map:");
+    println!("{}", render_ascii(solution.thermal.die_layer()));
+
+    let ratio = die.max_gradient_c_per_mm / package.max_gradient_c_per_mm.max(1e-9);
+    println!(
+        "die gradient is {ratio:.0}× the package gradient — the package blurs, \
+         the die burns (the figure's point)."
+    );
+    write_artifact("fig2_metrics.csv", &table.to_csv());
+    let mut die_csv = String::new();
+    tps_thermal::write_csv(
+        solution.thermal.die_layer(),
+        &tps_bench::experiments_dir().join("fig2_die_map.csv"),
+    )
+    .expect("write die map");
+    die_csv.push_str("see fig2_die_map.csv");
+    let _ = die_csv;
+}

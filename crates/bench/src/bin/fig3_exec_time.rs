@@ -1,0 +1,44 @@
+//! **Fig. 3** — execution time normalized to the QoS limit (2×) for the
+//! 13 PARSEC workloads across the five `@f_max` configurations.
+//!
+//! A value above 1.0 violates the 2× QoS constraint; the paper's plot spans
+//! 0–2.1 with the scalable kernels crossing the limit at (2,4,fmax) and the
+//! bandwidth-bound ones staying below it.
+
+use tps_bench::{write_artifact, Table};
+use tps_workload::{Benchmark, QosClass, WorkloadConfig};
+
+fn main() {
+    let configs = WorkloadConfig::fig3_configs();
+    let qos_limit = QosClass::TwoX.max_slowdown();
+
+    let mut headers = vec!["benchmark".into()];
+    headers.extend(configs.iter().map(|c| {
+        format!("({},{},fmax)", c.n_cores(), c.total_threads())
+    }));
+    let mut table = Table::new(headers);
+
+    let mut violators_at_2_4 = 0;
+    for bench in Benchmark::ALL {
+        let profile = bench.profile();
+        let mut cells = vec![bench.to_string()];
+        for (i, cfg) in configs.iter().enumerate() {
+            let normalized_to_limit = profile.normalized_time(*cfg) / qos_limit;
+            let mark = if normalized_to_limit > 1.0 { " !" } else { "" };
+            if i == 0 && normalized_to_limit > 1.0 {
+                violators_at_2_4 += 1;
+            }
+            cells.push(format!("{normalized_to_limit:.2}{mark}"));
+        }
+        table.row(cells);
+    }
+
+    println!("FIG. 3 — execution time normalized to the 2x QoS limit @fmax");
+    println!("(1.00 = QoS limit; '!' marks a violation; baseline (8,16,fmax) = 0.50)\n");
+    println!("{}", table.render());
+    println!(
+        "{violators_at_2_4}/13 benchmarks violate the 2x limit at (2,4,fmax); \
+         none violate it at (8,16,fmax)."
+    );
+    write_artifact("fig3_exec_time.csv", &table.to_csv());
+}

@@ -1,0 +1,85 @@
+//! **Fig. 5** — thermosyphon orientation: Design 1 (inlet east) vs
+//! Design 2 (inlet north) with all cores equally loaded.
+//!
+//! Paper reference: package θmax 52.7 vs 53.5 °C, ∇θmax 0.33 vs 0.43;
+//! die 73.2 vs 79.4 °C, ∇θmax 6.8 vs 7.1 — Design 1 wins because the die's
+//! powered half (the core columns) spans fewer of its channels per band.
+
+use tps_bench::{grid_pitch_from_args, write_artifact, Table};
+use tps_core::{heat, Server};
+use tps_floorplan::{xeon_e5_v4, PackageGeometry};
+use tps_power::CState;
+use tps_thermal::render_ascii;
+use tps_thermosyphon::{Orientation, ThermosyphonDesign};
+use tps_workload::{profile_config, Benchmark, WorkloadConfig};
+
+fn main() {
+    let pitch = grid_pitch_from_args();
+    let pkg = PackageGeometry::xeon(&xeon_e5_v4());
+    // Full uniform load: all 8 cores, 16 threads, f_max (vips: mid power).
+    let config = WorkloadConfig::baseline();
+    let row = profile_config(Benchmark::Vips, config, CState::Poll);
+    let mapping: Vec<u8> = (1..=8).collect();
+    let breakdown = heat::breakdown_for_mapping(&row, &mapping);
+
+    let mut table = Table::new(vec![
+        "design".into(),
+        "pkg θmax".into(),
+        "pkg θavg".into(),
+        "pkg ∇θmax".into(),
+        "die θmax".into(),
+        "die θavg".into(),
+        "die ∇θmax".into(),
+    ]);
+
+    let mut die_max = Vec::new();
+    for (label, orientation) in [
+        ("#1 (inlet east)", Orientation::InletEast),
+        ("#2 (inlet north)", Orientation::InletNorth),
+    ] {
+        let design = ThermosyphonDesign::builder(&pkg).orientation(orientation).build();
+        let server = Server::builder()
+            .design(design)
+            .grid_pitch_mm(pitch)
+            .build();
+        let (solution, die, package) = server
+            .solve_breakdown(&breakdown)
+            .expect("coupled solve converges");
+        table.row(vec![
+            label.into(),
+            format!("{:.1}", package.max.value()),
+            format!("{:.1}", package.avg.value()),
+            format!("{:.2}", package.max_gradient_c_per_mm),
+            format!("{:.1}", die.max.value()),
+            format!("{:.1}", die.avg.value()),
+            format!("{:.2}", die.max_gradient_c_per_mm),
+        ]);
+        die_max.push(die.max.value());
+        println!("package thermal map, design {label}:");
+        let spreader = solution
+            .thermal
+            .layer_by_name("spreader")
+            .expect("xeon stack has a spreader");
+        println!("{}", render_ascii(spreader));
+    }
+
+    println!("FIG. 5 — orientation comparison, all cores loaded ({:.1} W)", breakdown.total().value());
+    println!("{}", table.render());
+    println!("paper:  #1 pkg 52.7/50.3/0.33, die 73.2/62.1/6.8");
+    println!("        #2 pkg 53.5/50.6/0.43, die 79.4/66.2/7.1");
+    let gap = die_max[1] - die_max[0];
+    if gap.abs() < 0.5 {
+        println!(
+            "the two orientations are within {:.1} °C on this uniform load in our \
+             model (the paper reports a 6.2 °C gap; see EXPERIMENTS.md — the \
+             orientation lever only separates clearly on concentrated maps).",
+            gap.abs()
+        );
+    } else {
+        println!(
+            "design 1 is {gap:.1} °C cooler on the die hot spot — matching the \
+             paper's choice of design 1."
+        );
+    }
+    write_artifact("fig5_orientation.csv", &table.to_csv());
+}

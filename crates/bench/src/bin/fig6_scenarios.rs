@@ -1,0 +1,112 @@
+//! **Fig. 6** — three 4-core mapping scenarios under POLL vs C1 idles.
+//!
+//! * scenario 1 — one active core per horizontal (channel) line,
+//! * scenario 2 — conventional corner-balanced spread,
+//! * scenario 3 — packed consecutive cores.
+//!
+//! The paper's crossover (Fig. 6d): with POLL idles scenario 2 wins; with
+//! C1 idles scenario 1 wins — because clock-gated idles stop polluting the
+//! channel bands, so row exclusivity starts to pay.
+
+use tps_bench::{grid_pitch_from_args, write_artifact, Table};
+use tps_core::{heat, MappingContext, MappingPolicy, ProposedMapping, Server};
+use tps_power::CState;
+use tps_workload::{profile_config, Benchmark, WorkloadConfig};
+
+fn main() {
+    let pitch = grid_pitch_from_args();
+    let server = Server::xeon(pitch);
+    let config = WorkloadConfig::new(4, 2, tps_power::CoreFrequency::F3_2)
+        .expect("valid configuration");
+    let bench = Benchmark::X264;
+
+    // The paper's three scenarios: one active core per horizontal line,
+    // the corner spread, and the packed column.
+    let scenario1: Vec<u8> = vec![1, 8, 3, 6];
+    let scenario2: Vec<u8> = vec![1, 4, 5, 8];
+    let scenario3: Vec<u8> = vec![5, 6, 7, 8];
+    let scenarios: [(&str, &Vec<u8>); 3] = [
+        ("1 (row-exclusive)", &scenario1),
+        ("2 (corners)", &scenario2),
+        ("3 (packed)", &scenario3),
+    ];
+    // What the proposed policy would actually pick in each regime.
+    let topo = server.topology();
+    let orientation = server.simulation().design().orientation();
+    let pick_poll = ProposedMapping.select_cores(
+        4,
+        &MappingContext::new(topo, orientation, CState::Poll),
+    );
+    let pick_c1 = ProposedMapping.select_cores(
+        4,
+        &MappingContext::new(topo, orientation, CState::C1),
+    );
+
+    let mut table = Table::new(vec![
+        "die metric".into(),
+        "POLL s1".into(),
+        "POLL s2".into(),
+        "POLL s3".into(),
+        "C1 s1".into(),
+        "C1 s2".into(),
+        "C1 s3".into(),
+    ]);
+    let mut maxes = Vec::new();
+    let mut avgs = Vec::new();
+    let mut grads = Vec::new();
+    let mut proposed_max = Vec::new();
+    for cstate in [CState::Poll, CState::C1] {
+        let row = profile_config(bench, config, cstate);
+        for (_, mapping) in scenarios {
+            let breakdown = heat::breakdown_for_mapping(&row, mapping);
+            let (_, die, _) = server
+                .solve_breakdown(&breakdown)
+                .expect("coupled solve converges");
+            maxes.push(die.max.value());
+            avgs.push(die.avg.value());
+            grads.push(die.max_gradient_c_per_mm);
+        }
+        let pick = if cstate.is_polling() { &pick_poll } else { &pick_c1 };
+        let breakdown = heat::breakdown_for_mapping(&row, pick);
+        let (_, die, _) = server
+            .solve_breakdown(&breakdown)
+            .expect("coupled solve converges");
+        proposed_max.push(die.max.value());
+    }
+    let fmt = |v: &[f64]| v.iter().map(|x| format!("{x:.1}")).collect::<Vec<_>>();
+    let mut row_of = |name: &str, v: &[f64]| {
+        let mut cells = vec![name.to_string()];
+        cells.extend(fmt(v));
+        table.row(cells);
+    };
+    row_of("θmax (°C)", &maxes);
+    row_of("θavg (°C)", &avgs);
+    row_of("∇θmax (°C/mm)", &grads);
+
+    println!("FIG. 6 — 4-core mapping scenarios ({bench} {config})");
+    for (name, mapping) in scenarios {
+        println!("  scenario {name}: cores {mapping:?}");
+    }
+    println!();
+    println!("{}", table.render());
+    println!("paper (θmax): POLL 68.2 / 65.0 / 77.6   C1 57.1 / 64.2 / 73.3");
+    let poll_winner = if maxes[1] <= maxes[0] { "2" } else { "1" };
+    let c1_winner = if maxes[3] <= maxes[4] { "1" } else { "2" };
+    let gap_poll = maxes[1] - maxes[0];
+    let gap_c1 = maxes[4] - maxes[3];
+    println!(
+        "\nscenario {poll_winner} wins under POLL, scenario {c1_winner} wins under C1 \
+         (paper: 2 under POLL, 1 under C1); scenario 3 is worst in both."
+    );
+    println!(
+        "row-exclusivity advantage (s2 − s1): {gap_poll:+.1} °C under POLL vs \
+         {gap_c1:+.1} °C under C1 — the C-state decides how much row exclusivity pays, \
+         which is the figure's point."
+    );
+    println!(
+        "proposed policy picks {pick_poll:?} under POLL (θmax {:.1}) and \
+         {pick_c1:?} under C1 (θmax {:.1}).",
+        proposed_max[0], proposed_max[1]
+    );
+    write_artifact("fig6_scenarios.csv", &table.to_csv());
+}

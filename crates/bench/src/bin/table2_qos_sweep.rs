@@ -1,0 +1,109 @@
+//! **Table II** — thermal hot spots and spatial gradients for different QoS
+//! requirements: the proposed stack vs `[8]+[27]+[9]` vs `[8]+[27]+[7]`,
+//! averaged over the 13 PARSEC benchmarks.
+//!
+//! Paper reference (die θmax / die ∇θmax / pkg θmax / pkg ∇θmax):
+//!
+//! ```text
+//! Proposed      1x 78.3/0.90/52.1/0.24  2x 72.2/1.03/49.0/0.24  3x 68.4/1.25/46.3/0.28
+//! [8]+[27]+[9]  1x 83.0/0.95/52.5/0.27  2x 79.5/1.33/51.4/0.30  3x 77.8/1.60/49.1/0.36
+//! [8]+[27]+[7]  1x 83.0/0.95/52.5/0.27  2x 80.5/1.80/50.4/0.32  3x 79.1/2.30/49.1/0.43
+//! ```
+
+use tps_bench::{grid_pitch_from_args, table2_stacks, write_artifact, ExperimentStack, Table};
+use tps_workload::{Benchmark, QosClass};
+
+/// Benchmark-averaged metrics of one (stack, QoS) cell.
+struct Cell {
+    die_max: f64,
+    die_grad: f64,
+    pkg_max: f64,
+    pkg_grad: f64,
+}
+
+fn evaluate(stack: &ExperimentStack, qos: QosClass) -> Cell {
+    let metrics: Vec<(f64, f64, f64, f64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = Benchmark::ALL
+            .into_iter()
+            .map(|bench| {
+                let server = &stack.server;
+                let selector = &stack.selector;
+                let policy = &stack.policy;
+                scope.spawn(move || {
+                    let out = server
+                        .run(bench, qos, selector.as_ref(), policy.as_ref())
+                        .unwrap_or_else(|e| panic!("{bench} @ {qos}: {e}"));
+                    (
+                        out.die.max.value(),
+                        out.die.max_gradient_c_per_mm,
+                        out.package.max.value(),
+                        out.package.max_gradient_c_per_mm,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("benchmark thread panicked"))
+            .collect()
+    });
+    let n = metrics.len() as f64;
+    Cell {
+        die_max: metrics.iter().map(|m| m.0).sum::<f64>() / n,
+        die_grad: metrics.iter().map(|m| m.1).sum::<f64>() / n,
+        pkg_max: metrics.iter().map(|m| m.2).sum::<f64>() / n,
+        pkg_grad: metrics.iter().map(|m| m.3).sum::<f64>() / n,
+    }
+}
+
+fn main() {
+    let pitch = grid_pitch_from_args();
+    let stacks = table2_stacks(pitch);
+
+    let mut table = Table::new(vec![
+        "approach".into(),
+        "QoS".into(),
+        "die θmax".into(),
+        "die ∇θmax".into(),
+        "pkg θmax".into(),
+        "pkg ∇θmax".into(),
+    ]);
+
+    let mut proposed_3x = None;
+    let mut worst_3x: f64 = 0.0;
+    for stack in &stacks {
+        for qos in QosClass::ALL {
+            let cell = evaluate(stack, qos);
+            eprintln!(
+                "[{} @ {qos}] die {:.1} °C / {:.2} °C/mm",
+                stack.label, cell.die_max, cell.die_grad
+            );
+            if stack.label == "Proposed" && qos == QosClass::ThreeX {
+                proposed_3x = Some((cell.die_max, cell.die_grad));
+            }
+            if qos == QosClass::ThreeX {
+                worst_3x = worst_3x.max(cell.die_max);
+            }
+            table.row(vec![
+                stack.label.into(),
+                qos.to_string(),
+                format!("{:.1}", cell.die_max),
+                format!("{:.2}", cell.die_grad),
+                format!("{:.1}", cell.pkg_max),
+                format!("{:.2}", cell.pkg_grad),
+            ]);
+        }
+    }
+
+    println!("\nTABLE II — thermal hot spots and spatial gradients per QoS");
+    println!("(averaged over the 13 PARSEC benchmarks; grid pitch {pitch} mm)\n");
+    println!("{}", table.render());
+    if let Some((die_max, _)) = proposed_3x {
+        println!(
+            "hot-spot reduction at 3x vs the worst baseline: {:.1} °C \
+             (paper: up to 10 °C)",
+            worst_3x - die_max
+        );
+    }
+    write_artifact("table2_qos_sweep.csv", &table.to_csv());
+}

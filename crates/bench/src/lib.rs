@@ -1,0 +1,73 @@
+//! Experiment-harness support: table rendering, CSV export and shared
+//! experiment setups used by the per-figure binaries.
+//!
+//! Every table and figure of the paper has a binary under `src/bin`:
+//!
+//! | paper item | binary |
+//! |---|---|
+//! | Table I   | `table1_cstates` |
+//! | Fig. 2    | `fig2_motivation` |
+//! | Fig. 3    | `fig3_exec_time` |
+//! | Fig. 5    | `fig5_orientation` |
+//! | Fig. 6    | `fig6_scenarios` |
+//! | Table II  | `table2_qos_sweep` |
+//! | Fig. 7    | `fig7_thermal_map` |
+//! | Sec. VIII-B | `cooling_power` |
+//!
+//! Binaries accept `--pitch=<mm>` (default 1.0; 0.5 reproduces the
+//! paper-quality grids at ~4× the runtime) and write CSVs next to their
+//! stdout tables into `target/experiments/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod setups;
+mod table;
+
+pub use setups::{
+    proposed_stack, sota_coskun_stack, sota_inlet_stack, state_of_the_art_design,
+    table2_stacks, ExperimentStack,
+};
+pub use table::Table;
+
+use std::path::PathBuf;
+
+/// Directory where experiment CSVs are written
+/// (`$TPS_EXPERIMENTS_DIR` or `target/experiments`).
+pub fn experiments_dir() -> PathBuf {
+    std::env::var_os("TPS_EXPERIMENTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/experiments"))
+}
+
+/// Parses `--pitch=<mm>` from the command line (default 1.0 mm).
+///
+/// # Panics
+///
+/// Panics with a usage message on malformed values.
+pub fn grid_pitch_from_args() -> f64 {
+    for arg in std::env::args().skip(1) {
+        if let Some(v) = arg.strip_prefix("--pitch=") {
+            let pitch: f64 = v
+                .parse()
+                .unwrap_or_else(|_| panic!("malformed --pitch value `{v}`"));
+            assert!(pitch > 0.0, "--pitch must be positive");
+            return pitch;
+        }
+    }
+    1.0
+}
+
+/// Writes `content` into the experiments directory under `name`,
+/// creating it as needed; prints the destination.
+///
+/// # Panics
+///
+/// Panics on I/O errors (experiment binaries want loud failures).
+pub fn write_artifact(name: &str, content: &str) {
+    let dir = experiments_dir();
+    std::fs::create_dir_all(&dir).expect("create experiments dir");
+    let path = dir.join(name);
+    std::fs::write(&path, content).expect("write experiment artifact");
+    println!("[wrote {}]", path.display());
+}

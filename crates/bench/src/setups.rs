@@ -1,0 +1,103 @@
+//! The two competing system stacks of the paper's evaluation (Sec. VIII).
+
+use tps_core::{
+    ConfigSelector, CoskunBalancing, InletFirstMapping, MappingPolicy, MinPowerSelector,
+    PackAndCapSelector, ProposedMapping, Server,
+};
+use tps_floorplan::{xeon_e5_v4, PackageGeometry};
+use tps_thermosyphon::{Orientation, ThermosyphonDesign};
+use tps_units::Fraction;
+
+/// The thermosyphon design attributed to the state of the art (Seuret et
+/// al. [8]): sized for a *uniform* heat flux, i.e. without the paper's
+/// workload/floorplan awareness — north–south channels and a generic 50 %
+/// charge.
+pub fn state_of_the_art_design() -> ThermosyphonDesign {
+    let pkg = PackageGeometry::xeon(&xeon_e5_v4());
+    ThermosyphonDesign::builder(&pkg)
+        .orientation(Orientation::InletNorth)
+        .filling_ratio(Fraction::new(0.50).expect("0.50 is a valid fraction"))
+        .build()
+}
+
+/// A named end-to-end stack: thermosyphon design + configuration selector +
+/// mapping policy.
+pub struct ExperimentStack {
+    /// Row label used in the tables.
+    pub label: &'static str,
+    /// The server (design + operating point + thermal model).
+    pub server: Server,
+    /// The configuration-selection strategy.
+    pub selector: Box<dyn ConfigSelector + Sync>,
+    /// The thread-mapping policy.
+    pub policy: Box<dyn MappingPolicy + Sync>,
+}
+
+/// The proposed stack: paper design, Algorithm 1, C-state-aware mapping.
+pub fn proposed_stack(grid_pitch_mm: f64) -> ExperimentStack {
+    ExperimentStack {
+        label: "Proposed",
+        server: Server::xeon(grid_pitch_mm),
+        selector: Box::new(MinPowerSelector),
+        policy: Box::new(ProposedMapping),
+    }
+}
+
+/// The `[8]+[27]+[9]` baseline: uniform-flux design, Pack&Cap, Coskun
+/// balancing.
+pub fn sota_coskun_stack(grid_pitch_mm: f64) -> ExperimentStack {
+    ExperimentStack {
+        label: "[8]+[27]+[9]",
+        server: Server::builder()
+            .design(state_of_the_art_design())
+            .grid_pitch_mm(grid_pitch_mm)
+            .build(),
+        selector: Box::new(PackAndCapSelector::default()),
+        policy: Box::new(CoskunBalancing),
+    }
+}
+
+/// The `[8]+[27]+[7]` baseline: uniform-flux design, Pack&Cap, inlet-first
+/// mapping.
+pub fn sota_inlet_stack(grid_pitch_mm: f64) -> ExperimentStack {
+    ExperimentStack {
+        label: "[8]+[27]+[7]",
+        server: Server::builder()
+            .design(state_of_the_art_design())
+            .grid_pitch_mm(grid_pitch_mm)
+            .build(),
+        selector: Box::new(PackAndCapSelector::default()),
+        policy: Box::new(InletFirstMapping),
+    }
+}
+
+/// All three stacks of Table II, proposed first.
+pub fn table2_stacks(grid_pitch_mm: f64) -> Vec<ExperimentStack> {
+    vec![
+        proposed_stack(grid_pitch_mm),
+        sota_coskun_stack(grid_pitch_mm),
+        sota_inlet_stack(grid_pitch_mm),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sota_design_differs_from_paper_design() {
+        let pkg = PackageGeometry::xeon(&xeon_e5_v4());
+        let paper = ThermosyphonDesign::paper_design(&pkg);
+        let sota = state_of_the_art_design();
+        assert_ne!(paper.orientation(), sota.orientation());
+        assert!(paper.filling_ratio() != sota.filling_ratio());
+    }
+
+    #[test]
+    fn stacks_have_distinct_labels() {
+        let stacks = table2_stacks(4.0);
+        let labels: std::collections::HashSet<&str> =
+            stacks.iter().map(|s| s.label).collect();
+        assert_eq!(labels.len(), 3);
+    }
+}

@@ -1,0 +1,144 @@
+//! Minimal aligned-table rendering for experiment stdout + CSV.
+
+/// A simple right-aligned text table that can also serialise itself as CSV.
+///
+/// ```
+/// use tps_bench::Table;
+/// let mut t = Table::new(vec!["bench".into(), "θmax".into()]);
+/// t.row(vec!["x264".into(), "78.3".into()]);
+/// assert!(t.render().contains("x264"));
+/// assert_eq!(t.to_csv().lines().count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(headers: Vec<String>) -> Self {
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Self {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the header.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity {} != header arity {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders an aligned text table (first column left-aligned, the rest
+    /// right-aligned).
+    pub fn render(&self) -> String {
+        let n = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], out: &mut String| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i == 0 {
+                    out.push_str(&format!("{cell:<w$}"));
+                } else {
+                    out.push_str(&format!("  {cell:>w$}"));
+                }
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (n - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &mut out);
+        }
+        out
+    }
+
+    /// Serialises headers + rows as CSV (cells containing commas are
+    /// quoted).
+    pub fn to_csv(&self) -> String {
+        let quote = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        };
+        let mut out = String::new();
+        let mut push_row = |cells: &[String]| {
+            let line: Vec<String> = cells.iter().map(|c| quote(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        push_row(&self.headers);
+        for row in &self.rows {
+            push_row(row);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(vec!["name".into(), "value".into()]);
+        t.row(vec!["alpha".into(), "1.0".into()]);
+        t.row(vec!["b".into(), "22.5".into()]);
+        t
+    }
+
+    #[test]
+    fn renders_aligned() {
+        let s = sample().render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("---"));
+        // Right-aligned numeric column.
+        assert!(lines[2].ends_with("1.0"));
+        assert!(lines[3].ends_with("22.5"));
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.row(vec!["x,y".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "a,b\n\"x,y\",2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        sample().row(vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,153 @@
+//! The paper's Eq. 1 and a chiller-electrical-power model.
+
+use tps_fluids::Water;
+use tps_units::{Celsius, Density, KgPerHour, SpecificHeat, TempDelta, VolumetricFlow, Watts};
+
+/// The paper's Eq. 1: the power required to change the temperature of a
+/// water stream, `P = V̇ · ρ · C_w · ΔT` (V̇ in volume per second, ρ the
+/// density, `C_w` the specific heat, ΔT the inlet–outlet difference).
+///
+/// ```
+/// use tps_cooling::eq1_cooling_power;
+/// use tps_units::{Density, SpecificHeat, TempDelta, VolumetricFlow};
+///
+/// // 7 kg/h of water (≈1.95e-6 m³/s) warming by 6 °C carries ≈ 49 W.
+/// let p = eq1_cooling_power(
+///     VolumetricFlow::new(7.0 / 3600.0 / 996.0),
+///     Density::new(996.0),
+///     SpecificHeat::new(4181.0),
+///     TempDelta::new(6.0),
+/// );
+/// assert!((p.value() - 48.8).abs() < 0.2);
+/// ```
+pub fn eq1_cooling_power(
+    flow: VolumetricFlow,
+    rho: Density,
+    cw: SpecificHeat,
+    dt: TempDelta,
+) -> Watts {
+    Watts::new(flow.value() * rho.value() * cw.value() * dt.value())
+}
+
+/// Convenience wrapper of Eq. 1 for a water loop described by mass flow and
+/// inlet/outlet temperatures.
+pub fn water_loop_heat(flow: KgPerHour, t_in: Celsius, t_out: Celsius) -> Watts {
+    let rho = Water::density(t_in);
+    let si = tps_units::KgPerSecond::from(flow);
+    eq1_cooling_power(si.to_volumetric(rho), rho, Water::specific_heat(t_in), t_out - t_in)
+}
+
+/// A vapour-compression chiller: electrical power = heat / COP, with a
+/// Carnot-fraction COP that collapses as the supply water gets colder than
+/// the ambient heat-rejection temperature.
+///
+/// When the supply setpoint is at or above the rejection temperature the
+/// chiller is bypassed entirely (free cooling — the paper notes the chiller
+/// power would then be "even close to zero").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chiller {
+    ambient: Celsius,
+    approach: TempDelta,
+    second_law_efficiency: f64,
+    min_lift: TempDelta,
+    max_cop: f64,
+}
+
+impl Chiller {
+    /// A chiller rejecting to `ambient` air with a 5 K condenser approach,
+    /// a 25 % second-law efficiency and a 12 K minimum compressor lift
+    /// (evaporator + condenser approaches) — typical screw/scroll machines.
+    pub fn new(ambient: Celsius) -> Self {
+        Self {
+            ambient,
+            approach: TempDelta::new(5.0),
+            second_law_efficiency: 0.25,
+            min_lift: TempDelta::new(12.0),
+            max_cop: 20.0,
+        }
+    }
+
+    /// The ambient (heat-rejection) temperature.
+    pub fn ambient(&self) -> Celsius {
+        self.ambient
+    }
+
+    /// COP when producing water at `supply`.
+    ///
+    /// Carnot-fraction with a minimum lift:
+    /// `COP = η · T_cold / max(T_hot − T_cold, lift_min)`, capped at
+    /// `max_cop`; returns the cap (free cooling: fans and pumps only) when
+    /// `supply` is warm enough that no compression is needed.
+    pub fn cop(&self, supply: Celsius) -> f64 {
+        let t_cold = supply.to_kelvin().value();
+        let t_hot = (self.ambient + self.approach).to_kelvin().value();
+        if t_cold >= t_hot {
+            return self.max_cop;
+        }
+        let lift = (t_hot - t_cold).max(self.min_lift.value());
+        (self.second_law_efficiency * t_cold / lift).min(self.max_cop)
+    }
+
+    /// Electrical power to remove `heat` at a supply temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heat` is negative.
+    pub fn electrical_power(&self, heat: Watts, supply: Celsius) -> Watts {
+        assert!(heat.value() >= 0.0, "heat load must be non-negative");
+        Watts::new(heat.value() / self.cop(supply))
+    }
+}
+
+impl Default for Chiller {
+    /// A 25 °C machine-room ambient.
+    fn default() -> Self {
+        Self::new(Celsius::new(25.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_matches_paper_arithmetic() {
+        // Paper Sec. VIII-B: ΔT of 6 °C vs 11 °C at the same flow gives the
+        // 45 % reduction: 1 − 6/11 ≈ 0.4545.
+        let p6 = water_loop_heat(KgPerHour::new(7.0), Celsius::new(30.0), Celsius::new(36.0));
+        let p11 = water_loop_heat(KgPerHour::new(7.0), Celsius::new(20.0), Celsius::new(31.0));
+        let reduction = 1.0 - p6.value() / p11.value();
+        assert!((reduction - 0.4545).abs() < 0.01, "reduction {reduction}");
+    }
+
+    #[test]
+    fn colder_supply_needs_more_electricity() {
+        let c = Chiller::default();
+        let q = Watts::new(79.0);
+        let warm = c.electrical_power(q, Celsius::new(30.0));
+        let cold = c.electrical_power(q, Celsius::new(20.0));
+        assert!(cold > warm * 2.0, "cold {cold} vs warm {warm}");
+    }
+
+    #[test]
+    fn free_cooling_at_warm_setpoints() {
+        let c = Chiller::default();
+        assert_eq!(c.cop(Celsius::new(35.0)), 20.0);
+        // 30 °C supply against 25 °C ambient + 5 K approach ⇒ free cooling.
+        assert_eq!(c.cop(Celsius::new(30.0)), 20.0);
+        // 20 °C supply: the 12 K minimum lift rules: COP ≈ 0.25·293/12 ≈ 6.1.
+        assert!((c.cop(Celsius::new(20.0)) - 6.11).abs() < 0.1);
+    }
+
+    #[test]
+    fn zero_heat_zero_power() {
+        let c = Chiller::default();
+        assert_eq!(c.electrical_power(Watts::ZERO, Celsius::new(20.0)), Watts::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_heat_rejected() {
+        let _ = Chiller::default().electrical_power(Watts::new(-1.0), Celsius::new(20.0));
+    }
+}

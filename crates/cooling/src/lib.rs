@@ -1,0 +1,23 @@
+//! Rack-level cooling power accounting (Sec. VIII-B of the paper).
+//!
+//! * [`eq1_cooling_power`] — the paper's Eq. 1, `P = V̇·ρ·C_w·ΔT`: the power
+//!   carried by the water stream that the chiller must remove,
+//! * [`Chiller`] — a Carnot-fraction chiller model turning that heat plus
+//!   the supply temperature into *electrical* power (colder supply water ⇒
+//!   lower COP ⇒ more electricity, the effect that penalizes the state of
+//!   the art's 20 °C water),
+//! * [`Rack`] — per-rack aggregation with the paper's constraint that all
+//!   thermosyphons share one chiller water temperature (Sec. V),
+//! * [`pue`] — power-usage-effectiveness accounting (the paper motivates
+//!   thermosyphons with PUE 1.05 vs 1.48 air-cooled).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chiller;
+mod pue;
+mod rack;
+
+pub use chiller::{eq1_cooling_power, water_loop_heat, Chiller};
+pub use pue::pue;
+pub use rack::{Rack, ServerCoolingLoad};

@@ -1,0 +1,50 @@
+//! Power-usage-effectiveness accounting.
+
+use tps_units::Watts;
+
+/// PUE = total facility power / IT power.
+///
+/// The paper's introduction frames the whole effort through PUE: air-cooled
+/// facilities sit near 1.48–1.65, DCLC reaches 1.17, and the thermosyphon
+/// prototype of [8] achieves 1.05.
+///
+/// # Panics
+///
+/// Panics if `it_power` is not positive or `overhead_power` is negative.
+///
+/// ```
+/// use tps_cooling::pue;
+/// use tps_units::Watts;
+/// let p = pue(Watts::new(1000.0), Watts::new(50.0));
+/// assert!((p - 1.05).abs() < 1e-12);
+/// ```
+pub fn pue(it_power: Watts, overhead_power: Watts) -> f64 {
+    assert!(it_power.value() > 0.0, "IT power must be positive");
+    assert!(
+        overhead_power.value() >= 0.0,
+        "overhead power must be non-negative"
+    );
+    (it_power + overhead_power) / it_power
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unity_with_no_overhead() {
+        assert_eq!(pue(Watts::new(500.0), Watts::ZERO), 1.0);
+    }
+
+    #[test]
+    fn air_cooled_band() {
+        // 48 % overhead ⇒ the 1.48 the paper quotes for Cisco's facilities.
+        assert!((pue(Watts::new(100.0), Watts::new(48.0)) - 1.48).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_it_power_rejected() {
+        let _ = pue(Watts::ZERO, Watts::ZERO);
+    }
+}

@@ -1,0 +1,225 @@
+//! Co-scheduling several applications on one CPU.
+//!
+//! The paper evaluates one application per server (Algorithm 1 assigns
+//! `A_i` to `CPU_i`); this module extends the same machinery to consolidate
+//! a set of applications onto a single package: each application receives a
+//! disjoint core set, the strictest QoS class governs the idle C-state, and
+//! the mapping policy places each application's threads treating the
+//! previously placed ones as occupied heat sources.
+
+use crate::heat;
+use crate::mapping::{MappingContext, MappingPolicy};
+use crate::server::{RunError, Server};
+use tps_power::{CState, DiePowerBreakdown};
+use tps_thermal::ThermalMetrics;
+use tps_thermosyphon::CoupledSolution;
+use tps_units::Watts;
+use tps_workload::{profile_application, Benchmark, ConfigProfile, QosClass};
+
+/// One application's share of a colocated placement.
+#[derive(Debug, Clone)]
+pub struct AppAssignment {
+    /// The application.
+    pub bench: Benchmark,
+    /// Its QoS class.
+    pub qos: QosClass,
+    /// The selected configuration (with the runtime idle C-state applied).
+    pub profile: ConfigProfile,
+    /// The cores this application's threads run on.
+    pub cores: Vec<u8>,
+}
+
+/// The outcome of a colocated run.
+#[derive(Debug, Clone)]
+pub struct ColocatedOutcome {
+    /// Per-application assignments, in placement order (strictest first).
+    pub assignments: Vec<AppAssignment>,
+    /// The C-state the remaining idle cores were parked in.
+    pub idle_cstate: CState,
+    /// The combined die power breakdown.
+    pub breakdown: DiePowerBreakdown,
+    /// The converged coupled solution.
+    pub solution: CoupledSolution,
+    /// Die metrics over the die outline.
+    pub die: ThermalMetrics,
+    /// Package metrics over the spreader.
+    pub package: ThermalMetrics,
+}
+
+impl Server {
+    /// Consolidates several applications onto this server.
+    ///
+    /// Applications are placed strictest-QoS-first; each receives the
+    /// minimum-power configuration that meets its QoS within the cores
+    /// still free. Shared resources are approximated pessimistically: the
+    /// LLC and memory/IO power are the *maximum* demand across the
+    /// colocated applications (they are shared, not additive).
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::NoFeasibleConfig`] (for the first application that
+    /// cannot fit) or [`RunError::Coupling`] from the physics solve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps` is empty.
+    pub fn run_colocated(
+        &self,
+        apps: &[(Benchmark, QosClass)],
+        policy: &dyn MappingPolicy,
+    ) -> Result<ColocatedOutcome, RunError> {
+        assert!(!apps.is_empty(), "colocation needs at least one application");
+        // Strictest QoS governs the shared idle C-state and goes first.
+        let mut ordered: Vec<(Benchmark, QosClass)> = apps.to_vec();
+        ordered.sort_by_key(|&(_, qos)| qos);
+        let idle_cstate = CState::deepest_within(
+            ordered[0].1.idle_delay_tolerance(), // strictest app's tolerance
+        );
+
+        let mut occupied: Vec<u8> = Vec::new();
+        let mut assignments = Vec::with_capacity(ordered.len());
+        for &(bench, qos) in &ordered {
+            let free = 8 - occupied.len() as u8;
+            // Algorithm 1 under a core budget: min-power, QoS-feasible,
+            // fitting in the free cores (profiled with POLL idles, like the
+            // single-app path).
+            let mut rows = profile_application(bench, CState::Poll);
+            rows.retain(|r| r.config.n_cores() <= free && qos.is_met_by(r.normalized_time));
+            rows.sort_by(|a, b| a.package_power.value().total_cmp(&b.package_power.value()));
+            let selected = rows
+                .into_iter()
+                .next()
+                .ok_or(RunError::NoFeasibleConfig { bench, qos })?;
+            let profile =
+                tps_workload::profile_config(bench, selected.config, idle_cstate);
+            let ctx = MappingContext::new(
+                self.topology(),
+                self.simulation().design().orientation(),
+                idle_cstate,
+            )
+            .with_occupied(occupied.clone());
+            let cores = policy.select_cores(profile.config.n_cores() as usize, &ctx);
+            occupied.extend_from_slice(&cores);
+            assignments.push(AppAssignment {
+                bench,
+                qos,
+                profile,
+                cores,
+            });
+        }
+
+        // Combine the per-app breakdowns: cores are disjoint; the LLC and
+        // memory/IO paths are shared, so take the maximum demand.
+        let mut breakdown = DiePowerBreakdown::zero();
+        let mut llc = Watts::ZERO;
+        let mut mem_io = Watts::ZERO;
+        for a in &assignments {
+            let part = heat::breakdown_for_mapping(&a.profile, &a.cores);
+            for (acc, c) in breakdown.core.iter_mut().zip(&part.core) {
+                *acc = acc.max(*c);
+            }
+            llc = llc.max(a.profile.llc_power);
+            mem_io = mem_io.max(a.profile.mem_io_power);
+        }
+        breakdown.llc = llc;
+        breakdown.mem_ctl = mem_io * 0.5;
+        breakdown.uncore_io = mem_io * 0.5;
+
+        let (solution, die, package) = self.solve_breakdown(&breakdown)?;
+        Ok(ColocatedOutcome {
+            assignments,
+            idle_cstate,
+            breakdown,
+            solution,
+            die,
+            package,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::ProposedMapping;
+
+    fn server() -> Server {
+        Server::xeon(2.0)
+    }
+
+    #[test]
+    fn two_apps_get_disjoint_cores_and_meet_qos() {
+        let out = server()
+            .run_colocated(
+                &[
+                    (Benchmark::Canneal, QosClass::ThreeX),
+                    (Benchmark::Swaptions, QosClass::TwoX),
+                ],
+                &ProposedMapping,
+            )
+            .expect("colocation fits");
+        assert_eq!(out.assignments.len(), 2);
+        let mut all: Vec<u8> = out
+            .assignments
+            .iter()
+            .flat_map(|a| a.cores.clone())
+            .collect();
+        let before = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), before, "core sets must be disjoint");
+        for a in &out.assignments {
+            assert!(
+                a.qos.is_met_by(a.profile.normalized_time),
+                "{} misses {}",
+                a.bench,
+                a.qos
+            );
+        }
+        // Strictest (2x) app placed first.
+        assert_eq!(out.assignments[0].qos, QosClass::TwoX);
+        // The shared idle C-state obeys the strictest tolerance.
+        assert_eq!(out.idle_cstate, CState::C1e);
+    }
+
+    #[test]
+    fn infeasible_when_cores_run_out() {
+        // Three 1×-QoS apps each demand all 8 cores.
+        let apps = [
+            (Benchmark::X264, QosClass::OneX),
+            (Benchmark::Vips, QosClass::OneX),
+        ];
+        let err = server()
+            .run_colocated(&apps, &ProposedMapping)
+            .unwrap_err();
+        assert!(matches!(err, RunError::NoFeasibleConfig { .. }));
+    }
+
+    #[test]
+    fn colocated_die_is_hotter_than_either_alone() {
+        let server = server();
+        let apps = [
+            (Benchmark::Ferret, QosClass::ThreeX),
+            (Benchmark::Raytrace, QosClass::ThreeX),
+        ];
+        let together = server
+            .run_colocated(&apps, &ProposedMapping)
+            .expect("fits");
+        for &(bench, qos) in &apps {
+            let alone = server
+                .run(bench, qos, &crate::MinPowerSelector, &ProposedMapping)
+                .expect("runs");
+            assert!(
+                together.die.max.value() >= alone.die.max.value() - 0.5,
+                "{bench}: together {} vs alone {}",
+                together.die.max,
+                alone.die.max
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one application")]
+    fn empty_app_list_panics() {
+        let _ = server().run_colocated(&[], &ProposedMapping);
+    }
+}

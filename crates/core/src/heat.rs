@@ -1,0 +1,119 @@
+//! Per-component heat estimation (Algorithm 1, line 7).
+//!
+//! Given the selected configuration's power profile and a concrete core
+//! mapping, build the [`DiePowerBreakdown`] the thermal model consumes:
+//! active cores carry the active power, idle cores their C-state residual,
+//! and the uncore power is split between the memory-controller and
+//! uncore/IO strips.
+
+use tps_power::DiePowerBreakdown;
+use tps_units::Watts;
+use tps_workload::ConfigProfile;
+
+/// Share of the memory-controller + IO power attributed to the
+/// memory-controller strip (the rest goes to the queue/uncore/IO strip).
+const MEM_CTL_SHARE: f64 = 0.5;
+
+/// Builds the die power breakdown for a configuration run on the cores in
+/// `active` (1-based indices).
+///
+/// # Panics
+///
+/// Panics if `active` does not contain exactly the configuration's core
+/// count, holds duplicates, or an index outside `1..=8`.
+///
+/// ```
+/// use tps_core::heat::breakdown_for_mapping;
+/// use tps_power::CState;
+/// use tps_workload::{profile_config, Benchmark, WorkloadConfig};
+/// # use tps_power::CoreFrequency;
+///
+/// let cfg = WorkloadConfig::new(4, 2, CoreFrequency::F3_2)?;
+/// let row = profile_config(Benchmark::Ferret, cfg, CState::C1);
+/// let breakdown = breakdown_for_mapping(&row, &[5, 2, 7, 4]);
+/// assert!((breakdown.total().value() - row.package_power.value()).abs() < 1e-9);
+/// # Ok::<(), tps_workload::ConfigError>(())
+/// ```
+pub fn breakdown_for_mapping(row: &ConfigProfile, active: &[u8]) -> DiePowerBreakdown {
+    assert_eq!(
+        active.len(),
+        row.config.n_cores() as usize,
+        "mapping has {} cores but the configuration needs {}",
+        active.len(),
+        row.config.n_cores()
+    );
+    let mut seen = [false; 8];
+    for &c in active {
+        assert!((1..=8).contains(&c), "core index {c} outside 1..=8");
+        assert!(!seen[c as usize - 1], "core {c} mapped twice");
+        seen[c as usize - 1] = true;
+    }
+    let mut breakdown = DiePowerBreakdown::zero();
+    for (core, &active) in breakdown.core.iter_mut().zip(&seen) {
+        *core = if active {
+            row.active_core_power
+        } else {
+            row.idle_core_power
+        };
+    }
+    breakdown.llc = row.llc_power;
+    breakdown.mem_ctl = row.mem_io_power * MEM_CTL_SHARE;
+    breakdown.uncore_io = row.mem_io_power * (1.0 - MEM_CTL_SHARE);
+    breakdown
+}
+
+/// The total heat of a breakdown as a convenience (equals the profiled
+/// package power by construction).
+pub fn total_heat(breakdown: &DiePowerBreakdown) -> Watts {
+    breakdown.total()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_power::{CState, CoreFrequency};
+    use tps_workload::{profile_config, Benchmark, WorkloadConfig};
+
+    fn row() -> ConfigProfile {
+        profile_config(
+            Benchmark::Vips,
+            WorkloadConfig::new(3, 2, CoreFrequency::F2_9).unwrap(),
+            CState::Poll,
+        )
+    }
+
+    #[test]
+    fn total_matches_package_power() {
+        let r = row();
+        let b = breakdown_for_mapping(&r, &[1, 5, 8]);
+        assert!((b.total().value() - r.package_power.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn active_cores_get_active_power() {
+        let r = row();
+        let b = breakdown_for_mapping(&r, &[2, 6, 7]);
+        assert_eq!(b.core[1], r.active_core_power);
+        assert_eq!(b.core[0], r.idle_core_power);
+        assert_eq!(b.llc, r.llc_power);
+        assert!((b.mem_ctl + b.uncore_io - r.mem_io_power).abs().value() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "mapped twice")]
+    fn duplicate_core_panics() {
+        let _ = breakdown_for_mapping(&row(), &[2, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=8")]
+    fn out_of_range_core_panics() {
+        let _ = breakdown_for_mapping(&row(), &[0, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs")]
+    fn wrong_count_panics() {
+        let _ = breakdown_for_mapping(&row(), &[1, 2]);
+    }
+}

@@ -1,0 +1,99 @@
+//! The temperature-aware MPSoC scheduling baseline of Coskun et al.
+//! (DATE'07, the paper's reference [9]).
+
+use super::{check_core_count, greedy_spread, MappingContext, MappingPolicy};
+
+/// Conventional thermal-aware balancing: spread load from the corners and
+/// prefer historically cool cores, *independent of the idle C-state and of
+/// the cooling technology*. This is Fig. 6 scenario 2 applied always —
+/// optimal when idle cores poll, but blind to the micro-channel bands that
+/// matter once idle cores are clock-gated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoskunBalancing;
+
+impl MappingPolicy for CoskunBalancing {
+    fn name(&self) -> &'static str {
+        "coskun balancing [9]"
+    }
+
+    fn select_cores(&self, n: usize, ctx: &MappingContext<'_>) -> Vec<u8> {
+        check_core_count(n);
+        match ctx.core_temps {
+            // Temperature history available: coolest cores first
+            // (0.5 °C buckets), ties broken by the balanced spread order.
+            Some(temps) => {
+                let spread_order = greedy_spread(8, ctx, false);
+                let rank = |c: u8| {
+                    spread_order
+                        .iter()
+                        .position(|&o| o == c)
+                        .expect("spread order covers all cores")
+                };
+                let mut cores: Vec<u8> = (1..=8).collect();
+                cores.sort_by_key(|&c| {
+                    let bucket = (temps[c as usize - 1] * 2.0).round() as i64;
+                    (bucket, rank(c))
+                });
+                cores.truncate(n);
+                cores
+            }
+            None => greedy_spread(n, ctx, false),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::test_util::exhaustive_contract;
+    use tps_floorplan::CoreTopology;
+    use tps_power::CState;
+    use tps_thermosyphon::Orientation;
+
+    #[test]
+    fn contract() {
+        exhaustive_contract(&CoskunBalancing);
+    }
+
+    #[test]
+    fn cstate_blind() {
+        // The baseline ignores the idle C-state: same mapping under POLL
+        // and C1 — this is exactly what the proposed policy improves on.
+        let topo = CoreTopology::xeon();
+        for n in 1..=8 {
+            let poll = CoskunBalancing.select_cores(
+                n,
+                &MappingContext::new(&topo, Orientation::InletEast, CState::Poll),
+            );
+            let c1 = CoskunBalancing.select_cores(
+                n,
+                &MappingContext::new(&topo, Orientation::InletEast, CState::C1),
+            );
+            assert_eq!(poll, c1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn four_cores_take_the_corners() {
+        let topo = CoreTopology::xeon();
+        let ctx = MappingContext::new(&topo, Orientation::InletEast, CState::C1);
+        let mut four = CoskunBalancing.select_cores(4, &ctx);
+        four.sort_unstable();
+        assert_eq!(four, vec![1, 4, 5, 8]);
+    }
+
+    #[test]
+    fn prefers_cool_cores_when_history_is_available() {
+        let topo = CoreTopology::xeon();
+        let mut ctx = MappingContext::new(&topo, Orientation::InletEast, CState::Poll);
+        // Cores 1, 4, 5, 8 (the corners) are hot; 2, 6 are coolest.
+        let mut temps = [60.0; 8];
+        temps[1] = 45.0; // core 2
+        temps[5] = 45.0; // core 6
+        ctx.core_temps = Some(temps);
+        let two = CoskunBalancing.select_cores(2, &ctx);
+        let mut sorted = two.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![2, 6], "coolest cores must be picked: {two:?}");
+    }
+}

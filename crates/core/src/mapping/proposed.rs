@@ -1,0 +1,107 @@
+//! The paper's C-state-aware thermal mapping (Sec. VII).
+
+use super::{greedy_spread, MappingContext, MappingPolicy};
+
+/// The proposed policy:
+///
+/// * **idle cores in POLL** — they still burn near-dynamic power, so the
+///   best move is the conventional corner-first balanced spread (Fig. 6
+///   scenario 2): maximise distance between heat sources so they can
+///   exchange heat with cool silicon;
+/// * **idle cores clock-gated (C1 or deeper)** — idle slots are thermally
+///   dark, so the winning move is to keep *at most one active core per
+///   micro-channel band* (Fig. 6 scenario 1): a band that heats only one
+///   core keeps its vapour quality low and its boiling coefficient high.
+///   Past `n = 4` (or 5, as the paper notes) doubling up is unavoidable;
+///   the greedy then still minimises per-band occupancy first, corners
+///   first.
+///
+/// The band notion follows the thermosyphon orientation, so the same policy
+/// adapts to Design 1 (rows) and Design 2 (columns).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProposedMapping;
+
+impl MappingPolicy for ProposedMapping {
+    fn name(&self) -> &'static str {
+        "proposed (C-state-aware)"
+    }
+
+    fn select_cores(&self, n: usize, ctx: &MappingContext<'_>) -> Vec<u8> {
+        let banded = !ctx.idle_cstate.is_polling();
+        greedy_spread(n, ctx, banded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::test_util::exhaustive_contract;
+    use tps_floorplan::CoreTopology;
+    use tps_power::CState;
+    use tps_thermosyphon::Orientation;
+
+    fn ctx(topo: &CoreTopology, cstate: CState) -> MappingContext<'_> {
+        MappingContext::new(topo, Orientation::InletEast, cstate)
+    }
+
+    #[test]
+    fn contract() {
+        exhaustive_contract(&ProposedMapping);
+    }
+
+    #[test]
+    fn poll_idles_get_corner_spread() {
+        let topo = CoreTopology::xeon();
+        let mut four = ProposedMapping.select_cores(4, &ctx(&topo, CState::Poll));
+        four.sort_unstable();
+        assert_eq!(four, vec![1, 4, 5, 8], "scenario 2: the four corners");
+    }
+
+    #[test]
+    fn gated_idles_get_row_exclusive_mapping() {
+        let topo = CoreTopology::xeon();
+        for cstate in [CState::C1, CState::C1e, CState::C6] {
+            let four = ProposedMapping.select_cores(4, &ctx(&topo, cstate));
+            assert_eq!(
+                topo.row_occupancy(&four),
+                [1, 1, 1, 1],
+                "scenario 1: one active core per horizontal line"
+            );
+            // And the columns are staggered, not a single packed column.
+            let cols: std::collections::HashSet<usize> =
+                four.iter().map(|&c| topo.slot_of(c).col).collect();
+            assert_eq!(cols.len(), 2, "columns must alternate");
+        }
+    }
+
+    #[test]
+    fn beyond_four_rows_stay_balanced() {
+        let topo = CoreTopology::xeon();
+        for n in 5..=8 {
+            let cores = ProposedMapping.select_cores(n, &ctx(&topo, CState::C1));
+            let occ = topo.row_occupancy(&cores);
+            let max = occ.iter().max().unwrap();
+            let min = occ.iter().min().unwrap();
+            assert!(max - min <= 1, "n={n}: unbalanced rows {occ:?}");
+        }
+    }
+
+    #[test]
+    fn orientation_redefines_bands() {
+        // Under Design 2 (vertical channels) with 2 cores, the policy must
+        // use both columns — one per vertical band.
+        let topo = CoreTopology::xeon();
+        let ctx = MappingContext::new(&topo, Orientation::InletNorth, CState::C1);
+        let two = ProposedMapping.select_cores(2, &ctx);
+        let cols: Vec<usize> = two.iter().map(|&c| topo.slot_of(c).col).collect();
+        assert_ne!(cols[0], cols[1], "two cores must use distinct columns");
+    }
+
+    #[test]
+    fn full_load_uses_all_cores() {
+        let topo = CoreTopology::xeon();
+        let mut all = ProposedMapping.select_cores(8, &ctx(&topo, CState::Poll));
+        all.sort_unstable();
+        assert_eq!(all, (1..=8).collect::<Vec<u8>>());
+    }
+}

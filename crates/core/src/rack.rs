@@ -1,0 +1,108 @@
+//! Rack-level planning: workload-to-server allocation and the shared
+//! chiller loop (Sec. V).
+
+use crate::server::RunOutcome;
+use tps_cooling::ServerCoolingLoad;
+use tps_thermosyphon::OperatingPoint;
+use tps_units::{Celsius, TempDelta};
+use tps_workload::{Benchmark, QosClass};
+
+/// Distributes applications across `n_servers` balancing the *estimated
+/// package power* per server (greedy least-loaded-first, like the VM
+/// allocation heuristics the authors build on in [3]).
+///
+/// Returns one application list per server.
+///
+/// # Panics
+///
+/// Panics if `n_servers` is zero.
+pub fn plan_rack(
+    apps: &[(Benchmark, QosClass)],
+    n_servers: usize,
+) -> Vec<Vec<(Benchmark, QosClass)>> {
+    assert!(n_servers > 0, "a rack needs at least one server");
+    let mut plan: Vec<Vec<(Benchmark, QosClass)>> = vec![Vec::new(); n_servers];
+    let mut load = vec![0.0f64; n_servers];
+    // Heaviest applications first, each to the least-loaded server.
+    let mut jobs: Vec<(Benchmark, QosClass, f64)> = apps
+        .iter()
+        .map(|&(b, q)| {
+            let est = crate::select::MinPowerSelector;
+            use crate::select::ConfigSelector as _;
+            let power = est
+                .select(b, q, tps_power::CState::deepest_within(q.idle_delay_tolerance()))
+                .map_or(80.0, |row| row.package_power.value());
+            (b, q, power)
+        })
+        .collect();
+    jobs.sort_by(|a, b| b.2.total_cmp(&a.2));
+    for (bench, qos, power) in jobs {
+        let (idx, _) = load
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .expect("n_servers > 0");
+        plan[idx].push((bench, qos));
+        load[idx] += power;
+    }
+    plan
+}
+
+/// Converts per-server run outcomes into the cooling loads of the shared
+/// rack loop.
+///
+/// The warmest tolerable water per server is estimated from the case-
+/// temperature margin: die/case temperatures shift ≈ 1:1 with the water
+/// inlet (validated by the coupling tests), so a server running at
+/// `T_case` with water at `T_w` tolerates `T_w + (T_CASE_MAX − T_case)`.
+pub fn rack_cooling_loads(
+    outcomes: &[&RunOutcome],
+    op: OperatingPoint,
+    t_case_max: Celsius,
+) -> Vec<ServerCoolingLoad> {
+    outcomes
+        .iter()
+        .map(|o| {
+            let margin: TempDelta = t_case_max - o.solution.t_case;
+            ServerCoolingLoad {
+                heat: o.solution.q_total,
+                max_water_temp: op.water_inlet() + margin,
+                flow: op.water_flow(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_balances_load() {
+        let apps: Vec<(Benchmark, QosClass)> = Benchmark::ALL
+            .into_iter()
+            .map(|b| (b, QosClass::TwoX))
+            .collect();
+        let plan = plan_rack(&apps, 4);
+        assert_eq!(plan.len(), 4);
+        let total: usize = plan.iter().map(Vec::len).sum();
+        assert_eq!(total, 13);
+        // Balanced: no server holds more than ⌈13/4⌉ + 1 apps.
+        assert!(plan.iter().all(|s| s.len() <= 5));
+        // And no server is empty.
+        assert!(plan.iter().all(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn single_server_takes_everything() {
+        let apps = [(Benchmark::X264, QosClass::OneX)];
+        let plan = plan_rack(&apps, 1);
+        assert_eq!(plan[0].len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_rejected() {
+        let _ = plan_rack(&[], 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Configuration selection: Algorithm 1 (lines 1–6) and the Pack&Cap
+//! baseline [27].
+
+use tps_power::CState;
+use tps_units::Watts;
+use tps_workload::{profile_application, Benchmark, ConfigProfile, QosClass};
+
+/// A strategy choosing one `(Nc, Nt, f)` configuration per application.
+pub trait ConfigSelector {
+    /// Human-readable policy name (used in experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// Picks a configuration for `bench` under `qos`, with idle cores
+    /// parked in `idle_cstate`. Returns `None` if no configuration meets
+    /// the QoS constraint.
+    fn select(
+        &self,
+        bench: Benchmark,
+        qos: QosClass,
+        idle_cstate: CState,
+    ) -> Option<ConfigProfile>;
+}
+
+/// Algorithm 1, lines 1–6: sort the profiled configurations by package
+/// power ascending and take the first whose QoS exceeds the requirement.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinPowerSelector;
+
+impl ConfigSelector for MinPowerSelector {
+    fn name(&self) -> &'static str {
+        "proposed (Algorithm 1)"
+    }
+
+    fn select(
+        &self,
+        bench: Benchmark,
+        qos: QosClass,
+        idle_cstate: CState,
+    ) -> Option<ConfigProfile> {
+        let mut rows = profile_application(bench, idle_cstate);
+        rows.sort_by(|a, b| a.package_power.value().total_cmp(&b.package_power.value()));
+        rows.into_iter().find(|r| qos.is_met_by(r.normalized_time))
+    }
+}
+
+/// The Pack & Cap baseline (Cochran et al., MICRO'11 [27]): pack threads
+/// onto the fewest cores (two hardware threads per core), then pick the
+/// operating point by DVFS — lowest power among QoS-feasible points under
+/// an optional package power cap.
+///
+/// Packing minimises the number of active cores, which concentrates heat —
+/// the behaviour the paper's thermal-aware mapping is compared against.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PackAndCapSelector {
+    /// Optional package power cap; configurations above it are discarded
+    /// (if none survives, the cap is ignored — the job must still run).
+    pub power_cap: Option<Watts>,
+}
+
+impl ConfigSelector for PackAndCapSelector {
+    fn name(&self) -> &'static str {
+        "pack & cap [27]"
+    }
+
+    fn select(
+        &self,
+        bench: Benchmark,
+        qos: QosClass,
+        idle_cstate: CState,
+    ) -> Option<ConfigProfile> {
+        let rows = profile_application(bench, idle_cstate);
+        let feasible: Vec<&ConfigProfile> = rows
+            .iter()
+            .filter(|r| qos.is_met_by(r.normalized_time))
+            .collect();
+        let capped: Vec<&ConfigProfile> = match self.power_cap {
+            Some(cap) => {
+                let under: Vec<&ConfigProfile> = feasible
+                    .iter()
+                    .copied()
+                    .filter(|r| r.package_power <= cap)
+                    .collect();
+                if under.is_empty() {
+                    feasible
+                } else {
+                    under
+                }
+            }
+            None => feasible,
+        };
+        capped
+            .into_iter()
+            .min_by(|a, b| {
+                // Fewest cores first (thread packing), preferring SMT-packed
+                // (2 threads/core) points, then lowest power.
+                (a.config.n_cores(), 3 - a.config.threads_per_core())
+                    .cmp(&(b.config.n_cores(), 3 - b.config.threads_per_core()))
+                    .then(a.package_power.value().total_cmp(&b.package_power.value()))
+            })
+            .cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_power::CoreFrequency;
+
+    #[test]
+    fn one_x_forces_the_native_configuration() {
+        // At 1× QoS no slowdown is allowed: only (8,16,fmax) qualifies —
+        // "all approaches run the workload with fmax and maximum number of
+        // available cores and threads" (Sec. VIII-A).
+        for b in [Benchmark::X264, Benchmark::Canneal] {
+            let sel = MinPowerSelector
+                .select(b, QosClass::OneX, CState::Poll)
+                .unwrap();
+            assert_eq!(sel.config.n_cores(), 8);
+            assert_eq!(sel.config.total_threads(), 16);
+            assert_eq!(sel.config.frequency(), CoreFrequency::F3_2);
+        }
+    }
+
+    #[test]
+    fn relaxed_qos_saves_power() {
+        for b in Benchmark::ALL {
+            let p1 = MinPowerSelector
+                .select(b, QosClass::OneX, CState::C1)
+                .unwrap()
+                .package_power;
+            let p3 = MinPowerSelector
+                .select(b, QosClass::ThreeX, CState::C1)
+                .unwrap()
+                .package_power;
+            assert!(p3 < p1, "{b}: {p3} !< {p1}");
+        }
+    }
+
+    #[test]
+    fn selected_config_always_meets_qos() {
+        for b in Benchmark::ALL {
+            for qos in QosClass::ALL {
+                let sel = MinPowerSelector.select(b, qos, CState::Poll).unwrap();
+                assert!(qos.is_met_by(sel.normalized_time), "{b} {qos}");
+            }
+        }
+    }
+
+    #[test]
+    fn pack_and_cap_uses_fewer_cores_than_min_power() {
+        // Packing prefers fewer, faster cores; Algorithm 1 prefers more,
+        // slower ones. At 3× the contrast is visible for scalable kernels.
+        let b = Benchmark::Swaptions;
+        let packed = PackAndCapSelector::default()
+            .select(b, QosClass::ThreeX, CState::C1)
+            .unwrap();
+        let minp = MinPowerSelector
+            .select(b, QosClass::ThreeX, CState::C1)
+            .unwrap();
+        assert!(
+            packed.config.n_cores() <= minp.config.n_cores(),
+            "packed {} vs min-power {}",
+            packed.config,
+            minp.config
+        );
+        assert!(qos_ok(&packed));
+        fn qos_ok(r: &ConfigProfile) -> bool {
+            QosClass::ThreeX.is_met_by(r.normalized_time)
+        }
+    }
+
+    #[test]
+    fn power_cap_filters_when_possible() {
+        let b = Benchmark::X264;
+        let uncapped = PackAndCapSelector::default()
+            .select(b, QosClass::TwoX, CState::Poll)
+            .unwrap();
+        let capped = PackAndCapSelector {
+            power_cap: Some(uncapped.package_power - Watts::new(1.0)),
+        }
+        .select(b, QosClass::TwoX, CState::Poll)
+        .unwrap();
+        assert!(capped.package_power < uncapped.package_power);
+        // An impossible cap falls back to the feasible set.
+        let impossible = PackAndCapSelector {
+            power_cap: Some(Watts::new(1.0)),
+        }
+        .select(b, QosClass::TwoX, CState::Poll);
+        assert!(impossible.is_some());
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        assert_ne!(MinPowerSelector.name(), PackAndCapSelector::default().name());
+    }
+}

@@ -1,0 +1,70 @@
+//! Property tests on grid/rasterization invariants used by every other
+//! crate: conservation, coverage and span correctness.
+
+use proptest::prelude::*;
+use tps_floorplan::{rasterize_rect, GridSpec, Rect, ScalarField};
+
+proptest! {
+    /// `cell_span` returns exactly the cells whose rectangles intersect
+    /// the query rect (no misses, no false positives away from the edge).
+    #[test]
+    fn cell_span_matches_brute_force(
+        nx in 1usize..20, ny in 1usize..20,
+        qx in -2.0f64..12.0, qy in -2.0f64..12.0,
+        qw in 0.1f64..8.0, qh in 0.1f64..8.0,
+    ) {
+        let grid = GridSpec::new(nx, ny, Rect::from_mm(0.0, 0.0, 10.0, 10.0));
+        let query = Rect::from_mm(qx.max(0.0), qy.max(0.0), qw, qh);
+        let (xs, ys) = grid.cell_span(&query);
+        for iy in 0..ny {
+            for ix in 0..nx {
+                let intersects = grid.cell_rect(ix, iy).intersects(&query);
+                let in_span = xs.contains(&ix) && ys.contains(&iy);
+                if intersects {
+                    prop_assert!(in_span, "cell ({ix},{iy}) intersects but not in span");
+                }
+            }
+        }
+    }
+
+    /// Rasterizing any in-bounds rectangle is conservative, and splitting a
+    /// value across two rects equals rasterizing them separately.
+    #[test]
+    fn rasterize_rect_is_additive(
+        nx in 2usize..16, ny in 2usize..16,
+        ax in 0.0f64..5.0, ay in 0.0f64..5.0, aw in 0.5f64..4.0, ah in 0.5f64..4.0,
+        value in 0.1f64..50.0, split in 0.1f64..0.9,
+    ) {
+        let grid = GridSpec::new(nx, ny, Rect::from_mm(0.0, 0.0, 10.0, 10.0));
+        let rect = Rect::from_mm(ax, ay, aw.min(10.0 - ax), ah.min(10.0 - ay));
+        let mut whole = ScalarField::zeros(grid.clone());
+        rasterize_rect(&mut whole, &rect, value);
+        prop_assert!((whole.total() - value).abs() < 1e-9 * value.max(1.0));
+
+        let mut parts = ScalarField::zeros(grid.clone());
+        rasterize_rect(&mut parts, &rect, value * split);
+        rasterize_rect(&mut parts, &rect, value * (1.0 - split));
+        prop_assert!(whole.max_abs_diff(&parts) < 1e-9 * value.max(1.0));
+    }
+
+    /// Field statistics are consistent: min ≤ mean ≤ max, and restricting
+    /// to the full extent changes nothing.
+    #[test]
+    fn field_statistics_consistent(
+        nx in 1usize..12, ny in 1usize..12, seed in 0u64..1000,
+    ) {
+        let grid = GridSpec::new(nx, ny, Rect::from_mm(0.0, 0.0, 6.0, 6.0));
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(1);
+        let f = ScalarField::from_fn(grid.clone(), |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 10.0
+        });
+        prop_assert!(f.min() <= f.mean() + 1e-12);
+        prop_assert!(f.mean() <= f.max() + 1e-12);
+        let extent = *f.spec().extent();
+        prop_assert!((f.mean_in_rect(&extent).unwrap() - f.mean()).abs() < 1e-9);
+        prop_assert!((f.max_in_rect(&extent).unwrap() - f.max()).abs() < 1e-12);
+    }
+}

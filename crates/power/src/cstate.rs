@@ -1,0 +1,128 @@
+//! Idle power states (C-states) of the target CPU.
+
+use tps_units::Seconds;
+
+/// A core idle state, ordered from shallowest to deepest.
+///
+/// The target Xeon E5 v4 exposes POLL, C1, C1E, C3 and C6 (Sec. IV-C1).
+/// Deeper states consume less power but take longer to resume; the paper's
+/// mapping policy chooses different thread placements depending on which
+/// state idle cores can afford (Fig. 6), driven by the per-application
+/// tolerable delay `d_i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CState {
+    /// Default busy-wait idle: no wake latency, near-active power.
+    Poll,
+    /// Clock-gated halt.
+    C1,
+    /// Clock-gated halt with reduced voltage/frequency.
+    C1e,
+    /// Sleep state with caches progressively flushed (power extrapolated —
+    /// not listed in the paper's Table I).
+    C3,
+    /// Deep power-down (power extrapolated — not listed in Table I).
+    C6,
+}
+
+impl CState {
+    /// All states, shallowest first.
+    pub const ALL: [CState; 5] = [CState::Poll, CState::C1, CState::C1e, CState::C3, CState::C6];
+
+    /// Wake (resume) latency.
+    ///
+    /// POLL/C1/C1E use the paper's Table I values (0, 2, 10); the table's
+    /// header prints "(s)" but the magnitudes are microseconds, consistent
+    /// with the Linux `cpuidle` exit latencies for Broadwell — we interpret
+    /// them as µs. C3/C6 use the Broadwell `cpuidle` table (40 µs, 133 µs).
+    pub fn wake_latency(self) -> Seconds {
+        match self {
+            CState::Poll => Seconds::ZERO,
+            CState::C1 => Seconds::from_us(2.0),
+            CState::C1e => Seconds::from_us(10.0),
+            CState::C3 => Seconds::from_us(40.0),
+            CState::C6 => Seconds::from_us(133.0),
+        }
+    }
+
+    /// Returns the deepest state whose wake latency does not exceed
+    /// `tolerable_delay`, falling back to [`CState::Poll`].
+    ///
+    /// This is the `d_i`-driven selection of Algorithm 1's mapping step.
+    ///
+    /// ```
+    /// use tps_power::CState;
+    /// use tps_units::Seconds;
+    /// assert_eq!(CState::deepest_within(Seconds::from_us(5.0)), CState::C1);
+    /// assert_eq!(CState::deepest_within(Seconds::ZERO), CState::Poll);
+    /// assert_eq!(CState::deepest_within(Seconds::new(1.0)), CState::C6);
+    /// ```
+    pub fn deepest_within(tolerable_delay: Seconds) -> CState {
+        CState::ALL
+            .into_iter()
+            .rev()
+            .find(|s| s.wake_latency() <= tolerable_delay)
+            .unwrap_or(CState::Poll)
+    }
+
+    /// `true` if this state keeps the core's clock running (only POLL).
+    ///
+    /// POLL idles still burn near-dynamic power, which is why the paper's
+    /// mapping treats them as heat sources (Sec. VII).
+    pub fn is_polling(self) -> bool {
+        matches!(self, CState::Poll)
+    }
+}
+
+impl core::fmt::Display for CState {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            CState::Poll => "POLL",
+            CState::C1 => "C1",
+            CState::C1e => "C1E",
+            CState::C3 => "C3",
+            CState::C6 => "C6",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_depth() {
+        assert!(CState::Poll < CState::C1);
+        assert!(CState::C1 < CState::C1e);
+        assert!(CState::C1e < CState::C3);
+        assert!(CState::C3 < CState::C6);
+    }
+
+    #[test]
+    fn latency_matches_table_i() {
+        assert_eq!(CState::Poll.wake_latency(), Seconds::ZERO);
+        assert_eq!(CState::C1.wake_latency(), Seconds::from_us(2.0));
+        assert_eq!(CState::C1e.wake_latency(), Seconds::from_us(10.0));
+    }
+
+    #[test]
+    fn deepest_within_boundaries() {
+        assert_eq!(CState::deepest_within(Seconds::from_us(1.9)), CState::Poll);
+        assert_eq!(CState::deepest_within(Seconds::from_us(2.0)), CState::C1);
+        assert_eq!(CState::deepest_within(Seconds::from_us(10.0)), CState::C1e);
+        assert_eq!(CState::deepest_within(Seconds::from_us(132.0)), CState::C3);
+        assert_eq!(CState::deepest_within(Seconds::from_us(133.0)), CState::C6);
+    }
+
+    #[test]
+    fn polling_flag() {
+        assert!(CState::Poll.is_polling());
+        assert!(!CState::C1.is_polling());
+    }
+
+    #[test]
+    fn display_matches_paper_names() {
+        let names: Vec<String> = CState::ALL.iter().map(|s| s.to_string()).collect();
+        assert_eq!(names, ["POLL", "C1", "C1E", "C3", "C6"]);
+    }
+}

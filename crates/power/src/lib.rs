@@ -1,0 +1,36 @@
+//! Server CPU power models for the Xeon E5 v4 target of the paper.
+//!
+//! The crate decomposes the package power into the two contributors of
+//! Sec. IV-C: the **core region** (cores + L1/L2, dependent on the DVFS
+//! operating point, the C-state of idle cores and the workload's dynamic
+//! power) and the **uncore** (LLC + memory controller + IO, with a 9 W static
+//! component and an uncore-frequency-proportional component spanning 8 W over
+//! 1.2–2.8 GHz, plus up to 2 W of LLC power).
+//!
+//! The paper's Table I (package idle power for POLL/C1/C1E at 2.6/2.9/3.2 GHz)
+//! is stored as ground truth; [`IdlePowerModel`] decomposes it into per-core
+//! and uncore parts such that re-composing reproduces the table exactly —
+//! this is what the `table1_cstates` experiment binary checks.
+//!
+//! ```
+//! use tps_power::{CState, CoreFrequency, IdlePowerModel};
+//!
+//! let model = IdlePowerModel::xeon_e5_v4();
+//! let pkg = model.package_idle_power(CState::Poll, CoreFrequency::F3_2);
+//! assert_eq!(pkg, tps_units::Watts::new(40.0)); // Table I, POLL @ 3.2 GHz
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cstate;
+mod frequency;
+mod map;
+mod model;
+mod rapl;
+
+pub use cstate::CState;
+pub use frequency::{CoreFrequency, UncoreFrequency};
+pub use map::{power_field, DiePowerBreakdown};
+pub use model::{ActiveCorePower, IdlePowerModel, UncorePowerModel};
+pub use rapl::{RaplCounter, RaplDomain};

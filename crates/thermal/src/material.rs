@@ -1,0 +1,152 @@
+//! Solid materials of the chip stack.
+
+use tps_units::{Density, SpecificHeat, ThermalConductivity};
+
+/// A homogeneous solid material: conductivity plus volumetric heat capacity.
+///
+/// ```
+/// use tps_thermal::Material;
+/// let si = Material::silicon();
+/// assert!((si.conductivity().value() - 120.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Material {
+    name: &'static str,
+    k: ThermalConductivity,
+    rho: Density,
+    cp: SpecificHeat,
+}
+
+impl Material {
+    /// Creates a material.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any property is non-positive.
+    pub fn new(
+        name: &'static str,
+        k: ThermalConductivity,
+        rho: Density,
+        cp: SpecificHeat,
+    ) -> Self {
+        assert!(
+            k.value() > 0.0 && rho.value() > 0.0 && cp.value() > 0.0,
+            "material `{name}` must have positive properties"
+        );
+        Self { name, k, rho, cp }
+    }
+
+    /// Bulk silicon at operating temperature (k ≈ 120 W/mK around 60 °C).
+    pub fn silicon() -> Self {
+        Self::new(
+            "silicon",
+            ThermalConductivity::new(120.0),
+            Density::new(2330.0),
+            SpecificHeat::new(712.0),
+        )
+    }
+
+    /// Copper (heat spreader, evaporator base).
+    pub fn copper() -> Self {
+        Self::new(
+            "copper",
+            ThermalConductivity::new(390.0),
+            Density::new(8960.0),
+            SpecificHeat::new(385.0),
+        )
+    }
+
+    /// Thermal grease at the die ↔ spreader interface (TIM1). The value is
+    /// calibrated so the full-load die-to-case temperature drop matches the
+    /// paper's reported hot spots (DESIGN.md §7).
+    pub fn tim_grease() -> Self {
+        Self::new(
+            "tim-grease",
+            ThermalConductivity::new(3.2),
+            Density::new(2500.0),
+            SpecificHeat::new(1000.0),
+        )
+    }
+
+    /// Grease interface between spreader and evaporator base (TIM2);
+    /// slightly better than TIM1 thanks to the clamped flat surfaces.
+    pub fn tim_mount() -> Self {
+        Self::new(
+            "tim-mount",
+            ThermalConductivity::new(5.0),
+            Density::new(2500.0),
+            SpecificHeat::new(1000.0),
+        )
+    }
+
+    /// Organic package fill surrounding the die (low conductivity).
+    pub fn underfill() -> Self {
+        Self::new(
+            "underfill",
+            ThermalConductivity::new(0.9),
+            Density::new(1700.0),
+            SpecificHeat::new(1100.0),
+        )
+    }
+
+    /// The material's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Thermal conductivity.
+    pub fn conductivity(&self) -> ThermalConductivity {
+        self.k
+    }
+
+    /// Mass density.
+    pub fn density(&self) -> Density {
+        self.rho
+    }
+
+    /// Specific heat capacity.
+    pub fn specific_heat(&self) -> SpecificHeat {
+        self.cp
+    }
+
+    /// Volumetric heat capacity ρ·c_p in J/(m³·K).
+    pub fn volumetric_heat_capacity(&self) -> f64 {
+        self.rho.value() * self.cp.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_physical() {
+        for m in [
+            Material::silicon(),
+            Material::copper(),
+            Material::tim_grease(),
+            Material::tim_mount(),
+            Material::underfill(),
+        ] {
+            assert!(m.conductivity().value() > 0.0);
+            assert!(m.volumetric_heat_capacity() > 1e5, "{}", m.name());
+        }
+        assert!(
+            Material::copper().conductivity() > Material::silicon().conductivity()
+        );
+        assert!(
+            Material::underfill().conductivity() < Material::tim_grease().conductivity()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive properties")]
+    fn rejects_nonpositive() {
+        let _ = Material::new(
+            "bad",
+            ThermalConductivity::new(0.0),
+            Density::new(1.0),
+            SpecificHeat::new(1.0),
+        );
+    }
+}

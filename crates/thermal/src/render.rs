@@ -1,0 +1,102 @@
+//! Terminal heat maps and CSV export for the figure binaries.
+
+use std::io::Write as _;
+use std::path::Path;
+use tps_floorplan::ScalarField;
+
+/// Shade ramp from coolest to hottest.
+const RAMP: &[char] = &[' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+/// Renders a field as an ASCII heat map (north row first), normalising
+/// between the field's own min and max. Each cell is two characters wide to
+/// roughly compensate terminal aspect ratio.
+///
+/// ```
+/// use tps_floorplan::{GridSpec, Rect, ScalarField};
+/// use tps_thermal::render_ascii;
+/// let g = GridSpec::new(4, 2, Rect::from_mm(0.0, 0.0, 4.0, 2.0));
+/// let f = ScalarField::from_fn(g, |x, _| x);
+/// let art = render_ascii(&f);
+/// assert_eq!(art.lines().count(), 2 + 1); // 2 rows + scale line
+/// ```
+pub fn render_ascii(field: &ScalarField) -> String {
+    let spec = field.spec();
+    let (lo, hi) = (field.min(), field.max());
+    let span = (hi - lo).max(1e-12);
+    let mut out = String::with_capacity((spec.nx() * 2 + 1) * spec.ny() + 64);
+    for iy in (0..spec.ny()).rev() {
+        for ix in 0..spec.nx() {
+            let t = (field.at(ix, iy) - lo) / span;
+            let level = ((t * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+            out.push(RAMP[level]);
+            out.push(RAMP[level]);
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("scale: '{}'={lo:.1} … '{}'={hi:.1}\n", RAMP[0], RAMP[RAMP.len() - 1]));
+    out
+}
+
+/// Writes a field as CSV (`x_mm,y_mm,value` per cell) for external plotting.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn write_csv(field: &ScalarField, path: &Path) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "x_mm,y_mm,value")?;
+    let spec = field.spec();
+    for iy in 0..spec.ny() {
+        for ix in 0..spec.nx() {
+            let (x, y) = spec.cell_center(ix, iy);
+            writeln!(f, "{:.4},{:.4},{:.4}", x * 1e3, y * 1e3, field.at(ix, iy))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_floorplan::{GridSpec, Rect};
+
+    fn field() -> ScalarField {
+        let g = GridSpec::new(6, 4, Rect::from_mm(0.0, 0.0, 6.0, 4.0));
+        ScalarField::from_fn(g, |x, _| x * 1e3)
+    }
+
+    #[test]
+    fn ascii_has_expected_shape() {
+        let art = render_ascii(&field());
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[0].len(), 12);
+        // The west (left) edge is coolest, the east edge hottest.
+        assert!(lines[0].starts_with("  "));
+        assert!(lines[0].ends_with("@@"));
+        assert!(lines[4].contains("scale"));
+    }
+
+    #[test]
+    fn ascii_handles_uniform_field() {
+        let g = GridSpec::new(3, 3, Rect::from_mm(0.0, 0.0, 3.0, 3.0));
+        let art = render_ascii(&ScalarField::filled(g, 42.0));
+        assert!(art.contains("42.0"));
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join("tps-thermal-test");
+        let path = dir.join("field.csv");
+        write_csv(&field(), &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "x_mm,y_mm,value");
+        assert_eq!(lines.len(), 1 + 24);
+        assert!(lines[1].starts_with("0.5000,0.5000,"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

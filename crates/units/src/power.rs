@@ -1,0 +1,62 @@
+//! Electrical/thermal power and voltage.
+
+use crate::geometry::SquareMeters;
+use crate::heat::HeatFlux;
+
+quantity! {
+    /// A power in watts.
+    ///
+    /// Used for per-core power, package power, heat loads and cooling power.
+    ///
+    /// ```
+    /// use tps_units::Watts;
+    /// let pkg: Watts = [Watts::new(40.5), Watts::new(38.8)].into_iter().sum();
+    /// assert_eq!(pkg, Watts::new(79.3));
+    /// ```
+    Watts, "W"
+}
+
+quantity! {
+    /// An electrical potential in volts (DVFS operating points).
+    Volts, "V"
+}
+
+impl Watts {
+    /// Creates a power from milliwatts.
+    #[inline]
+    pub const fn from_mw(mw: f64) -> Self {
+        Self::new(mw * 1e-3)
+    }
+
+    /// Returns the power in kilowatts.
+    #[inline]
+    pub fn to_kw(self) -> f64 {
+        self.value() * 1e-3
+    }
+}
+
+impl core::ops::Div<SquareMeters> for Watts {
+    type Output = HeatFlux;
+    #[inline]
+    fn div(self, rhs: SquareMeters) -> HeatFlux {
+        HeatFlux::new(self.value() / rhs.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::SquareMeters;
+
+    #[test]
+    fn power_over_area_is_flux() {
+        // 79.3 W over the 246 mm² die ≈ 32.2 W/cm².
+        let flux = Watts::new(79.3) / SquareMeters::from_mm2(246.0);
+        assert!((flux.to_w_per_cm2() - 32.24).abs() < 0.01);
+    }
+
+    #[test]
+    fn milliwatts() {
+        assert_eq!(Watts::from_mw(1500.0), Watts::new(1.5));
+    }
+}

@@ -1,0 +1,221 @@
+//! Internal macro that stamps out the shared newtype boilerplate.
+
+/// Defines an `f64`-backed quantity newtype with the standard trait surface.
+///
+/// Generated API per type: `new`, `value`, `abs`, `min`, `max`, `clamp`,
+/// `is_finite`, `Display` with the unit suffix, `Add`/`Sub`/`Neg` on `Self`,
+/// `Mul<f64>`/`Div<f64>` scaling, `Div<Self> -> f64` ratios, and
+/// `iter::Sum`. Intensive quantities that must not support `Add` (absolute
+/// temperatures) are written by hand in their own module instead.
+macro_rules! quantity {
+    ($(#[$doc:meta])* $name:ident, $suffix:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero value of this quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Creates the quantity from a raw magnitude in its SI-ish base unit.
+            #[inline]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw magnitude.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the smaller of `self` and `other` (NaN-safe, total order).
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                if other.0.total_cmp(&self.0).is_lt() {
+                    other
+                } else {
+                    self
+                }
+            }
+
+            /// Returns the larger of `self` and `other` (NaN-safe, total order).
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                if other.0.total_cmp(&self.0).is_gt() {
+                    other
+                } else {
+                    self
+                }
+            }
+
+            /// Clamps the quantity into `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi`.
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                assert!(lo.0 <= hi.0, "clamp: lo {} > hi {}", lo.0, hi.0);
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Returns `true` if the magnitude is neither NaN nor infinite.
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl core::fmt::Display for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                // Respect an explicit precision; default to a compact form.
+                match f.precision() {
+                    Some(p) => write!(f, "{:.*} {}", p, self.0, $suffix),
+                    None => write!(f, "{} {}", self.0, $suffix),
+                }
+            }
+        }
+
+        impl core::ops::Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl core::ops::AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl core::ops::Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl core::ops::SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl core::ops::Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl core::ops::Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl core::ops::Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl core::ops::Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl core::ops::Div for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl core::iter::Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl<'a> core::iter::Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    quantity! {
+        /// Test-only quantity.
+        Thing, "th"
+    }
+
+    #[test]
+    fn arithmetic_round_trip() {
+        let a = Thing::new(2.0);
+        let b = Thing::new(3.0);
+        assert_eq!((a + b).value(), 5.0);
+        assert_eq!((b - a).value(), 1.0);
+        assert_eq!((a * 2.0).value(), 4.0);
+        assert_eq!((2.0 * a).value(), 4.0);
+        assert_eq!((b / 2.0).value(), 1.5);
+        assert_eq!(b / a, 1.5);
+        assert_eq!((-a).value(), -2.0);
+    }
+
+    #[test]
+    fn min_max_clamp() {
+        let a = Thing::new(2.0);
+        let b = Thing::new(3.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(Thing::new(9.0).clamp(a, b), b);
+        assert_eq!(Thing::new(-9.0).clamp(a, b), a);
+    }
+
+    #[test]
+    fn display_honours_precision() {
+        assert_eq!(format!("{:.2}", Thing::new(1.2345)), "1.23 th");
+        assert_eq!(format!("{}", Thing::new(1.5)), "1.5 th");
+    }
+
+    #[test]
+    fn sum_of_iterator() {
+        let total: Thing = (1..=4).map(|i| Thing::new(f64::from(i))).sum();
+        assert_eq!(total.value(), 10.0);
+    }
+
+    #[test]
+    fn nan_safe_ordering() {
+        let nan = Thing::new(f64::NAN);
+        let one = Thing::new(1.0);
+        // total_cmp places NaN above all numbers, so min prefers the number.
+        assert_eq!(one.min(nan), one);
+        assert!(!nan.is_finite());
+        assert!(one.is_finite());
+    }
+}

@@ -1,0 +1,108 @@
+//! QoS constraints: allowed slowdown w.r.t. the native execution.
+
+use core::fmt;
+use tps_units::Seconds;
+
+/// A QoS class: the maximum allowed execution-time degradation relative to
+/// the `(8,16,f_max)` baseline (Sec. IV-B considers 1×, 2× and 3×).
+///
+/// Each class also implies a tolerable wake-up delay `d_i` for idle cores:
+/// the tighter the deadline, the shallower the C-state the mapping may use —
+/// this is what drives the paper's C-state-dependent mapping choice (Fig. 6
+/// and the Table II discussion of the 3× case).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum QosClass {
+    /// No degradation allowed (1×): the native configuration must be used.
+    OneX,
+    /// Up to 2× slowdown.
+    TwoX,
+    /// Up to 3× slowdown.
+    ThreeX,
+}
+
+impl QosClass {
+    /// All classes, strictest first.
+    pub const ALL: [QosClass; 3] = [QosClass::OneX, QosClass::TwoX, QosClass::ThreeX];
+
+    /// The allowed slowdown factor `q_i`.
+    pub fn max_slowdown(self) -> f64 {
+        match self {
+            QosClass::OneX => 1.0,
+            QosClass::TwoX => 2.0,
+            QosClass::ThreeX => 3.0,
+        }
+    }
+
+    /// Whether a normalized execution time satisfies this class
+    /// (with a hair of tolerance so the baseline itself passes 1×).
+    pub fn is_met_by(self, normalized_time: f64) -> bool {
+        normalized_time <= self.max_slowdown() + 1e-9
+    }
+
+    /// The tolerable delay `d_i` for waking idle cores.
+    ///
+    /// 1× tolerates no wake latency (POLL only); 2× tolerates clock-gated
+    /// halts (C1/C1E); 3× tolerates deep sleep (C6). These are our
+    /// calibration of the paper's `D = {d_1 … d_n}` input.
+    pub fn idle_delay_tolerance(self) -> Seconds {
+        match self {
+            QosClass::OneX => Seconds::ZERO,
+            QosClass::TwoX => Seconds::from_us(10.0),
+            QosClass::ThreeX => Seconds::from_us(1000.0),
+        }
+    }
+}
+
+impl fmt::Display for QosClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            QosClass::OneX => "1x",
+            QosClass::TwoX => "2x",
+            QosClass::ThreeX => "3x",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_power::CState;
+
+    #[test]
+    fn slowdown_factors() {
+        assert_eq!(QosClass::OneX.max_slowdown(), 1.0);
+        assert_eq!(QosClass::TwoX.max_slowdown(), 2.0);
+        assert_eq!(QosClass::ThreeX.max_slowdown(), 3.0);
+    }
+
+    #[test]
+    fn met_by_with_tolerance() {
+        assert!(QosClass::OneX.is_met_by(1.0));
+        assert!(!QosClass::OneX.is_met_by(1.01));
+        assert!(QosClass::TwoX.is_met_by(1.99));
+        assert!(!QosClass::TwoX.is_met_by(2.5));
+    }
+
+    #[test]
+    fn delay_tolerance_maps_to_expected_cstates() {
+        assert_eq!(
+            CState::deepest_within(QosClass::OneX.idle_delay_tolerance()),
+            CState::Poll
+        );
+        assert_eq!(
+            CState::deepest_within(QosClass::TwoX.idle_delay_tolerance()),
+            CState::C1e
+        );
+        assert_eq!(
+            CState::deepest_within(QosClass::ThreeX.idle_delay_tolerance()),
+            CState::C6
+        );
+    }
+
+    #[test]
+    fn ordering_is_strictness() {
+        assert!(QosClass::OneX < QosClass::TwoX);
+        assert!(QosClass::TwoX < QosClass::ThreeX);
+    }
+}

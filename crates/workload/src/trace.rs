@@ -1,0 +1,147 @@
+//! Phase-based workload traces for transient simulation.
+//!
+//! Real PARSEC executions alternate between compute-heavy and memory-heavy
+//! phases (the paper's runtime controller reacts to the resulting thermal
+//! transients). [`WorkloadTrace::synthesize`] generates a reproducible
+//! phase sequence per benchmark for the transient examples and tests.
+
+use crate::benchmark::Benchmark;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tps_units::Seconds;
+
+/// One execution phase: a duration and a dynamic-power scale factor relative
+/// to the benchmark's average dynamic power.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phase {
+    /// Phase duration.
+    pub duration: Seconds,
+    /// Dynamic-power multiplier in `[0.3, 1.5]` (1.0 = profile average).
+    pub power_scale: f64,
+}
+
+/// A sequence of phases approximating one benchmark execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadTrace {
+    bench: Benchmark,
+    phases: Vec<Phase>,
+}
+
+impl WorkloadTrace {
+    /// Synthesizes a trace of roughly `total` seconds for `bench`,
+    /// deterministically from `seed`.
+    ///
+    /// Compute-bound benchmarks produce long, hot phases; memory-bound ones
+    /// alternate faster between cooler stall phases and bursts.
+    pub fn synthesize(bench: Benchmark, total: Seconds, seed: u64) -> Self {
+        let profile = bench.profile();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mem = profile.mem_fraction();
+        // Memory-bound ⇒ shorter phases, larger swing around a lower mean.
+        let mean_phase_s = 2.0 - 1.5 * mem;
+        let swing = 0.15 + 0.5 * mem;
+        let mut phases = Vec::new();
+        let mut elapsed = 0.0;
+        let mut hot = true;
+        while elapsed < total.value() {
+            let dur = (mean_phase_s * rng.gen_range(0.5..1.5)).min(total.value() - elapsed);
+            let base = if hot { 1.0 + swing } else { 1.0 - swing };
+            let scale = (base + rng.gen_range(-0.1..0.1)).clamp(0.3, 1.5);
+            phases.push(Phase {
+                duration: Seconds::new(dur),
+                power_scale: scale,
+            });
+            elapsed += dur;
+            hot = !hot;
+        }
+        Self { bench, phases }
+    }
+
+    /// The benchmark this trace belongs to.
+    pub fn benchmark(&self) -> Benchmark {
+        self.bench
+    }
+
+    /// The phases in execution order.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Total trace duration.
+    pub fn duration(&self) -> Seconds {
+        self.phases.iter().map(|p| p.duration).sum()
+    }
+
+    /// The power scale in effect at time `t` (clamped to the last phase).
+    pub fn power_scale_at(&self, t: Seconds) -> f64 {
+        let mut acc = 0.0;
+        for p in &self.phases {
+            acc += p.duration.value();
+            if t.value() < acc {
+                return p.power_scale;
+            }
+        }
+        self.phases.last().map_or(1.0, |p| p.power_scale)
+    }
+
+    /// Time-weighted average power scale (≈ 1.0 by construction).
+    pub fn average_power_scale(&self) -> f64 {
+        let total = self.duration().value();
+        if total == 0.0 {
+            return 1.0;
+        }
+        self.phases
+            .iter()
+            .map(|p| p.power_scale * p.duration.value())
+            .sum::<f64>()
+            / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_deterministic_per_seed() {
+        let a = WorkloadTrace::synthesize(Benchmark::X264, Seconds::new(20.0), 7);
+        let b = WorkloadTrace::synthesize(Benchmark::X264, Seconds::new(20.0), 7);
+        let c = WorkloadTrace::synthesize(Benchmark::X264, Seconds::new(20.0), 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn duration_matches_request() {
+        let t = WorkloadTrace::synthesize(Benchmark::Canneal, Seconds::new(30.0), 1);
+        assert!((t.duration().value() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scales_are_bounded() {
+        let t = WorkloadTrace::synthesize(Benchmark::Streamcluster, Seconds::new(60.0), 3);
+        for p in t.phases() {
+            assert!((0.3..=1.5).contains(&p.power_scale));
+            assert!(p.duration.value() > 0.0);
+        }
+        let avg = t.average_power_scale();
+        assert!((0.7..=1.3).contains(&avg), "average scale {avg}");
+    }
+
+    #[test]
+    fn memory_bound_traces_have_more_phases() {
+        let mem = WorkloadTrace::synthesize(Benchmark::Canneal, Seconds::new(60.0), 4);
+        let cpu = WorkloadTrace::synthesize(Benchmark::Swaptions, Seconds::new(60.0), 4);
+        assert!(mem.phases().len() > cpu.phases().len());
+    }
+
+    #[test]
+    fn power_scale_lookup() {
+        let t = WorkloadTrace::synthesize(Benchmark::Ferret, Seconds::new(10.0), 5);
+        let first = t.phases()[0];
+        assert_eq!(t.power_scale_at(Seconds::new(0.0)), first.power_scale);
+        // Past the end: last phase's scale.
+        let last = *t.phases().last().unwrap();
+        assert_eq!(t.power_scale_at(Seconds::new(1e6)), last.power_scale);
+    }
+}

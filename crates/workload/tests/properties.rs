@@ -1,0 +1,64 @@
+//! Property tests across the whole configuration lattice: the execution
+//! and power models must stay physically ordered for every benchmark.
+
+use proptest::prelude::*;
+use tps_power::{CState, CoreFrequency};
+use tps_workload::{profile_application, profile_config, Benchmark, WorkloadConfig};
+
+proptest! {
+    /// Package power decomposes exactly into its parts, for every
+    /// configuration and C-state.
+    #[test]
+    fn package_power_decomposition(
+        bi in 0usize..13, nc in 1u8..=8, tpc in 1u8..=2, fi in 0usize..3,
+        ci in 0usize..3,
+    ) {
+        let cstates = [CState::Poll, CState::C1, CState::C6];
+        let cfg = WorkloadConfig::new(nc, tpc, CoreFrequency::ALL[fi]).unwrap();
+        let row = profile_config(Benchmark::ALL[bi], cfg, cstates[ci]);
+        let reassembled = row.active_core_power * f64::from(nc)
+            + row.idle_core_power * f64::from(8 - nc)
+            + row.llc_power
+            + row.mem_io_power;
+        prop_assert!((reassembled - row.package_power).abs().value() < 1e-9);
+    }
+
+    /// Power is monotone in frequency for a fixed shape, and execution
+    /// time is antitone — DVFS is a true trade-off at every point.
+    #[test]
+    fn dvfs_is_a_real_tradeoff(bi in 0usize..13, nc in 1u8..=8, tpc in 1u8..=2) {
+        let b = Benchmark::ALL[bi];
+        let mut last_power = 0.0;
+        let mut last_time = f64::INFINITY;
+        for f in CoreFrequency::ALL {
+            let cfg = WorkloadConfig::new(nc, tpc, f).unwrap();
+            let row = profile_config(b, cfg, CState::Poll);
+            prop_assert!(row.package_power.value() > last_power);
+            prop_assert!(row.normalized_time < last_time + 1e-12);
+            last_power = row.package_power.value();
+            last_time = row.normalized_time;
+        }
+    }
+
+    /// The full 48-point profile is unique and sorted consistently:
+    /// no two configurations share the same (power, time) pair by accident
+    /// of the model collapsing.
+    #[test]
+    fn profile_rows_are_distinct(bi in 0usize..13) {
+        let rows = profile_application(Benchmark::ALL[bi], CState::Poll);
+        prop_assert_eq!(rows.len(), 48);
+        for (i, a) in rows.iter().enumerate() {
+            for b in &rows[i + 1..] {
+                let same_power =
+                    (a.package_power - b.package_power).abs().value() < 1e-12;
+                let same_time = (a.normalized_time - b.normalized_time).abs() < 1e-12;
+                prop_assert!(
+                    !(same_power && same_time),
+                    "configs {} and {} are indistinguishable",
+                    a.config,
+                    b.config
+                );
+            }
+        }
+    }
+}

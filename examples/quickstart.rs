@@ -1,0 +1,49 @@
+//! Quickstart: run one PARSEC workload on the paper's thermosyphon-cooled
+//! Xeon and print every quantity the paper cares about.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use tps::core::{MinPowerSelector, ProposedMapping, Server};
+use tps::workload::{Benchmark, QosClass};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A server with the paper's thermosyphon design (Design 1, R236fa at
+    // 55 % fill) and operating point (7 kg/h of 30 °C water), simulated on
+    // a 1 mm thermal grid (use 0.5 for paper-quality maps).
+    let server = Server::xeon(1.0);
+
+    println!("running x264 under a 2x QoS constraint…\n");
+    let outcome = server.run(
+        Benchmark::X264,
+        QosClass::TwoX,
+        &MinPowerSelector, // Algorithm 1
+        &ProposedMapping,  // the paper's C-state-aware mapping
+    )?;
+
+    println!("selected configuration : {}", outcome.profile.config);
+    println!(
+        "predicted slowdown     : {:.2}x (limit {:.0}x)",
+        outcome.profile.normalized_time,
+        QosClass::TwoX.max_slowdown()
+    );
+    println!("idle cores parked in   : {}", outcome.idle_cstate);
+    println!("threads mapped to cores: {:?}", outcome.mapping);
+    println!("package power          : {:.1}", outcome.breakdown.total());
+    println!();
+    println!("loop saturation temp   : {:.1}", outcome.solution.t_sat);
+    println!(
+        "refrigerant flow       : {:.2} kg/h (natural circulation)",
+        outcome.solution.refrigerant_flow.value() * 3600.0
+    );
+    println!("case temperature       : {:.1}", outcome.solution.t_case);
+    println!("water outlet           : {:.1}", outcome.solution.water_outlet);
+    println!();
+    println!("die     {}", outcome.die);
+    println!("package {}", outcome.package);
+    println!();
+    println!("die thermal map:");
+    print!("{}", tps::thermal::render_ascii(outcome.solution.thermal.die_layer()));
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Transient runtime control (Fig. 4 / Sec. VII): a phase-based workload
+//! drives the die through a thermal emergency; the controller first tries
+//! DVFS, then opens the water valve, exactly in the paper's order.
+//!
+//! ```sh
+//! cargo run --release --example runtime_control
+//! ```
+
+use tps::core::{heat, ControlAction, MinPowerSelector, ProposedMapping, RuntimeController, Server};
+use tps::core::ConfigSelector as _;
+use tps::core::MappingPolicy as _;
+use tps::power::{CState, RaplCounter, RaplDomain};
+use tps::thermosyphon::OperatingPoint;
+use tps::units::{Celsius, KgPerHour, Seconds, TempDelta};
+use tps::workload::{Benchmark, QosClass, WorkloadTrace};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Stress the controller: warm (35 °C) water and a tight limit.
+    let server = Server::builder()
+        .operating_point(OperatingPoint::new(KgPerHour::new(7.0), Celsius::new(35.0)))
+        .grid_pitch_mm(2.0)
+        .build();
+    let bench = Benchmark::X264;
+    let qos = QosClass::TwoX;
+
+    let selected = MinPowerSelector
+        .select(bench, qos, CState::Poll)
+        .expect("a feasible configuration exists");
+    // Start at f_max, as a thermally naive runtime would — the controller
+    // will walk the frequency down before touching the valve.
+    let mut config = selected.config.with_frequency(tps::power::CoreFrequency::F3_2);
+    let idle = CState::deepest_within(qos.idle_delay_tolerance());
+    let ctx = tps::core::MappingContext::new(
+        server.topology(),
+        server.simulation().design().orientation(),
+        idle,
+    );
+    let mapping = ProposedMapping.select_cores(config.n_cores() as usize, &ctx);
+
+    // A tight controller so the emergency path is visible in a short demo.
+    let mut controller = RuntimeController::new(
+        Celsius::new(46.0),
+        TempDelta::new(6.0),
+        tps::thermosyphon::FlowValve::paper(),
+    );
+    let trace = WorkloadTrace::synthesize(bench, Seconds::new(40.0), 42);
+    let mut rapl = RaplCounter::new();
+    let mut server_now = server.clone();
+
+    println!("t(s)   phase  config          T_case   flow(kg/h)  action");
+    let epoch = Seconds::new(4.0);
+    let mut t = 0.0;
+    while t < trace.duration().value() {
+        let scale = trace.power_scale_at(Seconds::new(t));
+        let row = tps::workload::profile_config(bench, config, idle);
+        let mut breakdown = heat::breakdown_for_mapping(&row, &mapping);
+        for c in &mut breakdown.core {
+            *c = *c * scale;
+        }
+        let (solution, _, _) = server_now.solve_breakdown(&breakdown)?;
+        rapl.advance(epoch, breakdown.total(), breakdown.total() * 0.8);
+
+        let action = controller.evaluate(solution.t_case, bench, qos, config);
+        match action {
+            ControlAction::LoweredFrequency(new_config) => config = new_config,
+            ControlAction::IncreasedFlow(flow) | ControlAction::RelaxedFlow(flow) => {
+                let op = server_now.simulation().operating_point().with_flow(flow);
+                server_now = server_now.with_operating_point(op);
+            }
+            ControlAction::NoAction | ControlAction::Emergency => {}
+        }
+        println!(
+            "{t:5.0}  ×{scale:4.2}  {config}  {:6.1}   {:9.1}  {action:?}",
+            solution.t_case.value(),
+            controller.flow().value(),
+        );
+        t += epoch.value();
+    }
+    println!(
+        "\naverage package power (simulated RAPL): {:.1}",
+        rapl.average_power(RaplDomain::Package)
+    );
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! **tps** — Two-Phase-cooling-aware Scheduling: a full-system reproduction
+//! of *"Enhancing Two-Phase Cooling Efficiency through Thermal-Aware
+//! Workload Mapping for Power-Hungry Servers"* (Iranfar, Pahlevan, Zapater,
+//! Atienza — DATE 2019).
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`units`] | `tps-units` | typed physical quantities |
+//! | [`floorplan`] | `tps-floorplan` | Xeon E5 v4 die, grids, fields |
+//! | [`power`] | `tps-power` | C-states, DVFS, uncore, power maps |
+//! | [`workload`] | `tps-workload` | PARSEC profiles, configs, QoS |
+//! | [`fluids`] | `tps-fluids` | refrigerants, water, correlations |
+//! | [`thermal`] | `tps-thermal` | 3-D RC solver, metrics, rendering |
+//! | [`thermosyphon`] | `tps-thermosyphon` | evaporator, condenser, loop, coupling |
+//! | [`cooling`] | `tps-cooling` | Eq. 1, chiller COP, racks, PUE |
+//! | [`core`] | `tps-core` | Algorithm 1, mapping policies, server/rack drivers |
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use tps::core::{MinPowerSelector, ProposedMapping, Server};
+//! use tps::workload::{Benchmark, QosClass};
+//!
+//! let server = Server::xeon(1.0); // 1 mm thermal grid
+//! let outcome = server.run(
+//!     Benchmark::X264,
+//!     QosClass::TwoX,
+//!     &MinPowerSelector,
+//!     &ProposedMapping,
+//! )?;
+//! println!(
+//!     "config {} on cores {:?}: die {}",
+//!     outcome.profile.config, outcome.mapping, outcome.die
+//! );
+//! # Ok::<(), tps::core::RunError>(())
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/bench/src/bin/` for
+//! the binaries regenerating every table and figure of the paper
+//! (DESIGN.md carries the index; EXPERIMENTS.md the paper-vs-measured
+//! numbers).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tps_cooling as cooling;
+pub use tps_core as core;
+pub use tps_floorplan as floorplan;
+pub use tps_fluids as fluids;
+pub use tps_power as power;
+pub use tps_thermal as thermal;
+pub use tps_thermosyphon as thermosyphon;
+pub use tps_units as units;
+pub use tps_workload as workload;

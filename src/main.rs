@@ -1,0 +1,160 @@
+//! `tps` — command-line front end for the two-phase-cooling scheduling
+//! simulator.
+//!
+//! ```text
+//! tps run <benchmark> [--qos=1x|2x|3x] [--policy=NAME] [--selector=NAME] [--pitch=MM]
+//! tps profile <benchmark>
+//! tps list
+//! ```
+
+use std::process::ExitCode;
+use tps::core::{
+    ConfigSelector, CoskunBalancing, InletFirstMapping, MappingPolicy, MinPowerSelector,
+    PackAndCapSelector, PackedMapping, ProposedMapping, Server,
+};
+use tps::power::CState;
+use tps::workload::{profile_application, Benchmark, QosClass};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
+        Some("list") => cmd_list(),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_usage();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}`\n");
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "tps — two-phase-cooling-aware thermal workload mapping\n\n\
+         USAGE:\n  \
+         tps run <benchmark> [--qos=1x|2x|3x] [--policy=proposed|coskun|inlet|packed]\n  \
+         {:14}[--selector=minpower|packcap] [--pitch=<mm>]\n  \
+         tps profile <benchmark>   print the 48-point P/Q configuration table\n  \
+         tps list                  list benchmarks, policies and selectors\n",
+        ""
+    );
+}
+
+fn parse_flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    let prefix = format!("--{name}=");
+    args.iter().find_map(|a| a.strip_prefix(&prefix))
+}
+
+fn parse_bench(args: &[String]) -> Result<Benchmark, String> {
+    let name = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or_else(|| "missing <benchmark> argument".to_owned())?;
+    name.parse::<Benchmark>().map_err(|e| e.to_string())
+}
+
+fn parse_qos(args: &[String]) -> Result<QosClass, String> {
+    match parse_flag(args, "qos").unwrap_or("2x") {
+        "1x" => Ok(QosClass::OneX),
+        "2x" => Ok(QosClass::TwoX),
+        "3x" => Ok(QosClass::ThreeX),
+        other => Err(format!("unknown QoS class `{other}` (use 1x, 2x or 3x)")),
+    }
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let (bench, qos) = match (parse_bench(args), parse_qos(args)) {
+        (Ok(b), Ok(q)) => (b, q),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let policy: Box<dyn MappingPolicy> = match parse_flag(args, "policy").unwrap_or("proposed") {
+        "proposed" => Box::new(ProposedMapping),
+        "coskun" => Box::new(CoskunBalancing),
+        "inlet" => Box::new(InletFirstMapping),
+        "packed" => Box::new(PackedMapping),
+        other => {
+            eprintln!("error: unknown policy `{other}`");
+            return ExitCode::FAILURE;
+        }
+    };
+    let selector: Box<dyn ConfigSelector> =
+        match parse_flag(args, "selector").unwrap_or("minpower") {
+            "minpower" => Box::new(MinPowerSelector),
+            "packcap" => Box::new(PackAndCapSelector::default()),
+            other => {
+                eprintln!("error: unknown selector `{other}`");
+                return ExitCode::FAILURE;
+            }
+        };
+    let pitch: f64 = match parse_flag(args, "pitch").unwrap_or("1.0").parse() {
+        Ok(p) if p > 0.0 => p,
+        _ => {
+            eprintln!("error: --pitch must be a positive number of millimetres");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("simulating {bench} @ {qos} QoS ({} / {})…", selector.name(), policy.name());
+    let server = Server::xeon(pitch);
+    match server.run(bench, qos, selector.as_ref(), policy.as_ref()) {
+        Ok(out) => {
+            println!("configuration : {}", out.profile.config);
+            println!("slowdown      : {:.2}x", out.profile.normalized_time);
+            println!("idle C-state  : {}", out.idle_cstate);
+            println!("mapping       : {:?}", out.mapping);
+            println!("package power : {:.1}", out.breakdown.total());
+            println!("T_sat / T_case: {:.1} / {:.1}", out.solution.t_sat, out.solution.t_case);
+            println!("die           : {}", out.die);
+            println!("package       : {}", out.package);
+            println!();
+            print!("{}", tps::thermal::render_ascii(out.solution.thermal.die_layer()));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_profile(args: &[String]) -> ExitCode {
+    let bench = match parse_bench(args) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{bench}: P/Q vectors (idle cores in POLL)\n");
+    println!("{:>14}  {:>9}  {:>9}", "config", "power (W)", "slowdown");
+    let mut rows = profile_application(bench, CState::Poll);
+    rows.sort_by(|a, b| a.package_power.value().total_cmp(&b.package_power.value()));
+    for row in rows {
+        println!(
+            "{:>14}  {:>9.1}  {:>8.2}x",
+            row.config.to_string(),
+            row.package_power.value(),
+            row.normalized_time
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_list() -> ExitCode {
+    println!("benchmarks:");
+    for b in Benchmark::ALL {
+        println!("  {b}");
+    }
+    println!("\npolicies:   proposed (paper), coskun [9], inlet [7], packed (scenario 3)");
+    println!("selectors:  minpower (Algorithm 1), packcap [27]");
+    println!("qos:        1x, 2x, 3x");
+    ExitCode::SUCCESS
+}

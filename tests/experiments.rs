@@ -1,0 +1,79 @@
+//! Integration tests pinning the experiment-level claims that the bench
+//! binaries print — so regressions in any crate surface as failures here,
+//! not as silently drifting tables.
+
+use tps::cooling::{water_loop_heat, Chiller};
+use tps::power::{CState, CoreFrequency, IdlePowerModel};
+use tps::units::{Celsius, KgPerHour, Watts};
+use tps::workload::{Benchmark, QosClass, WorkloadConfig};
+
+#[test]
+fn table_i_is_reproduced_exactly() {
+    let model = IdlePowerModel::xeon_e5_v4();
+    for state in [CState::Poll, CState::C1, CState::C1e] {
+        for freq in CoreFrequency::ALL {
+            let model_w = model.package_idle_power(state, freq);
+            let paper_w = IdlePowerModel::table_i(state, freq).expect("state is in Table I");
+            assert!(
+                (model_w - paper_w).abs().value() < 1e-9,
+                "{state} @ {freq}: {model_w} vs paper {paper_w}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig3_shape_holds() {
+    // Baseline normalizes to 0.5 of the 2× limit; every benchmark violates
+    // the limit at (2,4,fmax); every benchmark meets it at (4,8,fmax).
+    let limit = QosClass::TwoX.max_slowdown();
+    for bench in Benchmark::ALL {
+        let p = bench.profile();
+        let cfgs = WorkloadConfig::fig3_configs();
+        let t24 = p.normalized_time(cfgs[0]) / limit;
+        let t48 = p.normalized_time(cfgs[2]) / limit;
+        let t816 = p.normalized_time(cfgs[4]) / limit;
+        assert!(t24 > 1.0, "{bench}: (2,4) should violate 2x, got {t24}");
+        assert!(t24 < 2.1, "{bench}: (2,4) beyond the paper's plot range");
+        assert!(t48 < 1.0, "{bench}: (4,8) should meet 2x, got {t48}");
+        assert!((t816 - 0.5).abs() < 1e-9, "{bench}: baseline is 0.5 by def");
+    }
+}
+
+#[test]
+fn paper_power_band_is_covered() {
+    // Sec. V: package power spans 40.5–79.3 W across configurations and
+    // applications (profiled with POLL idles).
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for bench in Benchmark::ALL {
+        for row in tps::workload::profile_application(bench, CState::Poll) {
+            lo = lo.min(row.package_power.value());
+            hi = hi.max(row.package_power.value());
+        }
+    }
+    assert!((32.0..48.0).contains(&lo), "min package power {lo:.1} W");
+    assert!((72.0..87.0).contains(&hi), "max package power {hi:.1} W");
+}
+
+#[test]
+fn sec_viii_b_water_arithmetic() {
+    // The paper's Eq.-1 example: at 7 kg/h, ΔT 6 °C vs 11 °C is a 45.45 %
+    // reduction in water-side cooling power.
+    let p6 = water_loop_heat(KgPerHour::new(7.0), Celsius::new(30.0), Celsius::new(36.0));
+    let p11 = water_loop_heat(KgPerHour::new(7.0), Celsius::new(20.0), Celsius::new(31.0));
+    let reduction = 1.0 - p6.value() / p11.value();
+    assert!((reduction - 0.4545).abs() < 0.01);
+}
+
+#[test]
+fn chiller_penalizes_cold_water_by_45_percent_or_more() {
+    // Even at equal heat, 20 °C water costs ≥ 45 % more chiller
+    // electricity than 30 °C water (free-cooling regime).
+    let chiller = Chiller::default();
+    let q = Watts::new(75.0);
+    let warm = chiller.electrical_power(q, Celsius::new(30.0));
+    let cold = chiller.electrical_power(q, Celsius::new(20.0));
+    let reduction = 1.0 - warm.value() / cold.value();
+    assert!(reduction >= 0.45, "reduction {reduction:.2}");
+}
