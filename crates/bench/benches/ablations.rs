@@ -10,13 +10,16 @@ use tps_units::Fraction;
 
 fn core_loaded(grid: &GridSpec, total: f64) -> ScalarField {
     let hot = tps_floorplan::Rect::from_mm(9.0, 11.5, 9.0, 11.3);
-    let mut f = ScalarField::from_fn(grid.clone(), |x, y| {
-        if hot.contains(x, y) {
-            1.0
-        } else {
-            0.05
-        }
-    });
+    let mut f = ScalarField::from_fn(
+        grid.clone(),
+        |x, y| {
+            if hot.contains(x, y) {
+                1.0
+            } else {
+                0.05
+            }
+        },
+    );
     let s = total / f.total();
     f.scale(s);
     f
@@ -27,7 +30,9 @@ fn bench_orientation_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_orientation");
     group.sample_size(10);
     for orientation in [Orientation::InletEast, Orientation::InletNorth] {
-        let design = ThermosyphonDesign::builder(&pkg).orientation(orientation).build();
+        let design = ThermosyphonDesign::builder(&pkg)
+            .orientation(orientation)
+            .build();
         let sim = CoupledSimulation::builder(design, OperatingPoint::paper())
             .grid_pitch_mm(2.0)
             .build();

@@ -9,13 +9,16 @@ use tps_units::{Celsius, KgPerSecond, Watts};
 
 fn core_loaded(grid: &GridSpec, total: f64) -> ScalarField {
     let hot = tps_floorplan::Rect::from_mm(9.0, 11.5, 9.0, 11.3);
-    let mut f = ScalarField::from_fn(grid.clone(), |x, y| {
-        if hot.contains(x, y) {
-            1.0
-        } else {
-            0.05
-        }
-    });
+    let mut f = ScalarField::from_fn(
+        grid.clone(),
+        |x, y| {
+            if hot.contains(x, y) {
+                1.0
+            } else {
+                0.05
+            }
+        },
+    );
     let s = total / f.total();
     f.scale(s);
     f

@@ -59,7 +59,9 @@ fn bench_heat_estimate(c: &mut Criterion) {
         CState::Poll,
     );
     c.bench_function("breakdown_for_mapping", |b| {
-        b.iter(|| heat::breakdown_for_mapping(std::hint::black_box(&row), &[1, 2, 3, 4, 5, 6, 7, 8]))
+        b.iter(|| {
+            heat::breakdown_for_mapping(std::hint::black_box(&row), &[1, 2, 3, 4, 5, 6, 7, 8])
+        })
     });
 }
 

@@ -6,8 +6,8 @@
 //! needed (vs 30 °C); the water ΔT is 11 °C vs 6 °C; Eq. 1 then gives a
 //! ≥ 45 % chiller cooling-power reduction.
 
-use tps_bench::{grid_pitch_from_args, proposed_stack, sota_coskun_stack, write_artifact, Table};
 use tps_bench::ExperimentStack;
+use tps_bench::{grid_pitch_from_args, proposed_stack, sota_coskun_stack, write_artifact, Table};
 use tps_cooling::{water_loop_heat, Chiller, Rack, ServerCoolingLoad};
 use tps_thermosyphon::OperatingPoint;
 use tps_units::{Celsius, TempDelta, Watts};
@@ -27,8 +27,7 @@ fn evaluate(stack: &ExperimentStack) -> (f64, Watts) {
         let handles: Vec<_> = MIX
             .into_iter()
             .map(|bench| {
-                let (server, selector, policy) =
-                    (&stack.server, &stack.selector, &stack.policy);
+                let (server, selector, policy) = (&stack.server, &stack.selector, &stack.policy);
                 scope.spawn(move || {
                     let out = server
                         .run(bench, QosClass::TwoX, selector.as_ref(), policy.as_ref())
@@ -37,7 +36,10 @@ fn evaluate(stack: &ExperimentStack) -> (f64, Watts) {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect()
     });
     let n = results.len() as f64;
     (
@@ -140,7 +142,10 @@ fn main() {
         format!("{:.1}", chiller_sota.value()),
     ]);
 
-    println!("\nSEC. VIII-B — cooling power (QoS 2x, {} kg/h per server)", flow.value());
+    println!(
+        "\nSEC. VIII-B — cooling power (QoS 2x, {} kg/h per server)",
+        flow.value()
+    );
     println!("{}", table.render());
     let eq1_reduction = 100.0 * (1.0 - eq1_prop.value() / eq1_sota.value());
     let chiller_reduction = 100.0 * (1.0 - chiller_prop.value() / chiller_sota.value());

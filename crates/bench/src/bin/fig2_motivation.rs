@@ -20,8 +20,8 @@ fn main() {
         .grid_pitch_mm(pitch)
         .build();
     // A mid-range load: 6 cores of facesim at f_max, idles polling.
-    let config = WorkloadConfig::new(6, 2, tps_power::CoreFrequency::F3_2)
-        .expect("valid configuration");
+    let config =
+        WorkloadConfig::new(6, 2, tps_power::CoreFrequency::F3_2).expect("valid configuration");
     let row = profile_config(Benchmark::Facesim, config, CState::Poll);
     let ctx = MappingContext::new(
         server.topology(),
@@ -62,9 +62,7 @@ fn main() {
         format!("{:.1}", package.max_gradient_c_per_mm),
     ]);
     println!("{}", table.render());
-    println!(
-        "paper:   die 66.1 / 55.9 / 6.6   package 46.4 / 42.9 / 0.5\n"
-    );
+    println!("paper:   die 66.1 / 55.9 / 6.6   package 46.4 / 42.9 / 0.5\n");
 
     println!("(a) package thermal map (spreader layer):");
     let spreader = solution

@@ -13,9 +13,11 @@ fn main() {
     let qos_limit = QosClass::TwoX.max_slowdown();
 
     let mut headers = vec!["benchmark".into()];
-    headers.extend(configs.iter().map(|c| {
-        format!("({},{},fmax)", c.n_cores(), c.total_threads())
-    }));
+    headers.extend(
+        configs
+            .iter()
+            .map(|c| format!("({},{},fmax)", c.n_cores(), c.total_threads())),
+    );
     let mut table = Table::new(headers);
 
     let mut violators_at_2_4 = 0;

@@ -37,7 +37,9 @@ fn main() {
         ("#1 (inlet east)", Orientation::InletEast),
         ("#2 (inlet north)", Orientation::InletNorth),
     ] {
-        let design = ThermosyphonDesign::builder(&pkg).orientation(orientation).build();
+        let design = ThermosyphonDesign::builder(&pkg)
+            .orientation(orientation)
+            .build();
         let server = Server::builder()
             .design(design)
             .grid_pitch_mm(pitch)
@@ -63,7 +65,10 @@ fn main() {
         println!("{}", render_ascii(spreader));
     }
 
-    println!("FIG. 5 — orientation comparison, all cores loaded ({:.1} W)", breakdown.total().value());
+    println!(
+        "FIG. 5 — orientation comparison, all cores loaded ({:.1} W)",
+        breakdown.total().value()
+    );
     println!("{}", table.render());
     println!("paper:  #1 pkg 52.7/50.3/0.33, die 73.2/62.1/6.8");
     println!("        #2 pkg 53.5/50.6/0.43, die 79.4/66.2/7.1");

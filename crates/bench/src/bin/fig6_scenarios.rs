@@ -16,8 +16,8 @@ use tps_workload::{profile_config, Benchmark, WorkloadConfig};
 fn main() {
     let pitch = grid_pitch_from_args();
     let server = Server::xeon(pitch);
-    let config = WorkloadConfig::new(4, 2, tps_power::CoreFrequency::F3_2)
-        .expect("valid configuration");
+    let config =
+        WorkloadConfig::new(4, 2, tps_power::CoreFrequency::F3_2).expect("valid configuration");
     let bench = Benchmark::X264;
 
     // The paper's three scenarios: one active core per horizontal line,
@@ -33,14 +33,10 @@ fn main() {
     // What the proposed policy would actually pick in each regime.
     let topo = server.topology();
     let orientation = server.simulation().design().orientation();
-    let pick_poll = ProposedMapping.select_cores(
-        4,
-        &MappingContext::new(topo, orientation, CState::Poll),
-    );
-    let pick_c1 = ProposedMapping.select_cores(
-        4,
-        &MappingContext::new(topo, orientation, CState::C1),
-    );
+    let pick_poll =
+        ProposedMapping.select_cores(4, &MappingContext::new(topo, orientation, CState::Poll));
+    let pick_c1 =
+        ProposedMapping.select_cores(4, &MappingContext::new(topo, orientation, CState::C1));
 
     let mut table = Table::new(vec![
         "die metric".into(),
@@ -66,7 +62,11 @@ fn main() {
             avgs.push(die.avg.value());
             grads.push(die.max_gradient_c_per_mm);
         }
-        let pick = if cstate.is_polling() { &pick_poll } else { &pick_c1 };
+        let pick = if cstate.is_polling() {
+            &pick_poll
+        } else {
+            &pick_c1
+        };
         let breakdown = heat::breakdown_for_mapping(&row, pick);
         let (_, die, _) = server
             .solve_breakdown(&breakdown)

@@ -5,8 +5,7 @@
 //! one 71.5 °C.
 
 use tps_bench::{
-    experiments_dir, grid_pitch_from_args, proposed_stack, sota_coskun_stack, write_artifact,
-    Table,
+    experiments_dir, grid_pitch_from_args, proposed_stack, sota_coskun_stack, write_artifact, Table,
 };
 use tps_thermal::render_ascii;
 use tps_workload::{Benchmark, QosClass};
@@ -53,9 +52,6 @@ fn main() {
     println!("FIG. 7 — die hot spot @ {qos} QoS, {bench}");
     println!("{}", table.render());
     println!("paper: proposed 71.5 °C vs state of the art 78.2 °C");
-    println!(
-        "measured reduction: {:.1} °C",
-        maxima[1] - maxima[0]
-    );
+    println!("measured reduction: {:.1} °C", maxima[1] - maxima[0]);
     write_artifact("fig7_summary.csv", &table.to_csv());
 }

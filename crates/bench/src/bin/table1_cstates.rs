@@ -25,8 +25,7 @@ fn main() {
         ];
         for freq in CoreFrequency::ALL {
             let model_w = model.package_idle_power(state, freq);
-            let paper_w =
-                IdlePowerModel::table_i(state, freq).expect("POLL/C1/C1E are in Table I");
+            let paper_w = IdlePowerModel::table_i(state, freq).expect("POLL/C1/C1E are in Table I");
             max_err = max_err.max((model_w - paper_w).abs().value());
             cells.push(format!("{:.0}", model_w.value()));
         }
@@ -39,7 +38,10 @@ fn main() {
             format!("{:.0}", state.wake_latency().to_us()),
         ];
         for freq in CoreFrequency::ALL {
-            cells.push(format!("{:.0}", model.package_idle_power(state, freq).value()));
+            cells.push(format!(
+                "{:.0}",
+                model.package_idle_power(state, freq).value()
+            ));
         }
         table.row(cells);
     }

@@ -25,8 +25,8 @@ mod setups;
 mod table;
 
 pub use setups::{
-    proposed_stack, sota_coskun_stack, sota_inlet_stack, state_of_the_art_design,
-    table2_stacks, ExperimentStack,
+    proposed_stack, sota_coskun_stack, sota_inlet_stack, state_of_the_art_design, table2_stacks,
+    ExperimentStack,
 };
 pub use table::Table;
 

@@ -9,7 +9,7 @@ use tps_thermosyphon::{Orientation, ThermosyphonDesign};
 use tps_units::Fraction;
 
 /// The thermosyphon design attributed to the state of the art (Seuret et
-/// al. [8]): sized for a *uniform* heat flux, i.e. without the paper's
+/// al. \[8\]): sized for a *uniform* heat flux, i.e. without the paper's
 /// workload/floorplan awareness — north–south channels and a generic 50 %
 /// charge.
 pub fn state_of_the_art_design() -> ThermosyphonDesign {
@@ -96,8 +96,7 @@ mod tests {
     #[test]
     fn stacks_have_distinct_labels() {
         let stacks = table2_stacks(4.0);
-        let labels: std::collections::HashSet<&str> =
-            stacks.iter().map(|s| s.label).collect();
+        let labels: std::collections::HashSet<&str> = stacks.iter().map(|s| s.label).collect();
         assert_eq!(labels.len(), 3);
     }
 }

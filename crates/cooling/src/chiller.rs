@@ -34,7 +34,12 @@ pub fn eq1_cooling_power(
 pub fn water_loop_heat(flow: KgPerHour, t_in: Celsius, t_out: Celsius) -> Watts {
     let rho = Water::density(t_in);
     let si = tps_units::KgPerSecond::from(flow);
-    eq1_cooling_power(si.to_volumetric(rho), rho, Water::specific_heat(t_in), t_out - t_in)
+    eq1_cooling_power(
+        si.to_volumetric(rho),
+        rho,
+        Water::specific_heat(t_in),
+        t_out - t_in,
+    )
 }
 
 /// A vapour-compression chiller: electrical power = heat / COP, with a
@@ -142,7 +147,10 @@ mod tests {
     #[test]
     fn zero_heat_zero_power() {
         let c = Chiller::default();
-        assert_eq!(c.electrical_power(Watts::ZERO, Celsius::new(20.0)), Watts::ZERO);
+        assert_eq!(
+            c.electrical_power(Watts::ZERO, Celsius::new(20.0)),
+            Watts::ZERO
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@ use tps_units::Watts;
 ///
 /// The paper's introduction frames the whole effort through PUE: air-cooled
 /// facilities sit near 1.48–1.65, DCLC reaches 1.17, and the thermosyphon
-/// prototype of [8] achieves 1.05.
+/// prototype of \[8\] achieves 1.05.
 ///
 /// # Panics
 ///

@@ -66,11 +66,12 @@ impl Rack {
     /// Mean water temperature rise across the rack, from the energy balance
     /// `ΔT = Q / (ṁ·c_p)`.
     pub fn water_delta_t(&self) -> TempDelta {
-        let c = tps_units::KgPerSecond::from(self.total_flow())
-            .capacity_rate(tps_fluids::Water::specific_heat(
+        let c = tps_units::KgPerSecond::from(self.total_flow()).capacity_rate(
+            tps_fluids::Water::specific_heat(
                 self.shared_water_temperature()
                     .unwrap_or(Celsius::new(25.0)),
-            ));
+            ),
+        );
         if c.value() <= 0.0 {
             return TempDelta::ZERO;
         }

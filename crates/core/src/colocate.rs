@@ -68,7 +68,10 @@ impl Server {
         apps: &[(Benchmark, QosClass)],
         policy: &dyn MappingPolicy,
     ) -> Result<ColocatedOutcome, RunError> {
-        assert!(!apps.is_empty(), "colocation needs at least one application");
+        assert!(
+            !apps.is_empty(),
+            "colocation needs at least one application"
+        );
         // Strictest QoS governs the shared idle C-state and goes first.
         let mut ordered: Vec<(Benchmark, QosClass)> = apps.to_vec();
         ordered.sort_by_key(|&(_, qos)| qos);
@@ -90,8 +93,7 @@ impl Server {
                 .into_iter()
                 .next()
                 .ok_or(RunError::NoFeasibleConfig { bench, qos })?;
-            let profile =
-                tps_workload::profile_config(bench, selected.config, idle_cstate);
+            let profile = tps_workload::profile_config(bench, selected.config, idle_cstate);
             let ctx = MappingContext::new(
                 self.topology(),
                 self.simulation().design().orientation(),
@@ -188,9 +190,7 @@ mod tests {
             (Benchmark::X264, QosClass::OneX),
             (Benchmark::Vips, QosClass::OneX),
         ];
-        let err = server()
-            .run_colocated(&apps, &ProposedMapping)
-            .unwrap_err();
+        let err = server().run_colocated(&apps, &ProposedMapping).unwrap_err();
         assert!(matches!(err, RunError::NoFeasibleConfig { .. }));
     }
 
@@ -201,9 +201,7 @@ mod tests {
             (Benchmark::Ferret, QosClass::ThreeX),
             (Benchmark::Raytrace, QosClass::ThreeX),
         ];
-        let together = server
-            .run_colocated(&apps, &ProposedMapping)
-            .expect("fits");
+        let together = server.run_colocated(&apps, &ProposedMapping).expect("fits");
         for &(bench, qos) in &apps {
             let alone = server
                 .run(bench, qos, &crate::MinPowerSelector, &ProposedMapping)

@@ -9,8 +9,8 @@
 //!    and picks the first configuration meeting the QoS constraint,
 //! 3. [`heat::breakdown_for_mapping`] estimates per-component heat,
 //! 4. a [`MappingPolicy`] places the threads: the paper's C-state-aware
-//!    [`ProposedMapping`], or the baselines — [`CoskunBalancing`] [9],
-//!    [`InletFirstMapping`] [7], [`PackedMapping`] (the naive scenario 3),
+//!    [`ProposedMapping`], or the baselines — [`CoskunBalancing`] \[9\],
+//!    [`InletFirstMapping`] \[7\], [`PackedMapping`] (the naive scenario 3),
 //! 5. [`Server::run`] closes the loop through the coupled
 //!    thermosyphon/thermal simulation and reports the die/package metrics
 //!    of Table II,
@@ -36,9 +36,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod heat;
 mod colocate;
 mod controller;
+pub mod heat;
 mod mapping;
 mod rack;
 mod select;

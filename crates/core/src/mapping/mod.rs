@@ -24,7 +24,7 @@ pub struct MappingContext<'a> {
     /// The C-state idle cores will sit in (drives the paper's policy).
     pub idle_cstate: CState,
     /// Most recent per-core temperatures (°C, index 0 = Core1), when the
-    /// runtime has them — used by temperature-history policies like [9].
+    /// runtime has them — used by temperature-history policies like \[9\].
     pub core_temps: Option<[f64; 8]>,
     /// Cores already running other applications (co-scheduling): policies
     /// must not select them and should treat them as active heat sources.
@@ -33,11 +33,7 @@ pub struct MappingContext<'a> {
 
 impl<'a> MappingContext<'a> {
     /// A context with no temperature history and no occupied cores.
-    pub fn new(
-        topology: &'a CoreTopology,
-        orientation: Orientation,
-        idle_cstate: CState,
-    ) -> Self {
+    pub fn new(topology: &'a CoreTopology, orientation: Orientation, idle_cstate: CState) -> Self {
         Self {
             topology,
             orientation,

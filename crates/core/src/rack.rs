@@ -9,7 +9,7 @@ use tps_workload::{Benchmark, QosClass};
 
 /// Distributes applications across `n_servers` balancing the *estimated
 /// package power* per server (greedy least-loaded-first, like the VM
-/// allocation heuristics the authors build on in [3]).
+/// allocation heuristics the authors build on in \[3\]).
 ///
 /// Returns one application list per server.
 ///
@@ -30,7 +30,11 @@ pub fn plan_rack(
             let est = crate::select::MinPowerSelector;
             use crate::select::ConfigSelector as _;
             let power = est
-                .select(b, q, tps_power::CState::deepest_within(q.idle_delay_tolerance()))
+                .select(
+                    b,
+                    q,
+                    tps_power::CState::deepest_within(q.idle_delay_tolerance()),
+                )
                 .map_or(80.0, |row| row.package_power.value());
             (b, q, power)
         })

@@ -13,12 +13,8 @@ pub trait ConfigSelector {
     /// Picks a configuration for `bench` under `qos`, with idle cores
     /// parked in `idle_cstate`. Returns `None` if no configuration meets
     /// the QoS constraint.
-    fn select(
-        &self,
-        bench: Benchmark,
-        qos: QosClass,
-        idle_cstate: CState,
-    ) -> Option<ConfigProfile>;
+    fn select(&self, bench: Benchmark, qos: QosClass, idle_cstate: CState)
+        -> Option<ConfigProfile>;
 }
 
 /// Algorithm 1, lines 1–6: sort the profiled configurations by package
@@ -43,7 +39,7 @@ impl ConfigSelector for MinPowerSelector {
     }
 }
 
-/// The Pack & Cap baseline (Cochran et al., MICRO'11 [27]): pack threads
+/// The Pack & Cap baseline (Cochran et al., MICRO'11 \[27\]): pack threads
 /// onto the fewest cores (two hardware threads per core), then pick the
 /// operating point by DVFS — lowest power among QoS-feasible points under
 /// an optional package power cap.
@@ -191,6 +187,9 @@ mod tests {
 
     #[test]
     fn names_are_distinct() {
-        assert_ne!(MinPowerSelector.name(), PackAndCapSelector::default().name());
+        assert_ne!(
+            MinPowerSelector.name(),
+            PackAndCapSelector::default().name()
+        );
     }
 }

@@ -48,7 +48,10 @@ impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RunError::NoFeasibleConfig { bench, qos } => {
-                write!(f, "no configuration of `{bench}` meets the {qos} QoS constraint")
+                write!(
+                    f,
+                    "no configuration of `{bench}` meets the {qos} QoS constraint"
+                )
             }
             RunError::Coupling(e) => write!(f, "coupled simulation failed: {e}"),
         }
@@ -159,11 +162,7 @@ impl Server {
             .select(bench, qos, CState::Poll)
             .ok_or(RunError::NoFeasibleConfig { bench, qos })?;
         let profile = tps_workload::profile_config(bench, selected.config, idle_cstate);
-        let ctx = MappingContext::new(
-            &self.topology,
-            self.sim.design().orientation(),
-            idle_cstate,
-        );
+        let ctx = MappingContext::new(&self.topology, self.sim.design().orientation(), idle_cstate);
         let mapping = policy.select_cores(profile.config.n_cores() as usize, &ctx);
         let breakdown = breakdown_for_mapping(&profile, &mapping);
         let (solution, die, package) = self.solve_breakdown(&breakdown)?;
@@ -221,7 +220,7 @@ impl Server {
     }
 
     /// Mean temperature of each core's footprint on the die layer
-    /// (°C, index 0 = Core1) — the history input for [9]-style policies.
+    /// (°C, index 0 = Core1) — the history input for \[9\]-style policies.
     pub fn core_temperatures(&self, solution: &CoupledSolution) -> [f64; 8] {
         let die = solution.thermal.die_layer();
         let (ox, oy) = self.package.die_offset();
@@ -311,9 +310,7 @@ mod tests {
         assert!(out.die.max > out.package.max);
         assert!(out.package.avg.value() > 30.0);
         // The breakdown total matches the profiled package power.
-        assert!(
-            (out.breakdown.total().value() - out.profile.package_power.value()).abs() < 1e-9
-        );
+        assert!((out.breakdown.total().value() - out.profile.package_power.value()).abs() < 1e-9);
     }
 
     #[test]

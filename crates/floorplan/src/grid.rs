@@ -106,7 +106,10 @@ impl GridSpec {
     /// Panics in debug builds if the coordinate is out of range.
     #[inline]
     pub fn idx(&self, ix: usize, iy: usize) -> usize {
-        debug_assert!(ix < self.nx && iy < self.ny, "cell ({ix},{iy}) out of range");
+        debug_assert!(
+            ix < self.nx && iy < self.ny,
+            "cell ({ix},{iy}) out of range"
+        );
         iy * self.nx + ix
     }
 
@@ -309,7 +312,10 @@ impl ScalarField {
     ///
     /// Panics if the grids differ.
     pub fn accumulate(&mut self, other: &ScalarField) {
-        assert_eq!(self.spec, other.spec, "cannot accumulate fields on different grids");
+        assert_eq!(
+            self.spec, other.spec,
+            "cannot accumulate fields on different grids"
+        );
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a += b;
         }
@@ -328,7 +334,10 @@ impl ScalarField {
     ///
     /// Panics if the grids differ.
     pub fn max_abs_diff(&self, other: &ScalarField) -> f64 {
-        assert_eq!(self.spec, other.spec, "cannot compare fields on different grids");
+        assert_eq!(
+            self.spec, other.spec,
+            "cannot compare fields on different grids"
+        );
         self.data
             .iter()
             .zip(&other.data)
@@ -477,8 +486,16 @@ mod tests {
     #[test]
     fn rasterize_conserves_total() {
         let fp = FloorplanBuilder::new("t", 10.0, 10.0)
-            .block("a", ComponentKind::Core(1), Rect::from_mm(0.5, 0.5, 4.0, 4.0))
-            .block("b", ComponentKind::Core(2), Rect::from_mm(5.0, 5.0, 4.5, 4.5))
+            .block(
+                "a",
+                ComponentKind::Core(1),
+                Rect::from_mm(0.5, 0.5, 4.0, 4.0),
+            )
+            .block(
+                "b",
+                ComponentKind::Core(2),
+                Rect::from_mm(5.0, 5.0, 4.5, 4.5),
+            )
             .build()
             .unwrap();
         let grid = GridSpec::new(7, 9, Rect::from_mm(0.0, 0.0, 10.0, 10.0));
@@ -492,7 +509,11 @@ mod tests {
     #[test]
     fn rasterize_respects_offset() {
         let fp = FloorplanBuilder::new("t", 2.0, 2.0)
-            .block("a", ComponentKind::Core(1), Rect::from_mm(0.0, 0.0, 2.0, 2.0))
+            .block(
+                "a",
+                ComponentKind::Core(1),
+                Rect::from_mm(0.0, 0.0, 2.0, 2.0),
+            )
             .build()
             .unwrap();
         let grid = GridSpec::new(10, 10, Rect::from_mm(0.0, 0.0, 10.0, 10.0));

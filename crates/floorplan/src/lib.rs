@@ -29,16 +29,16 @@
 
 mod block;
 mod error;
-mod plan;
 mod grid;
 mod package;
+mod plan;
 mod rect;
 mod xeon;
 
 pub use block::{Block, BlockId, ComponentKind};
 pub use error::FloorplanError;
-pub use plan::{Floorplan, FloorplanBuilder};
 pub use grid::{rasterize, rasterize_rect, CellIndex, GridSpec, ScalarField};
 pub use package::PackageGeometry;
+pub use plan::{Floorplan, FloorplanBuilder};
 pub use rect::Rect;
 pub use xeon::{xeon_e5_v4, CoreSlot, CoreTopology, XEON_CORE_COLS, XEON_CORE_ROWS};

@@ -207,7 +207,11 @@ mod tests {
 
     fn two_block_plan() -> Floorplan {
         FloorplanBuilder::new("t", 10.0, 10.0)
-            .block("c1", ComponentKind::Core(1), Rect::from_mm(0.0, 0.0, 5.0, 10.0))
+            .block(
+                "c1",
+                ComponentKind::Core(1),
+                Rect::from_mm(0.0, 0.0, 5.0, 10.0),
+            )
             .block(
                 "llc",
                 ComponentKind::LastLevelCache,
@@ -243,7 +247,11 @@ mod tests {
     #[test]
     fn rejects_out_of_bounds() {
         let err = FloorplanBuilder::new("t", 10.0, 10.0)
-            .block("c1", ComponentKind::Core(1), Rect::from_mm(6.0, 0.0, 5.0, 5.0))
+            .block(
+                "c1",
+                ComponentKind::Core(1),
+                Rect::from_mm(6.0, 0.0, 5.0, 5.0),
+            )
             .build()
             .unwrap_err();
         assert!(matches!(err, FloorplanError::OutOfBounds { .. }));
@@ -252,8 +260,16 @@ mod tests {
     #[test]
     fn rejects_overlap() {
         let err = FloorplanBuilder::new("t", 10.0, 10.0)
-            .block("a", ComponentKind::Core(1), Rect::from_mm(0.0, 0.0, 5.0, 5.0))
-            .block("b", ComponentKind::Core(2), Rect::from_mm(4.0, 0.0, 5.0, 5.0))
+            .block(
+                "a",
+                ComponentKind::Core(1),
+                Rect::from_mm(0.0, 0.0, 5.0, 5.0),
+            )
+            .block(
+                "b",
+                ComponentKind::Core(2),
+                Rect::from_mm(4.0, 0.0, 5.0, 5.0),
+            )
             .build()
             .unwrap_err();
         assert!(matches!(err, FloorplanError::Overlap { .. }));
@@ -262,8 +278,16 @@ mod tests {
     #[test]
     fn rejects_duplicate_core_index() {
         let err = FloorplanBuilder::new("t", 10.0, 10.0)
-            .block("a", ComponentKind::Core(1), Rect::from_mm(0.0, 0.0, 4.0, 4.0))
-            .block("b", ComponentKind::Core(1), Rect::from_mm(5.0, 5.0, 4.0, 4.0))
+            .block(
+                "a",
+                ComponentKind::Core(1),
+                Rect::from_mm(0.0, 0.0, 4.0, 4.0),
+            )
+            .block(
+                "b",
+                ComponentKind::Core(1),
+                Rect::from_mm(5.0, 5.0, 4.0, 4.0),
+            )
             .build()
             .unwrap_err();
         assert_eq!(err, FloorplanError::DuplicateCoreIndex { index: 1 });
@@ -272,8 +296,16 @@ mod tests {
     #[test]
     fn cores_iterate_in_index_order() {
         let fp = FloorplanBuilder::new("t", 10.0, 10.0)
-            .block("b", ComponentKind::Core(2), Rect::from_mm(5.0, 0.0, 4.0, 4.0))
-            .block("a", ComponentKind::Core(1), Rect::from_mm(0.0, 0.0, 4.0, 4.0))
+            .block(
+                "b",
+                ComponentKind::Core(2),
+                Rect::from_mm(5.0, 0.0, 4.0, 4.0),
+            )
+            .block(
+                "a",
+                ComponentKind::Core(1),
+                Rect::from_mm(0.0, 0.0, 4.0, 4.0),
+            )
             .build()
             .unwrap();
         let order: Vec<u8> = fp.cores().map(|b| b.kind().core_index().unwrap()).collect();

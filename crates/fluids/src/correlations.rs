@@ -77,7 +77,10 @@ pub fn laminar_nusselt() -> f64 {
 ///
 /// Panics if the hydraulic diameter is not positive.
 pub fn laminar_htc(k: ThermalConductivity, hydraulic_diameter_m: f64) -> HeatTransferCoeff {
-    assert!(hydraulic_diameter_m > 0.0, "hydraulic diameter must be positive");
+    assert!(
+        hydraulic_diameter_m > 0.0,
+        "hydraulic diameter must be positive"
+    );
     HeatTransferCoeff::new(laminar_nusselt() * k.value() / hydraulic_diameter_m)
 }
 
@@ -236,8 +239,14 @@ mod tests {
         let r = Refrigerant::R236fa;
         let t = Celsius::new(30.0);
         let (rl, rv) = (r.liquid_density(t), r.vapor_density(t));
-        assert_eq!(homogeneous_void_fraction(Fraction::ZERO, rl, rv), Fraction::ZERO);
-        assert_eq!(homogeneous_void_fraction(Fraction::ONE, rl, rv), Fraction::ONE);
+        assert_eq!(
+            homogeneous_void_fraction(Fraction::ZERO, rl, rv),
+            Fraction::ZERO
+        );
+        assert_eq!(
+            homogeneous_void_fraction(Fraction::ONE, rl, rv),
+            Fraction::ONE
+        );
         // Small quality already yields large void (density ratio ~65).
         let alpha = homogeneous_void_fraction(Fraction::new(0.1).unwrap(), rl, rv);
         assert!(alpha.value() > 0.8, "α = {alpha}");

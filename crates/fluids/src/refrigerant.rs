@@ -24,11 +24,8 @@ pub enum Refrigerant {
 
 impl Refrigerant {
     /// All supported refrigerants.
-    pub const ALL: [Refrigerant; 3] = [
-        Refrigerant::R236fa,
-        Refrigerant::R134a,
-        Refrigerant::R245fa,
-    ];
+    pub const ALL: [Refrigerant; 3] =
+        [Refrigerant::R236fa, Refrigerant::R134a, Refrigerant::R245fa];
 
     /// Molar mass in kg/kmol (= g/mol).
     pub fn molar_mass(self) -> f64 {

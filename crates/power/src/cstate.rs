@@ -26,7 +26,13 @@ pub enum CState {
 
 impl CState {
     /// All states, shallowest first.
-    pub const ALL: [CState; 5] = [CState::Poll, CState::C1, CState::C1e, CState::C3, CState::C6];
+    pub const ALL: [CState; 5] = [
+        CState::Poll,
+        CState::C1,
+        CState::C1e,
+        CState::C3,
+        CState::C6,
+    ];
 
     /// Wake (resume) latency.
     ///

@@ -155,14 +155,8 @@ mod tests {
 
     #[test]
     fn uncore_clamps() {
-        assert_eq!(
-            UncoreFrequency::new(GigaHertz::new(5.0)).ghz().value(),
-            2.8
-        );
-        assert_eq!(
-            UncoreFrequency::new(GigaHertz::new(0.5)).ghz().value(),
-            1.2
-        );
+        assert_eq!(UncoreFrequency::new(GigaHertz::new(5.0)).ghz().value(), 2.8);
+        assert_eq!(UncoreFrequency::new(GigaHertz::new(0.5)).ghz().value(), 1.2);
         assert_eq!(UncoreFrequency::min().range_fraction(), 0.0);
         assert_eq!(UncoreFrequency::max().range_fraction(), 1.0);
     }

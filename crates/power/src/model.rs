@@ -156,8 +156,7 @@ impl IdlePowerModel {
     ///
     /// For POLL/C1/C1E this equals the paper's Table I.
     pub fn package_idle_power(&self, cstate: CState, freq: CoreFrequency) -> Watts {
-        self.core_idle_power(cstate, freq) * N_CORES as f64
-            + self.uncore_idle_power(cstate, freq)
+        self.core_idle_power(cstate, freq) * N_CORES as f64 + self.uncore_idle_power(cstate, freq)
     }
 
     /// The paper's Table I value, if the state is listed there.

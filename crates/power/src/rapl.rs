@@ -128,6 +128,9 @@ mod tests {
 
     #[test]
     fn zero_time_average_is_zero() {
-        assert_eq!(RaplCounter::new().average_power(RaplDomain::Package), Watts::ZERO);
+        assert_eq!(
+            RaplCounter::new().average_power(RaplDomain::Package),
+            Watts::ZERO
+        );
     }
 }

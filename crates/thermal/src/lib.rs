@@ -1,7 +1,7 @@
 //! A 3-D compact RC thermal simulator in the spirit of 3D-ICE.
 //!
 //! The paper obtains die temperatures with the 3D-ICE compact transient
-//! thermal simulator [20][21]; this crate is our from-scratch substitute.
+//! thermal simulator \[20\]\[21\]; this crate is our from-scratch substitute.
 //! The chip stack (silicon die → TIM → copper heat spreader → TIM → evaporator
 //! base) is discretized into a regular 3-D grid of finite-volume cells
 //! connected by thermal conductances. The top surface exchanges heat with the
@@ -12,7 +12,7 @@
 //! * [`ThermalModel`] — assembled conductance network,
 //! * [`ThermalModel::steady_state`] — Jacobi-preconditioned conjugate
 //!   gradient on the (symmetric positive definite) conduction system,
-//! * [`ThermalModel::transient`] — implicit-Euler time stepping,
+//! * [`ThermalModel::transient_step`] — implicit-Euler time stepping,
 //! * [`ThermalMetrics`] — θ_max, θ_avg and the maximum spatial gradient
 //!   ∇θ_max (°C/mm) the paper reports in Figs. 2/5/6 and Table II,
 //! * [`render_ascii`] — terminal heat maps for the figure binaries.

@@ -23,12 +23,7 @@ impl Material {
     /// # Panics
     ///
     /// Panics if any property is non-positive.
-    pub fn new(
-        name: &'static str,
-        k: ThermalConductivity,
-        rho: Density,
-        cp: SpecificHeat,
-    ) -> Self {
+    pub fn new(name: &'static str, k: ThermalConductivity, rho: Density, cp: SpecificHeat) -> Self {
         assert!(
             k.value() > 0.0 && rho.value() > 0.0 && cp.value() > 0.0,
             "material `{name}` must have positive properties"
@@ -131,12 +126,8 @@ mod tests {
             assert!(m.conductivity().value() > 0.0);
             assert!(m.volumetric_heat_capacity() > 1e5, "{}", m.name());
         }
-        assert!(
-            Material::copper().conductivity() > Material::silicon().conductivity()
-        );
-        assert!(
-            Material::underfill().conductivity() < Material::tim_grease().conductivity()
-        );
+        assert!(Material::copper().conductivity() > Material::silicon().conductivity());
+        assert!(Material::underfill().conductivity() < Material::tim_grease().conductivity());
     }
 
     #[test]

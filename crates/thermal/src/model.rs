@@ -88,9 +88,8 @@ impl ThermalModel {
         }
 
         // Harmonic-mean face conductances.
-        let series = |k1: f64, k2: f64, half1: f64, half2: f64, face: f64| {
-            face / (half1 / k1 + half2 / k2)
-        };
+        let series =
+            |k1: f64, k2: f64, half1: f64, half2: f64, face: f64| face / (half1 / k1 + half2 / k2);
         let mut gx = vec![vec![0.0; nc]; nl];
         let mut gy = vec![vec![0.0; nc]; nl];
         let mut gz = vec![vec![0.0; nc]; nl.saturating_sub(1)];
@@ -107,8 +106,7 @@ impl ThermalModel {
                         gy[l][i] = series(k[l][i], k[l][j], dy / 2.0, dy / 2.0, dz[l] * dx);
                     }
                     if l + 1 < nl {
-                        gz[l][i] =
-                            series(k[l][i], k[l + 1][i], dz[l] / 2.0, dz[l + 1] / 2.0, area);
+                        gz[l][i] = series(k[l][i], k[l + 1][i], dz[l] / 2.0, dz[l + 1] / 2.0, area);
                     }
                 }
             }
@@ -294,9 +292,9 @@ impl ThermalModel {
         // Start from the mean fluid temperature — a good guess that keeps
         // iteration counts low across coupling iterations.
         let mut x = vec![top.fluid_temp().mean() + 10.0; self.n_cells()];
-        let stats = self
-            .solver
-            .solve(|v, y| self.apply(&diag, v, y), &diag, b.as_slice(), &mut x)?;
+        let stats =
+            self.solver
+                .solve(|v, y| self.apply(&diag, v, y), &diag, b.as_slice(), &mut x)?;
         Ok(self.split_solution(x, stats))
     }
 
@@ -326,9 +324,9 @@ impl ThermalModel {
         );
         let (diag, b) = self.assemble(power, top, Some((dt.value(), state.temps.as_slice())));
         let mut x = state.temps.clone();
-        let stats = self
-            .solver
-            .solve(|v, y| self.apply(&diag, v, y), &diag, b.as_slice(), &mut x)?;
+        let stats =
+            self.solver
+                .solve(|v, y| self.apply(&diag, v, y), &diag, b.as_slice(), &mut x)?;
         state.temps = x;
         state.elapsed += dt;
         Ok(stats)
@@ -462,7 +460,9 @@ impl ThermalSolution {
 
     /// The top layer (evaporator base).
     pub fn top_layer(&self) -> &ScalarField {
-        self.layers.last().expect("solutions have at least one layer")
+        self.layers
+            .last()
+            .expect("solutions have at least one layer")
     }
 
     /// Number of layers.
@@ -482,7 +482,6 @@ impl ThermalSolution {
             .cell_at(x, y)
             .map(|c| Celsius::new(f.at(c.ix, c.iy)))
     }
-
 }
 
 /// Evolving temperatures for transient simulation.
@@ -625,10 +624,7 @@ mod tests {
                 .transient_step(&mut state, Seconds::new(0.1), &power, &top)
                 .unwrap();
             let now = state.max_temp();
-            assert!(
-                now.value() >= last.value() - 1e-9,
-                "cooling without cause"
-            );
+            assert!(now.value() >= last.value() - 1e-9, "cooling without cause");
             last = now;
         }
         assert!(last > Celsius::new(30.5));

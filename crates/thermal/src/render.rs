@@ -33,7 +33,11 @@ pub fn render_ascii(field: &ScalarField) -> String {
         }
         out.push('\n');
     }
-    out.push_str(&format!("scale: '{}'={lo:.1} … '{}'={hi:.1}\n", RAMP[0], RAMP[RAMP.len() - 1]));
+    out.push_str(&format!(
+        "scale: '{}'={lo:.1} … '{}'={hi:.1}\n",
+        RAMP[0],
+        RAMP[RAMP.len() - 1]
+    ));
     out
 }
 

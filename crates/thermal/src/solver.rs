@@ -269,7 +269,10 @@ mod tests {
         let b = vec![1.0; 30];
         let mut x = vec![0.0; 30];
         let err = CgSolver::new(1e-12, 1).solve(dense_apply(&a), &diag, &b, &mut x);
-        assert!(matches!(err, Err(SolverError::NoConvergence { iterations: 1, .. })));
+        assert!(matches!(
+            err,
+            Err(SolverError::NoConvergence { iterations: 1, .. })
+        ));
     }
 
     #[test]

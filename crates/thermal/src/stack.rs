@@ -158,7 +158,11 @@ impl fmt::Display for LayerStack {
                 l.name(),
                 l.material().name(),
                 l.thickness_m() * 1e3,
-                if l.window().is_some() { " (windowed)" } else { "" }
+                if l.window().is_some() {
+                    " (windowed)"
+                } else {
+                    ""
+                }
             )?;
         }
         Ok(())
@@ -268,7 +272,10 @@ mod tests {
     #[test]
     fn rejects_empty_and_bad_thickness() {
         let extent = Rect::from_mm(0.0, 0.0, 10.0, 10.0);
-        assert_eq!(LayerStack::builder(extent).build().unwrap_err(), StackError::Empty);
+        assert_eq!(
+            LayerStack::builder(extent).build().unwrap_err(),
+            StackError::Empty
+        );
         let err = LayerStack::builder(extent)
             .layer("zero", Material::copper(), 0.0)
             .build()

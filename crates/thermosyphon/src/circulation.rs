@@ -3,9 +3,7 @@
 use crate::design::ThermosyphonDesign;
 use crate::filling;
 use core::fmt;
-use tps_fluids::correlations::{
-    homogeneous_void_fraction, lockhart_martinelli_multiplier,
-};
+use tps_fluids::correlations::{homogeneous_void_fraction, lockhart_martinelli_multiplier};
 use tps_units::{Celsius, Fraction, KgPerSecond, Watts};
 
 /// Standard gravity, m/s².
@@ -70,10 +68,7 @@ fn residual(design: &ThermosyphonDesign, t_sat: Celsius, q: Watts, m_dot: f64) -
     let g_ch = m_dot / (design.n_channels() as f64 * design.channel_area_m2());
     let dh = design.hydraulic_diameter_m();
     let re_ch = g_ch * dh / mu_l.value();
-    let dp_l = friction_factor(re_ch)
-        * (design.channel_length_m() / dh)
-        * g_ch
-        * g_ch
+    let dp_l = friction_factor(re_ch) * (design.channel_length_m() / dh) * g_ch * g_ch
         / (2.0 * rho_l.value());
     let x_mid = Fraction::saturating(x_exit.value() / 2.0);
     let phi2 = lockhart_martinelli_multiplier(x_mid, rho_l, rho_v, mu_l, mu_v);
@@ -88,8 +83,7 @@ fn residual(design: &ThermosyphonDesign, t_sat: Celsius, q: Watts, m_dot: f64) -
         * g_riser
         * g_riser
         / (2.0 * rho_l.value());
-    let dp_riser =
-        dp_riser_l * lockhart_martinelli_multiplier(x_exit, rho_l, rho_v, mu_l, mu_v);
+    let dp_riser = dp_riser_l * lockhart_martinelli_multiplier(x_exit, rho_l, rho_v, mu_l, mu_v);
 
     // Local losses (headers, bends, charge valve).
     let dp_local = K_LOCAL * g_riser * g_riser / (2.0 * rho_l.value());

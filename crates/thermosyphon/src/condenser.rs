@@ -156,6 +156,9 @@ mod tests {
         let c = Condenser::paper_prototype();
         let e = c.effectiveness(&design(), &OperatingPoint::paper());
         assert!((0.0..=1.0).contains(&e));
-        assert!(e > 0.7, "prototype should be a reasonably effective HX: {e}");
+        assert!(
+            e > 0.7,
+            "prototype should be a reasonably effective HX: {e}"
+        );
     }
 }

@@ -13,9 +13,7 @@ use crate::evaporator::{Evaporator, EvaporatorSolution};
 use crate::operating::OperatingPoint;
 use core::fmt;
 use tps_floorplan::{xeon_e5_v4, GridSpec, PackageGeometry, ScalarField};
-use tps_thermal::{
-    CgSolver, LayerStack, SolverError, ThermalModel, ThermalSolution, TopBoundary,
-};
+use tps_thermal::{CgSolver, LayerStack, SolverError, ThermalModel, ThermalSolution, TopBoundary};
 use tps_units::{Celsius, KgPerSecond, Watts};
 
 /// Error from a coupled solve.
@@ -389,13 +387,16 @@ mod tests {
     /// A core-column-shaped hot zone plus background, summing to `total` W.
     fn core_loaded(grid: &GridSpec, total: f64) -> ScalarField {
         let hot = Rect::from_mm(9.0, 11.5, 9.0, 11.3); // west core columns
-        let mut f = ScalarField::from_fn(grid.clone(), |x, y| {
-            if hot.contains(x, y) {
-                1.0
-            } else {
-                0.05
-            }
-        });
+        let mut f = ScalarField::from_fn(
+            grid.clone(),
+            |x, y| {
+                if hot.contains(x, y) {
+                    1.0
+                } else {
+                    0.05
+                }
+            },
+        );
         let scale = total / f.total();
         f.scale(scale);
         f

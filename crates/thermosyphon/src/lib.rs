@@ -1,4 +1,4 @@
-//! Gravity-driven two-phase thermosyphon model (Seuret et al. [8] substitute).
+//! Gravity-driven two-phase thermosyphon model (Seuret et al. \[8\] substitute).
 //!
 //! The thermosyphon sits on the CPU package: a micro-channel **evaporator**
 //! boils the refrigerant; the vapour–liquid mixture rises to a water-cooled
@@ -14,7 +14,7 @@
 //!   ([`Evaporator`]) — this produces the inlet-cooler-than-outlet asymmetry
 //!   and the penalty for co-linear hot spots that the mapping policy
 //!   exploits,
-//! * natural-circulation mass flow ([`circulation`]),
+//! * natural-circulation mass flow ([`circulation_flow`]),
 //! * ε-NTU condenser closing the loop ([`Condenser`]),
 //! * fixed-point thermal coupling ([`CoupledSimulation`]) against the
 //!   `tps-thermal` RC model,

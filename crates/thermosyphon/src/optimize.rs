@@ -45,7 +45,11 @@ impl fmt::Display for DesignReport {
             self.objective.die_max.value(),
             self.objective.die_gradient,
             self.objective.t_case.value(),
-            if self.objective.feasible { "" } else { " (INFEASIBLE)" }
+            if self.objective.feasible {
+                ""
+            } else {
+                " (INFEASIBLE)"
+            }
         )
     }
 }
@@ -175,8 +179,17 @@ impl DesignOptimizer {
             b.objective
                 .feasible
                 .cmp(&a.objective.feasible)
-                .then(a.objective.die_max.value().total_cmp(&b.objective.die_max.value()))
-                .then(a.objective.die_gradient.total_cmp(&b.objective.die_gradient))
+                .then(
+                    a.objective
+                        .die_max
+                        .value()
+                        .total_cmp(&b.objective.die_max.value()),
+                )
+                .then(
+                    a.objective
+                        .die_gradient
+                        .total_cmp(&b.objective.die_gradient),
+                )
         });
         reports
     }
@@ -238,13 +251,16 @@ mod tests {
     /// Worst-case-ish map: 79 W concentrated on the core columns.
     fn worst_power(grid: &GridSpec) -> ScalarField {
         let hot = Rect::from_mm(9.0, 11.5, 9.0, 11.3);
-        let mut f = ScalarField::from_fn(grid.clone(), |x, y| {
-            if hot.contains(x, y) {
-                1.0
-            } else {
-                0.05
-            }
-        });
+        let mut f = ScalarField::from_fn(
+            grid.clone(),
+            |x, y| {
+                if hot.contains(x, y) {
+                    1.0
+                } else {
+                    0.05
+                }
+            },
+        );
         let s = 79.3 / f.total();
         f.scale(s);
         f
@@ -314,7 +330,9 @@ mod tests {
 
     #[test]
     fn report_display_mentions_feasibility() {
-        let o = fast_optimizer().t_case_max(Celsius::new(10.0)).filling_ratios(vec![0.55]);
+        let o = fast_optimizer()
+            .t_case_max(Celsius::new(10.0))
+            .filling_ratios(vec![0.55]);
         let r = o.explore(&pkg(), OperatingPoint::paper(), &worst_power);
         assert!(r[0].to_string().contains("INFEASIBLE"));
     }

@@ -199,7 +199,10 @@ mod tests {
         let die_avg = tail_die.iter().sum::<f64>() / tail_die.len() as f64;
         let q_avg = tail_q.iter().sum::<f64>() / tail_q.len() as f64;
         let steady_max = steady.thermal.die_layer().max();
-        assert!(die_avg > early + 5.0, "no warm-up: early {early:.1}, tail {die_avg:.1}");
+        assert!(
+            die_avg > early + 5.0,
+            "no warm-up: early {early:.1}, tail {die_avg:.1}"
+        );
         // The oscillating attractor brackets the steady fixed point from
         // above (the loop spends more time on the dried-out side of the
         // cycle), within a handful of degrees.
@@ -236,9 +239,7 @@ mod tests {
             run.step(&power, Seconds::new(1.0)).unwrap();
         }
         let before = run.step(&power, Seconds::new(1.0)).unwrap();
-        run.set_operating_point(
-            OperatingPoint::paper().with_flow(tps_units::KgPerHour::new(14.0)),
-        );
+        run.set_operating_point(OperatingPoint::paper().with_flow(tps_units::KgPerHour::new(14.0)));
         for _ in 0..50 {
             run.step(&power, Seconds::new(1.0)).unwrap();
         }

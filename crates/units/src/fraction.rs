@@ -84,7 +84,11 @@ impl fmt::Display for Fraction {
 
 impl fmt::Display for FractionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "fraction {} is outside the unit interval [0, 1]", self.value)
+        write!(
+            f,
+            "fraction {} is outside the unit interval [0, 1]",
+            self.value
+        )
     }
 }
 

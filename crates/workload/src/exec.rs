@@ -55,7 +55,10 @@ impl BenchProfile {
         assert!(comm >= 0.0, "communication overhead must be >= 0");
         assert!(bw_saturation >= 1.0, "bandwidth saturation must be >= 1");
         assert!(dyn_core_power_fmax > 0.0, "dynamic power must be positive");
-        assert!((0.0..=1.0).contains(&llc_activity), "LLC activity out of range");
+        assert!(
+            (0.0..=1.0).contains(&llc_activity),
+            "LLC activity out of range"
+        );
         Self {
             bench,
             serial,

@@ -41,9 +41,7 @@ fn main() {
     println!("  …");
     let best = &reports[0];
     println!("\nchosen design: {}", best.design);
-    println!(
-        "(the paper chose design 1 / R236fa / 55 % — Sec. VI-A/B)\n"
-    );
+    println!("(the paper chose design 1 / R236fa / 55 % — Sec. VI-A/B)\n");
 
     // Stage 2: warmest water, lowest flow that still meets T_CASE_MAX.
     let op = optimizer.optimize_operating(
@@ -54,9 +52,9 @@ fn main() {
         &power_for,
     );
     match op {
-        Some(op) => println!(
-            "chosen operating point: {op}  (the paper chose 7 kg/h @ 30 °C — Sec. VI-C)"
-        ),
+        Some(op) => {
+            println!("chosen operating point: {op}  (the paper chose 7 kg/h @ 30 °C — Sec. VI-C)")
+        }
         None => println!("no feasible operating point — design stage failed"),
     }
 }

@@ -38,12 +38,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome.solution.refrigerant_flow.value() * 3600.0
     );
     println!("case temperature       : {:.1}", outcome.solution.t_case);
-    println!("water outlet           : {:.1}", outcome.solution.water_outlet);
+    println!(
+        "water outlet           : {:.1}",
+        outcome.solution.water_outlet
+    );
     println!();
     println!("die     {}", outcome.die);
     println!("package {}", outcome.package);
     println!();
     println!("die thermal map:");
-    print!("{}", tps::thermal::render_ascii(outcome.solution.thermal.die_layer()));
+    print!(
+        "{}",
+        tps::thermal::render_ascii(outcome.solution.thermal.die_layer())
+    );
     Ok(())
 }

@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // once with the proposed mapping and once with the baseline.
     let mut summary = Vec::new();
     for (label, policy) in [
-        ("proposed", &ProposedMapping as &dyn tps::core::MappingPolicy),
+        (
+            "proposed",
+            &ProposedMapping as &dyn tps::core::MappingPolicy,
+        ),
         ("coskun [9]", &CoskunBalancing),
     ] {
         let mut outcomes: Vec<RunOutcome> = Vec::new();

@@ -6,9 +6,11 @@
 //! cargo run --release --example runtime_control
 //! ```
 
-use tps::core::{heat, ControlAction, MinPowerSelector, ProposedMapping, RuntimeController, Server};
 use tps::core::ConfigSelector as _;
 use tps::core::MappingPolicy as _;
+use tps::core::{
+    heat, ControlAction, MinPowerSelector, ProposedMapping, RuntimeController, Server,
+};
 use tps::power::{CState, RaplCounter, RaplDomain};
 use tps::thermosyphon::OperatingPoint;
 use tps::units::{Celsius, KgPerHour, Seconds, TempDelta};
@@ -28,7 +30,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .expect("a feasible configuration exists");
     // Start at f_max, as a thermally naive runtime would — the controller
     // will walk the frequency down before touching the valve.
-    let mut config = selected.config.with_frequency(tps::power::CoreFrequency::F3_2);
+    let mut config = selected
+        .config
+        .with_frequency(tps::power::CoreFrequency::F3_2);
     let idle = CState::deepest_within(qos.idle_delay_tolerance());
     let ctx = tps::core::MappingContext::new(
         server.topology(),

@@ -85,15 +85,15 @@ fn cmd_run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let selector: Box<dyn ConfigSelector> =
-        match parse_flag(args, "selector").unwrap_or("minpower") {
-            "minpower" => Box::new(MinPowerSelector),
-            "packcap" => Box::new(PackAndCapSelector::default()),
-            other => {
-                eprintln!("error: unknown selector `{other}`");
-                return ExitCode::FAILURE;
-            }
-        };
+    let selector: Box<dyn ConfigSelector> = match parse_flag(args, "selector").unwrap_or("minpower")
+    {
+        "minpower" => Box::new(MinPowerSelector),
+        "packcap" => Box::new(PackAndCapSelector::default()),
+        other => {
+            eprintln!("error: unknown selector `{other}`");
+            return ExitCode::FAILURE;
+        }
+    };
     let pitch: f64 = match parse_flag(args, "pitch").unwrap_or("1.0").parse() {
         Ok(p) if p > 0.0 => p,
         _ => {
@@ -102,7 +102,11 @@ fn cmd_run(args: &[String]) -> ExitCode {
         }
     };
 
-    println!("simulating {bench} @ {qos} QoS ({} / {})…", selector.name(), policy.name());
+    println!(
+        "simulating {bench} @ {qos} QoS ({} / {})…",
+        selector.name(),
+        policy.name()
+    );
     let server = Server::xeon(pitch);
     match server.run(bench, qos, selector.as_ref(), policy.as_ref()) {
         Ok(out) => {
@@ -111,11 +115,17 @@ fn cmd_run(args: &[String]) -> ExitCode {
             println!("idle C-state  : {}", out.idle_cstate);
             println!("mapping       : {:?}", out.mapping);
             println!("package power : {:.1}", out.breakdown.total());
-            println!("T_sat / T_case: {:.1} / {:.1}", out.solution.t_sat, out.solution.t_case);
+            println!(
+                "T_sat / T_case: {:.1} / {:.1}",
+                out.solution.t_sat, out.solution.t_case
+            );
             println!("die           : {}", out.die);
             println!("package       : {}", out.package);
             println!();
-            print!("{}", tps::thermal::render_ascii(out.solution.thermal.die_layer()));
+            print!(
+                "{}",
+                tps::thermal::render_ascii(out.solution.thermal.die_layer())
+            );
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -19,7 +19,12 @@ fn server() -> Server {
 fn energy_is_conserved_through_the_whole_stack() {
     let server = server();
     let out = server
-        .run(Benchmark::Ferret, QosClass::TwoX, &MinPowerSelector, &ProposedMapping)
+        .run(
+            Benchmark::Ferret,
+            QosClass::TwoX,
+            &MinPowerSelector,
+            &ProposedMapping,
+        )
         .expect("pipeline runs");
     // Scheduler-side package power == rasterized field total == heat into
     // the refrigerant (± the small board-side leak).
@@ -56,9 +61,18 @@ fn table2_ordering_holds_on_average() {
     let coskun = avg(&CoskunBalancing);
     let inlet = avg(&InletFirstMapping);
     let packed = avg(&PackedMapping);
-    assert!(ours <= coskun + 0.05, "proposed {ours:.2} vs coskun {coskun:.2}");
-    assert!(coskun < inlet, "coskun {coskun:.2} vs inlet-first {inlet:.2}");
-    assert!(inlet <= packed + 0.5, "inlet {inlet:.2} vs packed {packed:.2}");
+    assert!(
+        ours <= coskun + 0.05,
+        "proposed {ours:.2} vs coskun {coskun:.2}"
+    );
+    assert!(
+        coskun < inlet,
+        "coskun {coskun:.2} vs inlet-first {inlet:.2}"
+    );
+    assert!(
+        inlet <= packed + 0.5,
+        "inlet {inlet:.2} vs packed {packed:.2}"
+    );
 }
 
 #[test]
@@ -82,10 +96,20 @@ fn one_x_runs_all_approaches_identically_except_design() {
     // design differs. With the same server, proposed and coskun coincide.
     let server = server();
     let ours = server
-        .run(Benchmark::X264, QosClass::OneX, &MinPowerSelector, &ProposedMapping)
+        .run(
+            Benchmark::X264,
+            QosClass::OneX,
+            &MinPowerSelector,
+            &ProposedMapping,
+        )
         .expect("pipeline runs");
     let coskun = server
-        .run(Benchmark::X264, QosClass::OneX, &MinPowerSelector, &CoskunBalancing)
+        .run(
+            Benchmark::X264,
+            QosClass::OneX,
+            &MinPowerSelector,
+            &CoskunBalancing,
+        )
         .expect("pipeline runs");
     assert_eq!(ours.profile.config, coskun.profile.config);
     let mut a = ours.mapping.clone();
@@ -116,7 +140,12 @@ fn physical_temperature_ordering() {
     let server = server();
     for qos in QosClass::ALL {
         let out = server
-            .run(Benchmark::Raytrace, qos, &MinPowerSelector, &ProposedMapping)
+            .run(
+                Benchmark::Raytrace,
+                qos,
+                &MinPowerSelector,
+                &ProposedMapping,
+            )
             .expect("pipeline runs");
         let water = server.simulation().operating_point().water_inlet();
         assert!(out.solution.t_sat > water, "{qos}");
@@ -133,10 +162,20 @@ fn spread_mappings_produce_distinct_hotspots() {
     // blob, while the spread placements leave distinct peaks.
     let server = server();
     let spread = server
-        .run(Benchmark::X264, QosClass::ThreeX, &MinPowerSelector, &ProposedMapping)
+        .run(
+            Benchmark::X264,
+            QosClass::ThreeX,
+            &MinPowerSelector,
+            &ProposedMapping,
+        )
         .expect("pipeline runs");
     let packed = server
-        .run(Benchmark::X264, QosClass::ThreeX, &MinPowerSelector, &PackedMapping)
+        .run(
+            Benchmark::X264,
+            QosClass::ThreeX,
+            &MinPowerSelector,
+            &PackedMapping,
+        )
         .expect("pipeline runs");
     assert!(
         spread.die.hotspots >= packed.die.hotspots,

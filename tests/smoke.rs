@@ -1,0 +1,56 @@
+//! Smoke test locking in the umbrella crate's public API surface: every
+//! re-exported module must resolve, and the headline workflow from the
+//! crate-level Quickstart must run. If a re-export is dropped or renamed,
+//! this file stops compiling before any downstream user notices.
+
+use tps::core::{MinPowerSelector, ProposedMapping, Server};
+use tps::workload::{Benchmark, QosClass};
+
+/// Each `pub use tps_* as *` in `src/lib.rs` resolves to a real crate.
+#[test]
+fn umbrella_reexports_resolve() {
+    // Touch one item per re-exported module so the path stays load-bearing.
+    let _ = tps::units::Watts::new(1.0);
+    let _ = tps::floorplan::Rect::from_mm(0.0, 0.0, 1.0, 1.0);
+    let _ = tps::power::CState::Poll;
+    let _ = tps::workload::Benchmark::X264;
+    let _ = tps::fluids::Refrigerant::R134a;
+    let _ = tps::thermal::Material::silicon();
+    let _ = tps::thermosyphon::Orientation::InletEast;
+    let _ = tps::cooling::Chiller::default();
+    let _ = tps::core::MinPowerSelector;
+}
+
+/// The Quickstart from `src/lib.rs`, run for real on a coarse grid:
+/// construct `Server::xeon`, push one benchmark through `ProposedMapping`,
+/// and sanity-check the outcome fields the CLI prints.
+#[test]
+fn quickstart_runs_end_to_end() {
+    let server = Server::xeon(2.0); // 2 mm grid: fast enough for a smoke test
+    let out = server
+        .run(
+            Benchmark::X264,
+            QosClass::TwoX,
+            &MinPowerSelector,
+            &ProposedMapping,
+        )
+        .expect("quickstart pipeline runs");
+    assert!(
+        !out.mapping.is_empty() && out.mapping.len() <= 8,
+        "mapping uses between 1 and 8 physical cores, got {:?}",
+        out.mapping
+    );
+    assert!(
+        out.profile.normalized_time <= 2.0 + 1e-9,
+        "2x QoS class must keep slowdown within 2x, got {}",
+        out.profile.normalized_time
+    );
+    assert!(
+        out.breakdown.total().value() > 0.0,
+        "package power must be positive"
+    );
+    assert!(
+        out.solution.t_case > out.solution.t_sat,
+        "case must run hotter than the saturated refrigerant"
+    );
+}

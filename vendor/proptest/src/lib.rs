@@ -1,0 +1,235 @@
+//! Minimal, deterministic, offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds in air-gapped environments, so the subset of the
+//! proptest API used by the property suites is reimplemented here:
+//!
+//! * the [`proptest!`] macro with `name(arg in strategy, ...)` signatures
+//!   and an optional `#![proptest_config(...)]` inner attribute,
+//! * range strategies over integers and floats (`lo..hi`, `lo..=hi`),
+//! * [`num::f64::ANY`] (arbitrary bit patterns, including NaN/±inf),
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! There is **no shrinking**: a failing case panics with the sampled
+//! inputs, which the deterministic per-test seed makes reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod num;
+pub mod prelude;
+
+/// Runner configuration; only the case count is honoured.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// How many random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; the thermal/solver suites are too
+        // slow for that in CI, so the stub trims the default while staying
+        // well above smoke-test territory.
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Deterministic random stream used to drive strategies.
+///
+/// A thin wrapper over the vendored [`rand`] stub's SplitMix64 `StdRng`,
+/// so the sampling logic (and its half-open-range guarantees) lives in
+/// exactly one place.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    /// Create a generator whose stream is fully determined by `seed`.
+    pub fn new(seed: u64) -> Self {
+        use rand::SeedableRng;
+        TestRng {
+            inner: rand::rngs::StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        rand::Rng::next_u64(&mut self.inner)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        rand::Rng::next_f64(&mut self.inner)
+    }
+
+    /// Sample uniformly from a range via the underlying generator.
+    fn gen_range<R: rand::SampleRange>(&mut self, range: R) -> R::Output {
+        rand::Rng::gen_range(&mut self.inner, range)
+    }
+}
+
+/// FNV-1a hash of a string, used to give every property its own seed.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+    /// Draw one value from `rng`.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 range strategy");
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start() <= self.end(), "empty f64 range strategy");
+        // Occasionally emit the exact endpoints so boundary behaviour is hit.
+        match rng.next_u64() % 16 {
+            0 => *self.start(),
+            1 => *self.end(),
+            _ => rng.gen_range(self.clone()),
+        }
+    }
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer range strategy");
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty integer range strategy");
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Declare deterministic property tests.
+///
+/// Supported grammar (a strict subset of real proptest):
+///
+/// ```text
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(12))]  // optional
+///     #[test]
+///     fn my_property(x in 0usize..10, y in 0.0f64..1.0) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let __seed = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0u64..u64::from(__config.cases) {
+                let mut __rng = $crate::TestRng::new(
+                    __seed ^ __case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+/// Assert a condition inside a property; panics with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn seeds_differ_between_tests() {
+        assert_ne!(crate::fnv1a("a::b"), crate::fnv1a("a::c"));
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..9, y in -2.0f64..2.0, z in 1u8..=4) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assert!((1..=4).contains(&z));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_attribute_accepted(v in 0.0f64..=1.0) {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn any_f64_hits_special_values(v in crate::num::f64::ANY) {
+            // Just exercise the strategy; NaN/inf must not panic the runner.
+            let _ = v.is_nan() || v.is_infinite() || v.is_finite();
+        }
+    }
+}

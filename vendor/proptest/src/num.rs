@@ -1,0 +1,28 @@
+//! Numeric strategies mirroring `proptest::num`.
+
+/// Strategies over `f64`.
+pub mod f64 {
+    use crate::{Strategy, TestRng};
+
+    /// Strategy producing arbitrary `f64` bit patterns — finite values,
+    /// signed zeros, subnormals, infinities and NaN all occur.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Any `f64` whatsoever, including NaN and the infinities.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            // Bias towards specials often enough that every run sees them.
+            match rng.next_u64() % 8 {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                3 => -0.0,
+                _ => f64::from_bits(rng.next_u64()),
+            }
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Minimal, deterministic, offline stand-in for the `rand` crate.
+//!
+//! This workspace builds in air-gapped environments where crates.io is
+//! unreachable, so the small slice of the `rand` 0.8 API the simulator
+//! actually uses is reimplemented here on top of a SplitMix64 generator.
+//! Sequences are fully deterministic for a given seed, which is exactly
+//! what the trace synthesiser wants anyway.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rngs;
+
+use std::ops::Range;
+
+/// A random number generator seeded from simple integer state.
+pub trait SeedableRng: Sized {
+    /// Create a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core sampling interface: everything derives from a `u64` stream.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Sample uniformly from `range` (half-open or inclusive).
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+/// A range that knows how to sample itself uniformly from an [`Rng`].
+pub trait SampleRange {
+    /// The element type produced by sampling.
+    type Output;
+    /// Draw one uniform sample from the range.
+    fn sample_from<G: Rng>(&self, rng: &mut G) -> Self::Output;
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample_from<G: Rng>(&self, rng: &mut G) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty f64 range");
+        let x = self.start + rng.next_f64() * (self.end - self.start);
+        // `start + u*(end-start)` can round up to exactly `end` when the
+        // span is tiny relative to the magnitude of `start`; keep the
+        // documented half-open contract by stepping one ulp back down.
+        if x < self.end {
+            x
+        } else {
+            largest_below(self.end).max(self.start)
+        }
+    }
+}
+
+impl SampleRange for std::ops::RangeInclusive<f64> {
+    type Output = f64;
+    fn sample_from<G: Rng>(&self, rng: &mut G) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "gen_range: empty f64 range");
+        let u = rng.next_f64();
+        // Lerp form: `start + u*(end-start)` overflows to infinity when the
+        // span exceeds f64::MAX (e.g. -MAX..=MAX); this form stays finite.
+        (start * (1.0 - u) + end * u).clamp(start, end)
+    }
+}
+
+/// Largest representable `f64` strictly below `x` (which must be finite).
+fn largest_below(x: f64) -> f64 {
+    if x > 0.0 {
+        f64::from_bits(x.to_bits() - 1)
+    } else if x < 0.0 {
+        f64::from_bits(x.to_bits() + 1)
+    } else {
+        -f64::from_bits(1) // below ±0.0 sits the smallest negative subnormal
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_from<G: Rng>(&self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "gen_range: empty integer range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<G: Rng>(&self, rng: &mut G) -> $t {
+                assert!(self.start() <= self.end(), "gen_range: empty integer range");
+                let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (*self.start() as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn f64_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(0.5..1.5);
+            assert!((0.5..1.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_range_is_half_open_even_for_tiny_spans() {
+        // A span of a few ulps around a huge base rounds `start + u*span`
+        // onto `end` for most draws; the contract must still hold.
+        let mut rng = StdRng::seed_from_u64(11);
+        let (start, end) = (1e16, 1e16 + 4.0);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(start..end);
+            assert!(x >= start && x < end, "{x} escaped [{start}, {end})");
+        }
+    }
+
+    #[test]
+    fn inclusive_f64_range_survives_full_finite_span() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-f64::MAX..=f64::MAX);
+            assert!(x.is_finite(), "sample escaped the finite range: {x}");
+        }
+    }
+
+    #[test]
+    fn int_ranges_cover_endpoints() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+        for _ in 0..100 {
+            let v = rng.gen_range(1u8..=2);
+            assert!((1..=2).contains(&v));
+        }
+    }
+}
