@@ -1,4 +1,4 @@
-//! Criterion: ablation timings for the design choices DESIGN.md calls out —
+//! Criterion: ablation timings for the design choices ARCHITECTURE.md's calibration notes call out —
 //! how much simulation cost each modelling feature adds (orientation,
 //! filling ratio, maldistribution iterations are exercised through the
 //! full coupled solve under different designs).

@@ -1,0 +1,91 @@
+//! Criterion: fleet-simulator costs — dispatch + energy integration with a
+//! warm physics cache, and the synthesis path that feeds it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tps_cluster::{
+    synthesize_jobs, CoolestRackFirst, Fleet, FleetConfig, JobMix, OutcomeCache, RoundRobin,
+    ThermalAwareDispatch,
+};
+use tps_units::Seconds;
+use tps_workload::DiurnalDemand;
+
+fn bench_job_synthesis(c: &mut Criterion) {
+    let demand = DiurnalDemand::new(0.1, 0.5, Seconds::new(600.0));
+    c.bench_function("synthesize_jobs_500", |b| {
+        b.iter(|| synthesize_jobs(std::hint::black_box(500), &demand, JobMix::default(), 42))
+    });
+}
+
+fn bench_fleet_replay(c: &mut Criterion) {
+    // Coarse grid keeps the one-off warm-up cheap; the measured region is
+    // pure cache replay: placement decisions + event-timeline integration.
+    let mut config = FleetConfig::new(4, 4);
+    config.grid_pitch_mm = 3.0;
+    let fleet = Fleet::new(config);
+    let demand = DiurnalDemand::new(0.04, 0.2, Seconds::new(600.0));
+    let jobs = synthesize_jobs(200, &demand, JobMix::default(), 42);
+    let cache = OutcomeCache::new();
+    fleet
+        .simulate(&jobs, &mut RoundRobin::default(), &cache)
+        .expect("warm-up run");
+
+    let mut group = c.benchmark_group("fleet_simulate_200_jobs_warm_cache");
+    group.bench_function(BenchmarkId::from_parameter("round-robin"), |b| {
+        b.iter(|| {
+            fleet
+                .simulate(&jobs, &mut RoundRobin::default(), &cache)
+                .unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("coolest-rack-first"), |b| {
+        b.iter(|| {
+            fleet
+                .simulate(&jobs, &mut CoolestRackFirst, &cache)
+                .unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("thermal-aware"), |b| {
+        b.iter(|| {
+            fleet
+                .simulate(&jobs, &mut ThermalAwareDispatch, &cache)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_dispatch_decision(c: &mut Criterion) {
+    // A single thermal-aware placement against a loaded 8-rack view.
+    let mut config = FleetConfig::new(8, 8);
+    config.grid_pitch_mm = 3.0;
+    let fleet = Fleet::new(config);
+    let demand = DiurnalDemand::new(0.14, 0.7, Seconds::new(600.0));
+    let jobs = synthesize_jobs(300, &demand, JobMix::default(), 42);
+    let cache = OutcomeCache::new();
+    fleet
+        .simulate(&jobs, &mut ThermalAwareDispatch, &cache)
+        .expect("warm-up run");
+    c.bench_function("fleet_simulate_300_jobs_8x8_thermal", |b| {
+        b.iter(|| {
+            fleet
+                .simulate(&jobs, &mut ThermalAwareDispatch, &cache)
+                .unwrap()
+        })
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_job_synthesis,
+    bench_fleet_replay,
+    bench_dispatch_decision
+}
+criterion_main!(benches);

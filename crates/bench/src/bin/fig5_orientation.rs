@@ -76,7 +76,7 @@ fn main() {
     if gap.abs() < 0.5 {
         println!(
             "the two orientations are within {:.1} °C on this uniform load in our \
-             model (the paper reports a 6.2 °C gap; see EXPERIMENTS.md — the \
+             model (the paper reports a 6.2 °C gap — the \
              orientation lever only separates clearly on concentrated maps).",
             gap.abs()
         );

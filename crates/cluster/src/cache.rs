@@ -1,0 +1,283 @@
+//! Memoized per-server steady-state outcomes.
+//!
+//! A fleet run dispatches hundreds to thousands of jobs, but the per-server
+//! physics depends only on `(benchmark, qos, mapping policy, water inlet)`
+//! — the coupled thermosyphon/thermal solve is steady-state and the fleet's
+//! servers are identical. [`OutcomeCache`] therefore computes each distinct
+//! key once (in parallel across OS threads) and the event-driven simulator
+//! replays the cached [`SteadyState`] summaries, which is what lets a
+//! thousand-job scenario finish in seconds.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use tps_core::{ConfigSelector, MappingPolicy, RunError, Server};
+use tps_units::{Celsius, Watts};
+use tps_workload::{Benchmark, QosClass};
+
+/// The steady-state summary of running one `(benchmark, qos)` job on a
+/// server: everything the fleet layer needs, with the temperature fields
+/// dropped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SteadyState {
+    /// Package (IT) power of the selected configuration.
+    pub package_power: Watts,
+    /// Heat rejected into the rack water loop.
+    pub heat: Watts,
+    /// Warmest tolerable water supply (case-margin model, see
+    /// `RunOutcome::cooling_load`).
+    pub max_water_temp: Celsius,
+    /// Execution-time slowdown of the selected configuration.
+    pub normalized_time: f64,
+    /// Active cores of the selected configuration.
+    pub n_cores: u8,
+    /// Peak die temperature at the design operating point.
+    pub die_max: Celsius,
+}
+
+/// Cache key: the four coordinates the steady-state outcome depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CacheKey {
+    /// The application.
+    pub bench: Benchmark,
+    /// The QoS class.
+    pub qos: QosClass,
+    /// The mapping policy's name (policies are stateless singletons).
+    pub policy: &'static str,
+    /// Water inlet (ambient of the server loop) in milli-°C, quantized so
+    /// the key is hashable/orderable.
+    pub inlet_milli: i64,
+}
+
+impl CacheKey {
+    fn new(bench: Benchmark, qos: QosClass, policy: &'static str, inlet: Celsius) -> Self {
+        Self {
+            bench,
+            qos,
+            policy,
+            inlet_milli: (inlet.value() * 1000.0).round() as i64,
+        }
+    }
+}
+
+/// A concurrent memo table of [`SteadyState`] outcomes.
+///
+/// Deterministic by construction: values are pure functions of their key,
+/// so neither thread count nor insertion order affects what a lookup
+/// returns.
+#[derive(Debug, Default)]
+pub struct OutcomeCache {
+    map: Mutex<BTreeMap<CacheKey, SteadyState>>,
+    hits: AtomicUsize,
+    solves: AtomicUsize,
+}
+
+impl OutcomeCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Distinct outcomes computed so far.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache poisoned").len()
+    }
+
+    /// Whether nothing has been computed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from memory.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Full coupled solves performed.
+    pub fn solves(&self) -> usize {
+        self.solves.load(Ordering::Relaxed)
+    }
+
+    /// Returns the cached outcome for `(bench, qos)` on `server`, solving
+    /// the coupled problem on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RunError`] from the per-server pipeline.
+    pub fn get_or_solve(
+        &self,
+        server: &Server,
+        bench: Benchmark,
+        qos: QosClass,
+        selector: &dyn ConfigSelector,
+        policy: &dyn MappingPolicy,
+        t_case_max: Celsius,
+    ) -> Result<SteadyState, RunError> {
+        let op = server.simulation().operating_point();
+        let key = CacheKey::new(bench, qos, policy.name(), op.water_inlet());
+        if let Some(state) = self.map.lock().expect("cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(*state);
+        }
+        // Solve outside the lock: a rare duplicate solve beats serializing
+        // every worker behind one coupled simulation.
+        let outcome = server.run(bench, qos, selector, policy)?;
+        let load = outcome.cooling_load(op, t_case_max);
+        let state = SteadyState {
+            package_power: outcome.profile.package_power,
+            heat: load.heat,
+            max_water_temp: load.max_water_temp,
+            normalized_time: outcome.profile.normalized_time,
+            n_cores: outcome.profile.config.n_cores(),
+            die_max: outcome.die.max,
+        };
+        self.solves.fetch_add(1, Ordering::Relaxed);
+        self.map.lock().expect("cache poisoned").insert(key, state);
+        Ok(state)
+    }
+
+    /// Pre-computes the outcomes for every `(bench, qos)` pair across up to
+    /// `threads` OS threads (scoped, no new dependencies). The per-server
+    /// solves are independent, so this is the simulator's parallel section;
+    /// everything after it is cache replay.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`RunError`] any worker hit (remaining workers
+    /// finish their current solve and stop).
+    pub fn warm(
+        &self,
+        server: &Server,
+        pairs: &[(Benchmark, QosClass)],
+        selector: &(dyn ConfigSelector + Sync),
+        policy: &(dyn MappingPolicy + Sync),
+        t_case_max: Celsius,
+        threads: usize,
+    ) -> Result<(), RunError> {
+        let workers = threads.clamp(1, pairs.len().max(1));
+        let next = AtomicUsize::new(0);
+        let failure: Mutex<Option<RunError>> = Mutex::new(None);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= pairs.len() || failure.lock().expect("poisoned").is_some() {
+                        break;
+                    }
+                    let (bench, qos) = pairs[i];
+                    if let Err(e) =
+                        self.get_or_solve(server, bench, qos, selector, policy, t_case_max)
+                    {
+                        *failure.lock().expect("poisoned") = Some(e);
+                    }
+                });
+            }
+        });
+        match failure.into_inner().expect("poisoned") {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_core::{MinPowerSelector, ProposedMapping, T_CASE_MAX};
+
+    fn server() -> Server {
+        Server::xeon(3.0)
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit() {
+        let cache = OutcomeCache::new();
+        let s = server();
+        let a = cache
+            .get_or_solve(
+                &s,
+                Benchmark::X264,
+                QosClass::TwoX,
+                &MinPowerSelector,
+                &ProposedMapping,
+                T_CASE_MAX,
+            )
+            .unwrap();
+        let b = cache
+            .get_or_solve(
+                &s,
+                Benchmark::X264,
+                QosClass::TwoX,
+                &MinPowerSelector,
+                &ProposedMapping,
+                T_CASE_MAX,
+            )
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(cache.solves(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn warm_is_parallel_and_complete() {
+        let cache = OutcomeCache::new();
+        let s = server();
+        let pairs: Vec<(Benchmark, QosClass)> = [
+            (Benchmark::X264, QosClass::OneX),
+            (Benchmark::X264, QosClass::ThreeX),
+            (Benchmark::Canneal, QosClass::ThreeX),
+            (Benchmark::Swaptions, QosClass::TwoX),
+        ]
+        .to_vec();
+        cache
+            .warm(
+                &s,
+                &pairs,
+                &MinPowerSelector,
+                &ProposedMapping,
+                T_CASE_MAX,
+                4,
+            )
+            .unwrap();
+        assert_eq!(cache.len(), 4);
+        // Replay after warm never solves again.
+        let before = cache.solves();
+        for &(b, q) in &pairs {
+            cache
+                .get_or_solve(&s, b, q, &MinPowerSelector, &ProposedMapping, T_CASE_MAX)
+                .unwrap();
+        }
+        assert_eq!(cache.solves(), before);
+    }
+
+    #[test]
+    fn hot_jobs_demand_colder_water_than_cool_jobs() {
+        // The fleet-level differentiator: a 1× job leaves less case margin
+        // than a 3× job, so it caps the rack water lower.
+        let cache = OutcomeCache::new();
+        let s = server();
+        let hot = cache
+            .get_or_solve(
+                &s,
+                Benchmark::X264,
+                QosClass::OneX,
+                &MinPowerSelector,
+                &ProposedMapping,
+                T_CASE_MAX,
+            )
+            .unwrap();
+        let cool = cache
+            .get_or_solve(
+                &s,
+                Benchmark::Canneal,
+                QosClass::ThreeX,
+                &MinPowerSelector,
+                &ProposedMapping,
+                T_CASE_MAX,
+            )
+            .unwrap();
+        assert!(hot.max_water_temp < cool.max_water_temp);
+        assert!(hot.package_power > cool.package_power);
+    }
+}

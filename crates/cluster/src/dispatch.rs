@@ -1,0 +1,352 @@
+//! Fleet dispatchers: which server gets the next arriving job.
+//!
+//! The rack constraint of Sec. V — all thermosyphons on a rack share one
+//! chiller water temperature — makes placement a fleet-wide energy
+//! decision: one thermally demanding job drags its whole rack's chiller
+//! efficiency down. [`ThermalAwareDispatch`] extends the paper's
+//! minimum-incremental-power idea (Algorithm 1) from configurations to
+//! racks; [`RoundRobin`] and [`CoolestRackFirst`] are the baselines.
+
+use crate::cache::SteadyState;
+use crate::job::Job;
+use tps_cooling::Chiller;
+use tps_units::{Celsius, Seconds, Watts};
+
+/// The demand an arriving job places on the fleet, after per-server
+/// configuration selection.
+#[derive(Debug, Clone, Copy)]
+pub struct JobDemand<'a> {
+    /// The arriving job.
+    pub job: &'a Job,
+    /// Its cached steady-state outcome on one server.
+    pub state: SteadyState,
+    /// Its runtime under the selected configuration.
+    pub runtime: Seconds,
+    /// The queueing slack its QoS class leaves.
+    pub wait_budget: Seconds,
+}
+
+/// The committed load of one rack at dispatch time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RackView {
+    /// Heat of all committed (running or queued) jobs on the rack.
+    pub heat: Watts,
+    /// The warmest supply satisfying every committed job, `None` if idle.
+    pub supply: Option<Celsius>,
+    /// Committed jobs on the rack.
+    pub committed: usize,
+}
+
+/// A read-only snapshot of the fleet as one job arrives.
+#[derive(Debug)]
+pub struct FleetView<'a> {
+    /// The arrival instant.
+    pub now: Seconds,
+    /// Per-rack committed load.
+    pub racks: &'a [RackView],
+    /// Per-server earliest availability (global server index).
+    pub free_at: &'a [Seconds],
+    /// Servers per rack (global index = `rack · servers_per_rack + slot`).
+    pub servers_per_rack: usize,
+    /// The scenario's per-rack chiller model.
+    pub chiller: &'a Chiller,
+}
+
+impl FleetView<'_> {
+    /// The server of `rack` that frees up first (lowest index on ties).
+    pub fn earliest_free_in(&self, rack: usize) -> (usize, Seconds) {
+        let base = rack * self.servers_per_rack;
+        (base..base + self.servers_per_rack)
+            .map(|s| (s, self.free_at[s]))
+            .min_by(|a, b| a.1.value().total_cmp(&b.1.value()))
+            .expect("racks have at least one server")
+    }
+
+    /// The wait a job dispatched to `server` right now would incur.
+    pub fn wait_on(&self, server: usize) -> Seconds {
+        Seconds::new((self.free_at[server].value() - self.now.value()).max(0.0))
+    }
+}
+
+/// A placement strategy for arriving jobs.
+pub trait FleetDispatcher {
+    /// Human-readable dispatcher name (used in report tables).
+    fn name(&self) -> &'static str;
+
+    /// Picks the global server index for `demand` given the fleet state.
+    fn place(&mut self, demand: &JobDemand<'_>, view: &FleetView<'_>) -> usize;
+}
+
+/// Thermally blind striping: job `k` goes to server `k mod N`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl FleetDispatcher for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn place(&mut self, _demand: &JobDemand<'_>, view: &FleetView<'_>) -> usize {
+        let server = self.next % view.free_at.len();
+        self.next += 1;
+        server
+    }
+}
+
+/// Load balancing by rack heat: the job goes to the rack currently
+/// carrying the least committed heat (its earliest-free server). This is
+/// the fleet analogue of temperature-balancing policies like \[9\]: it
+/// equalizes load but, like round-robin, ends up mixing thermally
+/// demanding jobs into every rack.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoolestRackFirst;
+
+impl FleetDispatcher for CoolestRackFirst {
+    fn name(&self) -> &'static str {
+        "coolest-rack-first"
+    }
+
+    fn place(&mut self, _demand: &JobDemand<'_>, view: &FleetView<'_>) -> usize {
+        let rack = view
+            .racks
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.heat.value().total_cmp(&b.1.heat.value()))
+            .map(|(i, _)| i)
+            .expect("fleet has at least one rack");
+        view.earliest_free_in(rack).0
+    }
+}
+
+/// The paper's policy, lifted to the fleet: rank racks by the *marginal
+/// chiller electrical power* of accepting the job — accounting for both
+/// the added heat and the supply-temperature drop the job forces on every
+/// co-hosted watt — and take the cheapest rack whose queue still meets the
+/// job's QoS wait budget.
+///
+/// The effect is thermal segregation: jobs that tolerate warm water gather
+/// on racks that free-cool (or run at high COP), while the few jobs that
+/// need cold supply are concentrated instead of contaminating every rack.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThermalAwareDispatch;
+
+impl ThermalAwareDispatch {
+    /// Chiller electricity the rack pays per unit time if `demand` joins it.
+    fn marginal_power(chiller: &Chiller, rack: &RackView, demand: &JobDemand<'_>) -> f64 {
+        let current = match rack.supply {
+            Some(supply) => chiller.electrical_power(rack.heat, supply),
+            None => Watts::ZERO,
+        };
+        let joint_supply = rack.supply.map_or(demand.state.max_water_temp, |s| {
+            s.min(demand.state.max_water_temp)
+        });
+        let joint = chiller.electrical_power(rack.heat + demand.state.heat, joint_supply);
+        (joint - current).value()
+    }
+}
+
+impl FleetDispatcher for ThermalAwareDispatch {
+    fn name(&self) -> &'static str {
+        "thermal-aware"
+    }
+
+    fn place(&mut self, demand: &JobDemand<'_>, view: &FleetView<'_>) -> usize {
+        let mut ranked: Vec<(f64, f64, usize)> = view
+            .racks
+            .iter()
+            .enumerate()
+            .map(|(i, rack)| {
+                (
+                    Self::marginal_power(view.chiller, rack, demand),
+                    rack.heat.value(),
+                    i,
+                )
+            })
+            .collect();
+        // Cheapest marginal cooling first; lighter rack, then index, on ties.
+        ranked.sort_by(|a, b| {
+            a.0.total_cmp(&b.0)
+                .then(a.1.total_cmp(&b.1))
+                .then(a.2.cmp(&b.2))
+        });
+        // Take the cheapest rack that can still honour the QoS wait budget…
+        for &(_, _, rack) in &ranked {
+            let (server, _) = view.earliest_free_in(rack);
+            if view.wait_on(server) <= demand.wait_budget {
+                return server;
+            }
+        }
+        // …or, if every queue blows the deadline anyway, the server that
+        // frees up soonest fleet-wide (minimize the violation).
+        (0..view.free_at.len())
+            .min_by(|&a, &b| view.free_at[a].value().total_cmp(&view.free_at[b].value()))
+            .expect("fleet has at least one server")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_workload::{Benchmark, QosClass};
+
+    fn demand(job: &Job, heat: f64, max_water: f64, budget: f64) -> JobDemand<'_> {
+        JobDemand {
+            job,
+            state: SteadyState {
+                package_power: Watts::new(heat),
+                heat: Watts::new(heat),
+                max_water_temp: Celsius::new(max_water),
+                normalized_time: 1.0,
+                n_cores: 8,
+                die_max: Celsius::new(70.0),
+            },
+            runtime: Seconds::new(30.0),
+            wait_budget: Seconds::new(budget),
+        }
+    }
+
+    fn job() -> Job {
+        Job {
+            id: 0,
+            bench: Benchmark::X264,
+            qos: QosClass::TwoX,
+            arrival: Seconds::ZERO,
+            service: Seconds::new(30.0),
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let j = job();
+        let racks = vec![
+            RackView {
+                heat: Watts::ZERO,
+                supply: None,
+                committed: 0,
+            };
+            2
+        ];
+        let free = vec![Seconds::ZERO; 4];
+        let chiller = Chiller::default();
+        let view = FleetView {
+            now: Seconds::ZERO,
+            racks: &racks,
+            free_at: &free,
+            servers_per_rack: 2,
+            chiller: &chiller,
+        };
+        let mut rr = RoundRobin::default();
+        let d = demand(&j, 70.0, 64.0, 30.0);
+        let picks: Vec<usize> = (0..5).map(|_| rr.place(&d, &view)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn coolest_rack_first_picks_the_lightest_rack() {
+        let j = job();
+        let racks = vec![
+            RackView {
+                heat: Watts::new(150.0),
+                supply: Some(Celsius::new(70.0)),
+                committed: 2,
+            },
+            RackView {
+                heat: Watts::new(20.0),
+                supply: Some(Celsius::new(75.0)),
+                committed: 1,
+            },
+        ];
+        let free = vec![
+            Seconds::ZERO,
+            Seconds::ZERO,
+            Seconds::new(5.0),
+            Seconds::ZERO,
+        ];
+        let chiller = Chiller::default();
+        let view = FleetView {
+            now: Seconds::ZERO,
+            racks: &racks,
+            free_at: &free,
+            servers_per_rack: 2,
+            chiller: &chiller,
+        };
+        let d = demand(&j, 70.0, 70.0, 30.0);
+        assert_eq!(CoolestRackFirst.place(&d, &view), 3);
+    }
+
+    #[test]
+    fn thermal_aware_segregates_a_cold_demanding_job() {
+        let j = job();
+        // Rack 0 already runs cold water; rack 1 free-cools at 75 °C.
+        let racks = vec![
+            RackView {
+                heat: Watts::new(70.0),
+                supply: Some(Celsius::new(60.0)),
+                committed: 1,
+            },
+            RackView {
+                heat: Watts::new(70.0),
+                supply: Some(Celsius::new(75.0)),
+                committed: 1,
+            },
+        ];
+        let free = vec![Seconds::ZERO; 4];
+        // Heat-reuse loop at 60 °C: supplies below 65 °C pay compressor lift.
+        let chiller = Chiller::new(Celsius::new(60.0));
+        let view = FleetView {
+            now: Seconds::ZERO,
+            racks: &racks,
+            free_at: &free,
+            servers_per_rack: 2,
+            chiller: &chiller,
+        };
+        let mut ta = ThermalAwareDispatch;
+        // A job needing 60 °C water joins the already-cold rack 0…
+        let cold = demand(&j, 70.0, 60.0, 30.0);
+        assert_eq!(view.free_at.len() % 2, 0);
+        let pick = ta.place(&cold, &view);
+        assert!(pick < 2, "cold job went to rack {}", pick / 2);
+        // …while a warm-tolerant job joins the free-cooling rack 1.
+        let warm = demand(&j, 70.0, 76.0, 30.0);
+        let pick = ta.place(&warm, &view);
+        assert!(pick >= 2, "warm job went to rack {}", pick / 2);
+    }
+
+    #[test]
+    fn thermal_aware_respects_the_wait_budget() {
+        let j = job();
+        let racks = vec![
+            RackView {
+                heat: Watts::ZERO,
+                supply: None,
+                committed: 0,
+            },
+            RackView {
+                heat: Watts::ZERO,
+                supply: None,
+                committed: 0,
+            },
+        ];
+        // Rack 0 is thermally ideal but saturated for 100 s; rack 1 is free.
+        let free = vec![
+            Seconds::new(100.0),
+            Seconds::new(100.0),
+            Seconds::ZERO,
+            Seconds::ZERO,
+        ];
+        let chiller = Chiller::default();
+        let view = FleetView {
+            now: Seconds::ZERO,
+            racks: &racks,
+            free_at: &free,
+            servers_per_rack: 2,
+            chiller: &chiller,
+        };
+        let mut ta = ThermalAwareDispatch;
+        let d = demand(&j, 70.0, 64.0, 10.0);
+        let pick = ta.place(&d, &view);
+        assert!(pick >= 2, "budget-violating rack chosen");
+    }
+}

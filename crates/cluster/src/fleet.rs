@@ -1,0 +1,383 @@
+//! The fleet: topology, scenario parameters and the event-driven engine.
+
+use crate::cache::OutcomeCache;
+use crate::dispatch::{FleetDispatcher, FleetView, JobDemand, RackView};
+use crate::job::Job;
+use crate::metrics::{integrate_energy, FleetOutcome, Placement};
+use std::collections::BTreeMap;
+use tps_cooling::Chiller;
+use tps_core::{
+    CoskunBalancing, InletFirstMapping, MappingPolicy, MinPowerSelector, PackedMapping,
+    ProposedMapping, RunError, Server, T_CASE_MAX,
+};
+use tps_power::{CState, CoreFrequency, IdlePowerModel};
+use tps_thermosyphon::OperatingPoint;
+use tps_units::{Celsius, Seconds, Watts};
+
+/// The per-server mapping policy the fleet's servers run (the paper's
+/// proposed policy or one of its baselines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServerPolicy {
+    /// The paper's C-state-aware thermal mapping.
+    #[default]
+    Proposed,
+    /// Temperature balancing \[9\].
+    Coskun,
+    /// Inlet-first \[7\].
+    InletFirst,
+    /// Naive packing.
+    Packed,
+}
+
+static PROPOSED: ProposedMapping = ProposedMapping;
+static COSKUN: CoskunBalancing = CoskunBalancing;
+static INLET: InletFirstMapping = InletFirstMapping;
+static PACKED: PackedMapping = PackedMapping;
+
+impl ServerPolicy {
+    /// The shared policy instance (policies are stateless).
+    pub fn as_policy(self) -> &'static (dyn MappingPolicy + Sync) {
+        match self {
+            ServerPolicy::Proposed => &PROPOSED,
+            ServerPolicy::Coskun => &COSKUN,
+            ServerPolicy::InletFirst => &INLET,
+            ServerPolicy::Packed => &PACKED,
+        }
+    }
+}
+
+/// Scenario parameters of a fleet simulation.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of racks.
+    pub racks: usize,
+    /// Servers per rack (one chiller loop per rack, Sec. V).
+    pub servers_per_rack: usize,
+    /// Thermal-grid pitch of the per-server simulation, in millimetres
+    /// (coarser ⇒ faster cache warm-up).
+    pub grid_pitch_mm: f64,
+    /// The servers' water-side design point.
+    pub op: OperatingPoint,
+    /// The per-rack chiller. The default rejects into a 70 °C
+    /// heat-recovery loop (district-heating supply): racks whose shared
+    /// water stays above `70 °C + approach` exchange heat directly
+    /// (bypass), anything colder pays heat-pump lift to reach the reuse
+    /// temperature.
+    pub chiller: Chiller,
+    /// The case-temperature constraint (`T_CASE_MAX` of the paper).
+    pub t_case_max: Celsius,
+    /// Draw of an idle server (all cores parked, uncore floor).
+    pub idle_server_power: Watts,
+    /// Per-server mapping policy.
+    pub policy: ServerPolicy,
+    /// OS threads for the cache warm-up phase.
+    pub threads: usize,
+}
+
+impl FleetConfig {
+    /// A fleet of `racks × servers_per_rack` paper servers with the
+    /// heat-reuse scenario defaults (2 mm grid, paper operating point,
+    /// 70 °C recovery loop, C6 idle floor, 4 warm-up threads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `racks` or `servers_per_rack` is zero.
+    pub fn new(racks: usize, servers_per_rack: usize) -> Self {
+        assert!(racks > 0, "a fleet needs at least one rack");
+        assert!(servers_per_rack > 0, "a rack needs at least one server");
+        let idle = IdlePowerModel::xeon_e5_v4().package_idle_power(CState::C6, CoreFrequency::F2_6);
+        Self {
+            racks,
+            servers_per_rack,
+            grid_pitch_mm: 2.0,
+            op: OperatingPoint::paper(),
+            chiller: Chiller::new(Celsius::new(70.0)),
+            t_case_max: T_CASE_MAX,
+            idle_server_power: idle,
+            policy: ServerPolicy::default(),
+            threads: 4,
+        }
+    }
+
+    /// Total server count.
+    pub fn total_servers(&self) -> usize {
+        self.racks * self.servers_per_rack
+    }
+}
+
+/// A fleet of identical two-phase-cooled servers, ready to simulate job
+/// streams under different dispatchers.
+///
+/// The per-server thermal model is assembled once (`Server` construction
+/// is expensive) and shared read-only by the warm-up threads.
+#[derive(Debug)]
+pub struct Fleet {
+    config: FleetConfig,
+    server: Server,
+}
+
+impl Fleet {
+    /// Assembles the fleet's server template.
+    pub fn new(config: FleetConfig) -> Self {
+        let server = Server::builder()
+            .grid_pitch_mm(config.grid_pitch_mm)
+            .operating_point(config.op)
+            .build();
+        Self { config, server }
+    }
+
+    /// The scenario parameters.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The per-server template all placements run on.
+    pub fn server(&self) -> &Server {
+        &self.server
+    }
+
+    /// Runs `jobs` through the fleet under `dispatcher`, reusing (and
+    /// extending) `cache` for the per-server physics.
+    ///
+    /// Placement happens at arrival time against the committed fleet state
+    /// (running *and* queued jobs); each server executes its queue FIFO.
+    /// The result is byte-deterministic for a fixed job stream — thread
+    /// count only parallelizes the cache warm-up, whose values are pure
+    /// functions of their key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-server [`RunError`].
+    pub fn simulate(
+        &self,
+        jobs: &[Job],
+        dispatcher: &mut dyn FleetDispatcher,
+        cache: &OutcomeCache,
+    ) -> Result<FleetOutcome, RunError> {
+        let selector = MinPowerSelector;
+        let policy = self.config.policy.as_policy();
+
+        // Parallel phase: solve each distinct (bench, qos) once.
+        let mut pairs: Vec<(tps_workload::Benchmark, tps_workload::QosClass)> =
+            jobs.iter().map(|j| (j.bench, j.qos)).collect();
+        pairs.sort();
+        pairs.dedup();
+        cache.warm(
+            &self.server,
+            &pairs,
+            &selector,
+            policy,
+            self.config.t_case_max,
+            self.config.threads,
+        )?;
+
+        // Sequential event loop: arrivals in time order (id on ties).
+        let mut order: Vec<usize> = (0..jobs.len()).collect();
+        order.sort_by(|&a, &b| {
+            jobs[a]
+                .arrival
+                .value()
+                .total_cmp(&jobs[b].arrival.value())
+                .then(jobs[a].id.cmp(&jobs[b].id))
+        });
+
+        let n_servers = self.config.total_servers();
+        let mut free_at = vec![Seconds::ZERO; n_servers];
+        let mut placements: Vec<Placement> = Vec::with_capacity(jobs.len());
+        let mut committed = CommittedLoad::new(self.config.racks);
+        for &ji in &order {
+            let job = &jobs[ji];
+            let state = cache.get_or_solve(
+                &self.server,
+                job.bench,
+                job.qos,
+                &selector,
+                policy,
+                self.config.t_case_max,
+            )?;
+            let runtime = job.service * state.normalized_time;
+            let demand = JobDemand {
+                job,
+                state,
+                runtime,
+                wait_budget: job.wait_budget(state.normalized_time),
+            };
+            committed.expire_until(job.arrival);
+            let racks = committed.views();
+            let view = FleetView {
+                now: job.arrival,
+                racks: &racks,
+                free_at: &free_at,
+                servers_per_rack: self.config.servers_per_rack,
+                chiller: &self.config.chiller,
+            };
+            let server = dispatcher.place(&demand, &view);
+            assert!(server < n_servers, "dispatcher placed outside the fleet");
+            let start = Seconds::new(job.arrival.value().max(free_at[server].value()));
+            let wait = start - job.arrival;
+            let rack = server / self.config.servers_per_rack;
+            placements.push(Placement {
+                job: job.id,
+                server,
+                rack,
+                start,
+                end: start + runtime,
+                wait,
+                violated: wait.value() > demand.wait_budget.value() + 1e-9,
+                state,
+            });
+            committed.add(rack, &state, start + runtime);
+            free_at[server] = start + runtime;
+        }
+
+        Ok(integrate_energy(
+            dispatcher.name(),
+            placements,
+            &self.config,
+        ))
+    }
+}
+
+/// Incremental per-rack committed load: every placement that has not
+/// finished (running or still queued) counts against its rack until its
+/// end time expires. Keeps dispatch O(racks + log jobs) per arrival
+/// instead of rescanning all placements.
+struct CommittedLoad {
+    heat: Vec<f64>,
+    /// Multiset of tolerable-water keys per rack; `f64::to_bits` is
+    /// monotone for the non-negative temperatures in play and round-trips
+    /// the exact value.
+    water: Vec<BTreeMap<u64, usize>>,
+    count: Vec<usize>,
+    /// `(end_bits, insertion seq) → (rack, heat, water_bits)`.
+    expiry: BTreeMap<(u64, usize), (usize, f64, u64)>,
+    seq: usize,
+}
+
+impl CommittedLoad {
+    fn new(racks: usize) -> Self {
+        Self {
+            heat: vec![0.0; racks],
+            water: vec![BTreeMap::new(); racks],
+            count: vec![0; racks],
+            expiry: BTreeMap::new(),
+            seq: 0,
+        }
+    }
+
+    fn add(&mut self, rack: usize, state: &crate::cache::SteadyState, end: Seconds) {
+        let water_bits = state.max_water_temp.value().to_bits();
+        self.heat[rack] += state.heat.value();
+        self.count[rack] += 1;
+        *self.water[rack].entry(water_bits).or_insert(0) += 1;
+        self.expiry.insert(
+            (end.value().to_bits(), self.seq),
+            (rack, state.heat.value(), water_bits),
+        );
+        self.seq += 1;
+    }
+
+    /// Drops every placement with `end ≤ now` (it covered `[start, end)`).
+    fn expire_until(&mut self, now: Seconds) {
+        while let Some((&key @ (end_bits, _), &(rack, heat, water_bits))) =
+            self.expiry.first_key_value()
+        {
+            if f64::from_bits(end_bits) > now.value() {
+                break;
+            }
+            self.expiry.remove(&key);
+            self.heat[rack] -= heat;
+            self.count[rack] -= 1;
+            if let Some(n) = self.water[rack].get_mut(&water_bits) {
+                *n -= 1;
+                if *n == 0 {
+                    self.water[rack].remove(&water_bits);
+                }
+            }
+            // Pin drained racks back to exact zero: float residue must not
+            // perturb later dispatch comparisons.
+            if self.count[rack] == 0 {
+                self.heat[rack] = 0.0;
+            }
+        }
+    }
+
+    fn views(&self) -> Vec<RackView> {
+        (0..self.heat.len())
+            .map(|r| RackView {
+                heat: Watts::new(self.heat[r].max(0.0)),
+                supply: self.water[r]
+                    .first_key_value()
+                    .map(|(&bits, _)| Celsius::new(f64::from_bits(bits))),
+                committed: self.count[r],
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::RoundRobin;
+    use crate::job::{synthesize_jobs, JobMix};
+    use tps_workload::ConstantDemand;
+
+    #[test]
+    fn fleet_simulation_is_deterministic() {
+        let jobs = synthesize_jobs(24, &ConstantDemand::new(1.0), JobMix::default(), 42);
+        let mut cfg = FleetConfig::new(2, 2);
+        cfg.grid_pitch_mm = 3.0;
+        let fleet = Fleet::new(cfg);
+        let cache = OutcomeCache::new();
+        let a = fleet
+            .simulate(&jobs, &mut RoundRobin::default(), &cache)
+            .unwrap();
+        let b = fleet
+            .simulate(&jobs, &mut RoundRobin::default(), &cache)
+            .unwrap();
+        assert_eq!(a.it_energy, b.it_energy);
+        assert_eq!(a.cooling_energy, b.cooling_energy);
+        assert_eq!(a.violations, b.violations);
+        assert_eq!(a.makespan, b.makespan);
+    }
+
+    #[test]
+    fn every_job_is_placed_exactly_once_fifo_per_server() {
+        let jobs = synthesize_jobs(30, &ConstantDemand::new(0.8), JobMix::default(), 7);
+        let mut cfg = FleetConfig::new(2, 3);
+        cfg.grid_pitch_mm = 3.0;
+        let fleet = Fleet::new(cfg);
+        let cache = OutcomeCache::new();
+        let out = fleet
+            .simulate(&jobs, &mut RoundRobin::default(), &cache)
+            .unwrap();
+        assert_eq!(out.placements.len(), 30);
+        // Per server: non-overlapping, ordered executions.
+        for s in 0..6 {
+            let mut on_server: Vec<_> = out.placements.iter().filter(|p| p.server == s).collect();
+            on_server.sort_by(|a, b| a.start.value().total_cmp(&b.start.value()));
+            for w in on_server.windows(2) {
+                assert!(w[0].end.value() <= w[1].start.value() + 1e-9);
+            }
+        }
+        // Jobs never start before they arrive.
+        for p in &out.placements {
+            let job = jobs.iter().find(|j| j.id == p.job).unwrap();
+            assert!(p.start.value() >= job.arrival.value() - 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_jobs_zero_energy() {
+        let mut cfg = FleetConfig::new(1, 2);
+        cfg.grid_pitch_mm = 3.0;
+        let fleet = Fleet::new(cfg);
+        let cache = OutcomeCache::new();
+        let out = fleet
+            .simulate(&[], &mut RoundRobin::default(), &cache)
+            .unwrap();
+        assert_eq!(out.placements.len(), 0);
+        assert_eq!(out.it_energy.value(), 0.0);
+        assert_eq!(out.cooling_energy.value(), 0.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Fleet-scale simulation: a stream of jobs dispatched across racks of
+//! two-phase-cooled servers.
+//!
+//! The paper optimizes one server; its Sec. V rack constraint — every
+//! thermosyphon on a rack shares one chiller water temperature — is what
+//! makes *placement* a fleet-wide energy decision. This crate drives
+//! `N racks × M servers` of the existing per-server pipeline
+//! (`MinPowerSelector` → mapping policy → coupled thermal/thermosyphon
+//! solve) through a job-arrival trace and accounts IT plus cooling energy
+//! through `tps-cooling`:
+//!
+//! * [`synthesize_jobs`] — reproducible job streams from the
+//!   diurnal/bursty demand generators of `tps-workload`,
+//! * [`OutcomeCache`] — per-server physics memoized by
+//!   `(benchmark, qos, policy, water inlet)` and warmed across OS threads,
+//! * [`FleetDispatcher`] — [`RoundRobin`], [`CoolestRackFirst`] and the
+//!   paper-style [`ThermalAwareDispatch`] that ranks racks by marginal
+//!   chiller power,
+//! * [`Fleet::simulate`] — the event-driven engine: FIFO servers,
+//!   arrival-time placement, piecewise-constant energy integration into a
+//!   [`FleetOutcome`].
+//!
+//! ```
+//! use tps_cluster::{
+//!     synthesize_jobs, Fleet, FleetConfig, JobMix, OutcomeCache, ThermalAwareDispatch,
+//! };
+//! use tps_workload::ConstantDemand;
+//!
+//! // A small fleet on a coarse grid so the doctest stays quick.
+//! let mut config = FleetConfig::new(2, 2);
+//! config.grid_pitch_mm = 3.0;
+//! let fleet = Fleet::new(config);
+//! let jobs = synthesize_jobs(8, &ConstantDemand::new(0.5), JobMix::default(), 42);
+//! let cache = OutcomeCache::new();
+//! let outcome = fleet
+//!     .simulate(&jobs, &mut ThermalAwareDispatch, &cache)
+//!     .expect("paper workloads are feasible");
+//! assert_eq!(outcome.placements.len(), 8);
+//! assert!(outcome.total_energy() > outcome.it_energy);
+//! println!("fleet PUE {:.3}", outcome.pue());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod dispatch;
+mod fleet;
+mod job;
+mod metrics;
+
+pub use cache::{CacheKey, OutcomeCache, SteadyState};
+pub use dispatch::{
+    CoolestRackFirst, FleetDispatcher, FleetView, JobDemand, RackView, RoundRobin,
+    ThermalAwareDispatch,
+};
+pub use fleet::{Fleet, FleetConfig, ServerPolicy};
+pub use job::{synthesize_jobs, Job, JobMix};
+pub use metrics::{FleetOutcome, Placement};

@@ -1,0 +1,312 @@
+//! Aggregate fleet metrics: energy integration over the event timeline.
+
+use crate::cache::SteadyState;
+use crate::fleet::FleetConfig;
+use std::collections::BTreeMap;
+use tps_cooling::pue;
+use tps_units::{Joules, Seconds, Watts};
+
+/// One job's placement and execution window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Placement {
+    /// The job's id.
+    pub job: usize,
+    /// Global server index.
+    pub server: usize,
+    /// Rack index.
+    pub rack: usize,
+    /// Execution start (arrival + queueing).
+    pub start: Seconds,
+    /// Execution end.
+    pub end: Seconds,
+    /// Queueing delay.
+    pub wait: Seconds,
+    /// Whether the wait blew the job's QoS budget.
+    pub violated: bool,
+    /// The cached per-server outcome backing this placement.
+    pub state: SteadyState,
+}
+
+/// The aggregate result of one fleet simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetOutcome {
+    /// The dispatcher that produced this outcome.
+    pub dispatcher: &'static str,
+    /// All placements, in dispatch order.
+    pub placements: Vec<Placement>,
+    /// End of the last execution.
+    pub makespan: Seconds,
+    /// IT energy: active packages plus the idle floor of empty servers.
+    pub it_energy: Joules,
+    /// Chiller electrical energy across all racks.
+    pub cooling_energy: Joules,
+    /// Jobs whose queueing delay blew their QoS budget.
+    pub violations: usize,
+    /// Mean queueing delay.
+    pub mean_wait: Seconds,
+    /// Worst queueing delay.
+    pub max_wait: Seconds,
+    /// Highest instantaneous heat any rack carried.
+    pub peak_rack_heat: Watts,
+}
+
+impl FleetOutcome {
+    /// IT plus cooling energy.
+    pub fn total_energy(&self) -> Joules {
+        self.it_energy + self.cooling_energy
+    }
+
+    /// Energy-based power usage effectiveness over the whole run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run consumed no IT energy (empty job stream).
+    pub fn pue(&self) -> f64 {
+        pue(
+            Watts::new(self.it_energy.value()),
+            Watts::new(self.cooling_energy.value()),
+        )
+    }
+}
+
+/// Integrates fleet power over the piecewise-constant event timeline.
+///
+/// Between consecutive placement starts/ends nothing changes, so each
+/// interval contributes `power × dt`: per rack, the chiller electricity of
+/// the interval's heat at the interval's shared water temperature
+/// (minimum of the co-hosted jobs' tolerable maxima); fleet-wide, the
+/// active packages plus the idle floor of unoccupied servers.
+pub(crate) fn integrate_energy(
+    dispatcher: &'static str,
+    placements: Vec<Placement>,
+    config: &FleetConfig,
+) -> FleetOutcome {
+    // One +/− event per placement boundary, swept in time order so each
+    // window is O(racks) instead of O(placements): removals before
+    // additions at equal times (a placement covers `[start, end)`), then a
+    // fixed (rack, kind) order so float accumulation is deterministic.
+    struct Event {
+        time: f64,
+        add: bool,
+        rack: usize,
+        heat: f64,
+        // Tolerable-water key: `to_bits` is monotone for the non-negative
+        // temperatures in play, and round-trips the exact f64.
+        water_bits: u64,
+        power: f64,
+    }
+    let mut events: Vec<Event> = placements
+        .iter()
+        .filter(|p| p.end.value() > p.start.value())
+        .flat_map(|p| {
+            let make = |time: f64, add: bool| Event {
+                time,
+                add,
+                rack: p.rack,
+                heat: p.state.heat.value(),
+                water_bits: p.state.max_water_temp.value().to_bits(),
+                power: p.state.package_power.value(),
+            };
+            [make(p.start.value(), true), make(p.end.value(), false)]
+        })
+        .collect();
+    events.sort_by(|a, b| {
+        a.time
+            .total_cmp(&b.time)
+            .then(a.add.cmp(&b.add))
+            .then(a.rack.cmp(&b.rack))
+    });
+    let makespan = events.last().map_or(0.0, |e| e.time);
+
+    let mut it = 0.0;
+    let mut cooling = 0.0;
+    let mut peak_rack_heat = 0.0f64;
+    let mut busy = 0usize;
+    let mut active_power = 0.0;
+    let mut rack_heat = vec![0.0f64; config.racks];
+    let mut rack_water: Vec<BTreeMap<u64, usize>> = vec![BTreeMap::new(); config.racks];
+    let mut i = 0;
+    while i < events.len() {
+        let t = events[i].time;
+        while i < events.len() && events[i].time == t {
+            let e = &events[i];
+            if e.add {
+                busy += 1;
+                active_power += e.power;
+                rack_heat[e.rack] += e.heat;
+                *rack_water[e.rack].entry(e.water_bits).or_insert(0) += 1;
+            } else {
+                busy -= 1;
+                active_power -= e.power;
+                rack_heat[e.rack] -= e.heat;
+                if let Some(count) = rack_water[e.rack].get_mut(&e.water_bits) {
+                    *count -= 1;
+                    if *count == 0 {
+                        rack_water[e.rack].remove(&e.water_bits);
+                    }
+                }
+                // Pin drained sums back to exact zero so float residue
+                // never leaks into later windows.
+                if rack_water[e.rack].is_empty() {
+                    rack_heat[e.rack] = 0.0;
+                }
+                if busy == 0 {
+                    active_power = 0.0;
+                }
+            }
+            i += 1;
+        }
+        let Some(next) = events.get(i) else { break };
+        let dt = next.time - t;
+        if dt <= 0.0 {
+            continue;
+        }
+        let idle = (config.total_servers() - busy) as f64 * config.idle_server_power.value();
+        it += (active_power + idle) * dt;
+        for r in 0..config.racks {
+            peak_rack_heat = peak_rack_heat.max(rack_heat[r]);
+            if let Some((&bits, _)) = rack_water[r].first_key_value() {
+                cooling += config
+                    .chiller
+                    .electrical_power(
+                        Watts::new(rack_heat[r].max(0.0)),
+                        tps_units::Celsius::new(f64::from_bits(bits)),
+                    )
+                    .value()
+                    * dt;
+            }
+        }
+    }
+
+    let makespan = Seconds::new(makespan);
+    let n = placements.len();
+    let mean_wait = if n == 0 {
+        Seconds::ZERO
+    } else {
+        placements.iter().map(|p| p.wait).sum::<Seconds>() / n as f64
+    };
+    let max_wait = placements
+        .iter()
+        .map(|p| p.wait)
+        .fold(Seconds::ZERO, Seconds::max);
+    let violations = placements.iter().filter(|p| p.violated).count();
+    FleetOutcome {
+        dispatcher,
+        placements,
+        makespan,
+        it_energy: Joules::new(it),
+        cooling_energy: Joules::new(cooling),
+        violations,
+        mean_wait,
+        max_wait,
+        peak_rack_heat: Watts::new(peak_rack_heat),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::FleetConfig;
+    use tps_units::Celsius;
+
+    fn state(heat: f64, max_water: f64) -> SteadyState {
+        SteadyState {
+            package_power: Watts::new(heat),
+            heat: Watts::new(heat),
+            max_water_temp: Celsius::new(max_water),
+            normalized_time: 1.0,
+            n_cores: 8,
+            die_max: Celsius::new(70.0),
+        }
+    }
+
+    fn placement(server: usize, rack: usize, start: f64, end: f64, s: SteadyState) -> Placement {
+        Placement {
+            job: 0,
+            server,
+            rack,
+            start: Seconds::new(start),
+            end: Seconds::new(end),
+            wait: Seconds::ZERO,
+            violated: false,
+            state: s,
+        }
+    }
+
+    fn tiny_config() -> FleetConfig {
+        let mut cfg = FleetConfig::new(2, 1);
+        cfg.idle_server_power = Watts::ZERO;
+        cfg
+    }
+
+    #[test]
+    fn it_energy_is_power_times_time() {
+        let cfg = tiny_config();
+        let out = integrate_energy(
+            "test",
+            vec![placement(0, 0, 0.0, 10.0, state(50.0, 80.0))],
+            &cfg,
+        );
+        assert!((out.it_energy.value() - 500.0).abs() < 1e-9);
+        assert_eq!(out.makespan, Seconds::new(10.0));
+        assert_eq!(out.peak_rack_heat, Watts::new(50.0));
+    }
+
+    #[test]
+    fn cold_job_contaminates_cohosted_heat() {
+        // Same two jobs; on one rack the cold job forces *all* heat through
+        // the compressor, on separate racks only its own.
+        let cfg = tiny_config(); // chiller: 60 °C heat-reuse loop
+        let cold = state(70.0, 60.0); // below the 65 °C bypass threshold
+        let warm = state(70.0, 80.0); // free-cools
+        let together = integrate_energy(
+            "t",
+            vec![
+                placement(0, 0, 0.0, 10.0, cold),
+                placement(0, 0, 0.0, 10.0, warm),
+            ],
+            &cfg,
+        );
+        let apart = integrate_energy(
+            "t",
+            vec![
+                placement(0, 0, 0.0, 10.0, cold),
+                placement(1, 1, 0.0, 10.0, warm),
+            ],
+            &cfg,
+        );
+        assert!(
+            together.cooling_energy.value() > apart.cooling_energy.value() * 1.3,
+            "together {} vs apart {}",
+            together.cooling_energy,
+            apart.cooling_energy
+        );
+        assert_eq!(together.it_energy, apart.it_energy);
+    }
+
+    #[test]
+    fn idle_floor_counts_toward_it_energy() {
+        let mut cfg = tiny_config();
+        cfg.idle_server_power = Watts::new(10.0);
+        let out = integrate_energy(
+            "t",
+            vec![placement(0, 0, 0.0, 10.0, state(50.0, 80.0))],
+            &cfg,
+        );
+        // One busy server at 50 W + one idle at 10 W over 10 s.
+        assert!((out.it_energy.value() - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn waits_and_violations_aggregate() {
+        let cfg = tiny_config();
+        let mut a = placement(0, 0, 5.0, 10.0, state(50.0, 80.0));
+        a.wait = Seconds::new(5.0);
+        a.violated = true;
+        let b = placement(1, 1, 0.0, 10.0, state(50.0, 80.0));
+        let out = integrate_energy("t", vec![a, b], &cfg);
+        assert_eq!(out.violations, 1);
+        assert_eq!(out.max_wait, Seconds::new(5.0));
+        assert!((out.mean_wait.value() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,100 @@
+//! End-to-end fleet scenarios: the headline energy ordering and the
+//! determinism guarantees the CLI relies on.
+
+use tps_cluster::{
+    synthesize_jobs, CoolestRackFirst, Fleet, FleetConfig, JobMix, OutcomeCache, RoundRobin,
+    ThermalAwareDispatch,
+};
+use tps_units::Seconds;
+use tps_workload::{BurstyDemand, DiurnalDemand};
+
+/// The shipped heat-reuse scenario, scaled down to 4 racks × 4 servers.
+fn heat_reuse_fleet() -> Fleet {
+    let mut config = FleetConfig::new(4, 4);
+    config.grid_pitch_mm = 3.0;
+    Fleet::new(config)
+}
+
+fn diurnal_jobs(count: usize, seed: u64) -> Vec<tps_cluster::Job> {
+    let demand = DiurnalDemand::new(0.18 * 0.2, 0.18, Seconds::new(600.0));
+    synthesize_jobs(count, &demand, JobMix::default(), seed)
+}
+
+#[test]
+fn thermal_aware_beats_round_robin_on_the_heat_reuse_scenario() {
+    let fleet = heat_reuse_fleet();
+    let jobs = diurnal_jobs(120, 42);
+    let cache = OutcomeCache::new();
+    let rr = fleet
+        .simulate(&jobs, &mut RoundRobin::default(), &cache)
+        .unwrap();
+    let coolest = fleet
+        .simulate(&jobs, &mut CoolestRackFirst, &cache)
+        .unwrap();
+    let ta = fleet
+        .simulate(&jobs, &mut ThermalAwareDispatch, &cache)
+        .unwrap();
+
+    // The headline: segregating thermally demanding jobs cuts chiller
+    // energy, and with it total (IT + cooling) energy.
+    assert!(
+        ta.cooling_energy.value() < rr.cooling_energy.value() * 0.95,
+        "thermal-aware cooling {} should undercut round-robin {}",
+        ta.cooling_energy,
+        rr.cooling_energy
+    );
+    assert!(
+        ta.total_energy().value() < rr.total_energy().value(),
+        "thermal-aware total {} should undercut round-robin {}",
+        ta.total_energy(),
+        rr.total_energy()
+    );
+    // Load balancing by heat sits between the two.
+    assert!(ta.total_energy().value() <= coolest.total_energy().value() + 1e-9);
+    // Same jobs, same servers: IT energy only drifts through idle time.
+    let it_ratio = ta.it_energy / rr.it_energy;
+    assert!((0.98..=1.02).contains(&it_ratio), "IT drifted: {it_ratio}");
+    // QoS: the wait-budget-aware dispatcher violates no more than striping.
+    assert!(ta.violations <= rr.violations);
+    // The scenario is meaningfully loaded: PUE above free-cooling floor.
+    assert!(rr.pue() > 1.05, "round-robin PUE {}", rr.pue());
+}
+
+#[test]
+fn outcomes_are_independent_of_warmup_thread_count() {
+    let jobs = diurnal_jobs(40, 7);
+    let mut outcomes = Vec::new();
+    for threads in [1, 8] {
+        let mut config = FleetConfig::new(2, 3);
+        config.grid_pitch_mm = 3.0;
+        config.threads = threads;
+        let fleet = Fleet::new(config);
+        let cache = OutcomeCache::new();
+        outcomes.push(
+            fleet
+                .simulate(&jobs, &mut ThermalAwareDispatch, &cache)
+                .unwrap(),
+        );
+    }
+    // Byte-identical results: thread count only parallelizes the warm-up,
+    // whose values are pure functions of their key.
+    assert_eq!(outcomes[0], outcomes[1]);
+}
+
+#[test]
+fn bursty_demand_runs_end_to_end() {
+    let demand = BurstyDemand::new(0.05, 0.6, Seconds::new(60.0), Seconds::new(240.0), 11);
+    let jobs = synthesize_jobs(60, &demand, JobMix::default(), 11);
+    let mut config = FleetConfig::new(2, 4);
+    config.grid_pitch_mm = 3.0;
+    let fleet = Fleet::new(config);
+    let cache = OutcomeCache::new();
+    let out = fleet
+        .simulate(&jobs, &mut ThermalAwareDispatch, &cache)
+        .unwrap();
+    assert_eq!(out.placements.len(), 60);
+    assert!(out.it_energy.value() > 0.0);
+    assert!(out.makespan.value() > 0.0);
+    // Every placement lands inside the fleet.
+    assert!(out.placements.iter().all(|p| p.rack < 2 && p.server < 8));
+}

@@ -10,6 +10,29 @@
 //!   thermosyphons share one chiller water temperature (Sec. V),
 //! * [`pue`] — power-usage-effectiveness accounting (the paper motivates
 //!   thermosyphons with PUE 1.05 vs 1.48 air-cooled).
+//!
+//! The same building blocks scale up: `tps-cluster` instantiates one
+//! [`Rack`] per fleet rack and one [`Chiller`] per scenario, and integrates
+//! [`Rack::chiller_power`] over an event timeline to get fleet cooling
+//! energy.
+//!
+//! ```
+//! use tps_cooling::{pue, Chiller, Rack, ServerCoolingLoad};
+//! use tps_units::{Celsius, KgPerHour, Watts};
+//!
+//! let rack = Rack::from_loads([ServerCoolingLoad {
+//!     heat: Watts::new(79.0),
+//!     max_water_temp: Celsius::new(64.0),
+//!     flow: KgPerHour::new(7.0),
+//! }]);
+//! // A heat-recovery condenser loop at 60 °C: the chiller must lift the
+//! // rack heat up to the reuse temperature unless the rack tolerates
+//! // warmer water than the loop provides.
+//! let reuse = Chiller::new(Celsius::new(60.0));
+//! let electrical = rack.chiller_power(&reuse);
+//! assert!(electrical > Watts::ZERO);
+//! assert!(pue(Watts::new(79.0), electrical) > 1.0);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,4 +1,24 @@
 //! Rack-level aggregation: one chiller, many thermosyphons.
+//!
+//! ```
+//! use tps_cooling::{Chiller, Rack, ServerCoolingLoad};
+//! use tps_units::{Celsius, KgPerHour, Watts};
+//!
+//! // Two well-mapped servers and one whose mapping demands colder water.
+//! let mut rack = Rack::new();
+//! for max_water in [64.0, 75.0, 77.0] {
+//!     rack.add_server(ServerCoolingLoad {
+//!         heat: Watts::new(70.0),
+//!         max_water_temp: Celsius::new(max_water),
+//!         flow: KgPerHour::new(7.0),
+//!     });
+//! }
+//! // The shared loop must satisfy the worst server…
+//! assert_eq!(rack.shared_water_temperature(), Some(Celsius::new(64.0)));
+//! // …and every watt of the rack is chilled at that supply temperature.
+//! let chiller = Chiller::new(Celsius::new(60.0));
+//! assert!(rack.chiller_power(&chiller) > Watts::ZERO);
+//! ```
 
 use crate::chiller::Chiller;
 use tps_units::{Celsius, KgPerHour, TempDelta, Watts};
@@ -38,9 +58,26 @@ impl Rack {
         self
     }
 
+    /// A rack pre-populated from an iterator of per-server loads.
+    pub fn from_loads<I: IntoIterator<Item = ServerCoolingLoad>>(loads: I) -> Self {
+        Self {
+            servers: loads.into_iter().collect(),
+        }
+    }
+
     /// The servers registered so far.
     pub fn servers(&self) -> &[ServerCoolingLoad] {
         &self.servers
+    }
+
+    /// The number of registered servers.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Whether no server has been registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
     }
 
     /// Total heat into the rack's water loop.

@@ -18,6 +18,10 @@
 //!    lower the frequency if QoS allows, otherwise open the water valve
 //!    (Fig. 4).
 //!
+//! Above the single server, [`plan_rack`] and [`RunOutcome::cooling_load`]
+//! feed rack-level accounting (`tps-cooling`), and the `tps-cluster` crate
+//! drives whole fleets of these servers through job-arrival traces.
+//!
 //! ```no_run
 //! use tps_core::{MinPowerSelector, ProposedMapping, Server};
 //! use tps_workload::{Benchmark, QosClass};

@@ -1,5 +1,28 @@
 //! Rack-level planning: workload-to-server allocation and the shared
 //! chiller loop (Sec. V).
+//!
+//! This module is the bridge between one server's coupled physics and the
+//! rack (and, through `tps-cluster`, the fleet): [`plan_rack`] spreads a
+//! batch of applications over servers, and [`RunOutcome::cooling_load`] /
+//! [`rack_cooling_loads`] convert solved outcomes into the
+//! [`ServerCoolingLoad`]s that `tps-cooling`'s shared-loop accounting
+//! consumes.
+//!
+//! ```no_run
+//! use tps_core::{MinPowerSelector, ProposedMapping, Server, T_CASE_MAX};
+//! use tps_workload::{Benchmark, QosClass};
+//!
+//! let server = Server::xeon(2.0);
+//! let outcome = server.run(
+//!     Benchmark::X264,
+//!     QosClass::TwoX,
+//!     &MinPowerSelector,
+//!     &ProposedMapping,
+//! )?;
+//! let load = outcome.cooling_load(server.simulation().operating_point(), T_CASE_MAX);
+//! assert!(load.max_water_temp > server.simulation().operating_point().water_inlet());
+//! # Ok::<(), tps_core::RunError>(())
+//! ```
 
 use crate::server::RunOutcome;
 use tps_cooling::ServerCoolingLoad;
@@ -52,13 +75,28 @@ pub fn plan_rack(
     plan
 }
 
+impl RunOutcome {
+    /// The cooling demand this outcome places on a shared water loop.
+    ///
+    /// The warmest tolerable water is estimated from the case-temperature
+    /// margin: die/case temperatures shift ≈ 1:1 with the water inlet
+    /// (validated by the coupling tests), so a server running at `T_case`
+    /// with water at `T_w` tolerates `T_w + (t_case_max − T_case)`. A
+    /// negative margin (an overloaded server) therefore yields a tolerable
+    /// temperature *below* the loop's design inlet — the signal the fleet
+    /// dispatchers in `tps-cluster` react to.
+    pub fn cooling_load(&self, op: OperatingPoint, t_case_max: Celsius) -> ServerCoolingLoad {
+        let margin: TempDelta = t_case_max - self.solution.t_case;
+        ServerCoolingLoad {
+            heat: self.solution.q_total,
+            max_water_temp: op.water_inlet() + margin,
+            flow: op.water_flow(),
+        }
+    }
+}
+
 /// Converts per-server run outcomes into the cooling loads of the shared
-/// rack loop.
-///
-/// The warmest tolerable water per server is estimated from the case-
-/// temperature margin: die/case temperatures shift ≈ 1:1 with the water
-/// inlet (validated by the coupling tests), so a server running at
-/// `T_case` with water at `T_w` tolerates `T_w + (T_CASE_MAX − T_case)`.
+/// rack loop (see [`RunOutcome::cooling_load`] for the margin model).
 pub fn rack_cooling_loads(
     outcomes: &[&RunOutcome],
     op: OperatingPoint,
@@ -66,14 +104,7 @@ pub fn rack_cooling_loads(
 ) -> Vec<ServerCoolingLoad> {
     outcomes
         .iter()
-        .map(|o| {
-            let margin: TempDelta = t_case_max - o.solution.t_case;
-            ServerCoolingLoad {
-                heat: o.solution.q_total,
-                max_water_temp: op.water_inlet() + margin,
-                flow: op.water_flow(),
-            }
-        })
+        .map(|o| o.cooling_load(op, t_case_max))
         .collect()
 }
 

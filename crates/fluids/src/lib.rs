@@ -15,7 +15,7 @@
 //! Property fits are anchored to tabulated data at 0–50 °C (the operating
 //! envelope of a 20–35 °C water loop) and documented per method; they are
 //! deliberately low-order — the goal is faithful *shape*, not REFPROP
-//! accuracy (DESIGN.md §4).
+//! accuracy (ARCHITECTURE.md §4).
 //!
 //! ```
 //! use tps_fluids::Refrigerant;

@@ -53,7 +53,7 @@ impl Material {
 
     /// Thermal grease at the die ↔ spreader interface (TIM1). The value is
     /// calibrated so the full-load die-to-case temperature drop matches the
-    /// paper's reported hot spots (DESIGN.md §7).
+    /// paper's reported hot spots (ARCHITECTURE.md §7).
     pub fn tim_grease() -> Self {
         Self::new(
             "tim-grease",

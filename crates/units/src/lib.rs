@@ -46,6 +46,6 @@ pub use heat::{
     HeatFlux, HeatTransferCoeff, JoulesPerKg, SpecificHeat, ThermalConductivity, WattsPerKelvin,
 };
 pub use matter::{Density, DynamicViscosity, Kilograms, Pascals};
-pub use power::{Volts, Watts};
+pub use power::{Joules, Volts, Watts};
 pub use temperature::{Celsius, Kelvin, TempDelta};
 pub use time::Seconds;

@@ -2,6 +2,7 @@
 
 use crate::geometry::SquareMeters;
 use crate::heat::HeatFlux;
+use crate::time::Seconds;
 
 quantity! {
     /// A power in watts.
@@ -19,6 +20,58 @@ quantity! {
 quantity! {
     /// An electrical potential in volts (DVFS operating points).
     Volts, "V"
+}
+
+quantity! {
+    /// An energy in joules.
+    ///
+    /// Integrated IT and cooling energy in the fleet simulator: a constant
+    /// power held over a duration.
+    ///
+    /// ```
+    /// use tps_units::{Joules, Seconds, Watts};
+    /// let e: Joules = Watts::new(500.0) * Seconds::new(7200.0);
+    /// assert_eq!(e.to_kwh(), 1.0);
+    /// ```
+    Joules, "J"
+}
+
+impl Joules {
+    /// Returns the energy in kilowatt-hours.
+    #[inline]
+    pub fn to_kwh(self) -> f64 {
+        self.value() / 3.6e6
+    }
+
+    /// Returns the energy in watt-hours.
+    #[inline]
+    pub fn to_wh(self) -> f64 {
+        self.value() / 3.6e3
+    }
+}
+
+impl core::ops::Mul<Seconds> for Watts {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules::new(self.value() * rhs.value())
+    }
+}
+
+impl core::ops::Mul<Watts> for Seconds {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Watts) -> Joules {
+        Joules::new(self.value() * rhs.value())
+    }
+}
+
+impl core::ops::Div<Seconds> for Joules {
+    type Output = Watts;
+    #[inline]
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts::new(self.value() / rhs.value())
+    }
 }
 
 impl Watts {
@@ -58,5 +111,14 @@ mod tests {
     #[test]
     fn milliwatts() {
         assert_eq!(Watts::from_mw(1500.0), Watts::new(1.5));
+    }
+
+    #[test]
+    fn energy_round_trip() {
+        let e = Watts::new(100.0) * Seconds::new(36.0);
+        assert_eq!(e, Joules::new(3600.0));
+        assert_eq!(e, Seconds::new(36.0) * Watts::new(100.0));
+        assert_eq!(e.to_wh(), 1.0);
+        assert_eq!(e / Seconds::new(36.0), Watts::new(100.0));
     }
 }

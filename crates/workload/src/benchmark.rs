@@ -62,7 +62,7 @@ impl Benchmark {
 
     /// The benchmark's performance/power profile.
     ///
-    /// Parameter values are our calibration (DESIGN.md §2): they reproduce
+    /// Parameter values are our calibration (ARCHITECTURE.md §2): they reproduce
     /// the qualitative Fig. 3 spread — embarrassingly parallel kernels
     /// (`swaptions`, `blackscholes`) scale with cores and frequency, while
     /// memory-bound ones (`canneal`, `streamcluster`, `dedup`) saturate.

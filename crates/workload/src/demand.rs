@@ -1,0 +1,328 @@
+//! Fleet-level demand generators: time-varying job-arrival intensity.
+//!
+//! The fleet simulator (`tps-cluster`) dispatches a *stream* of jobs, and
+//! where the energy is won or lost depends on how that stream varies over
+//! time: data-center load follows day/night cycles and exhibits short
+//! correlated bursts. A [`DemandModel`] maps simulation time to an arrival
+//! *rate* (jobs per second); [`synthesize_arrivals`] turns a model into a
+//! concrete, reproducible arrival sequence by Poisson thinning.
+//!
+//! ```
+//! use tps_units::Seconds;
+//! use tps_workload::{synthesize_arrivals, DemandModel, DiurnalDemand};
+//!
+//! let day = DiurnalDemand::new(0.2, 1.0, Seconds::new(86_400.0));
+//! assert!(day.rate_at(Seconds::new(43_200.0)) > day.rate_at(Seconds::ZERO));
+//! let arrivals = synthesize_arrivals(&day, 100, 42);
+//! assert_eq!(arrivals.len(), 100);
+//! assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tps_units::Seconds;
+
+/// A time-varying job-arrival intensity (jobs per second).
+pub trait DemandModel {
+    /// The instantaneous arrival rate at time `t`, in jobs per second.
+    fn rate_at(&self, t: Seconds) -> f64;
+
+    /// A tight upper bound on [`rate_at`](Self::rate_at) over all `t`,
+    /// used as the majorizing rate for Poisson thinning.
+    fn peak_rate(&self) -> f64;
+}
+
+/// A flat arrival rate: the homogeneous-Poisson baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantDemand {
+    rate: f64,
+}
+
+impl ConstantDemand {
+    /// A constant demand of `rate` jobs per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate` is positive and finite.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+        Self { rate }
+    }
+}
+
+impl DemandModel for ConstantDemand {
+    fn rate_at(&self, _t: Seconds) -> f64 {
+        self.rate
+    }
+
+    fn peak_rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+/// A day/night cycle: a raised-cosine oscillation between a trough rate at
+/// `t = 0` and a peak rate half a period later.
+///
+/// `rate(t) = base + (peak − base) · (1 − cos(2πt/period)) / 2`
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalDemand {
+    base: f64,
+    peak: f64,
+    period: Seconds,
+}
+
+impl DiurnalDemand {
+    /// A diurnal demand oscillating in `[base, peak]` with the given period.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ base ≤ peak`, `peak > 0` and the period is
+    /// positive.
+    pub fn new(base: f64, peak: f64, period: Seconds) -> Self {
+        assert!(
+            (0.0..=peak).contains(&base) && peak > 0.0 && peak.is_finite(),
+            "need 0 <= base <= peak and a positive finite peak"
+        );
+        assert!(period.value() > 0.0, "period must be positive");
+        Self { base, peak, period }
+    }
+
+    /// The oscillation period.
+    pub fn period(&self) -> Seconds {
+        self.period
+    }
+}
+
+impl DemandModel for DiurnalDemand {
+    fn rate_at(&self, t: Seconds) -> f64 {
+        let phase = core::f64::consts::TAU * t.value() / self.period.value();
+        self.base + (self.peak - self.base) * 0.5 * (1.0 - phase.cos())
+    }
+
+    fn peak_rate(&self) -> f64 {
+        self.peak
+    }
+}
+
+/// Correlated load spikes over a quiet background: each *slot* of length
+/// `mean_gap + burst_duration` contains exactly one burst window at a
+/// seed-determined offset, during which the rate jumps from `base` to
+/// `burst`.
+///
+/// The burst placement is a pure function of `(seed, slot index)`, so the
+/// model needs no horizon and two instances with the same parameters agree
+/// everywhere.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstyDemand {
+    base: f64,
+    burst: f64,
+    burst_duration: Seconds,
+    mean_gap: Seconds,
+    seed: u64,
+}
+
+impl BurstyDemand {
+    /// A bursty demand: background `base`, spike `burst`, one spike of
+    /// `burst_duration` per `mean_gap + burst_duration` of simulated time.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ base ≤ burst`, `burst > 0` and both durations are
+    /// positive.
+    pub fn new(
+        base: f64,
+        burst: f64,
+        burst_duration: Seconds,
+        mean_gap: Seconds,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            (0.0..=burst).contains(&base) && burst > 0.0 && burst.is_finite(),
+            "need 0 <= base <= burst and a positive finite burst rate"
+        );
+        assert!(
+            burst_duration.value() > 0.0 && mean_gap.value() > 0.0,
+            "burst duration and mean gap must be positive"
+        );
+        Self {
+            base,
+            burst,
+            burst_duration,
+            mean_gap,
+            seed,
+        }
+    }
+
+    /// The burst window inside slot `i`, as `(start, end)` in absolute time.
+    fn burst_window(&self, slot: i64) -> (f64, f64) {
+        let slot_len = self.mean_gap.value() + self.burst_duration.value();
+        // SplitMix64 finalizer: a high-quality 64-bit mix of (seed, slot).
+        let mut z = self
+            .seed
+            .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(slot as u64 + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let u = (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let start = slot as f64 * slot_len + u * self.mean_gap.value();
+        (start, start + self.burst_duration.value())
+    }
+}
+
+impl DemandModel for BurstyDemand {
+    fn rate_at(&self, t: Seconds) -> f64 {
+        let slot_len = self.mean_gap.value() + self.burst_duration.value();
+        let slot = (t.value() / slot_len).floor() as i64;
+        // A burst can straddle a slot boundary only forwards, so the window
+        // of the current slot is the only candidate containing `t`.
+        let (start, end) = self.burst_window(slot);
+        if (start..end).contains(&t.value()) {
+            self.burst
+        } else {
+            self.base
+        }
+    }
+
+    fn peak_rate(&self) -> f64 {
+        self.burst
+    }
+}
+
+/// Samples `count` arrival times from a demand model, deterministically
+/// from `seed`, by thinning a homogeneous Poisson process at the model's
+/// peak rate.
+///
+/// The returned times are non-decreasing and start at the model's time
+/// origin (`t = 0`).
+///
+/// # Panics
+///
+/// Panics if the model's peak rate is not positive and finite.
+pub fn synthesize_arrivals<D: DemandModel>(demand: &D, count: usize, seed: u64) -> Vec<Seconds> {
+    let peak = demand.peak_rate();
+    assert!(
+        peak > 0.0 && peak.is_finite(),
+        "peak rate must be positive and finite"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut arrivals = Vec::with_capacity(count);
+    let mut t = 0.0;
+    while arrivals.len() < count {
+        // Exponential inter-arrival at the majorizing rate…
+        let u: f64 = rng.gen_range(0.0..1.0);
+        t += -(1.0 - u).ln() / peak;
+        // …thinned down to the instantaneous rate.
+        let accept: f64 = rng.gen_range(0.0..1.0);
+        if accept * peak < demand.rate_at(Seconds::new(t)) {
+            arrivals.push(Seconds::new(t));
+        }
+    }
+    arrivals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_demand_is_flat() {
+        let d = ConstantDemand::new(0.5);
+        assert_eq!(d.rate_at(Seconds::ZERO), 0.5);
+        assert_eq!(d.rate_at(Seconds::new(1e6)), 0.5);
+        assert_eq!(d.peak_rate(), 0.5);
+    }
+
+    #[test]
+    fn diurnal_rate_is_periodic_and_bounded() {
+        let d = DiurnalDemand::new(0.1, 1.0, Seconds::new(600.0));
+        for i in 0..200 {
+            let t = Seconds::new(f64::from(i) * 7.3);
+            let r = d.rate_at(t);
+            assert!((0.1..=1.0).contains(&r), "rate {r} escaped [base, peak]");
+            let shifted = d.rate_at(t + d.period());
+            assert!(
+                (r - shifted).abs() < 1e-9,
+                "period broken: {r} vs {shifted}"
+            );
+        }
+        // Trough at t = 0, peak half a period later.
+        assert!((d.rate_at(Seconds::ZERO) - 0.1).abs() < 1e-12);
+        assert!((d.rate_at(Seconds::new(300.0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bursty_rate_is_two_valued_and_bounded() {
+        let d = BurstyDemand::new(0.2, 2.0, Seconds::new(10.0), Seconds::new(50.0), 9);
+        let mut burst_samples = 0;
+        let n = 6_000;
+        for i in 0..n {
+            let r = d.rate_at(Seconds::new(f64::from(i) * 0.1));
+            assert!(r == 0.2 || r == 2.0, "rate {r} is neither base nor burst");
+            if r == 2.0 {
+                burst_samples += 1;
+            }
+        }
+        // One 10 s burst per 60 s slot ⇒ ≈ 1/6 of samples hot.
+        let frac = f64::from(burst_samples) / f64::from(n);
+        assert!((0.08..=0.25).contains(&frac), "burst fraction {frac}");
+    }
+
+    #[test]
+    fn bursty_windows_stay_inside_their_slot() {
+        let d = BurstyDemand::new(0.0, 1.0, Seconds::new(5.0), Seconds::new(20.0), 3);
+        for slot in 0..50i64 {
+            let (start, end) = d.burst_window(slot);
+            let slot_start = slot as f64 * 25.0;
+            assert!(start >= slot_start && end <= slot_start + 25.0);
+            assert!((end - start - 5.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn arrivals_are_deterministic_sorted_and_counted() {
+        let d = DiurnalDemand::new(0.2, 1.0, Seconds::new(300.0));
+        let a = synthesize_arrivals(&d, 250, 7);
+        let b = synthesize_arrivals(&d, 250, 7);
+        let c = synthesize_arrivals(&d, 250, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 250);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        assert!(a[0].value() >= 0.0);
+    }
+
+    #[test]
+    fn constant_arrivals_match_the_rate() {
+        let d = ConstantDemand::new(2.0);
+        let a = synthesize_arrivals(&d, 2_000, 11);
+        let span = a.last().unwrap().value();
+        let mean_gap = span / 2_000.0;
+        assert!((mean_gap - 0.5).abs() < 0.05, "mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn diurnal_arrivals_cluster_around_the_peak() {
+        let period = 1_000.0;
+        let d = DiurnalDemand::new(0.05, 1.0, Seconds::new(period));
+        let a = synthesize_arrivals(&d, 800, 5);
+        // Fold into phase, split into peak half [P/4, 3P/4) vs trough half.
+        let peak_half = a
+            .iter()
+            .filter(|t| {
+                let phase = t.value().rem_euclid(period);
+                (period / 4.0..3.0 * period / 4.0).contains(&phase)
+            })
+            .count();
+        assert!(
+            peak_half > a.len() * 2 / 3,
+            "only {peak_half}/{} arrivals in the peak half-period",
+            a.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let _ = ConstantDemand::new(0.0);
+    }
+}

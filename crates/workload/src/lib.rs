@@ -29,6 +29,7 @@
 
 mod benchmark;
 mod config;
+mod demand;
 mod exec;
 mod profiler;
 mod qos;
@@ -36,6 +37,7 @@ mod trace;
 
 pub use benchmark::Benchmark;
 pub use config::{ConfigError, WorkloadConfig};
+pub use demand::{synthesize_arrivals, BurstyDemand, ConstantDemand, DemandModel, DiurnalDemand};
 pub use exec::BenchProfile;
 pub use profiler::{profile_application, profile_config, ConfigProfile};
 pub use qos::QosClass;

@@ -136,6 +136,48 @@ mod tests {
     }
 
     #[test]
+    fn zero_total_yields_an_empty_trace() {
+        let t = WorkloadTrace::synthesize(Benchmark::X264, Seconds::ZERO, 1);
+        assert!(t.phases().is_empty());
+        assert_eq!(t.duration(), Seconds::ZERO);
+        // Degenerate lookups still answer something sane.
+        assert_eq!(t.average_power_scale(), 1.0);
+        assert_eq!(t.power_scale_at(Seconds::new(5.0)), 1.0);
+    }
+
+    #[test]
+    fn tiny_total_yields_exactly_one_phase() {
+        // The shortest possible phase is mean_phase_s × 0.5 ≥ 0.25 s, so a
+        // 0.1 s request must be clipped into a single phase of that length.
+        for b in [Benchmark::Swaptions, Benchmark::Canneal] {
+            let t = WorkloadTrace::synthesize(b, Seconds::new(0.1), 2);
+            assert_eq!(t.phases().len(), 1, "{b}");
+            assert!((t.duration().value() - 0.1).abs() < 1e-12, "{b}");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_benchmark_regardless_of_call_order() {
+        // The generator must not leak state between calls: interleaving
+        // other syntheses cannot perturb a (bench, total, seed) triple.
+        let first = WorkloadTrace::synthesize(Benchmark::Vips, Seconds::new(15.0), 9);
+        let _noise = WorkloadTrace::synthesize(Benchmark::Dedup, Seconds::new(40.0), 1);
+        let second = WorkloadTrace::synthesize(Benchmark::Vips, Seconds::new(15.0), 9);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn seeds_differentiate_but_durations_agree_across_benchmarks() {
+        // Same seed, different benchmark ⇒ different phase structure but the
+        // same total duration contract.
+        let a = WorkloadTrace::synthesize(Benchmark::Blackscholes, Seconds::new(25.0), 6);
+        let b = WorkloadTrace::synthesize(Benchmark::Streamcluster, Seconds::new(25.0), 6);
+        assert_ne!(a.phases(), b.phases());
+        assert!((a.duration().value() - 25.0).abs() < 1e-9);
+        assert!((b.duration().value() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn power_scale_lookup() {
         let t = WorkloadTrace::synthesize(Benchmark::Ferret, Seconds::new(10.0), 5);
         let first = t.phases()[0];

@@ -16,6 +16,7 @@
 //! | [`thermosyphon`] | `tps-thermosyphon` | evaporator, condenser, loop, coupling |
 //! | [`cooling`] | `tps-cooling` | Eq. 1, chiller COP, racks, PUE |
 //! | [`core`] | `tps-core` | Algorithm 1, mapping policies, server/rack drivers |
+//! | [`cluster`] | `tps-cluster` | fleet simulator: job streams, dispatchers, energy accounting |
 //!
 //! # Quickstart
 //!
@@ -39,12 +40,13 @@
 //!
 //! See `examples/` for end-to-end scenarios and `crates/bench/src/bin/` for
 //! the binaries regenerating every table and figure of the paper
-//! (DESIGN.md carries the index; EXPERIMENTS.md the paper-vs-measured
-//! numbers).
+//! (ARCHITECTURE.md carries the artifact index and calibration notes;
+//! each binary prints its paper-vs-measured numbers).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use tps_cluster as cluster;
 pub use tps_cooling as cooling;
 pub use tps_core as core;
 pub use tps_floorplan as floorplan;

@@ -4,22 +4,32 @@
 //! ```text
 //! tps run <benchmark> [--qos=1x|2x|3x] [--policy=NAME] [--selector=NAME] [--pitch=MM]
 //! tps profile <benchmark>
+//! tps fleet [--servers N] [--racks N] [--jobs N] [--seed N] [--rate R] [--demand KIND]
 //! tps list
 //! ```
 
 use std::process::ExitCode;
+use tps::cluster::{
+    synthesize_jobs, CoolestRackFirst, Fleet, FleetConfig, FleetDispatcher, FleetOutcome, Job,
+    JobMix, OutcomeCache, RoundRobin, ServerPolicy, ThermalAwareDispatch,
+};
+use tps::cooling::Chiller;
 use tps::core::{
     ConfigSelector, CoskunBalancing, InletFirstMapping, MappingPolicy, MinPowerSelector,
     PackAndCapSelector, PackedMapping, ProposedMapping, Server,
 };
 use tps::power::CState;
-use tps::workload::{profile_application, Benchmark, QosClass};
+use tps::units::{Celsius, Seconds};
+use tps::workload::{
+    profile_application, Benchmark, BurstyDemand, ConstantDemand, DiurnalDemand, QosClass,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
+        Some("fleet") => cmd_fleet(&args[1..]),
         Some("list") => cmd_list(),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
@@ -40,8 +50,11 @@ fn print_usage() {
          tps run <benchmark> [--qos=1x|2x|3x] [--policy=proposed|coskun|inlet|packed]\n  \
          {:14}[--selector=minpower|packcap] [--pitch=<mm>]\n  \
          tps profile <benchmark>   print the 48-point P/Q configuration table\n  \
+         tps fleet [--servers N] [--racks N] [--jobs N] [--seed N] [--rate JOBS/S]\n  \
+         {:14}[--demand constant|diurnal|bursty] [--dispatcher all|rr|coolest|thermal]\n  \
+         {:14}[--policy NAME] [--ambient C] [--pitch MM] [--threads N]\n  \
          tps list                  list benchmarks, policies and selectors\n",
-        ""
+        "", "", ""
     );
 }
 
@@ -166,5 +179,235 @@ fn cmd_list() -> ExitCode {
     println!("\npolicies:   proposed (paper), coskun [9], inlet [7], packed (scenario 3)");
     println!("selectors:  minpower (Algorithm 1), packcap [27]");
     println!("qos:        1x, 2x, 3x");
+    println!("dispatchers (tps fleet): rr (round-robin), coolest (coolest-rack-first), thermal");
+    println!("demand models (tps fleet): constant, diurnal, bursty");
+    ExitCode::SUCCESS
+}
+
+/// Parsed `tps fleet` arguments.
+struct FleetArgs {
+    servers: usize,
+    racks: Option<usize>,
+    jobs: usize,
+    seed: u64,
+    rate: f64,
+    demand: String,
+    dispatcher: String,
+    policy: ServerPolicy,
+    ambient: f64,
+    pitch: f64,
+    threads: usize,
+}
+
+/// Accepts both `--flag=value` and `--flag value` spellings.
+fn parse_fleet_args(args: &[String]) -> Result<FleetArgs, String> {
+    let mut out = FleetArgs {
+        servers: 16,
+        racks: None,
+        jobs: 200,
+        seed: 42,
+        rate: 0.7,
+        demand: "diurnal".to_owned(),
+        dispatcher: "all".to_owned(),
+        policy: ServerPolicy::Proposed,
+        ambient: 70.0,
+        pitch: 2.0,
+        threads: std::thread::available_parallelism().map_or(4, |n| n.get().min(8)),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let (flag, value) = match args[i].split_once('=') {
+            Some((f, v)) => (f.to_owned(), v.to_owned()),
+            None => {
+                let f = args[i].clone();
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or_else(|| format!("flag `{f}` is missing its value"))?;
+                (f, v.clone())
+            }
+        };
+        i += 1;
+        let flag = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("unexpected argument `{flag}`"))?;
+        let bad = |e: &dyn std::fmt::Display| format!("invalid --{flag} value: {e}");
+        match flag {
+            "servers" => out.servers = value.parse().map_err(|e| bad(&e))?,
+            "racks" => out.racks = Some(value.parse().map_err(|e| bad(&e))?),
+            "jobs" => out.jobs = value.parse().map_err(|e| bad(&e))?,
+            "seed" => out.seed = value.parse().map_err(|e| bad(&e))?,
+            "rate" => out.rate = value.parse().map_err(|e| bad(&e))?,
+            "demand" => out.demand = value,
+            "dispatcher" => out.dispatcher = value,
+            "ambient" => out.ambient = value.parse().map_err(|e| bad(&e))?,
+            "pitch" => out.pitch = value.parse().map_err(|e| bad(&e))?,
+            "threads" => out.threads = value.parse().map_err(|e| bad(&e))?,
+            "policy" => {
+                out.policy = match value.as_str() {
+                    "proposed" => ServerPolicy::Proposed,
+                    "coskun" => ServerPolicy::Coskun,
+                    "inlet" => ServerPolicy::InletFirst,
+                    "packed" => ServerPolicy::Packed,
+                    other => return Err(format!("unknown policy `{other}`")),
+                }
+            }
+            other => return Err(format!("unknown flag `--{other}`")),
+        }
+    }
+    if out.servers == 0
+        || out.jobs == 0
+        || out.racks == Some(0)
+        || out.rate <= 0.0
+        || out.pitch <= 0.0
+        || out.threads == 0
+    {
+        return Err(
+            "--servers, --racks, --jobs, --rate, --pitch and --threads must be positive".to_owned(),
+        );
+    }
+    Ok(out)
+}
+
+fn synthesize_fleet_jobs(a: &FleetArgs) -> Result<Vec<Job>, String> {
+    let mix = JobMix::default();
+    match a.demand.as_str() {
+        "constant" => Ok(synthesize_jobs(
+            a.jobs,
+            &ConstantDemand::new(a.rate),
+            mix,
+            a.seed,
+        )),
+        "diurnal" => Ok(synthesize_jobs(
+            a.jobs,
+            &DiurnalDemand::new(a.rate * 0.2, a.rate, Seconds::new(600.0)),
+            mix,
+            a.seed,
+        )),
+        "bursty" => Ok(synthesize_jobs(
+            a.jobs,
+            &BurstyDemand::new(
+                a.rate * 0.2,
+                a.rate,
+                Seconds::new(60.0),
+                Seconds::new(240.0),
+                a.seed,
+            ),
+            mix,
+            a.seed,
+        )),
+        other => Err(format!("unknown demand model `{other}`")),
+    }
+}
+
+fn cmd_fleet(args: &[String]) -> ExitCode {
+    let a = match parse_fleet_args(args) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let racks = a.racks.unwrap_or(match a.servers {
+        0..=1 => 1,
+        2..=15 => 2,
+        n => n / 8,
+    });
+    let servers_per_rack = a.servers.div_ceil(racks);
+    if racks * servers_per_rack != a.servers {
+        println!(
+            "note: rounding {} servers up to {} ({racks} racks × {servers_per_rack}) so every rack is full",
+            a.servers,
+            racks * servers_per_rack
+        );
+    }
+    let jobs = match synthesize_fleet_jobs(&a) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut dispatchers: Vec<Box<dyn FleetDispatcher>> = Vec::new();
+    match a.dispatcher.as_str() {
+        "all" => {
+            dispatchers.push(Box::new(RoundRobin::default()));
+            dispatchers.push(Box::new(CoolestRackFirst));
+            dispatchers.push(Box::new(ThermalAwareDispatch));
+        }
+        "rr" => dispatchers.push(Box::new(RoundRobin::default())),
+        "coolest" => dispatchers.push(Box::new(CoolestRackFirst)),
+        "thermal" => dispatchers.push(Box::new(ThermalAwareDispatch)),
+        other => {
+            eprintln!("error: unknown dispatcher `{other}` (use all, rr, coolest or thermal)");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut config = FleetConfig::new(racks, servers_per_rack);
+    config.grid_pitch_mm = a.pitch;
+    config.chiller = Chiller::new(Celsius::new(a.ambient));
+    config.policy = a.policy;
+    config.threads = a.threads;
+    let fleet = Fleet::new(config);
+
+    println!(
+        "fleet: {racks} racks × {servers_per_rack} servers, {} jobs ({} demand, rate {} jobs/s, seed {})",
+        jobs.len(),
+        a.demand,
+        a.rate,
+        a.seed
+    );
+    println!(
+        "scenario: heat-recovery loop at {:.1} °C, water inlet {:.1}, {:.1} mm grid, {} warm-up threads\n",
+        a.ambient,
+        fleet.config().op.water_inlet(),
+        a.pitch,
+        a.threads
+    );
+
+    let cache = OutcomeCache::new();
+    let mut outcomes: Vec<FleetOutcome> = Vec::new();
+    println!(
+        "{:<20} {:>9} {:>9} {:>9} {:>7} {:>6} {:>9} {:>9}",
+        "dispatcher", "IT kWh", "cool kWh", "tot kWh", "PUE", "viol", "wait s", "span s"
+    );
+    for mut d in dispatchers {
+        match fleet.simulate(&jobs, d.as_mut(), &cache) {
+            Ok(out) => {
+                println!(
+                    "{:<20} {:>9.3} {:>9.3} {:>9.3} {:>7.3} {:>6} {:>9.1} {:>9.1}",
+                    out.dispatcher,
+                    out.it_energy.to_kwh(),
+                    out.cooling_energy.to_kwh(),
+                    out.total_energy().to_kwh(),
+                    out.pue(),
+                    out.violations,
+                    out.mean_wait.value(),
+                    out.makespan.value()
+                );
+                outcomes.push(out);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!(
+        "\nserver-physics cache: {} distinct solves, {} replays",
+        cache.solves(),
+        cache.hits()
+    );
+    let find = |name: &str| outcomes.iter().find(|o| o.dispatcher == name);
+    if let (Some(rr), Some(ta)) = (find("round-robin"), find("thermal-aware")) {
+        let saved = 1.0 - ta.total_energy() / rr.total_energy();
+        println!(
+            "thermal-aware vs round-robin: {:+.1} % total energy ({:+.1} % cooling)",
+            -100.0 * saved,
+            -100.0 * (1.0 - ta.cooling_energy / rr.cooling_energy)
+        );
+    }
     ExitCode::SUCCESS
 }
