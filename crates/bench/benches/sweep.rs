@@ -1,0 +1,101 @@
+//! Criterion: scenario front-end costs — spec parsing, cartesian
+//! expansion, and grid execution on a warm physics cache.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tps_cluster::{Fleet, OutcomeCache};
+use tps_scenario::Sweep;
+
+/// A coarse-grid spec whose two axes expand to a 50-point grid; only the
+/// expansion is exercised at this size.
+const GRID_50: &str = "
+    [fleet]
+    racks = 2
+    servers_per_rack = 2
+    grid_pitch_mm = 3.0
+    [workload]
+    jobs = 16
+    demand = \"constant\"
+    rate = 1.0
+    [sweep]
+    cooling.heat_reuse_c = [40, 44, 48, 52, 56, 60, 64, 68, 72, 76]
+    workload.seed = [1, 2, 3, 4, 5]
+";
+
+/// A 3-point sweep small enough to *execute* inside the benchmark loop.
+const GRID_3: &str = "
+    [fleet]
+    racks = 2
+    servers_per_rack = 2
+    grid_pitch_mm = 3.0
+    threads = 1
+    [workload]
+    jobs = 24
+    demand = \"constant\"
+    rate = 1.0
+    [sweep]
+    cooling.heat_reuse_c = [45.0, 60.0, 70.0]
+";
+
+fn bench_parse_and_expand(c: &mut Criterion) {
+    c.bench_function("sweep_parse_50_point_spec", |b| {
+        b.iter(|| Sweep::parse(std::hint::black_box(GRID_50), "bench").unwrap())
+    });
+    let sweep = Sweep::parse(GRID_50, "bench").unwrap();
+    assert_eq!(sweep.grid_len(), 50);
+    c.bench_function("sweep_expand_50_points", |b| {
+        b.iter(|| {
+            let grid = sweep.expand().unwrap();
+            assert_eq!(grid.len(), 50);
+            grid
+        })
+    });
+}
+
+fn bench_scenario_replay(c: &mut Criterion) {
+    // One grid point on a pre-warmed cache: the marginal cost of adding a
+    // scenario to a sweep once the per-server physics is solved.
+    let sweep = Sweep::parse(GRID_3, "bench").unwrap();
+    let scenario = sweep.expand().unwrap().swap_remove(0);
+    let cache = OutcomeCache::new();
+    let fleet = Fleet::new(scenario.fleet_config());
+    let jobs = scenario.synthesize_jobs();
+    fleet
+        .simulate(&jobs, scenario.dispatcher.instantiate().as_mut(), &cache)
+        .expect("warm-up run");
+    c.bench_function("scenario_replay_warm_cache", |b| {
+        b.iter(|| {
+            fleet
+                .simulate(&jobs, scenario.dispatcher.instantiate().as_mut(), &cache)
+                .unwrap()
+        })
+    });
+}
+
+fn bench_sweep_run(c: &mut Criterion) {
+    // The full engine end to end (includes its own cache warm-up).
+    let sweep = Sweep::parse(GRID_3, "bench").unwrap();
+    let mut group = c.benchmark_group("sweep_run_3_points");
+    group.sample_size(10);
+    for threads in [1usize, 3] {
+        group.bench_function(BenchmarkId::from_parameter(threads), |b| {
+            b.iter(|| sweep.run(threads).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_parse_and_expand,
+    bench_scenario_replay,
+    bench_sweep_run
+}
+criterion_main!(benches);

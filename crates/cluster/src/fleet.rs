@@ -77,7 +77,8 @@ pub struct FleetConfig {
 impl FleetConfig {
     /// A fleet of `racks × servers_per_rack` paper servers with the
     /// heat-reuse scenario defaults (2 mm grid, paper operating point,
-    /// 70 °C recovery loop, C6 idle floor, 4 warm-up threads).
+    /// 70 °C recovery loop, C6 idle floor,
+    /// [`default_threads`](Self::default_threads) warm-up threads).
     ///
     /// # Panics
     ///
@@ -95,8 +96,15 @@ impl FleetConfig {
             t_case_max: T_CASE_MAX,
             idle_server_power: idle,
             policy: ServerPolicy::default(),
-            threads: 4,
+            threads: Self::default_threads(),
         }
+    }
+
+    /// The default warm-up thread count — the machine's available
+    /// parallelism, capped at 8 (the distinct solves saturate quickly).
+    /// Thread count never changes simulation results, only wall time.
+    pub fn default_threads() -> usize {
+        std::thread::available_parallelism().map_or(4, |n| n.get().min(8))
     }
 
     /// Total server count.

@@ -1,0 +1,275 @@
+//! Sweep report emitters: a per-grid-point CSV and a rendered Markdown
+//! summary table with deltas against a baseline grid point.
+//!
+//! Both emitters format floats with fixed precision, so two runs of the
+//! same spec produce byte-identical files — the CI determinism smoke
+//! diffs them directly.
+
+use crate::spec::Scenario;
+use tps_cluster::FleetOutcome;
+
+/// One grid point's summary: scenario coordinates plus the fleet outcome,
+/// flattened to plain numbers for emission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// Grid-point name (`path=value,…`, or the spec name for a
+    /// single-point sweep).
+    pub name: String,
+    /// Dispatcher spelling (`rr`/`coolest`/`thermal`).
+    pub dispatcher: &'static str,
+    /// Rack count.
+    pub racks: usize,
+    /// Servers per rack.
+    pub servers_per_rack: usize,
+    /// Jobs in the stream.
+    pub jobs: usize,
+    /// IT energy, kWh.
+    pub it_kwh: f64,
+    /// Chiller electrical energy, kWh.
+    pub cooling_kwh: f64,
+    /// IT + cooling, kWh.
+    pub total_kwh: f64,
+    /// Energy-based PUE.
+    pub pue: f64,
+    /// QoS violations.
+    pub violations: usize,
+    /// Mean queueing delay, seconds.
+    pub mean_wait_s: f64,
+    /// Worst queueing delay, seconds.
+    pub max_wait_s: f64,
+    /// End of the last execution, seconds.
+    pub makespan_s: f64,
+    /// Highest instantaneous heat any rack carried, watts.
+    pub peak_rack_w: f64,
+}
+
+impl SweepRow {
+    /// Flattens one executed grid point.
+    pub fn new(scenario: &Scenario, outcome: &FleetOutcome) -> Self {
+        Self {
+            name: scenario.name.clone(),
+            dispatcher: scenario.dispatcher.spec_name(),
+            racks: scenario.racks,
+            servers_per_rack: scenario.servers_per_rack,
+            jobs: scenario.jobs,
+            it_kwh: outcome.it_energy.to_kwh(),
+            cooling_kwh: outcome.cooling_energy.to_kwh(),
+            total_kwh: outcome.total_energy().to_kwh(),
+            pue: outcome.pue(),
+            violations: outcome.violations,
+            mean_wait_s: outcome.mean_wait.value(),
+            max_wait_s: outcome.max_wait.value(),
+            makespan_s: outcome.makespan.value(),
+            peak_rack_w: outcome.peak_rack_heat.value(),
+        }
+    }
+}
+
+/// An executed sweep, ready to emit.
+///
+/// ```
+/// use tps_scenario::{SweepReport, SweepRow};
+///
+/// let report = SweepReport {
+///     spec_name: "demo".into(),
+///     axes: vec!["cooling.heat_reuse_c".into()],
+///     rows: vec![
+///         SweepRow {
+///             name: "cooling.heat_reuse_c=45".into(),
+///             dispatcher: "thermal",
+///             racks: 2,
+///             servers_per_rack: 2,
+///             jobs: 16,
+///             it_kwh: 0.0403,
+///             cooling_kwh: 0.0101,
+///             total_kwh: 0.0504,
+///             pue: 1.25,
+///             violations: 1,
+///             mean_wait_s: 0.4,
+///             max_wait_s: 3.1,
+///             makespan_s: 61.0,
+///             peak_rack_w: 141.0,
+///         },
+///     ],
+///     baseline: 0,
+/// };
+/// assert!(report.to_csv().starts_with("name,dispatcher"));
+/// assert!(report.to_markdown().contains("| cooling.heat_reuse_c=45 |"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// The spec's name.
+    pub spec_name: String,
+    /// The axis paths, in file order.
+    pub axes: Vec<String>,
+    /// One row per grid point, in grid order.
+    pub rows: Vec<SweepRow>,
+    /// Index into `rows` deltas are taken against.
+    pub baseline: usize,
+}
+
+impl SweepReport {
+    /// The baseline row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report has no rows (a parsed sweep always has ≥ 1).
+    pub fn baseline_row(&self) -> &SweepRow {
+        &self.rows[self.baseline]
+    }
+
+    /// The full per-grid-point CSV (header + one line per row), floats at
+    /// fixed precision for byte-determinism.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "name,dispatcher,racks,servers_per_rack,jobs,it_kwh,cooling_kwh,total_kwh,pue,\
+             violations,mean_wait_s,max_wait_s,makespan_s,peak_rack_w\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{:.6},{:.6},{:.6},{:.4},{},{:.3},{:.3},{:.3},{:.1}\n",
+                csv_field(&r.name),
+                r.dispatcher,
+                r.racks,
+                r.servers_per_rack,
+                r.jobs,
+                r.it_kwh,
+                r.cooling_kwh,
+                r.total_kwh,
+                r.pue,
+                r.violations,
+                r.mean_wait_s,
+                r.max_wait_s,
+                r.makespan_s,
+                r.peak_rack_w,
+            ));
+        }
+        out
+    }
+
+    /// A rendered Markdown summary: energy, QoS and per-row deltas against
+    /// the baseline grid point.
+    pub fn to_markdown(&self) -> String {
+        let base = self.baseline_row();
+        let mut out = format!(
+            "# Sweep report: {}\n\n{} grid point{} ({}); baseline `{}`.\n\n",
+            self.spec_name,
+            self.rows.len(),
+            if self.rows.len() == 1 { "" } else { "s" },
+            if self.axes.is_empty() {
+                "no sweep axes".to_owned()
+            } else {
+                format!("axes: {}", self.axes.join(" × "))
+            },
+            base.name,
+        );
+        out.push_str(
+            "| scenario | disp | total kWh | IT kWh | cool kWh | PUE | viol | \
+             Δtotal | Δcool |\n\
+             |---|---|---:|---:|---:|---:|---:|---:|---:|\n",
+        );
+        for (i, r) in self.rows.iter().enumerate() {
+            let (d_total, d_cool) = if i == self.baseline {
+                ("—".to_owned(), "—".to_owned())
+            } else {
+                (
+                    delta_pct(r.total_kwh, base.total_kwh),
+                    delta_pct(r.cooling_kwh, base.cooling_kwh),
+                )
+            };
+            out.push_str(&format!(
+                "| {} | {} | {:.3} | {:.3} | {:.3} | {:.3} | {} | {} | {} |\n",
+                r.name,
+                r.dispatcher,
+                r.total_kwh,
+                r.it_kwh,
+                r.cooling_kwh,
+                r.pue,
+                r.violations,
+                d_total,
+                d_cool,
+            ));
+        }
+        out
+    }
+}
+
+/// `+x.x %` relative change of `value` against `base`; `n/a` when the
+/// baseline is zero.
+fn delta_pct(value: f64, base: f64) -> String {
+    if base == 0.0 {
+        return "n/a".to_owned();
+    }
+    format!("{:+.1} %", 100.0 * (value / base - 1.0))
+}
+
+/// Quotes a CSV field if it contains a comma or quote (grid-point names
+/// contain commas whenever a sweep has more than one axis).
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(name: &str, total: f64, cool: f64) -> SweepRow {
+        SweepRow {
+            name: name.to_owned(),
+            dispatcher: "thermal",
+            racks: 2,
+            servers_per_rack: 2,
+            jobs: 16,
+            it_kwh: total - cool,
+            cooling_kwh: cool,
+            total_kwh: total,
+            pue: total / (total - cool),
+            violations: 0,
+            mean_wait_s: 0.0,
+            max_wait_s: 0.0,
+            makespan_s: 100.0,
+            peak_rack_w: 140.0,
+        }
+    }
+
+    fn report() -> SweepReport {
+        SweepReport {
+            spec_name: "t".into(),
+            axes: vec!["cooling.heat_reuse_c".into(), "dispatch.dispatcher".into()],
+            rows: vec![row("a=1,b=rr", 1.0, 0.2), row("a=2,b=rr", 0.9, 0.1)],
+            baseline: 0,
+        }
+    }
+
+    #[test]
+    fn csv_quotes_comma_names_and_has_one_line_per_row() {
+        let csv = report().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("\"a=1,b=rr\",thermal,2,2,16,"));
+    }
+
+    #[test]
+    fn markdown_reports_deltas_against_the_baseline() {
+        let md = report().to_markdown();
+        assert!(md.contains("baseline `a=1,b=rr`"), "{md}");
+        assert!(md.contains("| — | — |"), "{md}");
+        assert!(md.contains("-10.0 %"), "{md}");
+        assert!(md.contains("-50.0 %"), "{md}");
+        assert!(
+            md.contains("cooling.heat_reuse_c × dispatch.dispatcher"),
+            "{md}"
+        );
+    }
+
+    #[test]
+    fn zero_baseline_energy_reports_na() {
+        assert_eq!(delta_pct(1.0, 0.0), "n/a");
+        assert_eq!(delta_pct(1.1, 1.0), "+10.0 %");
+    }
+}

@@ -1,0 +1,703 @@
+//! The scenario schema: typed extraction of a [`Scenario`] from a parsed
+//! spec table, with line-numbered, actionable errors.
+//!
+//! `docs/SCENARIOS.md` is the reference for every key, its type, default
+//! and units. Unknown keys and tables are rejected (a typo should fail
+//! loudly, not silently fall back to a default).
+
+use crate::toml::{self, Table, Value};
+use std::fmt;
+use tps_cluster::{
+    synthesize_jobs, CoolestRackFirst, FleetConfig, FleetDispatcher, Job, JobMix, RoundRobin,
+    ServerPolicy, ThermalAwareDispatch,
+};
+use tps_cooling::Chiller;
+use tps_units::{Celsius, Seconds};
+use tps_workload::{BurstyDemand, ConstantDemand, DiurnalDemand};
+
+/// A schema violation: what is wrong, and on which line of the spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// 1-based line in the spec source, when attributable.
+    pub line: Option<usize>,
+    /// What went wrong and how to fix it.
+    pub message: String,
+}
+
+impl SpecError {
+    pub(crate) fn at(line: usize, message: impl Into<String>) -> Self {
+        Self {
+            line: Some(line),
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn global(message: impl Into<String>) -> Self {
+        Self {
+            line: None,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "line {line}: {}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<toml::TomlError> for SpecError {
+    fn from(e: toml::TomlError) -> Self {
+        SpecError::at(e.line, e.message)
+    }
+}
+
+/// Rejects a spec whose *source* parsed to nothing (a `[sweep]`-only spec
+/// is fine — the base scenario is all defaults).
+pub(crate) fn reject_empty(doc: &Table) -> Result<(), SpecError> {
+    if doc.is_empty() {
+        return Err(SpecError::global(
+            "the spec is empty — a scenario needs at least one table \
+             (see docs/SCENARIOS.md for the schema)",
+        ));
+    }
+    Ok(())
+}
+
+/// The shape of the job-arrival stream (mirrors `tps-workload::demand`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DemandKind {
+    /// Homogeneous Poisson arrivals at `rate` jobs/s.
+    Constant {
+        /// Arrival rate, jobs per second.
+        rate: f64,
+    },
+    /// Raised-cosine day/night cycle between `rate × base_fraction` and
+    /// `rate`.
+    Diurnal {
+        /// Peak arrival rate, jobs per second.
+        rate: f64,
+        /// Trough rate as a fraction of the peak.
+        base_fraction: f64,
+        /// Cycle period, seconds.
+        period_s: f64,
+    },
+    /// Correlated spikes: background `rate × base_fraction`, bursts at
+    /// `rate`.
+    Bursty {
+        /// Burst arrival rate, jobs per second.
+        rate: f64,
+        /// Background rate as a fraction of the burst rate.
+        base_fraction: f64,
+        /// Burst duration, seconds.
+        burst_s: f64,
+        /// Mean quiet gap between bursts, seconds.
+        gap_s: f64,
+    },
+}
+
+/// Which fleet dispatcher places the jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatcherKind {
+    /// Thermally blind striping.
+    RoundRobin,
+    /// Least-committed-heat rack first.
+    CoolestRackFirst,
+    /// Marginal-chiller-power ranking with QoS fallback (the paper's
+    /// policy lifted to racks).
+    ThermalAware,
+}
+
+impl DispatcherKind {
+    /// The dispatcher instance (all three are stateless or cheaply
+    /// default-initialized).
+    pub fn instantiate(self) -> Box<dyn FleetDispatcher> {
+        match self {
+            DispatcherKind::RoundRobin => Box::new(RoundRobin::default()),
+            DispatcherKind::CoolestRackFirst => Box::new(CoolestRackFirst),
+            DispatcherKind::ThermalAware => Box::new(ThermalAwareDispatch),
+        }
+    }
+
+    /// The spec-file spelling.
+    pub fn spec_name(self) -> &'static str {
+        match self {
+            DispatcherKind::RoundRobin => "rr",
+            DispatcherKind::CoolestRackFirst => "coolest",
+            DispatcherKind::ThermalAware => "thermal",
+        }
+    }
+}
+
+/// One fully validated scenario: everything needed to synthesize its job
+/// stream and simulate its fleet.
+///
+/// ```
+/// use tps_scenario::Scenario;
+///
+/// let spec = "
+///     [fleet]
+///     racks = 2
+///     servers_per_rack = 2
+///     grid_pitch_mm = 3.0
+///     [workload]
+///     jobs = 8
+/// ";
+/// let s = Scenario::parse(spec, "demo").unwrap();
+/// assert_eq!(s.name, "demo");
+/// assert_eq!(s.racks * s.servers_per_rack, 4);
+/// assert_eq!(s.synthesize_jobs().len(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario name (the `name` key, else the caller-provided hint).
+    pub name: String,
+    /// Rack count (one chiller water loop per rack).
+    pub racks: usize,
+    /// Servers per rack.
+    pub servers_per_rack: usize,
+    /// Per-server thermal-grid pitch, millimetres.
+    pub grid_pitch_mm: f64,
+    /// Per-server mapping policy.
+    pub policy: ServerPolicy,
+    /// OS threads for the physics-cache warm-up.
+    pub threads: usize,
+    /// Chiller heat-rejection / heat-reuse loop temperature, °C.
+    pub heat_reuse_c: f64,
+    /// Water inlet of the server thermosyphon loops, °C (5–60).
+    pub water_inlet_c: f64,
+    /// Number of jobs in the stream.
+    pub jobs: usize,
+    /// Reproducibility seed for arrivals and job attributes.
+    pub seed: u64,
+    /// Arrival-stream shape.
+    pub demand: DemandKind,
+    /// Mean native-configuration service time, seconds.
+    pub mean_service_s: f64,
+    /// Relative weights of the 1×/2×/3× QoS classes.
+    pub qos_weights: [f64; 3],
+    /// The fleet dispatcher.
+    pub dispatcher: DispatcherKind,
+}
+
+impl Scenario {
+    /// Parses and validates a scenario spec. `[sweep]` and `[report]`
+    /// tables are ignored here (the sweep engine owns them); everything
+    /// else must conform to the schema in `docs/SCENARIOS.md`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] naming the offending line for syntax
+    /// errors, unknown keys or tables, type mismatches, and out-of-range
+    /// values.
+    pub fn parse(src: &str, name_hint: &str) -> Result<Self, SpecError> {
+        let mut doc = toml::parse(src)?;
+        reject_empty(&doc)?;
+        doc.remove("sweep");
+        doc.remove("report");
+        Self::from_table(&doc, name_hint, &[])
+    }
+
+    /// Builds a scenario from an already-parsed root table (with `sweep`
+    /// and `report` removed; an empty table means "all defaults").
+    ///
+    /// `swept_demands` lists demand models a `workload.demand` sweep axis
+    /// can switch to: demand-specific keys are accepted if *any* reachable
+    /// model uses them.
+    pub(crate) fn from_table(
+        doc: &Table,
+        name_hint: &str,
+        swept_demands: &[String],
+    ) -> Result<Self, SpecError> {
+        let root = Ctx::new(doc, None);
+        root.allow(&["name", "fleet", "cooling", "workload", "dispatch"])?;
+        let name = root.string("name", name_hint)?;
+
+        let fleet = root.table("fleet")?;
+        fleet.allow(&[
+            "racks",
+            "servers_per_rack",
+            "grid_pitch_mm",
+            "policy",
+            "threads",
+        ])?;
+        let racks = fleet.count("racks", 2)?;
+        let servers_per_rack = fleet.count("servers_per_rack", 8)?;
+        let grid_pitch_mm = fleet.positive_f64("grid_pitch_mm", 2.0)?;
+        let policy = match fleet.string("policy", "proposed")?.as_str() {
+            "proposed" => ServerPolicy::Proposed,
+            "coskun" => ServerPolicy::Coskun,
+            "inlet" => ServerPolicy::InletFirst,
+            "packed" => ServerPolicy::Packed,
+            other => {
+                return Err(fleet.value_error(
+                    "policy",
+                    format!("unknown policy `{other}` (use proposed, coskun, inlet or packed)"),
+                ))
+            }
+        };
+        let threads = match fleet.count_opt("threads")? {
+            Some(n) => n,
+            None => FleetConfig::default_threads(),
+        };
+
+        let cooling = root.table("cooling")?;
+        cooling.allow(&["heat_reuse_c", "water_inlet_c"])?;
+        let heat_reuse_c = cooling.f64("heat_reuse_c", 70.0)?;
+        let water_inlet_c = cooling.f64("water_inlet_c", 30.0)?;
+        if !(5.0..=60.0).contains(&water_inlet_c) {
+            return Err(cooling.value_error(
+                "water_inlet_c",
+                format!("water inlet {water_inlet_c} °C outside the 5..=60 °C chiller envelope"),
+            ));
+        }
+
+        let workload = root.table("workload")?;
+        workload.allow(&[
+            "jobs",
+            "seed",
+            "demand",
+            "rate",
+            "base_fraction",
+            "period_s",
+            "burst_s",
+            "gap_s",
+            "mean_service_s",
+            "qos_weights",
+        ])?;
+        let jobs = workload.count("jobs", 200)?;
+        let seed = workload.u64("seed", 42)?;
+        let rate = workload.positive_f64("rate", 0.7)?;
+        let base_fraction = workload.f64("base_fraction", 0.2)?;
+        if !(0.0..=1.0).contains(&base_fraction) {
+            return Err(workload.value_error(
+                "base_fraction",
+                format!("base_fraction {base_fraction} must lie in [0, 1]"),
+            ));
+        }
+        let demand_name = workload.string("demand", "diurnal")?;
+        // Demand-specific keys must apply to some *reachable* model —
+        // the selected one, or one a `workload.demand` sweep axis can
+        // switch to — so a swept `period_s` under constant demand fails
+        // loudly instead of silently measuring nothing.
+        let reachable = |kind: &str| demand_name == kind || swept_demands.iter().any(|d| d == kind);
+        let per_model_keys: [(&str, &[&str]); 4] = [
+            ("base_fraction", &["diurnal", "bursty"]),
+            ("period_s", &["diurnal"]),
+            ("burst_s", &["bursty"]),
+            ("gap_s", &["bursty"]),
+        ];
+        for (key, models) in per_model_keys {
+            if workload.has(key) && !models.iter().any(|m| reachable(m)) {
+                return Err(workload.value_error(
+                    key,
+                    format!(
+                        "`{key}` only applies to the {} demand model{} but demand = \
+                         `{demand_name}` — remove it or sweep workload.demand",
+                        models.join("/"),
+                        if models.len() == 1 { "" } else { "s" },
+                    ),
+                ));
+            }
+        }
+        let demand = match demand_name.as_str() {
+            "constant" => DemandKind::Constant { rate },
+            "diurnal" => DemandKind::Diurnal {
+                rate,
+                base_fraction,
+                period_s: workload.positive_f64("period_s", 600.0)?,
+            },
+            "bursty" => DemandKind::Bursty {
+                rate,
+                base_fraction,
+                burst_s: workload.positive_f64("burst_s", 60.0)?,
+                gap_s: workload.positive_f64("gap_s", 240.0)?,
+            },
+            other => {
+                return Err(workload.value_error(
+                    "demand",
+                    format!("unknown demand model `{other}` (use constant, diurnal or bursty)"),
+                ))
+            }
+        };
+        let mean_service_s = workload.positive_f64("mean_service_s", 40.0)?;
+        let qos_weights = workload.weights3("qos_weights", [0.2, 0.4, 0.4])?;
+
+        let dispatch = root.table("dispatch")?;
+        dispatch.allow(&["dispatcher"])?;
+        let dispatcher = match dispatch.string("dispatcher", "thermal")?.as_str() {
+            "rr" => DispatcherKind::RoundRobin,
+            "coolest" => DispatcherKind::CoolestRackFirst,
+            "thermal" => DispatcherKind::ThermalAware,
+            other => {
+                return Err(dispatch.value_error(
+                    "dispatcher",
+                    format!("unknown dispatcher `{other}` (use rr, coolest or thermal)"),
+                ))
+            }
+        };
+
+        Ok(Self {
+            name,
+            racks,
+            servers_per_rack,
+            grid_pitch_mm,
+            policy,
+            threads,
+            heat_reuse_c,
+            water_inlet_c,
+            jobs,
+            seed,
+            demand,
+            mean_service_s,
+            qos_weights,
+            dispatcher,
+        })
+    }
+
+    /// The fleet configuration this scenario describes.
+    pub fn fleet_config(&self) -> FleetConfig {
+        let mut config = FleetConfig::new(self.racks, self.servers_per_rack);
+        config.grid_pitch_mm = self.grid_pitch_mm;
+        config.op = config.op.with_inlet(Celsius::new(self.water_inlet_c));
+        config.chiller = Chiller::new(Celsius::new(self.heat_reuse_c));
+        config.policy = self.policy;
+        config.threads = self.threads;
+        config
+    }
+
+    /// Synthesizes the scenario's reproducible job stream.
+    pub fn synthesize_jobs(&self) -> Vec<Job> {
+        let mix = JobMix {
+            qos_weights: self.qos_weights,
+            mean_service: Seconds::new(self.mean_service_s),
+        };
+        match self.demand {
+            DemandKind::Constant { rate } => {
+                synthesize_jobs(self.jobs, &ConstantDemand::new(rate), mix, self.seed)
+            }
+            DemandKind::Diurnal {
+                rate,
+                base_fraction,
+                period_s,
+            } => synthesize_jobs(
+                self.jobs,
+                &DiurnalDemand::new(rate * base_fraction, rate, Seconds::new(period_s)),
+                mix,
+                self.seed,
+            ),
+            DemandKind::Bursty {
+                rate,
+                base_fraction,
+                burst_s,
+                gap_s,
+            } => synthesize_jobs(
+                self.jobs,
+                &BurstyDemand::new(
+                    rate * base_fraction,
+                    rate,
+                    Seconds::new(burst_s),
+                    Seconds::new(gap_s),
+                    self.seed,
+                ),
+                mix,
+                self.seed,
+            ),
+        }
+    }
+}
+
+/// A typed view over one spec table: getters that turn type mismatches
+/// and range violations into line-numbered [`SpecError`]s.
+struct Ctx<'a> {
+    table: &'a Table,
+    /// `None` for the root scope, `Some("[fleet]")`-style otherwise.
+    scope: Option<&'a str>,
+}
+
+impl<'a> Ctx<'a> {
+    fn new(table: &'a Table, scope: Option<&'a str>) -> Self {
+        Self { table, scope }
+    }
+
+    fn where_am_i(&self) -> String {
+        match self.scope {
+            Some(s) => format!(" in `[{s}]`"),
+            None => " at the top level".to_owned(),
+        }
+    }
+
+    /// Rejects keys outside `allowed`, naming the line and the options.
+    fn allow(&self, allowed: &[&str]) -> Result<(), SpecError> {
+        for (key, v) in self.table.entries() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(SpecError::at(
+                    v.line,
+                    format!(
+                        "unknown key `{key}`{} (expected one of: {})",
+                        self.where_am_i(),
+                        allowed.join(", ")
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// A sub-table (empty defaults allowed: a missing table means "all
+    /// defaults").
+    fn table(&self, key: &'a str) -> Result<Ctx<'a>, SpecError> {
+        static EMPTY: Table = Table::empty();
+        match self.table.get(key) {
+            None => Ok(Ctx::new(&EMPTY, Some(key))),
+            Some(v) => match &v.value {
+                Value::Table(t) => Ok(Ctx::new(t, Some(key))),
+                other => Err(SpecError::at(
+                    v.line,
+                    format!(
+                        "`{key}` must be a table header `[{key}]`, found a {}",
+                        other.type_name()
+                    ),
+                )),
+            },
+        }
+    }
+
+    /// Whether the key is present.
+    fn has(&self, key: &str) -> bool {
+        self.table.get(key).is_some()
+    }
+
+    fn value_error(&self, key: &str, message: String) -> SpecError {
+        match self.table.get(key) {
+            Some(v) => SpecError::at(v.line, message),
+            None => SpecError::global(message),
+        }
+    }
+
+    fn type_error(&self, key: &str, want: &str, found: &Value, line: usize) -> SpecError {
+        SpecError::at(
+            line,
+            format!(
+                "`{key}`{} must be a {want}, found a {}",
+                self.where_am_i(),
+                found.type_name()
+            ),
+        )
+    }
+
+    fn string(&self, key: &str, default: &str) -> Result<String, SpecError> {
+        match self.table.get(key) {
+            None => Ok(default.to_owned()),
+            Some(v) => match &v.value {
+                Value::String(s) => Ok(s.clone()),
+                other => Err(self.type_error(key, "string", other, v.line)),
+            },
+        }
+    }
+
+    fn f64(&self, key: &str, default: f64) -> Result<f64, SpecError> {
+        match self.table.get(key) {
+            None => Ok(default),
+            Some(v) => match v.value {
+                Value::Float(x) => Ok(x),
+                Value::Integer(i) => Ok(i as f64),
+                ref other => Err(self.type_error(key, "number", other, v.line)),
+            },
+        }
+    }
+
+    fn positive_f64(&self, key: &str, default: f64) -> Result<f64, SpecError> {
+        let x = self.f64(key, default)?;
+        if x > 0.0 && x.is_finite() {
+            Ok(x)
+        } else {
+            Err(self.value_error(key, format!("`{key}` must be positive and finite, got {x}")))
+        }
+    }
+
+    fn u64(&self, key: &str, default: u64) -> Result<u64, SpecError> {
+        match self.table.get(key) {
+            None => Ok(default),
+            Some(v) => match v.value {
+                Value::Integer(i) if i >= 0 => Ok(i as u64),
+                Value::Integer(i) => {
+                    Err(self.value_error(key, format!("`{key}` must be non-negative, got {i}")))
+                }
+                ref other => Err(self.type_error(key, "non-negative integer", other, v.line)),
+            },
+        }
+    }
+
+    /// A positive count (`usize ≥ 1`).
+    fn count(&self, key: &str, default: usize) -> Result<usize, SpecError> {
+        match self.count_opt(key)? {
+            Some(n) => Ok(n),
+            None => Ok(default),
+        }
+    }
+
+    fn count_opt(&self, key: &str) -> Result<Option<usize>, SpecError> {
+        match self.table.get(key) {
+            None => Ok(None),
+            Some(v) => match v.value {
+                Value::Integer(i) if i >= 1 => Ok(Some(i as usize)),
+                Value::Integer(i) => {
+                    Err(self.value_error(key, format!("`{key}` must be at least 1, got {i}")))
+                }
+                ref other => Err(self.type_error(key, "positive integer", other, v.line)),
+            },
+        }
+    }
+
+    /// A `[w1, w2, w3]` weight vector with a positive sum.
+    fn weights3(&self, key: &str, default: [f64; 3]) -> Result<[f64; 3], SpecError> {
+        let Some(v) = self.table.get(key) else {
+            return Ok(default);
+        };
+        let Value::Array(items) = &v.value else {
+            return Err(self.type_error(key, "3-element array", &v.value, v.line));
+        };
+        if items.len() != 3 {
+            return Err(SpecError::at(
+                v.line,
+                format!(
+                    "`{key}` needs exactly 3 weights (1×, 2×, 3× QoS), found {}",
+                    items.len()
+                ),
+            ));
+        }
+        let mut out = [0.0; 3];
+        for (slot, item) in out.iter_mut().zip(items) {
+            *slot = match item.value {
+                Value::Float(x) if x >= 0.0 => x,
+                Value::Integer(i) if i >= 0 => i as f64,
+                ref other => {
+                    return Err(SpecError::at(
+                        item.line,
+                        format!(
+                            "`{key}` weights must be non-negative numbers, found {}",
+                            other.display_compact()
+                        ),
+                    ))
+                }
+            };
+        }
+        if out.iter().sum::<f64>() <= 0.0 {
+            return Err(SpecError::at(
+                v.line,
+                format!("`{key}` weights must sum to a positive value"),
+            ));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_fill_everything_but_require_some_content() {
+        let s = Scenario::parse("[fleet]\n", "x").unwrap();
+        assert_eq!(s.racks, 2);
+        assert_eq!(s.servers_per_rack, 8);
+        assert_eq!(s.heat_reuse_c, 70.0);
+        assert_eq!(s.water_inlet_c, 30.0);
+        assert_eq!(s.jobs, 200);
+        assert_eq!(s.dispatcher, DispatcherKind::ThermalAware);
+        assert!(matches!(s.demand, DemandKind::Diurnal { rate, .. } if rate == 0.7));
+    }
+
+    #[test]
+    fn full_spec_round_trips() {
+        let s = Scenario::parse(
+            "name = \"full\"\n\
+             [fleet]\n\
+             racks = 4\n\
+             servers_per_rack = 4\n\
+             grid_pitch_mm = 3.0\n\
+             policy = \"coskun\"\n\
+             threads = 2\n\
+             [cooling]\n\
+             heat_reuse_c = 55\n\
+             water_inlet_c = 25.0\n\
+             [workload]\n\
+             jobs = 64\n\
+             seed = 7\n\
+             demand = \"bursty\"\n\
+             rate = 1.5\n\
+             base_fraction = 0.1\n\
+             burst_s = 30.0\n\
+             gap_s = 120.0\n\
+             mean_service_s = 20.0\n\
+             qos_weights = [1, 1, 2]\n\
+             [dispatch]\n\
+             dispatcher = \"rr\"\n",
+            "hint",
+        )
+        .unwrap();
+        assert_eq!(s.name, "full");
+        assert_eq!(s.policy, ServerPolicy::Coskun);
+        assert_eq!(s.heat_reuse_c, 55.0);
+        assert_eq!(s.qos_weights, [1.0, 1.0, 2.0]);
+        assert_eq!(s.dispatcher, DispatcherKind::RoundRobin);
+        assert!(matches!(s.demand, DemandKind::Bursty { gap_s, .. } if gap_s == 120.0));
+        let jobs = s.synthesize_jobs();
+        assert_eq!(jobs.len(), 64);
+        assert_eq!(jobs, s.synthesize_jobs());
+    }
+
+    #[test]
+    fn fleet_config_reflects_the_spec() {
+        let s = Scenario::parse(
+            "[fleet]\nracks = 3\nservers_per_rack = 2\n[cooling]\nwater_inlet_c = 20.0\n",
+            "x",
+        )
+        .unwrap();
+        let cfg = s.fleet_config();
+        assert_eq!(cfg.total_servers(), 6);
+        assert_eq!(cfg.op.water_inlet(), Celsius::new(20.0));
+        assert_eq!(cfg.chiller.ambient(), Celsius::new(70.0));
+    }
+
+    #[test]
+    fn unknown_table_and_key_are_rejected_with_lines() {
+        let e = Scenario::parse("[flett]\nracks = 2\n", "x").unwrap_err();
+        assert_eq!(e.line, Some(1));
+        assert!(e.message.contains("unknown key `flett`"), "{e}");
+        assert!(e.message.contains("fleet"), "{e}");
+
+        let e = Scenario::parse("[fleet]\nrack = 2\n", "x").unwrap_err();
+        assert_eq!(e.line, Some(2));
+        assert!(e.message.contains("unknown key `rack`"), "{e}");
+        assert!(e.message.contains("racks"), "{e}");
+    }
+
+    #[test]
+    fn wrong_types_are_named() {
+        let e = Scenario::parse("[fleet]\nracks = \"two\"\n", "x").unwrap_err();
+        assert_eq!(e.line, Some(2));
+        assert!(e.message.contains("positive integer"), "{e}");
+        assert!(e.message.contains("found a string"), "{e}");
+    }
+
+    #[test]
+    fn out_of_envelope_inlet_is_rejected() {
+        let e = Scenario::parse("[cooling]\nwater_inlet_c = 80.0\n", "x").unwrap_err();
+        assert_eq!(e.line, Some(2));
+        assert!(e.message.contains("5..=60"), "{e}");
+    }
+
+    #[test]
+    fn empty_spec_is_an_error() {
+        let e = Scenario::parse("", "x").unwrap_err();
+        assert!(e.message.contains("empty"), "{e}");
+        assert!(e.message.contains("docs/SCENARIOS.md"), "{e}");
+    }
+}

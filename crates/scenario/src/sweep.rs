@@ -1,0 +1,693 @@
+//! The sweep engine: cartesian expansion of `[sweep]` axes and threaded
+//! execution of the resulting scenario grid.
+//!
+//! A spec file may carry a `[sweep]` table whose keys are dotted paths
+//! into the scenario schema and whose values are arrays:
+//!
+//! ```toml
+//! [sweep]
+//! cooling.water_inlet_c = [20, 30, 40]
+//! dispatch.dispatcher = ["rr", "thermal"]
+//! ```
+//!
+//! expands into the 3 × 2 cartesian grid, each point a full [`Scenario`]
+//! named after its axis values (`cooling.water_inlet_c=20,dispatch.dispatcher=rr`,
+//! …). [`Sweep::run`] executes the grid across OS threads, sharing one
+//! `tps-cluster` [`OutcomeCache`](tps_cluster::OutcomeCache) per distinct
+//! thermal-grid pitch so the per-server physics is solved once per
+//! `(benchmark, qos, policy, inlet)` no matter how many grid points replay
+//! it. Results are byte-deterministic: cache values are pure functions of
+//! their key and the report rows come back in grid order.
+
+use crate::report::{SweepReport, SweepRow};
+use crate::spec::{reject_empty, Scenario, SpecError};
+use crate::toml::{self, Spanned, Table, Value};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use tps_cluster::{FleetOutcome, OutcomeCache};
+use tps_core::RunError;
+
+/// Axis paths the sweep engine accepts, mirroring the scalar keys of the
+/// scenario schema (arrays such as `workload.qos_weights` cannot be swept).
+const SWEEPABLE: &[&str] = &[
+    "fleet.racks",
+    "fleet.servers_per_rack",
+    "fleet.grid_pitch_mm",
+    "fleet.policy",
+    "fleet.threads",
+    "cooling.heat_reuse_c",
+    "cooling.water_inlet_c",
+    "workload.jobs",
+    "workload.seed",
+    "workload.demand",
+    "workload.rate",
+    "workload.base_fraction",
+    "workload.period_s",
+    "workload.burst_s",
+    "workload.gap_s",
+    "workload.mean_service_s",
+    "dispatch.dispatcher",
+];
+
+/// One sweep axis: a dotted schema path and the values it takes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Axis {
+    /// Dotted path into the scenario schema (`table.key`).
+    pub path: String,
+    /// The values this axis ranges over, in file order.
+    pub values: Vec<Value>,
+    /// 1-based spec line of the axis entry (carried into grid-point
+    /// diagnostics when a substituted value fails validation).
+    pub line: usize,
+}
+
+/// A parsed spec file: the base scenario table, the sweep axes and the
+/// report options.
+///
+/// A spec without a `[sweep]` table is a valid sweep of exactly one grid
+/// point (the base scenario).
+///
+/// ```
+/// use tps_scenario::Sweep;
+///
+/// let sweep = Sweep::parse(
+///     "
+///     [workload]
+///     jobs = 8
+///     [sweep]
+///     cooling.heat_reuse_c = [45.0, 70.0]
+///     dispatch.dispatcher = [\"rr\", \"thermal\"]
+///     ",
+///     "demo",
+/// )
+/// .unwrap();
+/// let grid = sweep.expand().unwrap();
+/// assert_eq!(grid.len(), 4);
+/// assert_eq!(grid[0].name, "cooling.heat_reuse_c=45,dispatch.dispatcher=rr");
+/// assert_eq!(grid[3].heat_reuse_c, 70.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sweep {
+    /// Spec name (`name` key, else the caller-provided hint).
+    pub name: String,
+    /// The sweep axes, in file order (empty ⇒ single-point grid).
+    pub axes: Vec<Axis>,
+    /// `[report] baseline = "…"`: grid-point name deltas are taken
+    /// against. Defaults to the first grid point.
+    pub baseline: Option<String>,
+    base: Table,
+    /// Demand models a `workload.demand` axis can switch to (relaxes the
+    /// per-model key applicability check across the whole grid).
+    swept_demands: Vec<String>,
+}
+
+impl Sweep {
+    /// Parses a spec file into its base scenario, axes and report options.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] for syntax errors, schema violations of the
+    /// base scenario, axes that do not name a sweepable scalar key, empty
+    /// or non-array axes, and malformed `[report]` tables.
+    pub fn parse(src: &str, name_hint: &str) -> Result<Self, SpecError> {
+        let mut doc = toml::parse(src)?;
+        reject_empty(&doc)?;
+        let sweep_table = doc.remove("sweep");
+        let report_table = doc.remove("report");
+
+        let axes = match &sweep_table {
+            None => Vec::new(),
+            Some(spanned) => match &spanned.value {
+                Value::Table(t) => parse_axes(t)?,
+                other => {
+                    return Err(SpecError::at(
+                        spanned.line,
+                        format!(
+                            "`sweep` must be a `[sweep]` table, found a {}",
+                            other.type_name()
+                        ),
+                    ))
+                }
+            },
+        };
+
+        let baseline = match &report_table {
+            None => None,
+            Some(spanned) => match &spanned.value {
+                Value::Table(t) => {
+                    for (key, v) in t.entries() {
+                        if key != "baseline" {
+                            return Err(SpecError::at(
+                                v.line,
+                                format!("unknown key `{key}` in `[report]` (expected: baseline)"),
+                            ));
+                        }
+                    }
+                    match t.get("baseline") {
+                        None => None,
+                        Some(v) => match &v.value {
+                            Value::String(s) => Some(s.clone()),
+                            other => {
+                                return Err(SpecError::at(
+                                    v.line,
+                                    format!(
+                                        "`baseline` must be a grid-point name string, found a {}",
+                                        other.type_name()
+                                    ),
+                                ))
+                            }
+                        },
+                    }
+                }
+                other => {
+                    return Err(SpecError::at(
+                        spanned.line,
+                        format!(
+                            "`report` must be a `[report]` table, found a {}",
+                            other.type_name()
+                        ),
+                    ))
+                }
+            },
+        };
+
+        let swept_demands: Vec<String> = axes
+            .iter()
+            .filter(|a| a.path == "workload.demand")
+            .flat_map(|a| &a.values)
+            .filter_map(|v| match v {
+                Value::String(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+
+        // Validate the base scenario once up front so a broken spec fails
+        // before any expansion work.
+        let base_scenario = Scenario::from_table(&doc, name_hint, &swept_demands)?;
+        Ok(Self {
+            name: base_scenario.name,
+            axes,
+            baseline,
+            base: doc,
+            swept_demands,
+        })
+    }
+
+    /// Number of grid points the axes expand to.
+    pub fn grid_len(&self) -> usize {
+        self.axes.iter().map(|a| a.values.len()).product::<usize>()
+    }
+
+    /// Expands the axes into the full cartesian grid of validated
+    /// scenarios, in row-major file order (last axis fastest). Each point
+    /// is named `path=value,…` over all axes; a sweep without axes yields
+    /// the base scenario under the spec name.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SpecError`] any substituted grid point fails
+    /// validation with (e.g. an axis value of the wrong type).
+    pub fn expand(&self) -> Result<Vec<Scenario>, SpecError> {
+        if self.axes.is_empty() {
+            return Ok(vec![Scenario::from_table(
+                &self.base,
+                &self.name,
+                &self.swept_demands,
+            )?]);
+        }
+        let mut grid = Vec::with_capacity(self.grid_len());
+        let mut indices = vec![0usize; self.axes.len()];
+        loop {
+            let mut doc = self.base.clone();
+            let mut name_parts = Vec::with_capacity(self.axes.len());
+            for (axis, &i) in self.axes.iter().zip(&indices) {
+                let value = &axis.values[i];
+                set_path(&mut doc, &axis.path, value.clone(), axis.line);
+                name_parts.push(format!("{}={}", axis.path, value.display_compact()));
+            }
+            let name = name_parts.join(",");
+            let scenario =
+                Scenario::from_table(&doc, &name, &self.swept_demands).map_err(|e| SpecError {
+                    line: e.line,
+                    message: format!("grid point `{name}`: {}", e.message),
+                })?;
+            // Grid points are named by their axis values even when the base
+            // spec carries a `name` key.
+            let scenario = Scenario { name, ..scenario };
+            grid.push(scenario);
+
+            // Odometer increment, last axis fastest.
+            let mut k = self.axes.len();
+            loop {
+                if k == 0 {
+                    return Ok(grid);
+                }
+                k -= 1;
+                indices[k] += 1;
+                if indices[k] < self.axes[k].values.len() {
+                    break;
+                }
+                indices[k] = 0;
+            }
+        }
+    }
+
+    /// Expands and executes the whole grid across up to `threads` OS
+    /// threads, returning the report in grid order.
+    ///
+    /// Grid points share an [`OutcomeCache`] per distinct thermal-grid
+    /// pitch (the cache key does not include the pitch), so e.g. a
+    /// five-point heat-reuse sweep performs the per-server solves exactly
+    /// once. Byte-deterministic: thread count only changes wall time.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SweepError`] — a schema violation during
+    /// expansion, a per-server physics failure, or a `[report] baseline`
+    /// naming no grid point.
+    pub fn run(&self, threads: usize) -> Result<SweepReport, SweepError> {
+        let scenarios = self.expand()?;
+        // Resolve the baseline *before* the grid executes: a typo'd name
+        // must not cost a full sweep's worth of solver time.
+        let baseline = match &self.baseline {
+            None => 0,
+            Some(name) => scenarios
+                .iter()
+                .position(|s| &s.name == name)
+                .ok_or_else(|| {
+                    SweepError::Spec(SpecError::global(format!(
+                        "[report] baseline `{name}` does not name a grid point (have: {})",
+                        scenarios
+                            .iter()
+                            .map(|s| s.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )))
+                })?,
+        };
+        let outcomes = run_grid(&scenarios, threads)?;
+        let rows: Vec<SweepRow> = scenarios
+            .iter()
+            .zip(outcomes)
+            .map(|(s, outcome)| SweepRow::new(s, &outcome))
+            .collect();
+        Ok(SweepReport {
+            spec_name: self.name.clone(),
+            axes: self.axes.iter().map(|a| a.path.clone()).collect(),
+            rows,
+            baseline,
+        })
+    }
+}
+
+/// Executes already-expanded scenarios across up to `threads` OS threads,
+/// collecting outcomes back into grid order.
+///
+/// Two phases. First, the distinct per-server solves: grid points are
+/// grouped by the coordinates the physics actually depends on — thermal
+/// pitch, water inlet, mapping policy — and each group's union of
+/// `(benchmark, qos)` pairs is warmed *once*, in parallel, into the
+/// group's shared cache (the cache key does not include the pitch, so
+/// mixing pitches in one cache would alias different physics). Second,
+/// the grid points themselves run across worker threads as pure cache
+/// replays.
+fn run_grid(scenarios: &[Scenario], threads: usize) -> Result<Vec<FleetOutcome>, SweepError> {
+    let threads = threads.max(1);
+    // Job streams are needed for both phases; synthesis is cheap and
+    // deterministic, so do it once up front.
+    let jobs: Vec<Vec<tps_cluster::Job>> =
+        scenarios.iter().map(Scenario::synthesize_jobs).collect();
+
+    // Group key: (pitch bits, inlet bits, policy name).
+    type GroupKey = (u64, u64, &'static str);
+    let group_of = |s: &Scenario| -> GroupKey {
+        (
+            s.grid_pitch_mm.to_bits(),
+            s.water_inlet_c.to_bits(),
+            s.policy.as_policy().name(),
+        )
+    };
+    let mut groups: Vec<(GroupKey, Vec<usize>)> = Vec::new();
+    for (i, s) in scenarios.iter().enumerate() {
+        let key = group_of(s);
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, members)) => members.push(i),
+            None => groups.push((key, vec![i])),
+        }
+    }
+
+    // Phase 1: one warm-up per physics group. Caches are shared per pitch
+    // across groups (inlet and policy are part of the cache key; pitch is
+    // not, hence the split).
+    let mut caches: Vec<(u64, OutcomeCache)> = Vec::new();
+    for (key, members) in &groups {
+        if !caches.iter().any(|(bits, _)| *bits == key.0) {
+            caches.push((key.0, OutcomeCache::new()));
+        }
+        let cache = &caches
+            .iter()
+            .find(|(bits, _)| *bits == key.0)
+            .expect("just inserted")
+            .1;
+        let representative = &scenarios[members[0]];
+        let config = representative.fleet_config();
+        let fleet = tps_cluster::Fleet::new(config);
+        let mut pairs: Vec<(tps_workload::Benchmark, tps_workload::QosClass)> = members
+            .iter()
+            .flat_map(|&i| jobs[i].iter().map(|j| (j.bench, j.qos)))
+            .collect();
+        pairs.sort();
+        pairs.dedup();
+        cache
+            .warm(
+                fleet.server(),
+                &pairs,
+                &tps_core::MinPowerSelector,
+                representative.policy.as_policy(),
+                fleet.config().t_case_max,
+                threads,
+            )
+            .map_err(|e| SweepError::Run {
+                scenario: representative.name.clone(),
+                source: e,
+            })?;
+    }
+    let cache_for = |pitch: f64| {
+        &caches
+            .iter()
+            .find(|(bits, _)| *bits == pitch.to_bits())
+            .expect("every pitch has a cache")
+            .1
+    };
+
+    // Phase 2: replay the grid across workers (each point's internal
+    // warm-up is single-threaded — it only sees cache hits).
+    let workers = threads.clamp(1, scenarios.len().max(1));
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<Result<FleetOutcome, RunError>>>> =
+        scenarios.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= scenarios.len() {
+                    break;
+                }
+                let scenario = &scenarios[i];
+                let mut config = scenario.fleet_config();
+                config.threads = 1;
+                let fleet = tps_cluster::Fleet::new(config);
+                let mut dispatcher = scenario.dispatcher.instantiate();
+                let outcome = fleet.simulate(
+                    &jobs[i],
+                    dispatcher.as_mut(),
+                    cache_for(scenario.grid_pitch_mm),
+                );
+                *results[i].lock().expect("result slot poisoned") = Some(outcome);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every grid point was executed")
+                .map_err(|e| SweepError::Run {
+                    scenario: scenarios[i].name.clone(),
+                    source: e,
+                })
+        })
+        .collect()
+}
+
+fn parse_axes(table: &Table) -> Result<Vec<Axis>, SpecError> {
+    let mut axes = Vec::with_capacity(table.len());
+    for (path, v) in table.entries() {
+        if !SWEEPABLE.contains(&path.as_str()) {
+            return Err(SpecError::at(
+                v.line,
+                format!(
+                    "sweep axis `{path}` does not name a sweepable scenario key \
+                     (sweepable: {})",
+                    SWEEPABLE.join(", ")
+                ),
+            ));
+        }
+        let Value::Array(items) = &v.value else {
+            return Err(SpecError::at(
+                v.line,
+                format!(
+                    "sweep axis `{path}` must be an array of values, found a {}",
+                    v.value.type_name()
+                ),
+            ));
+        };
+        if items.is_empty() {
+            return Err(SpecError::at(
+                v.line,
+                format!("sweep axis `{path}` is empty — list at least one value"),
+            ));
+        }
+        axes.push(Axis {
+            path: path.clone(),
+            values: items.iter().map(|i| i.value.clone()).collect(),
+            line: v.line,
+        });
+    }
+    Ok(axes)
+}
+
+/// Substitutes `value` at the dotted `table.key` path, creating the table
+/// if the base spec leaves it to defaults. `line` is the axis entry's
+/// spec line, so validation errors on substituted values point at the
+/// `[sweep]` axis that produced them.
+fn set_path(doc: &mut Table, path: &str, value: Value, line: usize) {
+    let (table_name, key) = path.split_once('.').expect("sweepable paths are dotted");
+    let sub_line = doc.get(table_name).map_or(line, |v| v.line);
+    // Clone-modify-store: `Table` exposes no mutable traversal, and spec
+    // tables are a handful of entries.
+    let mut sub = doc
+        .get(table_name)
+        .and_then(|v| v.value.as_table())
+        .cloned()
+        .unwrap_or_default();
+    sub.set(key, Spanned { value, line });
+    doc.set(
+        table_name,
+        Spanned {
+            value: Value::Table(sub),
+            line: sub_line,
+        },
+    );
+}
+
+/// Why a sweep failed: the spec, or the physics of one grid point.
+#[derive(Debug)]
+pub enum SweepError {
+    /// A schema/axis violation.
+    Spec(SpecError),
+    /// The per-server pipeline failed for one grid point.
+    Run {
+        /// The grid point's name.
+        scenario: String,
+        /// The underlying per-server error.
+        source: RunError,
+    },
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Spec(e) => write!(f, "{e}"),
+            SweepError::Run { scenario, source } => {
+                write!(f, "grid point `{scenario}`: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::Spec(e) => Some(e),
+            SweepError::Run { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<SpecError> for SweepError {
+    fn from(e: SpecError) -> Self {
+        SweepError::Spec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: &str = "
+        [fleet]
+        racks = 2
+        servers_per_rack = 2
+        grid_pitch_mm = 3.0
+        threads = 2
+        [workload]
+        jobs = 16
+        rate = 1.0
+        demand = \"constant\"
+    ";
+
+    fn with_sweep(extra: &str) -> String {
+        format!("{SMALL}\n{extra}\n")
+    }
+
+    #[test]
+    fn no_sweep_table_is_a_single_point() {
+        let sweep = Sweep::parse(SMALL, "single").unwrap();
+        assert_eq!(sweep.grid_len(), 1);
+        let grid = sweep.expand().unwrap();
+        assert_eq!(grid.len(), 1);
+        assert_eq!(grid[0].name, "single");
+    }
+
+    #[test]
+    fn cartesian_expansion_is_row_major_and_named() {
+        let src = with_sweep(
+            "[sweep]\n\
+             cooling.heat_reuse_c = [45.0, 70.0]\n\
+             dispatch.dispatcher = [\"rr\", \"coolest\", \"thermal\"]",
+        );
+        let sweep = Sweep::parse(&src, "grid").unwrap();
+        assert_eq!(sweep.grid_len(), 6);
+        let grid = sweep.expand().unwrap();
+        assert_eq!(grid.len(), 6);
+        // Last axis fastest.
+        assert_eq!(
+            grid[0].name,
+            "cooling.heat_reuse_c=45,dispatch.dispatcher=rr"
+        );
+        assert_eq!(
+            grid[1].name,
+            "cooling.heat_reuse_c=45,dispatch.dispatcher=coolest"
+        );
+        assert_eq!(
+            grid[5].name,
+            "cooling.heat_reuse_c=70,dispatch.dispatcher=thermal"
+        );
+        assert_eq!(grid[5].heat_reuse_c, 70.0);
+        // Non-swept keys stay at the base values everywhere.
+        assert!(grid.iter().all(|s| s.jobs == 16 && s.racks == 2));
+    }
+
+    #[test]
+    fn unknown_axis_is_rejected_with_line() {
+        let src = with_sweep("[sweep]\ncooling.heat_reuse = [45.0]");
+        let e = Sweep::parse(&src, "x").unwrap_err();
+        assert!(e.line.is_some());
+        assert!(e.message.contains("sweep axis `cooling.heat_reuse`"), "{e}");
+        assert!(e.message.contains("cooling.heat_reuse_c"), "{e}");
+    }
+
+    #[test]
+    fn non_array_and_empty_axes_are_rejected() {
+        let e = Sweep::parse(&with_sweep("[sweep]\nworkload.rate = 0.5"), "x").unwrap_err();
+        assert!(e.message.contains("must be an array"), "{e}");
+        let e = Sweep::parse(&with_sweep("[sweep]\nworkload.rate = []"), "x").unwrap_err();
+        assert!(e.message.contains("is empty"), "{e}");
+    }
+
+    #[test]
+    fn bad_axis_value_names_the_grid_point_and_axis_line() {
+        let src = with_sweep("[sweep]\nfleet.policy = [\"proposed\", \"nope\"]");
+        let sweep = Sweep::parse(&src, "x").unwrap();
+        let e = sweep.expand().unwrap_err();
+        assert!(e.message.contains("grid point `fleet.policy=nope`"), "{e}");
+        assert!(e.message.contains("unknown policy"), "{e}");
+        // The diagnostic points at the axis entry in the spec, not at a
+        // synthetic location.
+        let axis_line = src
+            .lines()
+            .position(|l| l.contains("fleet.policy"))
+            .map(|i| i + 1);
+        assert_eq!(e.line, axis_line, "{e}");
+    }
+
+    #[test]
+    fn sweep_only_spec_defaults_the_base_scenario() {
+        let sweep = Sweep::parse("[sweep]\nworkload.jobs = [4, 8]\n", "bare").unwrap();
+        let grid = sweep.expand().unwrap();
+        assert_eq!(grid.len(), 2);
+        assert_eq!(grid[0].jobs, 4);
+        assert_eq!(grid[1].jobs, 8);
+        assert_eq!(grid[0].racks, 2); // schema default
+    }
+
+    #[test]
+    fn inapplicable_demand_keys_fail_unless_demand_is_swept() {
+        // period_s under constant demand: rejected when the axis value is
+        // substituted into a grid point (the base spec itself has no
+        // period_s key).
+        let src = with_sweep("[sweep]\nworkload.period_s = [300.0, 600.0]");
+        let e = Sweep::parse(&src, "x").unwrap().expand().unwrap_err();
+        assert!(e.message.contains("`period_s` only applies"), "{e}");
+        assert!(e.message.contains("sweep workload.demand"), "{e}");
+
+        // A base-spec key that contradicts the demand model fails at
+        // Sweep::parse already.
+        let e = Sweep::parse(&format!("{SMALL}\nburst_s = 30.0\n"), "x").unwrap_err();
+        assert!(e.message.contains("`burst_s` only applies"), "{e}");
+
+        // …but sweeping the demand model itself legitimizes the key.
+        let src = with_sweep(
+            "[sweep]\nworkload.demand = [\"constant\", \"diurnal\"]\n\
+             workload.period_s = [300.0, 600.0]",
+        );
+        let sweep = Sweep::parse(&src, "x").unwrap();
+        assert_eq!(sweep.expand().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn baseline_typo_fails_before_any_execution() {
+        let src = with_sweep("[report]\nbaseline = \"oops\"\n[sweep]\nworkload.seed = [1, 2]");
+        let sweep = Sweep::parse(&src, "x").unwrap();
+        // A 1 ms budget is far below one coupled solve: the error must
+        // surface from name resolution alone, not after running the grid.
+        let t = std::time::Instant::now();
+        let e = sweep.run(1).unwrap_err();
+        assert!(
+            t.elapsed() < std::time::Duration::from_millis(50),
+            "ran the grid first"
+        );
+        assert!(e.to_string().contains("baseline `oops`"), "{e}");
+    }
+
+    #[test]
+    fn run_is_deterministic_across_thread_counts() {
+        let src = with_sweep("[sweep]\ncooling.heat_reuse_c = [45.0, 60.0, 70.0]");
+        let sweep = Sweep::parse(&src, "det").unwrap();
+        let a = sweep.run(1).unwrap();
+        let b = sweep.run(4).unwrap();
+        assert_eq!(a.to_csv(), b.to_csv());
+        assert_eq!(a.to_markdown(), b.to_markdown());
+        assert_eq!(a.rows.len(), 3);
+        // A hotter heat-reuse loop raises the rejection temperature, so
+        // more of the fleet's heat pays compressor lift: chiller energy is
+        // monotone in the set-point for a fixed placement stream.
+        assert!(a.rows[0].cooling_kwh <= a.rows[2].cooling_kwh);
+    }
+
+    #[test]
+    fn baseline_must_name_a_grid_point() {
+        let src = with_sweep("[report]\nbaseline = \"nope\"\n[sweep]\nworkload.seed = [1, 2]");
+        let sweep = Sweep::parse(&src, "x").unwrap();
+        let e = sweep.run(2).unwrap_err();
+        let SweepError::Spec(e) = e else {
+            panic!("expected a spec error")
+        };
+        assert!(e.message.contains("baseline `nope`"), "{e}");
+        assert!(e.message.contains("workload.seed=1"), "{e}");
+    }
+}

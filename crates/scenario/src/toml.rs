@@ -1,0 +1,560 @@
+//! A hand-rolled parser for the TOML subset scenario specs use.
+//!
+//! The workspace builds air-gapped, so instead of pulling in a TOML crate
+//! this module parses exactly the slice of TOML the spec schema needs —
+//! and nothing more:
+//!
+//! * single-level `[table]` headers,
+//! * `key = value` pairs with bare (`a_b-c.d`) or `"quoted"` keys,
+//! * strings, integers, floats, booleans and single-line arrays of those,
+//! * `#` comments and blank lines.
+//!
+//! Dotted bare keys are *plain keys that contain dots* (the `[sweep]`
+//! table uses them as axis paths); they do not open nested tables.
+//! Every parsed value carries the 1-based line it came from so schema
+//! errors can point back into the file.
+//!
+//! ```
+//! use tps_scenario::toml::{parse, Value};
+//!
+//! let doc = parse("rate = 0.7\n[fleet]\nracks = 8\n").unwrap();
+//! assert!(matches!(doc.get("rate").unwrap().value, Value::Float(r) if r == 0.7));
+//! let fleet = doc.get("fleet").unwrap().value.as_table().unwrap();
+//! assert!(matches!(fleet.get("racks").unwrap().value, Value::Integer(8)));
+//! ```
+
+use std::fmt;
+
+/// A parse failure, pointing at the offending 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TomlError {
+    /// 1-based line number of the offending input line.
+    pub line: usize,
+    /// What went wrong and, where possible, how to fix it.
+    pub message: String,
+}
+
+impl fmt::Display for TomlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TomlError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, TomlError> {
+    Err(TomlError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// A value plus the line it was defined on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned<T> {
+    /// The parsed value.
+    pub value: T,
+    /// 1-based line of the `key = value` pair (or `[table]` header).
+    pub line: usize,
+}
+
+/// A parsed TOML-subset value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A `"…"` string.
+    String(String),
+    /// A decimal integer.
+    Integer(i64),
+    /// A float (also produced by `1e3`-style scientific notation).
+    Float(f64),
+    /// `true` / `false`.
+    Boolean(bool),
+    /// A single-line `[a, b, c]` array of scalars.
+    Array(Vec<Spanned<Value>>),
+    /// A `[header]` table.
+    Table(Table),
+}
+
+impl Value {
+    /// A short name for error messages ("string", "integer", …).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::String(_) => "string",
+            Value::Integer(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Boolean(_) => "boolean",
+            Value::Array(_) => "array",
+            Value::Table(_) => "table",
+        }
+    }
+
+    /// The table behind this value, if it is one.
+    pub fn as_table(&self) -> Option<&Table> {
+        match self {
+            Value::Table(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// A display form used when naming sweep grid points: strings bare,
+    /// floats via `f64`'s shortest round-trip `Display`.
+    pub fn display_compact(&self) -> String {
+        match self {
+            Value::String(s) => s.clone(),
+            Value::Integer(i) => i.to_string(),
+            Value::Float(x) => x.to_string(),
+            Value::Boolean(b) => b.to_string(),
+            Value::Array(items) => {
+                let inner: Vec<String> = items.iter().map(|i| i.value.display_compact()).collect();
+                format!("[{}]", inner.join(","))
+            }
+            Value::Table(_) => "<table>".to_owned(),
+        }
+    }
+}
+
+/// An insertion-ordered table of `key → value` entries.
+///
+/// Order is preserved so sweep axes expand in the order the file lists
+/// them, and duplicate keys are rejected at parse time.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table {
+    entries: Vec<(String, Spanned<Value>)>,
+}
+
+impl Table {
+    /// An empty table, const-constructible so schema code can keep one in
+    /// a `static` for "table absent ⇒ all defaults" scopes.
+    pub const fn empty() -> Self {
+        Self {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Looks a key up.
+    pub fn get(&self, key: &str) -> Option<&Spanned<Value>> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// The entries, in file order.
+    pub fn entries(&self) -> &[(String, Spanned<Value>)] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts or replaces `key`, keeping the original position on
+    /// replacement (the sweep engine uses this to substitute axis values).
+    pub fn set(&mut self, key: &str, value: Spanned<Value>) {
+        match self.entries.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = value,
+            None => self.entries.push((key.to_owned(), value)),
+        }
+    }
+
+    /// Removes `key` if present, returning its value.
+    pub fn remove(&mut self, key: &str) -> Option<Spanned<Value>> {
+        let i = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(i).1)
+    }
+
+    fn insert_new(&mut self, key: String, value: Spanned<Value>) -> Result<(), TomlError> {
+        if let Some(prev) = self.get(&key) {
+            return err(
+                value.line,
+                format!(
+                    "duplicate key `{key}` (first defined on line {})",
+                    prev.line
+                ),
+            );
+        }
+        self.entries.push((key, value));
+        Ok(())
+    }
+}
+
+/// Parses a spec source into its root table.
+///
+/// # Errors
+///
+/// Returns a [`TomlError`] naming the offending line for any construct
+/// outside the documented subset, malformed values, or duplicate
+/// keys/tables.
+pub fn parse(src: &str) -> Result<Table, TomlError> {
+    let mut root = Table::default();
+    // Name of the `[table]` currently being filled; `None` = root scope.
+    let mut current: Option<String> = None;
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw, lineno)?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let Some(name) = rest.strip_suffix(']') else {
+                return err(lineno, "table header is missing its closing `]`");
+            };
+            let name = name.trim();
+            if name.is_empty() {
+                return err(lineno, "table header has an empty name");
+            }
+            if name.contains('.') {
+                return err(
+                    lineno,
+                    format!(
+                        "nested table header `[{name}]` is outside the supported subset \
+                         (use single-level tables like `[fleet]`)"
+                    ),
+                );
+            }
+            if !is_bare_key(name) {
+                return err(lineno, format!("invalid table name `{name}`"));
+            }
+            if let Some(prev) = root.get(name) {
+                return err(
+                    lineno,
+                    format!(
+                        "duplicate table `[{name}]` (first defined on line {})",
+                        prev.line
+                    ),
+                );
+            }
+            root.insert_new(
+                name.to_owned(),
+                Spanned {
+                    value: Value::Table(Table::default()),
+                    line: lineno,
+                },
+            )?;
+            current = Some(name.to_owned());
+            continue;
+        }
+        let Some((key_part, value_part)) = split_key_value(line) else {
+            return err(
+                lineno,
+                "expected `key = value` or a `[table]` header".to_owned(),
+            );
+        };
+        let key = parse_key(key_part.trim(), lineno)?;
+        let value = parse_value(value_part.trim(), lineno)?;
+        let target = match &current {
+            None => &mut root,
+            Some(name) => match root
+                .entries
+                .iter_mut()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| &mut v.value)
+            {
+                Some(Value::Table(t)) => t,
+                _ => unreachable!("current table always exists in root"),
+            },
+        };
+        target.insert_new(
+            key,
+            Spanned {
+                value,
+                line: lineno,
+            },
+        )?;
+    }
+    Ok(root)
+}
+
+/// Drops a trailing `# comment`, respecting `#` inside quoted strings.
+fn strip_comment(line: &str, lineno: usize) -> Result<&str, TomlError> {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            '#' if !in_string => return Ok(&line[..i]),
+            _ => {}
+        }
+    }
+    if in_string {
+        return err(lineno, "unterminated string");
+    }
+    Ok(line)
+}
+
+/// Splits at the first `=` outside quotes.
+fn split_key_value(line: &str) -> Option<(&str, &str)> {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '=' if !in_string => return Some((&line[..i], &line[i + 1..])),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn is_bare_key(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.'))
+}
+
+fn parse_key(raw: &str, lineno: usize) -> Result<String, TomlError> {
+    if let Some(stripped) = raw.strip_prefix('"') {
+        let Some(inner) = stripped.strip_suffix('"') else {
+            return err(lineno, format!("unterminated quoted key `{raw}`"));
+        };
+        if inner.is_empty() {
+            return err(lineno, "empty quoted key");
+        }
+        if inner.contains('"') {
+            return err(lineno, format!("stray `\"` inside quoted key `{raw}`"));
+        }
+        return Ok(inner.to_owned());
+    }
+    if !is_bare_key(raw) {
+        return err(
+            lineno,
+            format!("invalid key `{raw}` (use letters, digits, `_`, `-`, `.` or quote it)"),
+        );
+    }
+    Ok(raw.to_owned())
+}
+
+fn parse_value(raw: &str, lineno: usize) -> Result<Value, TomlError> {
+    if raw.is_empty() {
+        return err(lineno, "missing value after `=`");
+    }
+    if let Some(rest) = raw.strip_prefix('[') {
+        let Some(inner) = rest.strip_suffix(']') else {
+            return err(
+                lineno,
+                "array is missing its closing `]` (arrays must fit on one line)",
+            );
+        };
+        let mut items = Vec::new();
+        for piece in split_array_items(inner) {
+            let piece = piece.trim();
+            if piece.is_empty() {
+                continue; // tolerate a trailing comma
+            }
+            if piece.starts_with('[') {
+                return err(lineno, "nested arrays are outside the supported subset");
+            }
+            items.push(Spanned {
+                value: parse_scalar(piece, lineno)?,
+                line: lineno,
+            });
+        }
+        return Ok(Value::Array(items));
+    }
+    parse_scalar(raw, lineno)
+}
+
+/// Splits array items at commas outside quotes (escape-aware).
+fn split_array_items(inner: &str) -> Vec<&str> {
+    let mut items = Vec::new();
+    let mut start = 0;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in inner.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            ',' if !in_string => {
+                items.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    items.push(&inner[start..]);
+    items
+}
+
+fn parse_scalar(raw: &str, lineno: usize) -> Result<Value, TomlError> {
+    if raw.starts_with('"') {
+        return parse_string(raw, lineno);
+    }
+    match raw {
+        "true" => return Ok(Value::Boolean(true)),
+        "false" => return Ok(Value::Boolean(false)),
+        _ => {}
+    }
+    let digits = raw.replace('_', "");
+    if let Ok(i) = digits.parse::<i64>() {
+        return Ok(Value::Integer(i));
+    }
+    if let Ok(x) = digits.parse::<f64>() {
+        if x.is_finite() {
+            return Ok(Value::Float(x));
+        }
+        return err(lineno, format!("non-finite number `{raw}`"));
+    }
+    err(
+        lineno,
+        format!("cannot parse value `{raw}` (expected a string, number, boolean or array)"),
+    )
+}
+
+/// Parses a `"…"` string (with `\" \\ \n \t` escapes), requiring the
+/// closing quote to end the value — trailing junk is an error, not part
+/// of the string.
+fn parse_string(raw: &str, lineno: usize) -> Result<Value, TomlError> {
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.char_indices().skip(1); // past the opening quote
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => {
+                let rest = raw[i + 1..].trim();
+                if !rest.is_empty() {
+                    return err(
+                        lineno,
+                        format!("unexpected `{rest}` after the closing `\"` of a string"),
+                    );
+                }
+                return Ok(Value::String(out));
+            }
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, other)) => return err(lineno, format!("unsupported escape `\\{other}`")),
+                None => return err(lineno, "dangling `\\` at end of string"),
+            },
+            _ => out.push(c),
+        }
+    }
+    err(lineno, "unterminated string")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_tables_and_arrays() {
+        let doc = parse(
+            "name = \"demo\"  # a comment\n\
+             count = 42\n\
+             rate = 0.5\n\
+             on = true\n\
+             [axis]\n\
+             vals = [1, 2.5, \"x\", true]\n",
+        )
+        .unwrap();
+        assert_eq!(doc.get("name").unwrap().value, Value::String("demo".into()));
+        assert_eq!(doc.get("count").unwrap().value, Value::Integer(42));
+        assert_eq!(doc.get("rate").unwrap().value, Value::Float(0.5));
+        assert_eq!(doc.get("on").unwrap().value, Value::Boolean(true));
+        let axis = doc.get("axis").unwrap().value.as_table().unwrap();
+        let Value::Array(vals) = &axis.get("vals").unwrap().value else {
+            panic!("expected array");
+        };
+        assert_eq!(vals.len(), 4);
+        assert_eq!(vals[1].value, Value::Float(2.5));
+    }
+
+    #[test]
+    fn keys_may_be_dotted_or_quoted() {
+        let doc = parse("a.b-c = 1\n\"x.y\" = 2\n").unwrap();
+        assert_eq!(doc.get("a.b-c").unwrap().value, Value::Integer(1));
+        assert_eq!(doc.get("x.y").unwrap().value, Value::Integer(2));
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let doc = parse("\n\n[t]\n\nk = 1\n").unwrap();
+        assert_eq!(doc.get("t").unwrap().line, 3);
+        let t = doc.get("t").unwrap().value.as_table().unwrap();
+        assert_eq!(t.get("k").unwrap().line, 5);
+    }
+
+    #[test]
+    fn duplicate_key_is_an_error_with_both_lines() {
+        let e = parse("a = 1\na = 2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("duplicate key `a`"), "{e}");
+        assert!(e.message.contains("line 1"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_table_is_an_error() {
+        let e = parse("[t]\nk = 1\n[t]\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("duplicate table `[t]`"), "{e}");
+    }
+
+    #[test]
+    fn nested_headers_are_rejected() {
+        let e = parse("[a.b]\n").unwrap_err();
+        assert!(e.message.contains("single-level"), "{e}");
+    }
+
+    #[test]
+    fn malformed_lines_name_the_line() {
+        assert_eq!(parse("just words\n").unwrap_err().line, 1);
+        assert_eq!(parse("k = \n").unwrap_err().line, 1);
+        assert_eq!(parse("ok = 1\nk = [1, 2\n").unwrap_err().line, 2);
+        assert_eq!(parse("k = \"open\n").unwrap_err().line, 1);
+    }
+
+    #[test]
+    fn comments_inside_strings_survive() {
+        let doc = parse("s = \"a # b\" # real comment\n").unwrap();
+        assert_eq!(doc.get("s").unwrap().value, Value::String("a # b".into()));
+    }
+
+    #[test]
+    fn trailing_junk_after_a_string_is_rejected() {
+        let e = parse("s = \"a\" \"b\"\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("after the closing"), "{e}");
+        let e = parse("s = \"a\"x\n").unwrap_err();
+        assert!(e.message.contains("after the closing"), "{e}");
+    }
+
+    #[test]
+    fn escaped_quotes_survive_in_scalars_and_arrays() {
+        let doc = parse("s = \"a\\\"b\"\nv = [\"x\\\"y\", \"p,q\"]\n").unwrap();
+        assert_eq!(doc.get("s").unwrap().value, Value::String("a\"b".into()));
+        let Value::Array(items) = &doc.get("v").unwrap().value else {
+            panic!("expected array");
+        };
+        assert_eq!(items[0].value, Value::String("x\"y".into()));
+        assert_eq!(items[1].value, Value::String("p,q".into()));
+    }
+
+    #[test]
+    fn set_replaces_in_place_and_remove_works() {
+        let mut doc = parse("a = 1\nb = 2\n").unwrap();
+        doc.set(
+            "a",
+            Spanned {
+                value: Value::Integer(9),
+                line: 1,
+            },
+        );
+        assert_eq!(doc.get("a").unwrap().value, Value::Integer(9));
+        assert_eq!(doc.entries()[0].0, "a");
+        assert!(doc.remove("b").is_some());
+        assert!(doc.get("b").is_none());
+        assert!(doc.remove("b").is_none());
+    }
+
+    #[test]
+    fn underscored_numbers_parse() {
+        let doc = parse("big = 86_400\n").unwrap();
+        assert_eq!(doc.get("big").unwrap().value, Value::Integer(86_400));
+    }
+}

@@ -1,0 +1,140 @@
+//! Edge-case coverage for the spec/TOML-subset front end: every rejected
+//! input must come back with an actionable message and, where a line
+//! exists, the right line number.
+
+use tps_scenario::{Scenario, SpecError, Sweep};
+
+fn fail_scenario(src: &str) -> SpecError {
+    Scenario::parse(src, "t").expect_err("spec should be rejected")
+}
+
+fn fail_sweep(src: &str) -> SpecError {
+    Sweep::parse(src, "t").expect_err("spec should be rejected")
+}
+
+#[test]
+fn empty_file_is_rejected_with_a_pointer_to_the_docs() {
+    for src in ["", "\n\n", "# only comments\n  \n# more\n"] {
+        let e = fail_scenario(src);
+        assert_eq!(e.line, None);
+        assert!(e.message.contains("empty"), "{e}");
+        assert!(e.message.contains("docs/SCENARIOS.md"), "{e}");
+    }
+}
+
+#[test]
+fn unknown_key_names_line_table_and_alternatives() {
+    let e = fail_scenario("[workload]\njobs = 10\nseeed = 3\n");
+    assert_eq!(e.line, Some(3));
+    assert!(e.message.contains("unknown key `seeed`"), "{e}");
+    assert!(e.message.contains("[workload]"), "{e}");
+    assert!(e.message.contains("seed"), "{e}");
+
+    // Unknown top-level tables get the same treatment.
+    let e = fail_scenario("[fleet]\nracks = 2\n[chiller]\nx = 1\n");
+    assert_eq!(e.line, Some(3));
+    assert!(e.message.contains("unknown key `chiller`"), "{e}");
+    assert!(e.message.contains("cooling"), "{e}");
+}
+
+#[test]
+fn wrong_type_says_what_was_expected_and_found() {
+    let e = fail_scenario("[workload]\nrate = \"fast\"\n");
+    assert_eq!(e.line, Some(2));
+    assert!(e.message.contains("must be a number"), "{e}");
+    assert!(e.message.contains("found a string"), "{e}");
+
+    let e = fail_scenario("[workload]\nqos_weights = 3\n");
+    assert_eq!(e.line, Some(2));
+    assert!(e.message.contains("3-element array"), "{e}");
+
+    let e = fail_scenario("[workload]\nqos_weights = [1, 2]\n");
+    assert_eq!(e.line, Some(2));
+    assert!(e.message.contains("exactly 3 weights"), "{e}");
+}
+
+#[test]
+fn out_of_range_values_report_the_limit() {
+    let e = fail_scenario("[workload]\njobs = 0\n");
+    assert_eq!(e.line, Some(2));
+    assert!(e.message.contains("at least 1"), "{e}");
+
+    let e = fail_scenario("[fleet]\ngrid_pitch_mm = -1.0\n");
+    assert_eq!(e.line, Some(2));
+    assert!(e.message.contains("positive"), "{e}");
+
+    let e = fail_scenario("[workload]\nseed = -4\n");
+    assert_eq!(e.line, Some(2));
+    assert!(e.message.contains("non-negative"), "{e}");
+}
+
+#[test]
+fn bad_sweep_axes_are_rejected_with_lines() {
+    // A path that is not in the schema, with the sweepable list offered.
+    let e = fail_sweep("[fleet]\nracks = 2\n[sweep]\nfleet.rack = [1, 2]\n");
+    assert_eq!(e.line, Some(4));
+    assert!(e.message.contains("sweep axis `fleet.rack`"), "{e}");
+    assert!(e.message.contains("fleet.racks"), "{e}");
+
+    // An axis that is not an array.
+    let e = fail_sweep("[fleet]\nracks = 2\n[sweep]\nworkload.rate = 0.7\n");
+    assert_eq!(e.line, Some(4));
+    assert!(e.message.contains("must be an array"), "{e}");
+
+    // An empty axis.
+    let e = fail_sweep("[fleet]\nracks = 2\n[sweep]\nworkload.rate = []\n");
+    assert_eq!(e.line, Some(4));
+    assert!(e.message.contains("at least one value"), "{e}");
+}
+
+#[test]
+fn duplicate_tables_and_keys_point_at_both_sites() {
+    let e = fail_scenario("[fleet]\nracks = 2\n[fleet]\nracks = 4\n");
+    assert_eq!(e.line, Some(3));
+    assert!(e.message.contains("duplicate table `[fleet]`"), "{e}");
+    assert!(e.message.contains("line 1"), "{e}");
+
+    let e = fail_scenario("[fleet]\nracks = 2\nracks = 4\n");
+    assert_eq!(e.line, Some(3));
+    assert!(e.message.contains("duplicate key `racks`"), "{e}");
+    assert!(e.message.contains("line 2"), "{e}");
+}
+
+#[test]
+fn syntax_errors_carry_line_numbers() {
+    let e = fail_scenario("[fleet]\nracks 2\n");
+    assert_eq!(e.line, Some(2));
+    assert!(e.message.contains("key = value"), "{e}");
+
+    let e = fail_scenario("[fleet\nracks = 2\n");
+    assert_eq!(e.line, Some(1));
+    assert!(e.message.contains("closing `]`"), "{e}");
+
+    let e = fail_scenario("[workload]\nrate = 0.5.3\n");
+    assert_eq!(e.line, Some(2));
+    assert!(e.message.contains("cannot parse value"), "{e}");
+}
+
+#[test]
+fn a_valid_spec_with_all_edge_syntax_still_parses() {
+    // Quoted keys, dotted bare keys in [sweep], comments, underscored
+    // numbers, trailing array commas.
+    let sweep = Sweep::parse(
+        "name = \"edge\" # trailing comment\n\
+         [fleet]\n\
+         racks = 2\n\
+         servers_per_rack = 2\n\
+         [workload]\n\
+         jobs = 16\n\
+         period_s = 86_400\n\
+         qos_weights = [1, 1, 2,]\n\
+         [sweep]\n\
+         \"cooling.heat_reuse_c\" = [45.0, 70.0]\n\
+         dispatch.dispatcher = [\"rr\", \"thermal\"]\n",
+        "t",
+    )
+    .unwrap();
+    assert_eq!(sweep.name, "edge");
+    assert_eq!(sweep.grid_len(), 4);
+    assert_eq!(sweep.expand().unwrap().len(), 4);
+}

@@ -1,0 +1,53 @@
+//! Declarative scenario sweeps: load a shipped spec, expand its grid,
+//! execute it across OS threads and render the report — the API behind
+//! `tps sweep <spec.toml>`.
+//!
+//! ```sh
+//! cargo run --release --example sweep
+//! ```
+
+use tps::scenario::Sweep;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The shipped dispatcher comparison on the paper's 70 °C heat-reuse
+    // loop (scenarios/ holds three more specs; docs/SCENARIOS.md is the
+    // schema reference and cookbook).
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/heat_reuse_70c.toml");
+    let source = std::fs::read_to_string(path)?;
+    let sweep = Sweep::parse(&source, "heat-reuse-70c")?;
+
+    println!(
+        "spec `{}`: {} axes, {} grid points",
+        sweep.name,
+        sweep.axes.len(),
+        sweep.grid_len()
+    );
+    for scenario in sweep.expand()? {
+        println!(
+            "  {} — {} racks × {} servers, {} jobs, heat reuse {} °C",
+            scenario.name,
+            scenario.racks,
+            scenario.servers_per_rack,
+            scenario.jobs,
+            scenario.heat_reuse_c
+        );
+    }
+
+    let report = sweep.run(4)?;
+    println!("\n{}", report.to_markdown());
+
+    let base = report.baseline_row();
+    let best = report
+        .rows
+        .iter()
+        .min_by(|a, b| a.total_kwh.total_cmp(&b.total_kwh))
+        .expect("a parsed sweep always has at least one row");
+    println!(
+        "cheapest grid point: `{}` at {:.3} kWh total ({:+.1} % vs `{}`)",
+        best.name,
+        best.total_kwh,
+        100.0 * (best.total_kwh / base.total_kwh - 1.0),
+        base.name
+    );
+    Ok(())
+}

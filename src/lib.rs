@@ -17,6 +17,7 @@
 //! | [`cooling`] | `tps-cooling` | Eq. 1, chiller COP, racks, PUE |
 //! | [`core`] | `tps-core` | Algorithm 1, mapping policies, server/rack drivers |
 //! | [`cluster`] | `tps-cluster` | fleet simulator: job streams, dispatchers, energy accounting |
+//! | [`scenario`] | `tps-scenario` | declarative scenario specs, sweep engine, report emitters |
 //!
 //! # Quickstart
 //!
@@ -52,6 +53,7 @@ pub use tps_core as core;
 pub use tps_floorplan as floorplan;
 pub use tps_fluids as fluids;
 pub use tps_power as power;
+pub use tps_scenario as scenario;
 pub use tps_thermal as thermal;
 pub use tps_thermosyphon as thermosyphon;
 pub use tps_units as units;

@@ -2,12 +2,20 @@
 //! simulator.
 //!
 //! ```text
-//! tps run <benchmark> [--qos=1x|2x|3x] [--policy=NAME] [--selector=NAME] [--pitch=MM]
+//! tps run <benchmark> [--qos 1x|2x|3x] [--policy NAME] [--selector NAME] [--pitch MM]
 //! tps profile <benchmark>
 //! tps fleet [--servers N] [--racks N] [--jobs N] [--seed N] [--rate R] [--demand KIND]
+//! tps sweep <spec.toml> [--out DIR] [--threads N]
 //! tps list
 //! ```
+//!
+//! Every subcommand accepts both `--flag value` and `--flag=value`
+//! (parsed by the shared [`cliargs::CliArgs`] helper).
 
+mod cliargs;
+
+use cliargs::CliArgs;
+use std::path::Path;
 use std::process::ExitCode;
 use tps::cluster::{
     synthesize_jobs, CoolestRackFirst, Fleet, FleetConfig, FleetDispatcher, FleetOutcome, Job,
@@ -19,6 +27,7 @@ use tps::core::{
     PackAndCapSelector, PackedMapping, ProposedMapping, Server,
 };
 use tps::power::CState;
+use tps::scenario::Sweep;
 use tps::units::{Celsius, Seconds};
 use tps::workload::{
     profile_application, Benchmark, BurstyDemand, ConstantDemand, DiurnalDemand, QosClass,
@@ -30,6 +39,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
         Some("fleet") => cmd_fleet(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
         Some("list") => cmd_list(),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
@@ -47,32 +57,35 @@ fn print_usage() {
     println!(
         "tps — two-phase-cooling-aware thermal workload mapping\n\n\
          USAGE:\n  \
-         tps run <benchmark> [--qos=1x|2x|3x] [--policy=proposed|coskun|inlet|packed]\n  \
-         {:14}[--selector=minpower|packcap] [--pitch=<mm>]\n  \
+         tps run <benchmark> [--qos 1x|2x|3x] [--policy proposed|coskun|inlet|packed]\n  \
+         {:14}[--selector minpower|packcap] [--pitch <mm>]\n  \
          tps profile <benchmark>   print the 48-point P/Q configuration table\n  \
          tps fleet [--servers N] [--racks N] [--jobs N] [--seed N] [--rate JOBS/S]\n  \
          {:14}[--demand constant|diurnal|bursty] [--dispatcher all|rr|coolest|thermal]\n  \
          {:14}[--policy NAME] [--ambient C] [--pitch MM] [--threads N]\n  \
+         tps sweep <spec.toml> [--out DIR] [--threads N]\n  \
+         {:14}expand a scenario spec's sweep grid, write CSV + Markdown reports\n  \
+         {:14}(spec schema and cookbook: docs/SCENARIOS.md, examples: scenarios/)\n  \
          tps list                  list benchmarks, policies and selectors\n",
-        "", "", ""
+        "", "", "", "", ""
     );
 }
 
-fn parse_flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    let prefix = format!("--{name}=");
-    args.iter().find_map(|a| a.strip_prefix(&prefix))
+/// A `main`-style error bridge: prints `error: …` and maps to an exit code.
+fn fail(e: impl std::fmt::Display) -> ExitCode {
+    eprintln!("error: {e}");
+    ExitCode::FAILURE
 }
 
-fn parse_bench(args: &[String]) -> Result<Benchmark, String> {
+fn parse_bench(args: &CliArgs) -> Result<Benchmark, String> {
     let name = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
+        .positional(0)
         .ok_or_else(|| "missing <benchmark> argument".to_owned())?;
     name.parse::<Benchmark>().map_err(|e| e.to_string())
 }
 
-fn parse_qos(args: &[String]) -> Result<QosClass, String> {
-    match parse_flag(args, "qos").unwrap_or("2x") {
+fn parse_qos(args: &CliArgs) -> Result<QosClass, String> {
+    match args.flag_or("qos", "2x") {
         "1x" => Ok(QosClass::OneX),
         "2x" => Ok(QosClass::TwoX),
         "3x" => Ok(QosClass::ThreeX),
@@ -80,39 +93,31 @@ fn parse_qos(args: &[String]) -> Result<QosClass, String> {
     }
 }
 
-fn cmd_run(args: &[String]) -> ExitCode {
-    let (bench, qos) = match (parse_bench(args), parse_qos(args)) {
-        (Ok(b), Ok(q)) => (b, q),
-        (Err(e), _) | (_, Err(e)) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
+fn cmd_run(raw: &[String]) -> ExitCode {
+    let args = match CliArgs::parse(raw, &["qos", "policy", "selector", "pitch"], 1) {
+        Ok(a) => a,
+        Err(e) => return fail(e),
     };
-    let policy: Box<dyn MappingPolicy> = match parse_flag(args, "policy").unwrap_or("proposed") {
+    let (bench, qos) = match (parse_bench(&args), parse_qos(&args)) {
+        (Ok(b), Ok(q)) => (b, q),
+        (Err(e), _) | (_, Err(e)) => return fail(e),
+    };
+    let policy: Box<dyn MappingPolicy> = match args.flag_or("policy", "proposed") {
         "proposed" => Box::new(ProposedMapping),
         "coskun" => Box::new(CoskunBalancing),
         "inlet" => Box::new(InletFirstMapping),
         "packed" => Box::new(PackedMapping),
-        other => {
-            eprintln!("error: unknown policy `{other}`");
-            return ExitCode::FAILURE;
-        }
+        other => return fail(format!("unknown policy `{other}`")),
     };
-    let selector: Box<dyn ConfigSelector> = match parse_flag(args, "selector").unwrap_or("minpower")
-    {
+    let selector: Box<dyn ConfigSelector> = match args.flag_or("selector", "minpower") {
         "minpower" => Box::new(MinPowerSelector),
         "packcap" => Box::new(PackAndCapSelector::default()),
-        other => {
-            eprintln!("error: unknown selector `{other}`");
-            return ExitCode::FAILURE;
-        }
+        other => return fail(format!("unknown selector `{other}`")),
     };
-    let pitch: f64 = match parse_flag(args, "pitch").unwrap_or("1.0").parse() {
+    let pitch: f64 = match args.parsed("pitch", 1.0) {
         Ok(p) if p > 0.0 => p,
-        _ => {
-            eprintln!("error: --pitch must be a positive number of millimetres");
-            return ExitCode::FAILURE;
-        }
+        Ok(_) => return fail("--pitch must be a positive number of millimetres"),
+        Err(e) => return fail(e),
     };
 
     println!(
@@ -141,20 +146,18 @@ fn cmd_run(args: &[String]) -> ExitCode {
             );
             ExitCode::SUCCESS
         }
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
-        }
+        Err(e) => fail(e),
     }
 }
 
-fn cmd_profile(args: &[String]) -> ExitCode {
-    let bench = match parse_bench(args) {
+fn cmd_profile(raw: &[String]) -> ExitCode {
+    let args = match CliArgs::parse(raw, &[], 1) {
+        Ok(a) => a,
+        Err(e) => return fail(e),
+    };
+    let bench = match parse_bench(&args) {
         Ok(b) => b,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return fail(e),
     };
     println!("{bench}: P/Q vectors (idle cores in POLL)\n");
     println!("{:>14}  {:>9}  {:>9}", "config", "power (W)", "slowdown");
@@ -181,6 +184,7 @@ fn cmd_list() -> ExitCode {
     println!("qos:        1x, 2x, 3x");
     println!("dispatchers (tps fleet): rr (round-robin), coolest (coolest-rack-first), thermal");
     println!("demand models (tps fleet): constant, diurnal, bursty");
+    println!("scenario specs (tps sweep): scenarios/*.toml, schema in docs/SCENARIOS.md");
     ExitCode::SUCCESS
 }
 
@@ -199,62 +203,46 @@ struct FleetArgs {
     threads: usize,
 }
 
-/// Accepts both `--flag=value` and `--flag value` spellings.
-fn parse_fleet_args(args: &[String]) -> Result<FleetArgs, String> {
-    let mut out = FleetArgs {
-        servers: 16,
-        racks: None,
-        jobs: 200,
-        seed: 42,
-        rate: 0.7,
-        demand: "diurnal".to_owned(),
-        dispatcher: "all".to_owned(),
-        policy: ServerPolicy::Proposed,
-        ambient: 70.0,
-        pitch: 2.0,
-        threads: std::thread::available_parallelism().map_or(4, |n| n.get().min(8)),
+fn parse_fleet_args(raw: &[String]) -> Result<FleetArgs, String> {
+    let args = CliArgs::parse(
+        raw,
+        &[
+            "servers",
+            "racks",
+            "jobs",
+            "seed",
+            "rate",
+            "demand",
+            "dispatcher",
+            "policy",
+            "ambient",
+            "pitch",
+            "threads",
+        ],
+        0,
+    )?;
+    let out = FleetArgs {
+        servers: args.parsed("servers", 16)?,
+        racks: match args.flag("racks") {
+            None => None,
+            Some(_) => Some(args.parsed("racks", 0usize)?),
+        },
+        jobs: args.parsed("jobs", 200)?,
+        seed: args.parsed("seed", 42)?,
+        rate: args.parsed("rate", 0.7)?,
+        demand: args.flag_or("demand", "diurnal").to_owned(),
+        dispatcher: args.flag_or("dispatcher", "all").to_owned(),
+        policy: match args.flag_or("policy", "proposed") {
+            "proposed" => ServerPolicy::Proposed,
+            "coskun" => ServerPolicy::Coskun,
+            "inlet" => ServerPolicy::InletFirst,
+            "packed" => ServerPolicy::Packed,
+            other => return Err(format!("unknown policy `{other}`")),
+        },
+        ambient: args.parsed("ambient", 70.0)?,
+        pitch: args.parsed("pitch", 2.0)?,
+        threads: args.parsed("threads", FleetConfig::default_threads())?,
     };
-    let mut i = 0;
-    while i < args.len() {
-        let (flag, value) = match args[i].split_once('=') {
-            Some((f, v)) => (f.to_owned(), v.to_owned()),
-            None => {
-                let f = args[i].clone();
-                i += 1;
-                let v = args
-                    .get(i)
-                    .ok_or_else(|| format!("flag `{f}` is missing its value"))?;
-                (f, v.clone())
-            }
-        };
-        i += 1;
-        let flag = flag
-            .strip_prefix("--")
-            .ok_or_else(|| format!("unexpected argument `{flag}`"))?;
-        let bad = |e: &dyn std::fmt::Display| format!("invalid --{flag} value: {e}");
-        match flag {
-            "servers" => out.servers = value.parse().map_err(|e| bad(&e))?,
-            "racks" => out.racks = Some(value.parse().map_err(|e| bad(&e))?),
-            "jobs" => out.jobs = value.parse().map_err(|e| bad(&e))?,
-            "seed" => out.seed = value.parse().map_err(|e| bad(&e))?,
-            "rate" => out.rate = value.parse().map_err(|e| bad(&e))?,
-            "demand" => out.demand = value,
-            "dispatcher" => out.dispatcher = value,
-            "ambient" => out.ambient = value.parse().map_err(|e| bad(&e))?,
-            "pitch" => out.pitch = value.parse().map_err(|e| bad(&e))?,
-            "threads" => out.threads = value.parse().map_err(|e| bad(&e))?,
-            "policy" => {
-                out.policy = match value.as_str() {
-                    "proposed" => ServerPolicy::Proposed,
-                    "coskun" => ServerPolicy::Coskun,
-                    "inlet" => ServerPolicy::InletFirst,
-                    "packed" => ServerPolicy::Packed,
-                    other => return Err(format!("unknown policy `{other}`")),
-                }
-            }
-            other => return Err(format!("unknown flag `--{other}`")),
-        }
-    }
     if out.servers == 0
         || out.jobs == 0
         || out.racks == Some(0)
@@ -300,13 +288,10 @@ fn synthesize_fleet_jobs(a: &FleetArgs) -> Result<Vec<Job>, String> {
     }
 }
 
-fn cmd_fleet(args: &[String]) -> ExitCode {
-    let a = match parse_fleet_args(args) {
+fn cmd_fleet(raw: &[String]) -> ExitCode {
+    let a = match parse_fleet_args(raw) {
         Ok(a) => a,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return fail(e),
     };
     let racks = a.racks.unwrap_or(match a.servers {
         0..=1 => 1,
@@ -323,10 +308,7 @@ fn cmd_fleet(args: &[String]) -> ExitCode {
     }
     let jobs = match synthesize_fleet_jobs(&a) {
         Ok(j) => j,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return fail(e),
     };
 
     let mut dispatchers: Vec<Box<dyn FleetDispatcher>> = Vec::new();
@@ -340,8 +322,9 @@ fn cmd_fleet(args: &[String]) -> ExitCode {
         "coolest" => dispatchers.push(Box::new(CoolestRackFirst)),
         "thermal" => dispatchers.push(Box::new(ThermalAwareDispatch)),
         other => {
-            eprintln!("error: unknown dispatcher `{other}` (use all, rr, coolest or thermal)");
-            return ExitCode::FAILURE;
+            return fail(format!(
+                "unknown dispatcher `{other}` (use all, rr, coolest or thermal)"
+            ))
         }
     }
 
@@ -389,10 +372,7 @@ fn cmd_fleet(args: &[String]) -> ExitCode {
                 );
                 outcomes.push(out);
             }
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
+            Err(e) => return fail(e),
         }
     }
     println!(
@@ -409,5 +389,80 @@ fn cmd_fleet(args: &[String]) -> ExitCode {
             -100.0 * (1.0 - ta.cooling_energy / rr.cooling_energy)
         );
     }
+    ExitCode::SUCCESS
+}
+
+fn cmd_sweep(raw: &[String]) -> ExitCode {
+    let args = match CliArgs::parse(raw, &["out", "threads"], 1) {
+        Ok(a) => a,
+        Err(e) => return fail(e),
+    };
+    let Some(spec_path) = args.positional(0) else {
+        return fail("missing <spec.toml> argument (shipped specs live under scenarios/)");
+    };
+    let threads = match args.parsed("threads", FleetConfig::default_threads()) {
+        Ok(n) if n > 0 => n,
+        Ok(_) => return fail("--threads must be positive"),
+        Err(e) => return fail(e),
+    };
+    let out_dir = Path::new(args.flag_or("out", "target/sweep")).to_owned();
+
+    let source = match std::fs::read_to_string(spec_path) {
+        Ok(s) => s,
+        Err(e) => return fail(format!("cannot read `{spec_path}`: {e}")),
+    };
+    let stem = Path::new(spec_path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("sweep")
+        .to_owned();
+    let sweep = match Sweep::parse(&source, &stem) {
+        Ok(s) => s,
+        Err(e) => return fail(format!("{spec_path}: {e}")),
+    };
+
+    println!(
+        "sweep `{}`: {} axis/axes → {} grid point(s), {} worker thread(s)",
+        sweep.name,
+        sweep.axes.len(),
+        sweep.grid_len(),
+        threads
+    );
+    for axis in &sweep.axes {
+        let values: Vec<String> = axis
+            .values
+            .iter()
+            .map(tps::scenario::toml::Value::display_compact)
+            .collect();
+        println!("  {} = [{}]", axis.path, values.join(", "));
+    }
+    let started = std::time::Instant::now();
+    let report = match sweep.run(threads) {
+        Ok(r) => r,
+        Err(e) => return fail(format!("{spec_path}: {e}")),
+    };
+    println!(
+        "executed {} grid point(s) in {:.2} s\n",
+        report.rows.len(),
+        started.elapsed().as_secs_f64()
+    );
+    print!("{}", report.to_markdown());
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        return fail(format!("cannot create `{}`: {e}", out_dir.display()));
+    }
+    let csv_path = out_dir.join(format!("{stem}.csv"));
+    let md_path = out_dir.join(format!("{stem}.md"));
+    if let Err(e) = std::fs::write(&csv_path, report.to_csv()) {
+        return fail(format!("cannot write `{}`: {e}", csv_path.display()));
+    }
+    if let Err(e) = std::fs::write(&md_path, report.to_markdown()) {
+        return fail(format!("cannot write `{}`: {e}", md_path.display()));
+    }
+    println!(
+        "\nreports: {} and {}",
+        csv_path.display(),
+        md_path.display()
+    );
     ExitCode::SUCCESS
 }
