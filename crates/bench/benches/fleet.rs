@@ -1,12 +1,14 @@
-//! Criterion: fleet-simulator costs — dispatch + energy integration with a
-//! warm physics cache, and the synthesis path that feeds it.
+//! Criterion: fleet-simulator costs — the event kernel's dispatch +
+//! energy integration with a warm physics cache, the synthesis path that
+//! feeds it, and the overhead of running closed-loop (control ticks +
+//! telemetry sampling) on top of the open-loop kernel.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tps_cluster::{
-    synthesize_jobs, CoolestRackFirst, Fleet, FleetConfig, JobMix, OutcomeCache, RoundRobin,
-    ThermalAwareDispatch,
+    synthesize_jobs, CoolestRackFirst, Fleet, FleetConfig, JobMix, LoadSheddingControl,
+    OutcomeCache, RoundRobin, SetpointScheduler, TelemetryConfig, ThermalAwareDispatch,
 };
-use tps_units::Seconds;
+use tps_units::{Celsius, Seconds};
 use tps_workload::DiurnalDemand;
 
 fn bench_job_synthesis(c: &mut Criterion) {
@@ -54,6 +56,58 @@ fn bench_fleet_replay(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_controlled_kernel(c: &mut Criterion) {
+    // The closed-loop overhead on the same 200-job replay: a set-point
+    // program, a ticking shedding controller, and 10 s telemetry.
+    let mut config = FleetConfig::new(4, 4);
+    config.grid_pitch_mm = 3.0;
+    let fleet = Fleet::new(config);
+    let demand = DiurnalDemand::new(0.04, 0.2, Seconds::new(600.0));
+    let jobs = synthesize_jobs(200, &demand, JobMix::default(), 42);
+    let cache = OutcomeCache::new();
+    fleet
+        .simulate(&jobs, &mut RoundRobin::default(), &cache)
+        .expect("warm-up run");
+
+    let telemetry = TelemetryConfig {
+        sample_interval: Seconds::new(10.0),
+        ..TelemetryConfig::default()
+    };
+    let mut group = c.benchmark_group("fleet_kernel_200_jobs_closed_loop");
+    group.bench_function(BenchmarkId::from_parameter("setpoint+telemetry"), |b| {
+        b.iter(|| {
+            let mut control = SetpointScheduler::new(vec![
+                (Seconds::new(150.0), Celsius::new(45.0)),
+                (Seconds::new(450.0), Celsius::new(70.0)),
+            ]);
+            fleet
+                .simulate_with(
+                    &jobs,
+                    &mut ThermalAwareDispatch,
+                    &mut control,
+                    Some(&telemetry),
+                    &cache,
+                )
+                .unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("shed+telemetry"), |b| {
+        b.iter(|| {
+            let mut control = LoadSheddingControl::new(Seconds::new(10.0), 16, 4);
+            fleet
+                .simulate_with(
+                    &jobs,
+                    &mut ThermalAwareDispatch,
+                    &mut control,
+                    Some(&telemetry),
+                    &cache,
+                )
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
 fn bench_dispatch_decision(c: &mut Criterion) {
     // A single thermal-aware placement against a loaded 8-rack view.
     let mut config = FleetConfig::new(8, 8);
@@ -86,6 +140,7 @@ criterion_group! {
     config = configured();
     targets = bench_job_synthesis,
     bench_fleet_replay,
+    bench_controlled_kernel,
     bench_dispatch_decision
 }
 criterion_main!(benches);

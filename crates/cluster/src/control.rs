@@ -1,0 +1,274 @@
+//! Runtime control: policies evaluated by the event kernel while the
+//! simulation runs.
+//!
+//! The dispatchers of [`crate::dispatch`] decide *where* a job goes at its
+//! arrival instant; a [`ControlPolicy`] decides how the *fleet itself*
+//! behaves over time — re-programming the chiller/heat-reuse set-point
+//! ([`Event::SetpointChange`](crate::Event)) and observing the fleet on a
+//! fixed cadence ([`Event::ControlTick`](crate::Event)) to steer admission.
+//! This mirrors the controlled-dynamical-system view of thermal-aware data
+//! centers (Van Damme et al.; Rostami et al.): placement is the inner
+//! loop, set-point and admission control the outer one.
+//!
+//! Three policies ship:
+//!
+//! * [`StaticControl`] — no ticks, no set-point moves; exactly the
+//!   open-loop behavior of the plain fleet simulator.
+//! * [`SetpointScheduler`] — a time-tagged chiller set-point program
+//!   (e.g. drop the heat-reuse loop during the diurnal peak).
+//! * [`LoadSheddingControl`] — hysteretic admission control: shed
+//!   arrivals while the queue backlog exceeds a high watermark, re-admit
+//!   once it drains below the low one.
+
+use crate::dispatch::RackView;
+use tps_units::{Celsius, Seconds};
+
+/// A read-only snapshot of the fleet handed to the control policy on
+/// every [`ControlTick`](crate::Event::ControlTick).
+#[derive(Debug)]
+pub struct ControlStatus<'a> {
+    /// The tick instant.
+    pub now: Seconds,
+    /// Placements committed (running or queued).
+    pub committed: usize,
+    /// Placements currently executing.
+    pub running: usize,
+    /// Placements queued behind busy servers.
+    pub queued: usize,
+    /// Arrivals shed so far.
+    pub shed: usize,
+    /// QoS violations so far.
+    pub violations: usize,
+    /// The current chiller/heat-reuse set-point.
+    pub setpoint: Celsius,
+    /// Whether admission control is currently shedding arrivals.
+    pub shedding: bool,
+    /// Per-rack committed load (same views the dispatchers see).
+    pub racks: &'a [RackView],
+}
+
+/// An action a control policy emits from a tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ControlAction {
+    /// Move the chiller/heat-reuse set-point (takes effect immediately
+    /// for dispatch and energy accounting).
+    SetSetpoint(Celsius),
+    /// Engage (`true`) or release (`false`) arrival shedding.
+    SetShedding(bool),
+}
+
+/// A runtime control policy evaluated by the event kernel.
+///
+/// All methods have no-op defaults, so a policy only implements the
+/// surfaces it uses: a pre-computed set-point program, a tick cadence
+/// with a feedback rule, or both.
+pub trait ControlPolicy {
+    /// Policy name, carried into [`FleetOutcome`](crate::FleetOutcome)
+    /// and report tables.
+    fn name(&self) -> &'static str;
+
+    /// Set-point changes to pre-schedule as
+    /// [`SetpointChange`](crate::Event::SetpointChange) events, as
+    /// `(time, set-point)` pairs. Times must be non-negative and finite.
+    fn setpoint_program(&self) -> Vec<(Seconds, Celsius)> {
+        Vec::new()
+    }
+
+    /// Cadence of [`ControlTick`](crate::Event::ControlTick) events
+    /// (first tick one interval in); `None` disables ticks.
+    fn tick_interval(&self) -> Option<Seconds> {
+        None
+    }
+
+    /// Evaluated on every tick; returned actions apply in order.
+    fn on_tick(&mut self, status: &ControlStatus<'_>) -> Vec<ControlAction> {
+        let _ = status;
+        Vec::new()
+    }
+}
+
+/// Today's open-loop behavior: no ticks, no set-point program. With this
+/// policy (and telemetry off) the kernel reproduces the pre-kernel fleet
+/// simulator bit-for-bit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticControl;
+
+impl ControlPolicy for StaticControl {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+}
+
+/// A time-tagged chiller set-point program, e.g. a diurnal schedule that
+/// sacrifices heat-reuse temperature for chiller COP during the load
+/// peak and restores it overnight.
+///
+/// ```
+/// use tps_cluster::{ControlPolicy, SetpointScheduler};
+/// use tps_units::{Celsius, Seconds};
+///
+/// let sched = SetpointScheduler::new(vec![
+///     (Seconds::ZERO, Celsius::new(70.0)),
+///     (Seconds::new(150.0), Celsius::new(45.0)),
+///     (Seconds::new(450.0), Celsius::new(70.0)),
+/// ]);
+/// assert_eq!(sched.name(), "setpoint");
+/// assert_eq!(sched.setpoint_program().len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetpointScheduler {
+    program: Vec<(Seconds, Celsius)>,
+}
+
+impl SetpointScheduler {
+    /// A scheduler that replays `program` (strictly ascending times).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program is empty, a time is negative or not finite,
+    /// the times are not strictly ascending, or a set-point is not finite.
+    pub fn new(program: Vec<(Seconds, Celsius)>) -> Self {
+        assert!(!program.is_empty(), "set-point program must not be empty");
+        for (i, (t, c)) in program.iter().enumerate() {
+            assert!(
+                t.value() >= 0.0 && t.value().is_finite(),
+                "set-point time {t} must be non-negative and finite"
+            );
+            assert!(c.value().is_finite(), "set-point {c} must be finite");
+            if i > 0 {
+                assert!(
+                    program[i - 1].0.value() < t.value(),
+                    "set-point times must be strictly ascending"
+                );
+            }
+        }
+        Self { program }
+    }
+}
+
+impl ControlPolicy for SetpointScheduler {
+    fn name(&self) -> &'static str {
+        "setpoint"
+    }
+
+    fn setpoint_program(&self) -> Vec<(Seconds, Celsius)> {
+        self.program.clone()
+    }
+}
+
+/// Hysteretic admission control: on every tick, start shedding arrivals
+/// when the queued backlog reaches `high_watermark`, stop once it drains
+/// to `low_watermark` or below. Shed jobs are counted, never placed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadSheddingControl {
+    tick: Seconds,
+    high_watermark: usize,
+    low_watermark: usize,
+}
+
+impl LoadSheddingControl {
+    /// A shedding controller ticking every `tick` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `tick` is positive and finite and
+    /// `low_watermark < high_watermark`.
+    pub fn new(tick: Seconds, high_watermark: usize, low_watermark: usize) -> Self {
+        assert!(
+            tick.value() > 0.0 && tick.value().is_finite(),
+            "tick interval must be positive and finite"
+        );
+        assert!(
+            low_watermark < high_watermark,
+            "need low_watermark < high_watermark for hysteresis"
+        );
+        Self {
+            tick,
+            high_watermark,
+            low_watermark,
+        }
+    }
+}
+
+impl ControlPolicy for LoadSheddingControl {
+    fn name(&self) -> &'static str {
+        "shed"
+    }
+
+    fn tick_interval(&self) -> Option<Seconds> {
+        Some(self.tick)
+    }
+
+    fn on_tick(&mut self, status: &ControlStatus<'_>) -> Vec<ControlAction> {
+        if !status.shedding && status.queued >= self.high_watermark {
+            vec![ControlAction::SetShedding(true)]
+        } else if status.shedding && status.queued <= self.low_watermark {
+            vec![ControlAction::SetShedding(false)]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn status(queued: usize, shedding: bool) -> ControlStatus<'static> {
+        ControlStatus {
+            now: Seconds::new(60.0),
+            committed: queued + 2,
+            running: 2,
+            queued,
+            shed: 0,
+            violations: 0,
+            setpoint: Celsius::new(70.0),
+            shedding,
+            racks: &[],
+        }
+    }
+
+    #[test]
+    fn static_control_is_inert() {
+        let mut c = StaticControl;
+        assert_eq!(c.name(), "static");
+        assert!(c.setpoint_program().is_empty());
+        assert!(c.tick_interval().is_none());
+        assert!(c.on_tick(&status(100, false)).is_empty());
+    }
+
+    #[test]
+    fn shedding_hysteresis_engages_and_releases() {
+        let mut c = LoadSheddingControl::new(Seconds::new(30.0), 8, 2);
+        assert_eq!(c.tick_interval(), Some(Seconds::new(30.0)));
+        // Below the high watermark: nothing.
+        assert!(c.on_tick(&status(7, false)).is_empty());
+        // At the high watermark: engage.
+        assert_eq!(
+            c.on_tick(&status(8, false)),
+            vec![ControlAction::SetShedding(true)]
+        );
+        // Inside the hysteresis band while shedding: hold.
+        assert!(c.on_tick(&status(5, true)).is_empty());
+        // At the low watermark: release.
+        assert_eq!(
+            c.on_tick(&status(2, true)),
+            vec![ControlAction::SetShedding(false)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis")]
+    fn shedding_rejects_inverted_watermarks() {
+        let _ = LoadSheddingControl::new(Seconds::new(30.0), 2, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn scheduler_rejects_unsorted_programs() {
+        let _ = SetpointScheduler::new(vec![
+            (Seconds::new(10.0), Celsius::new(45.0)),
+            (Seconds::new(10.0), Celsius::new(70.0)),
+        ]);
+    }
+}

@@ -1,0 +1,801 @@
+//! The discrete-event simulation kernel: a deterministic event queue, the
+//! mutable `FleetState` it drives, and the main loop that turns a job
+//! stream plus a [`ControlPolicy`](crate::ControlPolicy) into placements,
+//! a set-point timeline and (optionally) a telemetry trace.
+//!
+//! Everything in here is sequential and byte-deterministic: events are
+//! ordered by a stable `(time, class, seq)` key, so two runs of the same
+//! inputs — at any warm-up thread count — replay the identical event
+//! sequence and produce bit-identical floats. The four event kinds and
+//! their same-instant ordering:
+//!
+//! 1. [`Event::JobCompletion`] — a server finishes a job; committed rack
+//!    load expires *before* anything else sees that instant (a placement
+//!    covers `[start, end)`).
+//! 2. [`Event::SetpointChange`] — the chiller/heat-reuse set-point moves;
+//!    later dispatch decisions and energy windows see the new chiller.
+//! 3. [`Event::ControlTick`] — the control policy observes the fleet and
+//!    may emit actions.
+//! 4. [`Event::TelemetrySample`] — a [`FleetSample`] is recorded.
+//! 5. [`Event::JobArrival`] — the dispatcher places the job against the
+//!    settled fleet state.
+
+use crate::cache::{OutcomeCache, SteadyState};
+use crate::control::{ControlAction, ControlPolicy, ControlStatus};
+use crate::dispatch::{FleetDispatcher, FleetView, JobDemand, RackView};
+use crate::fleet::FleetConfig;
+use crate::job::Job;
+use crate::metrics::{
+    integrate_energy, FleetSample, FleetTrace, Placement, SimResult, TelemetryConfig,
+};
+use std::collections::BTreeMap;
+use tps_core::{MinPowerSelector, RunError, Server};
+use tps_units::{Celsius, Seconds, Watts};
+
+/// A typed simulation event.
+///
+/// Events carry only identities; the payloads they act on (committed rack
+/// load, running power, set-point) live in the kernel's `FleetState`, which settles
+/// lazily to the event's timestamp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A job finishes executing on a server (its committed rack load
+    /// expires at this instant).
+    JobCompletion {
+        /// The completing job's id.
+        job: usize,
+        /// The global server index it ran on.
+        server: usize,
+    },
+    /// The chiller/heat-reuse set-point changes to the given temperature.
+    SetpointChange(Celsius),
+    /// The control policy is evaluated against a fleet snapshot.
+    ControlTick,
+    /// A telemetry sample is recorded into the trace ring.
+    TelemetrySample,
+    /// A job (index into the simulated stream) arrives at the front-end.
+    JobArrival(usize),
+}
+
+impl Event {
+    /// Same-instant ordering class (lower runs first); see the module
+    /// docs for the rationale of completion-before-arrival.
+    fn class(&self) -> u8 {
+        match self {
+            Event::JobCompletion { .. } => 0,
+            Event::SetpointChange(_) => 1,
+            Event::ControlTick => 2,
+            Event::TelemetrySample => 3,
+            Event::JobArrival(_) => 4,
+        }
+    }
+}
+
+/// A deterministic event queue ordered by `(time, class, seq)`.
+///
+/// `seq` is the push order, so ties within one class pop first-in
+/// first-out no matter how the queue is used — results never depend on
+/// insertion patterns, hashing or thread count.
+///
+/// ```
+/// use tps_cluster::{Event, EventQueue};
+/// use tps_units::Seconds;
+///
+/// let mut q = EventQueue::new();
+/// q.push(Seconds::new(5.0), Event::JobArrival(1));
+/// q.push(Seconds::new(5.0), Event::JobCompletion { job: 0, server: 0 });
+/// q.push(Seconds::new(1.0), Event::ControlTick);
+/// // Earliest time first; at equal times completions precede arrivals.
+/// assert_eq!(q.pop(), Some((Seconds::new(1.0), Event::ControlTick)));
+/// assert!(matches!(q.pop(), Some((_, Event::JobCompletion { .. }))));
+/// assert_eq!(q.pop(), Some((Seconds::new(5.0), Event::JobArrival(1))));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    /// Min-heap over the full `(time_bits, class, seq)` key — the
+    /// tie-break is total, so heap-internal order never leaks into
+    /// results. `f64::to_bits` is monotone for the non-negative times in
+    /// play.
+    heap: std::collections::BinaryHeap<QueueEntry>,
+    seq: u64,
+}
+
+/// One scheduled event; ordered *descending* by key so the std max-heap
+/// pops the earliest `(time, class, seq)` first.
+#[derive(Debug)]
+struct QueueEntry {
+    key: (u64, u8, u64),
+    event: Event,
+}
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+
+impl Eq for QueueEntry {}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.key.cmp(&self.key)
+    }
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is negative or not finite.
+    pub fn push(&mut self, time: Seconds, event: Event) {
+        assert!(
+            time.value() >= 0.0 && time.value().is_finite(),
+            "event time must be non-negative and finite, got {time}"
+        );
+        self.heap.push(QueueEntry {
+            key: (time.value().to_bits(), event.class(), self.seq),
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(Seconds, Event)> {
+        self.heap
+            .pop()
+            .map(|e| (Seconds::new(f64::from_bits(e.key.0)), e.event))
+    }
+
+    /// Pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// Incremental per-rack committed load: every placement that has not
+/// finished (running or still queued) counts against its rack until its
+/// end time expires. Keeps dispatch O(racks + log jobs) per arrival
+/// instead of rescanning all placements.
+///
+/// Invariant note: the heat-sum / water-multiset / pin-drained-to-zero
+/// bookkeeping here is mirrored (over different windows and orderings)
+/// by the kernel's `RunningSet` and by `integrate_energy`'s event sweep
+/// — a change to the accumulation rules must land in all three, and the
+/// property tests plus the golden bit-for-bit fleet test pin the
+/// behavior.
+#[derive(Debug)]
+pub struct RackLoads {
+    heat: Vec<f64>,
+    /// Multiset of tolerable-water keys per rack; `f64::to_bits` is
+    /// monotone for the non-negative temperatures in play and round-trips
+    /// the exact value.
+    water: Vec<BTreeMap<u64, usize>>,
+    count: Vec<usize>,
+    /// `(end_bits, insertion seq) → (rack, heat, water_bits)`.
+    expiry: BTreeMap<(u64, usize), (usize, f64, u64)>,
+    seq: usize,
+    total: usize,
+}
+
+impl RackLoads {
+    /// Empty loads over `racks` racks.
+    pub fn new(racks: usize) -> Self {
+        Self {
+            heat: vec![0.0; racks],
+            water: vec![BTreeMap::new(); racks],
+            count: vec![0; racks],
+            expiry: BTreeMap::new(),
+            seq: 0,
+            total: 0,
+        }
+    }
+
+    /// Number of racks.
+    pub fn racks(&self) -> usize {
+        self.heat.len()
+    }
+
+    /// Committed placements across all racks.
+    pub fn total_committed(&self) -> usize {
+        self.total
+    }
+
+    /// Commits `state`'s load to `rack` until `end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rack` is out of range.
+    pub fn add(&mut self, rack: usize, state: &SteadyState, end: Seconds) {
+        let water_bits = state.max_water_temp.value().to_bits();
+        self.heat[rack] += state.heat.value();
+        self.count[rack] += 1;
+        self.total += 1;
+        *self.water[rack].entry(water_bits).or_insert(0) += 1;
+        self.expiry.insert(
+            (end.value().to_bits(), self.seq),
+            (rack, state.heat.value(), water_bits),
+        );
+        self.seq += 1;
+    }
+
+    /// Drops every placement with `end ≤ now` (it covered `[start, end)`),
+    /// in `(end, insertion)` order so float accumulation is deterministic.
+    pub fn expire_until(&mut self, now: Seconds) {
+        while let Some((&key @ (end_bits, _), &(rack, heat, water_bits))) =
+            self.expiry.first_key_value()
+        {
+            if f64::from_bits(end_bits) > now.value() {
+                break;
+            }
+            self.expiry.remove(&key);
+            self.heat[rack] -= heat;
+            self.count[rack] -= 1;
+            self.total -= 1;
+            if let Some(n) = self.water[rack].get_mut(&water_bits) {
+                *n -= 1;
+                if *n == 0 {
+                    self.water[rack].remove(&water_bits);
+                }
+            }
+            // Pin drained racks back to exact zero: float residue must not
+            // perturb later dispatch comparisons.
+            if self.count[rack] == 0 {
+                self.heat[rack] = 0.0;
+            }
+        }
+    }
+
+    /// Writes the per-rack dispatch views into `out` (cleared first).
+    ///
+    /// Takes a caller-owned scratch buffer instead of allocating: the
+    /// fleet loop calls this once per arrival, and a fresh
+    /// `Vec<RackView>` per job was the simulator's hottest allocation
+    /// site (O(jobs × racks) before, O(racks) once now).
+    pub fn views_into(&self, out: &mut Vec<RackView>) {
+        out.clear();
+        out.extend((0..self.heat.len()).map(|r| {
+            RackView {
+                heat: Watts::new(self.heat[r].max(0.0)),
+                supply: self.water[r]
+                    .first_key_value()
+                    .map(|(&bits, _)| Celsius::new(f64::from_bits(bits))),
+                committed: self.count[r],
+            }
+        }));
+    }
+
+    /// The per-rack dispatch views as a fresh vector (allocating
+    /// convenience over [`views_into`](Self::views_into)).
+    pub fn views(&self) -> Vec<RackView> {
+        let mut out = Vec::with_capacity(self.heat.len());
+        self.views_into(&mut out);
+        out
+    }
+}
+
+/// One running placement's contribution, folded in at its start time and
+/// out at its end time.
+#[derive(Debug, Clone, Copy)]
+struct RunningRec {
+    rack: usize,
+    heat: f64,
+    power: f64,
+    water_bits: u64,
+}
+
+/// The *running* (started, not finished) layer of the fleet, maintained
+/// lazily for telemetry and control snapshots. Distinct from
+/// [`RackLoads`], which tracks *committed* (running or queued) load —
+/// the quantity dispatch decisions are made against. Shares its
+/// accumulation rules with [`RackLoads`] and `integrate_energy` (see the
+/// invariant note on [`RackLoads`]).
+#[derive(Debug)]
+struct RunningSet {
+    /// Placements not yet started: `(start_bits, seq) → rec`.
+    starts: BTreeMap<(u64, u64), RunningRec>,
+    /// Placements started, not yet folded out: `(end_bits, seq) → rec`.
+    ends: BTreeMap<(u64, u64), RunningRec>,
+    seq: u64,
+    active_power: f64,
+    heat: Vec<f64>,
+    water: Vec<BTreeMap<u64, usize>>,
+    count: Vec<usize>,
+    running: usize,
+}
+
+impl RunningSet {
+    fn new(racks: usize) -> Self {
+        Self {
+            starts: BTreeMap::new(),
+            ends: BTreeMap::new(),
+            seq: 0,
+            active_power: 0.0,
+            heat: vec![0.0; racks],
+            water: vec![BTreeMap::new(); racks],
+            count: vec![0; racks],
+            running: 0,
+        }
+    }
+
+    fn commit(&mut self, rack: usize, state: &SteadyState, start: Seconds, end: Seconds) {
+        let rec = RunningRec {
+            rack,
+            heat: state.heat.value(),
+            power: state.package_power.value(),
+            water_bits: state.max_water_temp.value().to_bits(),
+        };
+        self.starts.insert((start.value().to_bits(), self.seq), rec);
+        self.ends.insert((end.value().to_bits(), self.seq), rec);
+        self.seq += 1;
+    }
+
+    /// Folds all starts, then all ends, with time ≤ `now` into the
+    /// aggregates, in `(time, insertion)` order.
+    fn settle(&mut self, now: Seconds) {
+        while let Some((&(bits, _), _)) = self.starts.first_key_value() {
+            if f64::from_bits(bits) > now.value() {
+                break;
+            }
+            let (_, rec) = self.starts.pop_first().expect("peeked above");
+            self.active_power += rec.power;
+            self.heat[rec.rack] += rec.heat;
+            self.count[rec.rack] += 1;
+            self.running += 1;
+            *self.water[rec.rack].entry(rec.water_bits).or_insert(0) += 1;
+        }
+        while let Some((&(bits, _), _)) = self.ends.first_key_value() {
+            if f64::from_bits(bits) > now.value() {
+                break;
+            }
+            let (_, rec) = self.ends.pop_first().expect("peeked above");
+            self.active_power -= rec.power;
+            self.heat[rec.rack] -= rec.heat;
+            self.count[rec.rack] -= 1;
+            self.running -= 1;
+            if let Some(n) = self.water[rec.rack].get_mut(&rec.water_bits) {
+                *n -= 1;
+                if *n == 0 {
+                    self.water[rec.rack].remove(&rec.water_bits);
+                }
+            }
+            if self.count[rec.rack] == 0 {
+                self.heat[rec.rack] = 0.0;
+            }
+            if self.running == 0 {
+                self.active_power = 0.0;
+            }
+        }
+    }
+}
+
+/// The kernel's mutable fleet state: per-rack committed load, per-server
+/// availability, the running layer behind telemetry, and the control
+/// surface (current chiller, shedding flag).
+#[derive(Debug)]
+pub(crate) struct FleetState {
+    loads: RackLoads,
+    running: RunningSet,
+    free_at: Vec<Seconds>,
+    chiller: tps_cooling::Chiller,
+    setpoint: Celsius,
+    shedding: bool,
+    shed: usize,
+    violations: usize,
+    pending_arrivals: usize,
+}
+
+impl FleetState {
+    fn new(config: &FleetConfig, pending_arrivals: usize) -> Self {
+        Self {
+            loads: RackLoads::new(config.racks),
+            running: RunningSet::new(config.racks),
+            free_at: vec![Seconds::ZERO; config.total_servers()],
+            chiller: config.chiller.clone(),
+            setpoint: config.chiller.ambient(),
+            shedding: false,
+            shed: 0,
+            violations: 0,
+            pending_arrivals,
+        }
+    }
+
+    /// All arrivals processed and nothing committed: the simulation can
+    /// stop re-arming periodic events.
+    fn done(&self) -> bool {
+        self.pending_arrivals == 0 && self.loads.total_committed() == 0
+    }
+
+    /// Placed but not yet started.
+    fn queued(&self) -> usize {
+        self.loads.total_committed() - self.running.running
+    }
+}
+
+/// Runs the event loop: arrivals dispatched against settled state,
+/// completions expiring committed load, control ticks and set-point
+/// changes steering the chiller, telemetry sampled on its own cadence.
+///
+/// The physics cache must already be warm for every `(bench, qos)` in
+/// `jobs` ([`Fleet::simulate_with`](crate::Fleet::simulate_with) warms it
+/// first); misses are still solved correctly, just serially.
+pub(crate) fn run(
+    config: &FleetConfig,
+    server: &Server,
+    jobs: &[Job],
+    dispatcher: &mut dyn FleetDispatcher,
+    control: &mut dyn ControlPolicy,
+    telemetry: Option<&TelemetryConfig>,
+    cache: &OutcomeCache,
+) -> Result<SimResult, RunError> {
+    let selector = MinPowerSelector;
+    let policy = config.policy.as_policy();
+    let n_servers = config.total_servers();
+
+    let mut queue = EventQueue::new();
+    // Arrivals in time order (id on ties), pushed in that order so the
+    // queue's seq tie-break preserves it.
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by(|&a, &b| {
+        jobs[a]
+            .arrival
+            .value()
+            .total_cmp(&jobs[b].arrival.value())
+            .then(jobs[a].id.cmp(&jobs[b].id))
+    });
+    for &ji in &order {
+        queue.push(jobs[ji].arrival, Event::JobArrival(ji));
+    }
+    // The control policy's pre-scheduled set-point program…
+    for (t, c) in control.setpoint_program() {
+        queue.push(t, Event::SetpointChange(c));
+    }
+    // …its tick cadence, and the telemetry cadence (both re-armed from
+    // their own handlers while work remains).
+    let tick = control.tick_interval();
+    if let Some(dt) = tick {
+        assert!(dt.value() > 0.0, "control tick interval must be positive");
+        queue.push(dt, Event::ControlTick);
+    }
+    if let Some(t) = telemetry {
+        assert!(
+            t.sample_interval.value() > 0.0,
+            "telemetry sample interval must be positive"
+        );
+        queue.push(Seconds::ZERO, Event::TelemetrySample);
+    }
+
+    let mut state = FleetState::new(config, jobs.len());
+    // Closed-loop machinery — the running layer (telemetry's view of
+    // started-not-finished jobs) and the JobCompletion events that keep
+    // it and the tick/sample re-arming honest — costs two heap pushes
+    // and two ordered-map insertions per placement. When nothing reads
+    // it (open loop: no ticks, no telemetry) the kernel elides it: the
+    // committed layer already expires lazily at each arrival, so the
+    // event stream degenerates to arrivals only and the replay runs at
+    // the pre-kernel simulator's speed.
+    let closed_loop = telemetry.is_some() || tick.is_some();
+    let mut placements: Vec<Placement> = Vec::with_capacity(jobs.len());
+    let mut setpoints: Vec<(Seconds, Celsius)> = Vec::new();
+    let mut trace = telemetry.map(|t| FleetTrace::new(config.racks, t.capacity));
+    let mut final_sampled = false;
+    // Scratch for the per-arrival rack views (hot path: one buffer for
+    // the whole run instead of one allocation per job).
+    let mut rack_scratch: Vec<RackView> = Vec::with_capacity(config.racks);
+
+    while let Some((now, event)) = queue.pop() {
+        match event {
+            Event::JobCompletion { .. } => {
+                state.loads.expire_until(now);
+                state.running.settle(now);
+                // The trace ends exactly at the makespan: record the
+                // drained fleet once, at the event that drains it.
+                if state.done() && !final_sampled {
+                    if let Some(trace) = trace.as_mut() {
+                        trace.push(sample(&state, now, config));
+                        final_sampled = true;
+                    }
+                }
+            }
+            Event::SetpointChange(c) => {
+                state.chiller = config.chiller.with_ambient(c);
+                state.setpoint = c;
+                setpoints.push((now, c));
+            }
+            Event::ControlTick => {
+                if !state.done() {
+                    state.loads.expire_until(now);
+                    state.running.settle(now);
+                    state.loads.views_into(&mut rack_scratch);
+                    let status = ControlStatus {
+                        now,
+                        committed: state.loads.total_committed(),
+                        running: state.running.running,
+                        queued: state.queued(),
+                        shed: state.shed,
+                        violations: state.violations,
+                        setpoint: state.setpoint,
+                        shedding: state.shedding,
+                        racks: &rack_scratch,
+                    };
+                    for action in control.on_tick(&status) {
+                        match action {
+                            ControlAction::SetSetpoint(c) => {
+                                state.chiller = config.chiller.with_ambient(c);
+                                state.setpoint = c;
+                                setpoints.push((now, c));
+                            }
+                            ControlAction::SetShedding(on) => state.shedding = on,
+                        }
+                    }
+                    let dt = tick.expect("ticks only fire when an interval is set");
+                    queue.push(now + dt, Event::ControlTick);
+                }
+            }
+            Event::TelemetrySample => {
+                if !state.done() {
+                    state.running.settle(now);
+                    let t = telemetry.expect("samples only fire when telemetry is on");
+                    if let Some(trace) = trace.as_mut() {
+                        trace.push(sample(&state, now, config));
+                    }
+                    queue.push(now + t.sample_interval, Event::TelemetrySample);
+                }
+            }
+            Event::JobArrival(ji) => {
+                let job = &jobs[ji];
+                state.pending_arrivals -= 1;
+                state.loads.expire_until(now);
+                if state.shedding {
+                    state.shed += 1;
+                    // A run can end on a shed arrival (everything placed
+                    // has finished, the rest of the stream is dropped):
+                    // the final trace row must still carry the final shed
+                    // count, so the drained-fleet sample records here too.
+                    if state.done() && !final_sampled {
+                        if let Some(trace) = trace.as_mut() {
+                            state.running.settle(now);
+                            trace.push(sample(&state, now, config));
+                            final_sampled = true;
+                        }
+                    }
+                    continue;
+                }
+                let steady = cache.get_or_solve(
+                    server,
+                    job.bench,
+                    job.qos,
+                    &selector,
+                    policy,
+                    config.t_case_max,
+                )?;
+                let runtime = job.service * steady.normalized_time;
+                let demand = JobDemand {
+                    job,
+                    state: steady,
+                    runtime,
+                    wait_budget: job.wait_budget(steady.normalized_time),
+                };
+                state.loads.views_into(&mut rack_scratch);
+                let view = FleetView {
+                    now,
+                    racks: &rack_scratch,
+                    free_at: &state.free_at,
+                    servers_per_rack: config.servers_per_rack,
+                    chiller: &state.chiller,
+                };
+                let placed = dispatcher.place(&demand, &view);
+                assert!(placed < n_servers, "dispatcher placed outside the fleet");
+                let start = Seconds::new(now.value().max(state.free_at[placed].value()));
+                let wait = start - now;
+                let rack = placed / config.servers_per_rack;
+                let end = start + runtime;
+                let violated = wait.value() > demand.wait_budget.value() + 1e-9;
+                if violated {
+                    state.violations += 1;
+                }
+                placements.push(Placement {
+                    job: job.id,
+                    server: placed,
+                    rack,
+                    start,
+                    end,
+                    wait,
+                    violated,
+                    state: steady,
+                });
+                state.loads.add(rack, &steady, end);
+                state.free_at[placed] = end;
+                if closed_loop {
+                    state.running.commit(rack, &steady, start, end);
+                    queue.push(
+                        end,
+                        Event::JobCompletion {
+                            job: job.id,
+                            server: placed,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    let outcome = integrate_energy(
+        dispatcher.name(),
+        control.name(),
+        placements,
+        state.shed,
+        config,
+        &setpoints,
+    );
+    Ok(SimResult { outcome, trace })
+}
+
+/// Captures one telemetry sample from the settled running layer.
+fn sample(state: &FleetState, now: Seconds, config: &FleetConfig) -> FleetSample {
+    let running = &state.running;
+    let idle = (config.total_servers() - running.running) as f64 * config.idle_server_power.value();
+    let mut cooling = 0.0;
+    let mut rack_heat = Vec::with_capacity(config.racks);
+    let mut rack_water = Vec::with_capacity(config.racks);
+    for r in 0..config.racks {
+        let heat = running.heat[r].max(0.0);
+        let supply = running.water[r]
+            .first_key_value()
+            .map(|(&bits, _)| Celsius::new(f64::from_bits(bits)));
+        if let Some(supply) = supply {
+            cooling += state
+                .chiller
+                .electrical_power(Watts::new(heat), supply)
+                .value();
+        }
+        rack_heat.push(Watts::new(heat));
+        rack_water.push(supply);
+    }
+    FleetSample {
+        t: now,
+        setpoint: state.setpoint,
+        queued: state.queued(),
+        running: running.running,
+        shed: state.shed,
+        violations: state.violations,
+        it_power: Watts::new(running.active_power + idle),
+        cooling_power: Watts::new(cooling),
+        rack_heat,
+        rack_water,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_orders_by_time_then_class_then_push_order() {
+        let mut q = EventQueue::new();
+        let t = Seconds::new(10.0);
+        q.push(t, Event::JobArrival(0));
+        q.push(t, Event::TelemetrySample);
+        q.push(t, Event::ControlTick);
+        q.push(t, Event::SetpointChange(Celsius::new(45.0)));
+        q.push(t, Event::JobCompletion { job: 9, server: 1 });
+        q.push(Seconds::new(2.0), Event::JobArrival(7));
+        assert_eq!(q.len(), 6);
+
+        // Earlier time first, regardless of class.
+        assert_eq!(q.pop(), Some((Seconds::new(2.0), Event::JobArrival(7))));
+        // Same instant: completion, set-point, tick, sample, arrival.
+        assert_eq!(
+            q.pop(),
+            Some((t, Event::JobCompletion { job: 9, server: 1 }))
+        );
+        assert_eq!(
+            q.pop(),
+            Some((t, Event::SetpointChange(Celsius::new(45.0))))
+        );
+        assert_eq!(q.pop(), Some((t, Event::ControlTick)));
+        assert_eq!(q.pop(), Some((t, Event::TelemetrySample)));
+        assert_eq!(q.pop(), Some((t, Event::JobArrival(0))));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn queue_ties_within_a_class_pop_in_push_order() {
+        let mut q = EventQueue::new();
+        let t = Seconds::new(3.0);
+        for id in [4usize, 2, 9] {
+            q.push(t, Event::JobArrival(id));
+        }
+        let popped: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(
+            popped,
+            vec![
+                Event::JobArrival(4),
+                Event::JobArrival(2),
+                Event::JobArrival(9)
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn queue_rejects_negative_times() {
+        EventQueue::new().push(Seconds::new(-1.0), Event::ControlTick);
+    }
+
+    #[test]
+    fn rack_loads_track_supply_and_drain_to_exact_zero() {
+        let mut loads = RackLoads::new(2);
+        let state = |heat: f64, water: f64| SteadyState {
+            package_power: Watts::new(heat),
+            heat: Watts::new(heat),
+            max_water_temp: Celsius::new(water),
+            normalized_time: 1.0,
+            n_cores: 8,
+            die_max: Celsius::new(70.0),
+        };
+        loads.add(0, &state(50.0, 80.0), Seconds::new(10.0));
+        loads.add(0, &state(70.0, 60.0), Seconds::new(20.0));
+        assert_eq!(loads.total_committed(), 2);
+        let views = loads.views();
+        assert_eq!(views[0].heat, Watts::new(120.0));
+        // The coldest committed demand caps the shared supply.
+        assert_eq!(views[0].supply, Some(Celsius::new(60.0)));
+        assert_eq!(views[1].supply, None);
+
+        loads.expire_until(Seconds::new(10.0));
+        let views = loads.views();
+        assert_eq!(views[0].heat, Watts::new(70.0));
+        assert_eq!(views[0].supply, Some(Celsius::new(60.0)));
+
+        loads.expire_until(Seconds::new(25.0));
+        let views = loads.views();
+        assert_eq!(views[0].heat.value(), 0.0);
+        assert_eq!(views[0].supply, None);
+        assert_eq!(loads.total_committed(), 0);
+    }
+
+    #[test]
+    fn running_set_settles_starts_before_ends_and_pins_zero() {
+        let mut run = RunningSet::new(1);
+        let state = |heat: f64| SteadyState {
+            package_power: Watts::new(heat),
+            heat: Watts::new(heat),
+            max_water_temp: Celsius::new(70.0),
+            normalized_time: 1.0,
+            n_cores: 8,
+            die_max: Celsius::new(70.0),
+        };
+        run.commit(0, &state(40.0), Seconds::new(0.0), Seconds::new(10.0));
+        run.commit(0, &state(60.0), Seconds::new(10.0), Seconds::new(20.0));
+        run.settle(Seconds::new(5.0));
+        assert_eq!(run.running, 1);
+        assert_eq!(run.active_power, 40.0);
+        // At t = 10 the first job's end and the second's start coincide:
+        // both fold, leaving exactly the second running.
+        run.settle(Seconds::new(10.0));
+        assert_eq!(run.running, 1);
+        assert_eq!(run.active_power, 60.0);
+        run.settle(Seconds::new(30.0));
+        assert_eq!(run.running, 0);
+        assert_eq!(run.active_power, 0.0);
+        assert_eq!(run.heat[0], 0.0);
+    }
+}

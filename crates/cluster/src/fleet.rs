@@ -1,10 +1,16 @@
-//! The fleet: topology, scenario parameters and the event-driven engine.
+//! The fleet: topology, scenario parameters and the simulation driver.
+//!
+//! [`Fleet::simulate`] and [`Fleet::simulate_with`] are thin drivers over
+//! the discrete-event kernel in [`crate::engine`]: they warm the physics
+//! cache in parallel, then hand the job stream, dispatcher, control
+//! policy and telemetry settings to the sequential event loop.
 
 use crate::cache::OutcomeCache;
-use crate::dispatch::{FleetDispatcher, FleetView, JobDemand, RackView};
+use crate::control::{ControlPolicy, StaticControl};
+use crate::dispatch::FleetDispatcher;
+use crate::engine;
 use crate::job::Job;
-use crate::metrics::{integrate_energy, FleetOutcome, Placement};
-use std::collections::BTreeMap;
+use crate::metrics::{FleetOutcome, SimResult, TelemetryConfig};
 use tps_cooling::Chiller;
 use tps_core::{
     CoskunBalancing, InletFirstMapping, MappingPolicy, MinPowerSelector, PackedMapping,
@@ -12,7 +18,7 @@ use tps_core::{
 };
 use tps_power::{CState, CoreFrequency, IdlePowerModel};
 use tps_thermosyphon::OperatingPoint;
-use tps_units::{Celsius, Seconds, Watts};
+use tps_units::{Celsius, Watts};
 
 /// The per-server mapping policy the fleet's servers run (the paper's
 /// proposed policy or one of its baselines).
@@ -62,7 +68,8 @@ pub struct FleetConfig {
     /// heat-recovery loop (district-heating supply): racks whose shared
     /// water stays above `70 °C + approach` exchange heat directly
     /// (bypass), anything colder pays heat-pump lift to reach the reuse
-    /// temperature.
+    /// temperature. Control policies may re-program the set-point
+    /// mid-run; this field is the initial (and static) value.
     pub chiller: Chiller,
     /// The case-temperature constraint (`T_CASE_MAX` of the paper).
     pub t_case_max: Celsius,
@@ -114,7 +121,7 @@ impl FleetConfig {
 }
 
 /// A fleet of identical two-phase-cooled servers, ready to simulate job
-/// streams under different dispatchers.
+/// streams under different dispatchers and control policies.
 ///
 /// The per-server thermal model is assembled once (`Server` construction
 /// is expensive) and shared read-only by the warm-up threads.
@@ -145,7 +152,8 @@ impl Fleet {
     }
 
     /// Runs `jobs` through the fleet under `dispatcher`, reusing (and
-    /// extending) `cache` for the per-server physics.
+    /// extending) `cache` for the per-server physics — the open-loop
+    /// simulation: [`StaticControl`], no telemetry.
     ///
     /// Placement happens at arrival time against the committed fleet state
     /// (running *and* queued jobs); each server executes its queue FIFO.
@@ -162,6 +170,31 @@ impl Fleet {
         dispatcher: &mut dyn FleetDispatcher,
         cache: &OutcomeCache,
     ) -> Result<FleetOutcome, RunError> {
+        self.simulate_with(jobs, dispatcher, &mut StaticControl, None, cache)
+            .map(|r| r.outcome)
+    }
+
+    /// Runs `jobs` through the event kernel under `dispatcher` and
+    /// `control`, optionally sampling telemetry.
+    ///
+    /// The control policy's set-point program and tick cadence become
+    /// [`SetpointChange`](crate::Event::SetpointChange) and
+    /// [`ControlTick`](crate::Event::ControlTick) events; with
+    /// [`StaticControl`] and `telemetry: None` this is exactly
+    /// [`simulate`](Self::simulate). Results — including the trace CSV —
+    /// are byte-deterministic across runs and thread counts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-server [`RunError`].
+    pub fn simulate_with(
+        &self,
+        jobs: &[Job],
+        dispatcher: &mut dyn FleetDispatcher,
+        control: &mut dyn ControlPolicy,
+        telemetry: Option<&TelemetryConfig>,
+        cache: &OutcomeCache,
+    ) -> Result<SimResult, RunError> {
         let selector = MinPowerSelector;
         let policy = self.config.policy.as_policy();
 
@@ -179,155 +212,26 @@ impl Fleet {
             self.config.threads,
         )?;
 
-        // Sequential event loop: arrivals in time order (id on ties).
-        let mut order: Vec<usize> = (0..jobs.len()).collect();
-        order.sort_by(|&a, &b| {
-            jobs[a]
-                .arrival
-                .value()
-                .total_cmp(&jobs[b].arrival.value())
-                .then(jobs[a].id.cmp(&jobs[b].id))
-        });
-
-        let n_servers = self.config.total_servers();
-        let mut free_at = vec![Seconds::ZERO; n_servers];
-        let mut placements: Vec<Placement> = Vec::with_capacity(jobs.len());
-        let mut committed = CommittedLoad::new(self.config.racks);
-        for &ji in &order {
-            let job = &jobs[ji];
-            let state = cache.get_or_solve(
-                &self.server,
-                job.bench,
-                job.qos,
-                &selector,
-                policy,
-                self.config.t_case_max,
-            )?;
-            let runtime = job.service * state.normalized_time;
-            let demand = JobDemand {
-                job,
-                state,
-                runtime,
-                wait_budget: job.wait_budget(state.normalized_time),
-            };
-            committed.expire_until(job.arrival);
-            let racks = committed.views();
-            let view = FleetView {
-                now: job.arrival,
-                racks: &racks,
-                free_at: &free_at,
-                servers_per_rack: self.config.servers_per_rack,
-                chiller: &self.config.chiller,
-            };
-            let server = dispatcher.place(&demand, &view);
-            assert!(server < n_servers, "dispatcher placed outside the fleet");
-            let start = Seconds::new(job.arrival.value().max(free_at[server].value()));
-            let wait = start - job.arrival;
-            let rack = server / self.config.servers_per_rack;
-            placements.push(Placement {
-                job: job.id,
-                server,
-                rack,
-                start,
-                end: start + runtime,
-                wait,
-                violated: wait.value() > demand.wait_budget.value() + 1e-9,
-                state,
-            });
-            committed.add(rack, &state, start + runtime);
-            free_at[server] = start + runtime;
-        }
-
-        Ok(integrate_energy(
-            dispatcher.name(),
-            placements,
+        // Sequential phase: the deterministic event loop.
+        engine::run(
             &self.config,
-        ))
-    }
-}
-
-/// Incremental per-rack committed load: every placement that has not
-/// finished (running or still queued) counts against its rack until its
-/// end time expires. Keeps dispatch O(racks + log jobs) per arrival
-/// instead of rescanning all placements.
-struct CommittedLoad {
-    heat: Vec<f64>,
-    /// Multiset of tolerable-water keys per rack; `f64::to_bits` is
-    /// monotone for the non-negative temperatures in play and round-trips
-    /// the exact value.
-    water: Vec<BTreeMap<u64, usize>>,
-    count: Vec<usize>,
-    /// `(end_bits, insertion seq) → (rack, heat, water_bits)`.
-    expiry: BTreeMap<(u64, usize), (usize, f64, u64)>,
-    seq: usize,
-}
-
-impl CommittedLoad {
-    fn new(racks: usize) -> Self {
-        Self {
-            heat: vec![0.0; racks],
-            water: vec![BTreeMap::new(); racks],
-            count: vec![0; racks],
-            expiry: BTreeMap::new(),
-            seq: 0,
-        }
-    }
-
-    fn add(&mut self, rack: usize, state: &crate::cache::SteadyState, end: Seconds) {
-        let water_bits = state.max_water_temp.value().to_bits();
-        self.heat[rack] += state.heat.value();
-        self.count[rack] += 1;
-        *self.water[rack].entry(water_bits).or_insert(0) += 1;
-        self.expiry.insert(
-            (end.value().to_bits(), self.seq),
-            (rack, state.heat.value(), water_bits),
-        );
-        self.seq += 1;
-    }
-
-    /// Drops every placement with `end ≤ now` (it covered `[start, end)`).
-    fn expire_until(&mut self, now: Seconds) {
-        while let Some((&key @ (end_bits, _), &(rack, heat, water_bits))) =
-            self.expiry.first_key_value()
-        {
-            if f64::from_bits(end_bits) > now.value() {
-                break;
-            }
-            self.expiry.remove(&key);
-            self.heat[rack] -= heat;
-            self.count[rack] -= 1;
-            if let Some(n) = self.water[rack].get_mut(&water_bits) {
-                *n -= 1;
-                if *n == 0 {
-                    self.water[rack].remove(&water_bits);
-                }
-            }
-            // Pin drained racks back to exact zero: float residue must not
-            // perturb later dispatch comparisons.
-            if self.count[rack] == 0 {
-                self.heat[rack] = 0.0;
-            }
-        }
-    }
-
-    fn views(&self) -> Vec<RackView> {
-        (0..self.heat.len())
-            .map(|r| RackView {
-                heat: Watts::new(self.heat[r].max(0.0)),
-                supply: self.water[r]
-                    .first_key_value()
-                    .map(|(&bits, _)| Celsius::new(f64::from_bits(bits))),
-                committed: self.count[r],
-            })
-            .collect()
+            &self.server,
+            jobs,
+            dispatcher,
+            control,
+            telemetry,
+            cache,
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::control::{LoadSheddingControl, SetpointScheduler};
     use crate::dispatch::RoundRobin;
     use crate::job::{synthesize_jobs, JobMix};
+    use tps_units::Seconds;
     use tps_workload::ConstantDemand;
 
     #[test]
@@ -387,5 +291,143 @@ mod tests {
         assert_eq!(out.placements.len(), 0);
         assert_eq!(out.it_energy.value(), 0.0);
         assert_eq!(out.cooling_energy.value(), 0.0);
+    }
+
+    #[test]
+    fn control_ticks_terminate_on_an_empty_job_stream() {
+        // A tick cadence with no arrivals: the kernel must detect the
+        // drained fleet and stop re-arming ticks instead of spinning.
+        let mut cfg = FleetConfig::new(1, 2);
+        cfg.grid_pitch_mm = 3.0;
+        let fleet = Fleet::new(cfg);
+        let cache = OutcomeCache::new();
+        let mut control = LoadSheddingControl::new(Seconds::new(10.0), 4, 1);
+        let result = fleet
+            .simulate_with(
+                &[],
+                &mut RoundRobin::default(),
+                &mut control,
+                Some(&TelemetryConfig::default()),
+                &cache,
+            )
+            .unwrap();
+        assert_eq!(result.outcome.placements.len(), 0);
+        assert_eq!(result.outcome.shed, 0);
+        assert!(result.trace.expect("telemetry was on").is_empty());
+    }
+
+    #[test]
+    fn static_control_matches_simulate_exactly() {
+        let jobs = synthesize_jobs(16, &ConstantDemand::new(0.8), JobMix::default(), 3);
+        let mut cfg = FleetConfig::new(2, 2);
+        cfg.grid_pitch_mm = 3.0;
+        let fleet = Fleet::new(cfg);
+        let cache = OutcomeCache::new();
+        let plain = fleet
+            .simulate(&jobs, &mut RoundRobin::default(), &cache)
+            .unwrap();
+        let kernel = fleet
+            .simulate_with(
+                &jobs,
+                &mut RoundRobin::default(),
+                &mut StaticControl,
+                Some(&TelemetryConfig::default()),
+                &cache,
+            )
+            .unwrap();
+        // Telemetry sampling must not perturb the simulation itself.
+        assert_eq!(plain, kernel.outcome);
+        assert!(!kernel.trace.expect("telemetry was on").is_empty());
+    }
+
+    #[test]
+    fn setpoint_change_mid_job_shifts_cooling_energy() {
+        let jobs = synthesize_jobs(12, &ConstantDemand::new(1.0), JobMix::default(), 11);
+        let mut cfg = FleetConfig::new(1, 4);
+        cfg.grid_pitch_mm = 3.0;
+        let fleet = Fleet::new(cfg);
+        let cache = OutcomeCache::new();
+        let stat = fleet
+            .simulate(&jobs, &mut RoundRobin::default(), &cache)
+            .unwrap();
+        // Drop the 70 °C heat-reuse loop to 40 °C mid-stream: supplies
+        // above 45 °C free-cool from then on, so cooling energy falls
+        // while IT energy and placements stay identical (round-robin
+        // ignores the chiller).
+        let mid = stat.makespan * 0.4;
+        let mut sched =
+            SetpointScheduler::new(vec![(Seconds::new(mid.value()), Celsius::new(40.0))]);
+        let ctrl = fleet
+            .simulate_with(&jobs, &mut RoundRobin::default(), &mut sched, None, &cache)
+            .unwrap()
+            .outcome;
+        assert_eq!(ctrl.placements, stat.placements);
+        assert_eq!(ctrl.it_energy, stat.it_energy);
+        assert!(
+            ctrl.cooling_energy.value() < stat.cooling_energy.value(),
+            "scheduled {} vs static {}",
+            ctrl.cooling_energy,
+            stat.cooling_energy
+        );
+        assert_eq!(ctrl.control, "setpoint");
+    }
+
+    #[test]
+    fn load_shedding_caps_the_backlog() {
+        // A deliberately overloaded single server: without control the
+        // queue grows without bound; with shedding, arrivals are dropped
+        // once the backlog passes the watermark.
+        let jobs = synthesize_jobs(40, &ConstantDemand::new(2.0), JobMix::default(), 5);
+        let mut cfg = FleetConfig::new(1, 1);
+        cfg.grid_pitch_mm = 3.0;
+        let fleet = Fleet::new(cfg);
+        let cache = OutcomeCache::new();
+        let open = fleet
+            .simulate(&jobs, &mut RoundRobin::default(), &cache)
+            .unwrap();
+        let mut control = LoadSheddingControl::new(Seconds::new(5.0), 6, 2);
+        let shed = fleet
+            .simulate_with(
+                &jobs,
+                &mut RoundRobin::default(),
+                &mut control,
+                None,
+                &cache,
+            )
+            .unwrap()
+            .outcome;
+        assert!(shed.shed > 0, "overload never triggered shedding");
+        assert_eq!(shed.placements.len() + shed.shed, jobs.len());
+        assert!(shed.makespan <= open.makespan);
+        assert!(shed.max_wait <= open.max_wait);
+        assert_eq!(shed.control, "shed");
+    }
+
+    #[test]
+    fn final_trace_sample_carries_the_final_shed_count() {
+        // Same overload, with telemetry: whether the run ends on a
+        // completion or on a trailing shed arrival, the last trace row
+        // must reconcile with the outcome's totals.
+        let jobs = synthesize_jobs(40, &ConstantDemand::new(2.0), JobMix::default(), 5);
+        let mut cfg = FleetConfig::new(1, 1);
+        cfg.grid_pitch_mm = 3.0;
+        let fleet = Fleet::new(cfg);
+        let cache = OutcomeCache::new();
+        let mut control = LoadSheddingControl::new(Seconds::new(5.0), 6, 2);
+        let result = fleet
+            .simulate_with(
+                &jobs,
+                &mut RoundRobin::default(),
+                &mut control,
+                Some(&TelemetryConfig::default()),
+                &cache,
+            )
+            .unwrap();
+        assert!(result.outcome.shed > 0, "overload never triggered shedding");
+        let trace = result.trace.expect("telemetry was on");
+        let last = trace.samples().last().expect("trace not empty");
+        assert_eq!(last.shed, result.outcome.shed);
+        assert_eq!(last.running, 0);
+        assert_eq!(last.queued, 0);
     }
 }

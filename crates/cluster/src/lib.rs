@@ -1,5 +1,6 @@
 //! Fleet-scale simulation: a stream of jobs dispatched across racks of
-//! two-phase-cooled servers.
+//! two-phase-cooled servers, driven by a discrete-event kernel with
+//! runtime control and time-series telemetry.
 //!
 //! The paper optimizes one server; its Sec. V rack constraint — every
 //! thermosyphon on a rack shares one chiller water temperature — is what
@@ -16,9 +17,17 @@
 //! * [`FleetDispatcher`] — [`RoundRobin`], [`CoolestRackFirst`] and the
 //!   paper-style [`ThermalAwareDispatch`] that ranks racks by marginal
 //!   chiller power,
-//! * [`Fleet::simulate`] — the event-driven engine: FIFO servers,
-//!   arrival-time placement, piecewise-constant energy integration into a
-//!   [`FleetOutcome`].
+//! * [`EventQueue`]/[`Event`] — the deterministic kernel: typed events
+//!   ordered by a stable `(time, class, seq)` key, so results are
+//!   byte-identical across runs and thread counts,
+//! * [`ControlPolicy`] — runtime control evaluated on
+//!   [`ControlTick`](Event::ControlTick): [`StaticControl`] (open loop),
+//!   [`SetpointScheduler`] (chiller set-point program) and
+//!   [`LoadSheddingControl`] (hysteretic admission control),
+//! * [`FleetTrace`]/[`FleetSample`] — sampled time-series telemetry with
+//!   deterministic fixed-precision CSV emission,
+//! * [`Fleet::simulate`]/[`Fleet::simulate_with`] — thin drivers over the
+//!   kernel, producing a [`FleetOutcome`] (and a trace).
 //!
 //! ```
 //! use tps_cluster::{
@@ -39,21 +48,57 @@
 //! assert!(outcome.total_energy() > outcome.it_energy);
 //! println!("fleet PUE {:.3}", outcome.pue());
 //! ```
+//!
+//! Closing the loop — a set-point schedule plus telemetry:
+//!
+//! ```
+//! use tps_cluster::{
+//!     synthesize_jobs, Fleet, FleetConfig, JobMix, OutcomeCache, RoundRobin,
+//!     SetpointScheduler, TelemetryConfig,
+//! };
+//! use tps_units::{Celsius, Seconds};
+//! use tps_workload::ConstantDemand;
+//!
+//! let mut config = FleetConfig::new(1, 2);
+//! config.grid_pitch_mm = 3.0;
+//! let fleet = Fleet::new(config);
+//! let jobs = synthesize_jobs(6, &ConstantDemand::new(0.5), JobMix::default(), 42);
+//! let cache = OutcomeCache::new();
+//! let mut control = SetpointScheduler::new(vec![(Seconds::new(20.0), Celsius::new(45.0))]);
+//! let result = fleet
+//!     .simulate_with(
+//!         &jobs,
+//!         &mut RoundRobin::default(),
+//!         &mut control,
+//!         Some(&TelemetryConfig::default()),
+//!         &cache,
+//!     )
+//!     .expect("paper workloads are feasible");
+//! let trace = result.trace.expect("telemetry was on");
+//! assert!(trace.to_csv().starts_with("t_s,setpoint_c"));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cache;
+mod control;
 mod dispatch;
+mod engine;
 mod fleet;
 mod job;
 mod metrics;
 
 pub use cache::{CacheKey, OutcomeCache, SteadyState};
+pub use control::{
+    ControlAction, ControlPolicy, ControlStatus, LoadSheddingControl, SetpointScheduler,
+    StaticControl,
+};
 pub use dispatch::{
     CoolestRackFirst, FleetDispatcher, FleetView, JobDemand, RackView, RoundRobin,
     ThermalAwareDispatch,
 };
+pub use engine::{Event, EventQueue, RackLoads};
 pub use fleet::{Fleet, FleetConfig, ServerPolicy};
 pub use job::{synthesize_jobs, Job, JobMix};
-pub use metrics::{FleetOutcome, Placement};
+pub use metrics::{FleetOutcome, FleetSample, FleetTrace, Placement, SimResult, TelemetryConfig};

@@ -1,10 +1,11 @@
-//! Aggregate fleet metrics: energy integration over the event timeline.
+//! Aggregate fleet metrics: energy integration over the event timeline,
+//! and the time-series telemetry the kernel samples along the way.
 
 use crate::cache::SteadyState;
 use crate::fleet::FleetConfig;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use tps_cooling::pue;
-use tps_units::{Joules, Seconds, Watts};
+use tps_units::{Celsius, Joules, Seconds, Watts};
 
 /// One job's placement and execution window.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,6 +33,9 @@ pub struct Placement {
 pub struct FleetOutcome {
     /// The dispatcher that produced this outcome.
     pub dispatcher: &'static str,
+    /// The control policy that steered the run (`"static"` for the
+    /// open-loop simulator).
+    pub control: &'static str,
     /// All placements, in dispatch order.
     pub placements: Vec<Placement>,
     /// End of the last execution.
@@ -42,6 +46,8 @@ pub struct FleetOutcome {
     pub cooling_energy: Joules,
     /// Jobs whose queueing delay blew their QoS budget.
     pub violations: usize,
+    /// Arrivals rejected by admission control (never placed).
+    pub shed: usize,
     /// Mean queueing delay.
     pub mean_wait: Seconds,
     /// Worst queueing delay.
@@ -69,25 +75,212 @@ impl FleetOutcome {
     }
 }
 
+/// One result of [`Fleet::simulate_with`](crate::Fleet::simulate_with):
+/// the aggregate outcome plus the telemetry trace when sampling was on.
+#[derive(Debug)]
+pub struct SimResult {
+    /// The aggregate outcome (energy, QoS, placements).
+    pub outcome: FleetOutcome,
+    /// The sampled time series (`None` when telemetry was off).
+    pub trace: Option<FleetTrace>,
+}
+
+/// Telemetry sampling parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetryConfig {
+    /// Interval between [`FleetSample`]s.
+    pub sample_interval: Seconds,
+    /// Ring capacity: the trace keeps the most recent `capacity` samples
+    /// and counts the rest as dropped (never silently).
+    pub capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    /// A 30 s cadence with a 16 384-sample ring (≈ 5.7 simulated days).
+    fn default() -> Self {
+        Self {
+            sample_interval: Seconds::new(30.0),
+            capacity: 16_384,
+        }
+    }
+}
+
+/// One telemetry sample: the fleet as the kernel saw it at `t`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSample {
+    /// Sample instant.
+    pub t: Seconds,
+    /// Chiller/heat-reuse set-point in force.
+    pub setpoint: Celsius,
+    /// Placements queued behind busy servers.
+    pub queued: usize,
+    /// Placements executing.
+    pub running: usize,
+    /// Arrivals shed so far.
+    pub shed: usize,
+    /// QoS violations so far.
+    pub violations: usize,
+    /// Instantaneous IT power (active packages + idle floor).
+    pub it_power: Watts,
+    /// Instantaneous chiller electrical power across all racks.
+    pub cooling_power: Watts,
+    /// Per-rack heat carried by *running* jobs.
+    pub rack_heat: Vec<Watts>,
+    /// Per-rack shared water temperature (coldest running demand), `None`
+    /// while a rack is idle.
+    pub rack_water: Vec<Option<Celsius>>,
+}
+
+/// A bounded ring of [`FleetSample`]s with deterministic fixed-precision
+/// CSV emission (two runs of the same scenario — at any thread count —
+/// emit byte-identical files; the CI smoke diffs them).
+///
+/// ```
+/// use tps_cluster::{FleetSample, FleetTrace};
+/// use tps_units::{Celsius, Seconds, Watts};
+///
+/// let mut trace = FleetTrace::new(1, 8);
+/// trace.push(FleetSample {
+///     t: Seconds::ZERO,
+///     setpoint: Celsius::new(70.0),
+///     queued: 0,
+///     running: 1,
+///     shed: 0,
+///     violations: 0,
+///     it_power: Watts::new(120.0),
+///     cooling_power: Watts::new(8.5),
+///     rack_heat: vec![Watts::new(95.0)],
+///     rack_water: vec![Some(Celsius::new(61.5))],
+/// });
+/// let csv = trace.to_csv();
+/// assert!(csv.starts_with("t_s,setpoint_c,queued,running,shed,violations"));
+/// assert!(csv.contains("0.000,70.00,0,1,0,0,120.000,8.500,95.000,61.50"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetTrace {
+    samples: VecDeque<FleetSample>,
+    racks: usize,
+    capacity: usize,
+    dropped: usize,
+}
+
+impl FleetTrace {
+    /// An empty trace over `racks` racks keeping at most `capacity`
+    /// samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(racks: usize, capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Self {
+            samples: VecDeque::with_capacity(capacity.min(1024)),
+            racks,
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends a sample, dropping (and counting) the oldest when full.
+    pub fn push(&mut self, sample: FleetSample) {
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+            self.dropped += 1;
+        }
+        self.samples.push_back(sample);
+    }
+
+    /// The retained samples, oldest first.
+    pub fn samples(&self) -> impl Iterator<Item = &FleetSample> {
+        self.samples.iter()
+    }
+
+    /// Retained sample count.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether nothing was sampled.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Samples evicted because the ring was full.
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// Number of racks each sample covers.
+    pub fn racks(&self) -> usize {
+        self.racks
+    }
+
+    /// The full trace as CSV: header plus one line per retained sample,
+    /// floats at fixed precision, idle racks' water column empty.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("t_s,setpoint_c,queued,running,shed,violations,it_w,cool_w");
+        for r in 0..self.racks {
+            out.push_str(&format!(",rack{r}_heat_w,rack{r}_water_c"));
+        }
+        out.push('\n');
+        for s in &self.samples {
+            out.push_str(&format!(
+                "{:.3},{:.2},{},{},{},{},{:.3},{:.3}",
+                s.t.value(),
+                s.setpoint.value(),
+                s.queued,
+                s.running,
+                s.shed,
+                s.violations,
+                s.it_power.value(),
+                s.cooling_power.value(),
+            ));
+            for r in 0..self.racks {
+                match s.rack_water.get(r).copied().flatten() {
+                    Some(w) => {
+                        out.push_str(&format!(",{:.3},{:.2}", s.rack_heat[r].value(), w.value()))
+                    }
+                    None => out.push_str(&format!(",{:.3},", s.rack_heat[r].value())),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
 /// Integrates fleet power over the piecewise-constant event timeline.
 ///
 /// Between consecutive placement starts/ends nothing changes, so each
 /// interval contributes `power × dt`: per rack, the chiller electricity of
 /// the interval's heat at the interval's shared water temperature
 /// (minimum of the co-hosted jobs' tolerable maxima); fleet-wide, the
-/// active packages plus the idle floor of unoccupied servers.
+/// active packages plus the idle floor of unoccupied servers. Set-point
+/// changes from the control timeline swap the chiller between windows
+/// (an empty timeline reproduces the fixed-chiller integration exactly,
+/// bit for bit).
 pub(crate) fn integrate_energy(
     dispatcher: &'static str,
+    control: &'static str,
     placements: Vec<Placement>,
+    shed: usize,
     config: &FleetConfig,
+    setpoints: &[(Seconds, Celsius)],
 ) -> FleetOutcome {
     // One +/− event per placement boundary, swept in time order so each
     // window is O(racks) instead of O(placements): removals before
-    // additions at equal times (a placement covers `[start, end)`), then a
-    // fixed (rack, kind) order so float accumulation is deterministic.
+    // set-point changes before additions at equal times (a placement
+    // covers `[start, end)`), then a fixed (rack, kind) order so float
+    // accumulation is deterministic. The heat/water/pin-to-zero rules
+    // mirror `engine::RackLoads` (see its invariant note): a change to
+    // one accumulation must land in both, or the dispatch-time and
+    // integration-time views of rack state diverge.
+    const REMOVE: u8 = 0;
+    const SETPOINT: u8 = 1;
+    const ADD: u8 = 2;
     struct Event {
         time: f64,
-        add: bool,
+        kind: u8,
         rack: usize,
         heat: f64,
         // Tolerable-water key: `to_bits` is monotone for the non-negative
@@ -99,24 +292,53 @@ pub(crate) fn integrate_energy(
         .iter()
         .filter(|p| p.end.value() > p.start.value())
         .flat_map(|p| {
-            let make = |time: f64, add: bool| Event {
+            let make = |time: f64, kind: u8| Event {
                 time,
-                add,
+                kind,
                 rack: p.rack,
                 heat: p.state.heat.value(),
                 water_bits: p.state.max_water_temp.value().to_bits(),
                 power: p.state.package_power.value(),
             };
-            [make(p.start.value(), true), make(p.end.value(), false)]
+            [make(p.start.value(), ADD), make(p.end.value(), REMOVE)]
         })
         .collect();
+    let first_start = events
+        .iter()
+        .filter(|e| e.kind == ADD)
+        .map(|e| e.time)
+        .fold(f64::INFINITY, f64::min);
+    let last_end = events
+        .iter()
+        .filter(|e| e.kind == REMOVE)
+        .map(|e| e.time)
+        .fold(0.0f64, f64::max);
+    // The chiller in force when integration starts is the last set-point
+    // at or before the first placement start; changes strictly inside
+    // the timeline become events. Changes at/after the last end are
+    // irrelevant (and must not stretch the idle-floor integration).
+    let mut chiller = config.chiller.clone();
+    for &(t, c) in setpoints {
+        if t.value() <= first_start {
+            chiller = config.chiller.with_ambient(c);
+        } else if t.value() < last_end {
+            events.push(Event {
+                time: t.value(),
+                kind: SETPOINT,
+                rack: 0,
+                heat: 0.0,
+                water_bits: c.value().to_bits(),
+                power: 0.0,
+            });
+        }
+    }
     events.sort_by(|a, b| {
         a.time
             .total_cmp(&b.time)
-            .then(a.add.cmp(&b.add))
+            .then(a.kind.cmp(&b.kind))
             .then(a.rack.cmp(&b.rack))
     });
-    let makespan = events.last().map_or(0.0, |e| e.time);
+    let makespan = last_end;
 
     let mut it = 0.0;
     let mut cooling = 0.0;
@@ -130,28 +352,36 @@ pub(crate) fn integrate_energy(
         let t = events[i].time;
         while i < events.len() && events[i].time == t {
             let e = &events[i];
-            if e.add {
-                busy += 1;
-                active_power += e.power;
-                rack_heat[e.rack] += e.heat;
-                *rack_water[e.rack].entry(e.water_bits).or_insert(0) += 1;
-            } else {
-                busy -= 1;
-                active_power -= e.power;
-                rack_heat[e.rack] -= e.heat;
-                if let Some(count) = rack_water[e.rack].get_mut(&e.water_bits) {
-                    *count -= 1;
-                    if *count == 0 {
-                        rack_water[e.rack].remove(&e.water_bits);
+            match e.kind {
+                ADD => {
+                    busy += 1;
+                    active_power += e.power;
+                    rack_heat[e.rack] += e.heat;
+                    *rack_water[e.rack].entry(e.water_bits).or_insert(0) += 1;
+                }
+                SETPOINT => {
+                    chiller = config
+                        .chiller
+                        .with_ambient(Celsius::new(f64::from_bits(e.water_bits)));
+                }
+                _ => {
+                    busy -= 1;
+                    active_power -= e.power;
+                    rack_heat[e.rack] -= e.heat;
+                    if let Some(count) = rack_water[e.rack].get_mut(&e.water_bits) {
+                        *count -= 1;
+                        if *count == 0 {
+                            rack_water[e.rack].remove(&e.water_bits);
+                        }
                     }
-                }
-                // Pin drained sums back to exact zero so float residue
-                // never leaks into later windows.
-                if rack_water[e.rack].is_empty() {
-                    rack_heat[e.rack] = 0.0;
-                }
-                if busy == 0 {
-                    active_power = 0.0;
+                    // Pin drained sums back to exact zero so float residue
+                    // never leaks into later windows.
+                    if rack_water[e.rack].is_empty() {
+                        rack_heat[e.rack] = 0.0;
+                    }
+                    if busy == 0 {
+                        active_power = 0.0;
+                    }
                 }
             }
             i += 1;
@@ -166,8 +396,7 @@ pub(crate) fn integrate_energy(
         for r in 0..config.racks {
             peak_rack_heat = peak_rack_heat.max(rack_heat[r]);
             if let Some((&bits, _)) = rack_water[r].first_key_value() {
-                cooling += config
-                    .chiller
+                cooling += chiller
                     .electrical_power(
                         Watts::new(rack_heat[r].max(0.0)),
                         tps_units::Celsius::new(f64::from_bits(bits)),
@@ -192,11 +421,13 @@ pub(crate) fn integrate_energy(
     let violations = placements.iter().filter(|p| p.violated).count();
     FleetOutcome {
         dispatcher,
+        control,
         placements,
         makespan,
         it_energy: Joules::new(it),
         cooling_energy: Joules::new(cooling),
         violations,
+        shed,
         mean_wait,
         max_wait,
         peak_rack_heat: Watts::new(peak_rack_heat),
@@ -239,17 +470,19 @@ mod tests {
         cfg
     }
 
+    fn integrate(placements: Vec<Placement>, cfg: &FleetConfig) -> FleetOutcome {
+        integrate_energy("test", "static", placements, 0, cfg, &[])
+    }
+
     #[test]
     fn it_energy_is_power_times_time() {
         let cfg = tiny_config();
-        let out = integrate_energy(
-            "test",
-            vec![placement(0, 0, 0.0, 10.0, state(50.0, 80.0))],
-            &cfg,
-        );
+        let out = integrate(vec![placement(0, 0, 0.0, 10.0, state(50.0, 80.0))], &cfg);
         assert!((out.it_energy.value() - 500.0).abs() < 1e-9);
         assert_eq!(out.makespan, Seconds::new(10.0));
         assert_eq!(out.peak_rack_heat, Watts::new(50.0));
+        assert_eq!(out.control, "static");
+        assert_eq!(out.shed, 0);
     }
 
     #[test]
@@ -259,16 +492,14 @@ mod tests {
         let cfg = tiny_config(); // chiller: 60 °C heat-reuse loop
         let cold = state(70.0, 60.0); // below the 65 °C bypass threshold
         let warm = state(70.0, 80.0); // free-cools
-        let together = integrate_energy(
-            "t",
+        let together = integrate(
             vec![
                 placement(0, 0, 0.0, 10.0, cold),
                 placement(0, 0, 0.0, 10.0, warm),
             ],
             &cfg,
         );
-        let apart = integrate_energy(
-            "t",
+        let apart = integrate(
             vec![
                 placement(0, 0, 0.0, 10.0, cold),
                 placement(1, 1, 0.0, 10.0, warm),
@@ -288,11 +519,7 @@ mod tests {
     fn idle_floor_counts_toward_it_energy() {
         let mut cfg = tiny_config();
         cfg.idle_server_power = Watts::new(10.0);
-        let out = integrate_energy(
-            "t",
-            vec![placement(0, 0, 0.0, 10.0, state(50.0, 80.0))],
-            &cfg,
-        );
+        let out = integrate(vec![placement(0, 0, 0.0, 10.0, state(50.0, 80.0))], &cfg);
         // One busy server at 50 W + one idle at 10 W over 10 s.
         assert!((out.it_energy.value() - 600.0).abs() < 1e-9);
     }
@@ -304,9 +531,110 @@ mod tests {
         a.wait = Seconds::new(5.0);
         a.violated = true;
         let b = placement(1, 1, 0.0, 10.0, state(50.0, 80.0));
-        let out = integrate_energy("t", vec![a, b], &cfg);
+        let out = integrate(vec![a, b], &cfg);
         assert_eq!(out.violations, 1);
         assert_eq!(out.max_wait, Seconds::new(5.0));
         assert!((out.mean_wait.value() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn setpoint_changes_swap_the_chiller_between_windows() {
+        // One 70 W / 60 °C-tolerant job for 10 s. Under the default 70 °C
+        // heat-reuse loop it pays compressor lift the whole time; a
+        // mid-run set-point drop to 40 °C puts the second half in free
+        // cooling (supply ≥ ambient + approach).
+        let cfg = tiny_config();
+        let job = state(70.0, 60.0);
+        let fixed = integrate(vec![placement(0, 0, 0.0, 10.0, job)], &cfg);
+        let stepped = integrate_energy(
+            "test",
+            "setpoint",
+            vec![placement(0, 0, 0.0, 10.0, job)],
+            0,
+            &cfg,
+            &[(Seconds::new(5.0), Celsius::new(40.0))],
+        );
+        assert!(
+            stepped.cooling_energy.value() < fixed.cooling_energy.value() * 0.7,
+            "stepped {} vs fixed {}",
+            stepped.cooling_energy,
+            fixed.cooling_energy
+        );
+        // IT energy never depends on the chiller.
+        assert_eq!(stepped.it_energy, fixed.it_energy);
+        assert_eq!(stepped.control, "setpoint");
+
+        // A half-COP check: the first 5 s match the fixed run's first
+        // half; the second 5 s run at the free-cooling COP cap.
+        let half_fixed = fixed.cooling_energy.value() / 2.0;
+        let free_half = 70.0 / 20.0 * 5.0; // heat / max_cop × dt
+        assert!(
+            (stepped.cooling_energy.value() - (half_fixed + free_half)).abs() < 1e-9,
+            "stepped {} vs expected {}",
+            stepped.cooling_energy,
+            half_fixed + free_half
+        );
+    }
+
+    #[test]
+    fn setpoints_before_the_first_start_set_the_initial_chiller() {
+        let cfg = tiny_config();
+        let job = state(70.0, 60.0);
+        let programmed = integrate_energy(
+            "test",
+            "setpoint",
+            vec![placement(0, 0, 10.0, 20.0, job)],
+            0,
+            &cfg,
+            &[(Seconds::ZERO, Celsius::new(40.0))],
+        );
+        // The whole run free-cools, and the pre-start change neither adds
+        // an integration window nor any idle-floor energy before t = 10.
+        let expected_cool = 70.0 / 20.0 * 10.0;
+        assert!((programmed.cooling_energy.value() - expected_cool).abs() < 1e-9);
+        assert!((programmed.it_energy.value() - 700.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn setpoints_past_the_makespan_are_ignored() {
+        let cfg = tiny_config();
+        let job = state(50.0, 80.0);
+        let out = integrate_energy(
+            "test",
+            "setpoint",
+            vec![placement(0, 0, 0.0, 10.0, job)],
+            0,
+            &cfg,
+            &[(Seconds::new(10.0), Celsius::new(40.0))],
+        );
+        let plain = integrate(vec![placement(0, 0, 0.0, 10.0, job)], &cfg);
+        assert_eq!(out.makespan, Seconds::new(10.0));
+        assert_eq!(out.it_energy, plain.it_energy);
+        assert_eq!(out.cooling_energy, plain.cooling_energy);
+    }
+
+    #[test]
+    fn trace_ring_drops_oldest_and_counts() {
+        let mut trace = FleetTrace::new(1, 2);
+        for i in 0..4 {
+            trace.push(FleetSample {
+                t: Seconds::new(f64::from(i)),
+                setpoint: Celsius::new(70.0),
+                queued: 0,
+                running: 0,
+                shed: 0,
+                violations: 0,
+                it_power: Watts::ZERO,
+                cooling_power: Watts::ZERO,
+                rack_heat: vec![Watts::ZERO],
+                rack_water: vec![None],
+            });
+        }
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.dropped(), 2);
+        let times: Vec<f64> = trace.samples().map(|s| s.t.value()).collect();
+        assert_eq!(times, vec![2.0, 3.0]);
+        // Idle rack: empty water field, trailing comma preserved.
+        assert!(trace.to_csv().lines().nth(1).unwrap().ends_with("0.000,"));
     }
 }

@@ -3,9 +3,9 @@
 
 use tps_cluster::{
     synthesize_jobs, CoolestRackFirst, Fleet, FleetConfig, JobMix, OutcomeCache, RoundRobin,
-    ThermalAwareDispatch,
+    SetpointScheduler, StaticControl, TelemetryConfig, ThermalAwareDispatch,
 };
-use tps_units::Seconds;
+use tps_units::{Celsius, Seconds};
 use tps_workload::{BurstyDemand, DiurnalDemand};
 
 /// The shipped heat-reuse scenario, scaled down to 4 racks × 4 servers.
@@ -97,4 +97,150 @@ fn bursty_demand_runs_end_to_end() {
     assert!(out.makespan.value() > 0.0);
     // Every placement lands inside the fleet.
     assert!(out.placements.iter().all(|p| p.rack < 2 && p.server < 8));
+}
+
+/// The PR-2 heat-reuse dispatcher table, bit for bit: these eight-byte
+/// patterns were captured from the pre-kernel simulator (the monolithic
+/// arrival loop) on the shipped heat-reuse scenario. The event kernel
+/// under `StaticControl` must reproduce every one of them exactly — a
+/// refactor that perturbs even the last mantissa bit of any energy sum,
+/// wait statistic or makespan fails here.
+#[test]
+fn static_control_reproduces_the_pre_kernel_heat_reuse_table_bit_for_bit() {
+    // (dispatcher, it_energy, cooling_energy, violations, makespan,
+    //  mean_wait, max_wait, peak_rack_heat) — f64s as raw bits.
+    const GOLDEN: [(&str, u64, u64, usize, u64, u64, u64, u64); 3] = [
+        (
+            "round-robin",
+            0x411a6e67f13ee294,
+            0x40e04a2fc1efee66,
+            17,
+            0x40966f404dc0f570,
+            0x40187afc832dbc2d,
+            0x4057fb67a570b2fc,
+            0x406aed4bb2b5d3aa,
+        ),
+        (
+            "coolest-rack-first",
+            0x411a6e67f13ee29a,
+            0x40de2e0215b9b448,
+            8,
+            0x40966f404dc0f570,
+            0x40017c4b0482ad2d,
+            0x404774fc68054d50,
+            0x4066238f925c41be,
+        ),
+        (
+            "thermal-aware",
+            0x411a6e67f13ee294,
+            0x40db498d234b79ed,
+            3,
+            0x40966f404dc0f570,
+            0x3fee0a0f56d3349a,
+            0x4037cd6724651080,
+            0x406b05631dd45e63,
+        ),
+    ];
+    let fleet = heat_reuse_fleet();
+    let jobs = diurnal_jobs(120, 42);
+    let cache = OutcomeCache::new();
+    let mut dispatchers: Vec<Box<dyn tps_cluster::FleetDispatcher>> = vec![
+        Box::new(RoundRobin::default()),
+        Box::new(CoolestRackFirst),
+        Box::new(ThermalAwareDispatch),
+    ];
+    for (d, golden) in dispatchers.iter_mut().zip(GOLDEN) {
+        let out = fleet.simulate(&jobs, d.as_mut(), &cache).unwrap();
+        assert_eq!(out.dispatcher, golden.0);
+        assert_eq!(out.control, "static");
+        assert_eq!(
+            out.it_energy.value().to_bits(),
+            golden.1,
+            "{}: IT energy drifted to {}",
+            golden.0,
+            out.it_energy
+        );
+        assert_eq!(
+            out.cooling_energy.value().to_bits(),
+            golden.2,
+            "{}: cooling energy drifted to {}",
+            golden.0,
+            out.cooling_energy
+        );
+        assert_eq!(out.violations, golden.3, "{}: violations", golden.0);
+        assert_eq!(out.makespan.value().to_bits(), golden.4, "{}", golden.0);
+        assert_eq!(out.mean_wait.value().to_bits(), golden.5, "{}", golden.0);
+        assert_eq!(out.max_wait.value().to_bits(), golden.6, "{}", golden.0);
+        assert_eq!(
+            out.peak_rack_heat.value().to_bits(),
+            golden.7,
+            "{}",
+            golden.0
+        );
+    }
+}
+
+#[test]
+fn trace_csv_is_byte_identical_across_warmup_thread_counts() {
+    let jobs = diurnal_jobs(60, 9);
+    let mut csvs = Vec::new();
+    for threads in [1, 8] {
+        let mut config = FleetConfig::new(2, 3);
+        config.grid_pitch_mm = 3.0;
+        config.threads = threads;
+        let fleet = Fleet::new(config);
+        let cache = OutcomeCache::new();
+        let telemetry = TelemetryConfig {
+            sample_interval: Seconds::new(15.0),
+            capacity: 4096,
+        };
+        let result = fleet
+            .simulate_with(
+                &jobs,
+                &mut ThermalAwareDispatch,
+                &mut StaticControl,
+                Some(&telemetry),
+                &cache,
+            )
+            .unwrap();
+        csvs.push(result.trace.expect("telemetry was on").to_csv());
+    }
+    assert_eq!(csvs[0], csvs[1]);
+    // The trace is a real time series: header plus multiple samples, the
+    // last of which is the drained fleet at the makespan.
+    assert!(csvs[0].lines().count() > 3, "{}", csvs[0]);
+    let last = csvs[0].lines().last().unwrap();
+    let fields: Vec<&str> = last.split(',').collect();
+    assert_eq!(fields[2], "0", "queued at makespan: {last}");
+    assert_eq!(fields[3], "0", "running at makespan: {last}");
+}
+
+#[test]
+fn setpoint_scheduler_cuts_cooling_on_the_heat_reuse_scenario() {
+    let fleet = heat_reuse_fleet();
+    let jobs = diurnal_jobs(80, 21);
+    let cache = OutcomeCache::new();
+    let stat = fleet
+        .simulate(&jobs, &mut ThermalAwareDispatch, &cache)
+        .unwrap();
+    // Drop the heat-reuse loop from 70 °C to 45 °C for the middle of the
+    // run: most supplies then free-cool, trading reuse-grade heat for
+    // chiller electricity.
+    let t1 = stat.makespan * 0.25;
+    let t2 = stat.makespan * 0.75;
+    let mut sched = SetpointScheduler::new(vec![
+        (Seconds::new(t1.value()), Celsius::new(45.0)),
+        (Seconds::new(t2.value()), Celsius::new(70.0)),
+    ]);
+    let ctrl = fleet
+        .simulate_with(&jobs, &mut ThermalAwareDispatch, &mut sched, None, &cache)
+        .unwrap()
+        .outcome;
+    assert!(
+        ctrl.cooling_energy.value() < stat.cooling_energy.value(),
+        "scheduled {} vs static {}",
+        ctrl.cooling_energy,
+        stat.cooling_energy
+    );
+    assert_eq!(ctrl.placements.len(), jobs.len());
 }

@@ -1,0 +1,142 @@
+//! Property tests on the kernel's committed-load bookkeeping:
+//! interleaved `add`/`expire_until` must never leave negative rack heat,
+//! stale occupancy or a wrong shared-supply cap, no matter the order of
+//! magnitudes or expiry times — the invariants every dispatch decision
+//! and energy window depends on.
+
+use proptest::prelude::*;
+use tps_cluster::{RackLoads, SteadyState};
+use tps_units::{Celsius, Seconds, Watts};
+
+fn state(heat: f64, water: f64) -> SteadyState {
+    SteadyState {
+        package_power: Watts::new(heat),
+        heat: Watts::new(heat),
+        max_water_temp: Celsius::new(water),
+        normalized_time: 1.0,
+        n_cores: 8,
+        die_max: Celsius::new(70.0),
+    }
+}
+
+/// A tiny deterministic generator for the interleaving: SplitMix64, the
+/// same mix the workload layer uses.
+fn mix(seed: u64, i: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn unit(seed: u64, i: u64) -> f64 {
+    (mix(seed, i) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+proptest! {
+    /// Drive `RackLoads` through a random interleaving of commits and
+    /// expiries (including ties, out-of-order expiry times and heats
+    /// spanning five orders of magnitude) and check it against a naive
+    /// model that rescans the full placement list every step.
+    #[test]
+    fn interleaved_add_expire_matches_a_naive_rescan(
+        racks in 1usize..5,
+        ops in 1usize..60,
+        seed in 0u64..500,
+        magnitude in 0u32..3,
+    ) {
+        let mut loads = RackLoads::new(racks);
+        // Naive model: (rack, heat, water, end) of every commit, kept
+        // forever, filtered on demand.
+        let mut naive: Vec<(usize, f64, f64, f64)> = Vec::new();
+        let mut now = 0.0f64;
+        for i in 0..ops as u64 {
+            let r = unit(seed, 4 * i);
+            if r < 0.6 || naive.is_empty() {
+                // Commit to a random rack until a random end ≥ now.
+                let rack = (unit(seed, 4 * i + 1) * racks as f64) as usize % racks;
+                // Heats from milliwatts to hundreds of watts stress the
+                // float accumulation.
+                let heat = (0.001 + unit(seed, 4 * i + 2) * 200.0)
+                    * 10f64.powi(-(magnitude as i32));
+                let water = 40.0 + unit(seed, 4 * i + 3) * 45.0;
+                let end = now + unit(seed, 4 * i + 2) * 50.0;
+                loads.add(rack, &state(heat, water), Seconds::new(end));
+                naive.push((rack, heat, water, end));
+            } else {
+                // Advance time (sometimes replaying an already-passed
+                // instant: expire_until must be idempotent).
+                let dt = unit(seed, 4 * i + 1) * 40.0 - 5.0;
+                now = (now + dt).max(0.0);
+                loads.expire_until(Seconds::new(now));
+                naive.retain(|&(_, _, _, end)| end > now);
+            }
+
+            // Invariants after every step.
+            loads.expire_until(Seconds::new(now));
+            naive.retain(|&(_, _, _, end)| end > now);
+            let views = loads.views();
+            prop_assert_eq!(views.len(), racks);
+            prop_assert_eq!(
+                loads.total_committed(),
+                naive.len(),
+                "stale occupancy at step {}", i
+            );
+            for (rk, view) in views.iter().enumerate() {
+                let live: Vec<&(usize, f64, f64, f64)> =
+                    naive.iter().filter(|p| p.0 == rk).collect();
+                // Occupancy matches exactly.
+                prop_assert_eq!(view.committed, live.len());
+                // Heat is never negative, and matches the naive sum far
+                // beyond float-residue scale.
+                prop_assert!(view.heat.value() >= 0.0, "negative rack heat");
+                let expected: f64 = live.iter().map(|p| p.1).sum();
+                prop_assert!(
+                    (view.heat.value() - expected).abs() <= 1e-9 * expected.max(1.0),
+                    "rack {} heat {} vs naive {}", rk, view.heat.value(), expected
+                );
+                // A drained rack is pinned to *exact* zero.
+                if live.is_empty() {
+                    prop_assert_eq!(view.heat.value(), 0.0);
+                    prop_assert!(view.supply.is_none());
+                } else {
+                    // The shared supply is the coldest live demand,
+                    // bit-exact (the multiset stores raw bits).
+                    let coldest = live
+                        .iter()
+                        .map(|p| p.2)
+                        .fold(f64::INFINITY, f64::min);
+                    prop_assert_eq!(
+                        view.supply.map(|c| c.value().to_bits()),
+                        Some(coldest.to_bits())
+                    );
+                }
+            }
+        }
+    }
+
+    /// Expiring everything always returns every rack to the exact-zero
+    /// idle state, regardless of the commit pattern.
+    #[test]
+    fn full_expiry_returns_to_pristine_state(
+        racks in 1usize..4,
+        commits in 1usize..40,
+        seed in 0u64..500,
+    ) {
+        let mut loads = RackLoads::new(racks);
+        let mut horizon = 0.0f64;
+        for i in 0..commits as u64 {
+            let rack = (unit(seed, 3 * i) * racks as f64) as usize % racks;
+            let heat = 0.01 + unit(seed, 3 * i + 1) * 300.0;
+            let end = unit(seed, 3 * i + 2) * 100.0;
+            horizon = horizon.max(end);
+            loads.add(rack, &state(heat, 60.0), Seconds::new(end));
+        }
+        loads.expire_until(Seconds::new(horizon));
+        prop_assert_eq!(loads.total_committed(), 0);
+        for view in loads.views() {
+            prop_assert_eq!(view.heat.value(), 0.0);
+            prop_assert_eq!(view.committed, 0);
+            prop_assert!(view.supply.is_none());
+        }
+    }
+}

@@ -77,6 +77,29 @@ impl Chiller {
         self.ambient
     }
 
+    /// The same machine rejecting to a different ambient/heat-reuse
+    /// temperature — how runtime set-point control re-programs a chiller
+    /// without touching its approach, second-law efficiency or lift
+    /// limits.
+    ///
+    /// ```
+    /// use tps_cooling::Chiller;
+    /// use tps_units::{Celsius, Watts};
+    ///
+    /// let reuse = Chiller::new(Celsius::new(70.0));
+    /// let dropped = reuse.with_ambient(Celsius::new(40.0));
+    /// assert_eq!(dropped.ambient(), Celsius::new(40.0));
+    /// // A 60 °C supply pays lift against the 70 °C loop but free-cools
+    /// // against the 40 °C one.
+    /// assert!(dropped.cop(Celsius::new(60.0)) > reuse.cop(Celsius::new(60.0)));
+    /// ```
+    pub fn with_ambient(&self, ambient: Celsius) -> Self {
+        Self {
+            ambient,
+            ..self.clone()
+        }
+    }
+
     /// COP when producing water at `supply`.
     ///
     /// Carnot-fraction with a minimum lift:

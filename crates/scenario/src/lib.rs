@@ -57,5 +57,5 @@ mod sweep;
 pub mod toml;
 
 pub use report::{SweepReport, SweepRow};
-pub use spec::{DemandKind, DispatcherKind, Scenario, SpecError};
+pub use spec::{ControlKind, DemandKind, DispatcherKind, Scenario, SpecError, TelemetrySpec};
 pub use sweep::{Axis, Sweep, SweepError};

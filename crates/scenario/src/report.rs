@@ -17,6 +17,8 @@ pub struct SweepRow {
     pub name: String,
     /// Dispatcher spelling (`rr`/`coolest`/`thermal`).
     pub dispatcher: &'static str,
+    /// Control-policy spelling (`static`/`setpoint`/`shed`).
+    pub control: &'static str,
     /// Rack count.
     pub racks: usize,
     /// Servers per rack.
@@ -33,6 +35,8 @@ pub struct SweepRow {
     pub pue: f64,
     /// QoS violations.
     pub violations: usize,
+    /// Arrivals rejected by admission control.
+    pub shed: usize,
     /// Mean queueing delay, seconds.
     pub mean_wait_s: f64,
     /// Worst queueing delay, seconds.
@@ -49,6 +53,7 @@ impl SweepRow {
         Self {
             name: scenario.name.clone(),
             dispatcher: scenario.dispatcher.spec_name(),
+            control: scenario.control.spec_name(),
             racks: scenario.racks,
             servers_per_rack: scenario.servers_per_rack,
             jobs: scenario.jobs,
@@ -57,6 +62,7 @@ impl SweepRow {
             total_kwh: outcome.total_energy().to_kwh(),
             pue: outcome.pue(),
             violations: outcome.violations,
+            shed: outcome.shed,
             mean_wait_s: outcome.mean_wait.value(),
             max_wait_s: outcome.max_wait.value(),
             makespan_s: outcome.makespan.value(),
@@ -77,6 +83,7 @@ impl SweepRow {
 ///         SweepRow {
 ///             name: "cooling.heat_reuse_c=45".into(),
 ///             dispatcher: "thermal",
+///             control: "static",
 ///             racks: 2,
 ///             servers_per_rack: 2,
 ///             jobs: 16,
@@ -85,6 +92,7 @@ impl SweepRow {
 ///             total_kwh: 0.0504,
 ///             pue: 1.25,
 ///             violations: 1,
+///             shed: 0,
 ///             mean_wait_s: 0.4,
 ///             max_wait_s: 3.1,
 ///             makespan_s: 61.0,
@@ -123,14 +131,15 @@ impl SweepReport {
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
         out.push_str(
-            "name,dispatcher,racks,servers_per_rack,jobs,it_kwh,cooling_kwh,total_kwh,pue,\
-             violations,mean_wait_s,max_wait_s,makespan_s,peak_rack_w\n",
+            "name,dispatcher,control,racks,servers_per_rack,jobs,it_kwh,cooling_kwh,total_kwh,\
+             pue,violations,shed,mean_wait_s,max_wait_s,makespan_s,peak_rack_w\n",
         );
         for r in &self.rows {
             out.push_str(&format!(
-                "{},{},{},{},{},{:.6},{:.6},{:.6},{:.4},{},{:.3},{:.3},{:.3},{:.1}\n",
+                "{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.4},{},{},{:.3},{:.3},{:.3},{:.1}\n",
                 csv_field(&r.name),
                 r.dispatcher,
+                r.control,
                 r.racks,
                 r.servers_per_rack,
                 r.jobs,
@@ -139,6 +148,7 @@ impl SweepReport {
                 r.total_kwh,
                 r.pue,
                 r.violations,
+                r.shed,
                 r.mean_wait_s,
                 r.max_wait_s,
                 r.makespan_s,
@@ -165,9 +175,9 @@ impl SweepReport {
             base.name,
         );
         out.push_str(
-            "| scenario | disp | total kWh | IT kWh | cool kWh | PUE | viol | \
+            "| scenario | disp | ctrl | total kWh | IT kWh | cool kWh | PUE | viol | shed | \
              Δtotal | Δcool |\n\
-             |---|---|---:|---:|---:|---:|---:|---:|---:|\n",
+             |---|---|---|---:|---:|---:|---:|---:|---:|---:|---:|\n",
         );
         for (i, r) in self.rows.iter().enumerate() {
             let (d_total, d_cool) = if i == self.baseline {
@@ -179,14 +189,16 @@ impl SweepReport {
                 )
             };
             out.push_str(&format!(
-                "| {} | {} | {:.3} | {:.3} | {:.3} | {:.3} | {} | {} | {} |\n",
+                "| {} | {} | {} | {:.3} | {:.3} | {:.3} | {:.3} | {} | {} | {} | {} |\n",
                 r.name,
                 r.dispatcher,
+                r.control,
                 r.total_kwh,
                 r.it_kwh,
                 r.cooling_kwh,
                 r.pue,
                 r.violations,
+                r.shed,
                 d_total,
                 d_cool,
             ));
@@ -222,6 +234,7 @@ mod tests {
         SweepRow {
             name: name.to_owned(),
             dispatcher: "thermal",
+            control: "static",
             racks: 2,
             servers_per_rack: 2,
             jobs: 16,
@@ -230,6 +243,7 @@ mod tests {
             total_kwh: total,
             pue: total / (total - cool),
             violations: 0,
+            shed: 0,
             mean_wait_s: 0.0,
             max_wait_s: 0.0,
             makespan_s: 100.0,
@@ -251,7 +265,7 @@ mod tests {
         let csv = report().to_csv();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 3);
-        assert!(lines[1].starts_with("\"a=1,b=rr\",thermal,2,2,16,"));
+        assert!(lines[1].starts_with("\"a=1,b=rr\",thermal,static,2,2,16,"));
     }
 
     #[test]

@@ -8,8 +8,9 @@
 use crate::toml::{self, Table, Value};
 use std::fmt;
 use tps_cluster::{
-    synthesize_jobs, CoolestRackFirst, FleetConfig, FleetDispatcher, Job, JobMix, RoundRobin,
-    ServerPolicy, ThermalAwareDispatch,
+    synthesize_jobs, ControlPolicy, CoolestRackFirst, FleetConfig, FleetDispatcher, Job, JobMix,
+    LoadSheddingControl, RoundRobin, ServerPolicy, SetpointScheduler, StaticControl,
+    TelemetryConfig, ThermalAwareDispatch,
 };
 use tps_cooling::Chiller;
 use tps_units::{Celsius, Seconds};
@@ -134,6 +135,113 @@ impl DispatcherKind {
     }
 }
 
+/// Which runtime control policy steers the run (the `[control]` table).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlKind {
+    /// Open loop: no ticks, no set-point moves (today's behavior).
+    Static,
+    /// A chiller/heat-reuse set-point program replayed as
+    /// `SetpointChange` events.
+    Setpoint {
+        /// Change instants, seconds, strictly ascending.
+        times_s: Vec<f64>,
+        /// The set-point taking effect at each instant, °C.
+        setpoints_c: Vec<f64>,
+    },
+    /// Hysteretic admission control evaluated on `ControlTick`s.
+    Shed {
+        /// Tick cadence, seconds.
+        tick_s: f64,
+        /// Queued backlog that engages shedding.
+        high_watermark: usize,
+        /// Backlog at (or below) which shedding releases.
+        low_watermark: usize,
+    },
+}
+
+impl ControlKind {
+    /// A fresh policy instance for one simulation run (policies can be
+    /// stateful, so every grid point gets its own).
+    pub fn instantiate(&self) -> Box<dyn ControlPolicy> {
+        match self {
+            ControlKind::Static => Box::new(StaticControl),
+            ControlKind::Setpoint {
+                times_s,
+                setpoints_c,
+            } => Box::new(SetpointScheduler::new(
+                times_s
+                    .iter()
+                    .zip(setpoints_c)
+                    .map(|(&t, &c)| (Seconds::new(t), Celsius::new(c)))
+                    .collect(),
+            )),
+            ControlKind::Shed {
+                tick_s,
+                high_watermark,
+                low_watermark,
+            } => Box::new(LoadSheddingControl::new(
+                Seconds::new(*tick_s),
+                *high_watermark,
+                *low_watermark,
+            )),
+        }
+    }
+
+    /// The spec-file spelling.
+    pub fn spec_name(&self) -> &'static str {
+        match self {
+            ControlKind::Static => "static",
+            ControlKind::Setpoint { .. } => "setpoint",
+            ControlKind::Shed { .. } => "shed",
+        }
+    }
+}
+
+/// Telemetry sampling options (the `[telemetry]` table). Present in a
+/// scenario only when the spec carries the table; traces are actually
+/// collected when the caller asks for them (`tps … --trace-out`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetrySpec {
+    /// Sample cadence, seconds.
+    pub sample_s: f64,
+    /// Trace ring capacity (oldest samples drop beyond this).
+    pub capacity: usize,
+}
+
+impl Default for TelemetrySpec {
+    /// The `tps-cluster` defaults: 30 s cadence, 16 384-sample ring.
+    fn default() -> Self {
+        let defaults = TelemetryConfig::default();
+        Self {
+            sample_s: defaults.sample_interval.value(),
+            capacity: defaults.capacity,
+        }
+    }
+}
+
+impl TelemetrySpec {
+    /// The kernel-level sampling configuration.
+    pub fn to_config(self) -> TelemetryConfig {
+        TelemetryConfig {
+            sample_interval: Seconds::new(self.sample_s),
+            capacity: self.capacity,
+        }
+    }
+}
+
+/// The axis values a sweep makes reachable beyond the base spec's own
+/// selections — relaxes per-model key applicability checks (a `period_s`
+/// is fine under constant demand if `workload.demand` is swept to
+/// diurnal, and a `times_s` is fine under static control if
+/// `control.policy` is swept to setpoint).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct SweptAxes {
+    /// Demand models a `workload.demand` axis can switch to.
+    pub demands: Vec<String>,
+    /// Control policies a `control.policy` axis can switch to.
+    pub controls: Vec<String>,
+}
+
 /// One fully validated scenario: everything needed to synthesize its job
 /// stream and simulate its fleet.
 ///
@@ -183,6 +291,10 @@ pub struct Scenario {
     pub qos_weights: [f64; 3],
     /// The fleet dispatcher.
     pub dispatcher: DispatcherKind,
+    /// The runtime control policy.
+    pub control: ControlKind,
+    /// Telemetry options, when the spec carries a `[telemetry]` table.
+    pub telemetry: Option<TelemetrySpec>,
 }
 
 impl Scenario {
@@ -200,22 +312,30 @@ impl Scenario {
         reject_empty(&doc)?;
         doc.remove("sweep");
         doc.remove("report");
-        Self::from_table(&doc, name_hint, &[])
+        Self::from_table(&doc, name_hint, &SweptAxes::default())
     }
 
     /// Builds a scenario from an already-parsed root table (with `sweep`
     /// and `report` removed; an empty table means "all defaults").
     ///
-    /// `swept_demands` lists demand models a `workload.demand` sweep axis
-    /// can switch to: demand-specific keys are accepted if *any* reachable
-    /// model uses them.
+    /// `swept` lists the demand models and control policies sweep axes
+    /// can switch to: model/policy-specific keys are accepted if *any*
+    /// reachable selection uses them.
     pub(crate) fn from_table(
         doc: &Table,
         name_hint: &str,
-        swept_demands: &[String],
+        swept: &SweptAxes,
     ) -> Result<Self, SpecError> {
         let root = Ctx::new(doc, None);
-        root.allow(&["name", "fleet", "cooling", "workload", "dispatch"])?;
+        root.allow(&[
+            "name",
+            "fleet",
+            "cooling",
+            "workload",
+            "dispatch",
+            "control",
+            "telemetry",
+        ])?;
         let name = root.string("name", name_hint)?;
 
         let fleet = root.table("fleet")?;
@@ -285,7 +405,7 @@ impl Scenario {
         // the selected one, or one a `workload.demand` sweep axis can
         // switch to — so a swept `period_s` under constant demand fails
         // loudly instead of silently measuring nothing.
-        let reachable = |kind: &str| demand_name == kind || swept_demands.iter().any(|d| d == kind);
+        let reachable = |kind: &str| demand_name == kind || swept.demands.iter().any(|d| d == kind);
         let per_model_keys: [(&str, &[&str]); 4] = [
             ("base_fraction", &["diurnal", "bursty"]),
             ("period_s", &["diurnal"]),
@@ -342,6 +462,138 @@ impl Scenario {
             }
         };
 
+        let control_tbl = root.table("control")?;
+        control_tbl.allow(&[
+            "policy",
+            "times_s",
+            "setpoints_c",
+            "tick_s",
+            "high_watermark",
+            "low_watermark",
+        ])?;
+        let control_name = control_tbl.string("policy", "static")?;
+        // Policy-specific keys must apply to some *reachable* policy —
+        // the selected one, or one a `control.policy` sweep axis can
+        // switch to (mirrors the demand-model key check above).
+        let ctrl_reachable =
+            |kind: &str| control_name == kind || swept.controls.iter().any(|c| c == kind);
+        let per_policy_keys: [(&str, &str); 5] = [
+            ("times_s", "setpoint"),
+            ("setpoints_c", "setpoint"),
+            ("tick_s", "shed"),
+            ("high_watermark", "shed"),
+            ("low_watermark", "shed"),
+        ];
+        for (key, policy_kind) in per_policy_keys {
+            if control_tbl.has(key) && !ctrl_reachable(policy_kind) {
+                return Err(control_tbl.value_error(
+                    key,
+                    format!(
+                        "`{key}` only applies to the {policy_kind} control policy but policy = \
+                         `{control_name}` — remove it or sweep control.policy"
+                    ),
+                ));
+            }
+        }
+        let control = match control_name.as_str() {
+            "static" => ControlKind::Static,
+            "setpoint" => {
+                let times_s = control_tbl.f64_array("times_s")?.ok_or_else(|| {
+                    control_tbl.value_error(
+                        "policy",
+                        "the setpoint policy needs a `times_s` array of change instants".to_owned(),
+                    )
+                })?;
+                let setpoints_c = control_tbl.f64_array("setpoints_c")?.ok_or_else(|| {
+                    control_tbl.value_error(
+                        "policy",
+                        "the setpoint policy needs a `setpoints_c` array of temperatures"
+                            .to_owned(),
+                    )
+                })?;
+                if times_s.is_empty() || times_s.len() != setpoints_c.len() {
+                    return Err(control_tbl.value_error(
+                        "times_s",
+                        format!(
+                            "`times_s` ({}) and `setpoints_c` ({}) must be non-empty arrays of \
+                             equal length",
+                            times_s.len(),
+                            setpoints_c.len()
+                        ),
+                    ));
+                }
+                for (i, &t) in times_s.iter().enumerate() {
+                    if !(t >= 0.0 && t.is_finite()) {
+                        return Err(control_tbl.value_error(
+                            "times_s",
+                            format!("set-point time {t} must be non-negative and finite"),
+                        ));
+                    }
+                    if i > 0 && times_s[i - 1] >= t {
+                        return Err(control_tbl.value_error(
+                            "times_s",
+                            format!(
+                                "`times_s` must be strictly ascending ({} then {t})",
+                                times_s[i - 1]
+                            ),
+                        ));
+                    }
+                }
+                if let Some(&bad) = setpoints_c.iter().find(|c| !c.is_finite()) {
+                    return Err(control_tbl
+                        .value_error("setpoints_c", format!("set-point {bad} °C must be finite")));
+                }
+                ControlKind::Setpoint {
+                    times_s,
+                    setpoints_c,
+                }
+            }
+            "shed" => {
+                let tick_s = control_tbl.positive_f64("tick_s", 60.0)?;
+                let high_watermark = control_tbl.count("high_watermark", 8)?;
+                let low_watermark = match control_tbl.u64("low_watermark", 2)? {
+                    n if n <= usize::MAX as u64 => n as usize,
+                    n => {
+                        return Err(control_tbl.value_error(
+                            "low_watermark",
+                            format!("`low_watermark` {n} overflows"),
+                        ))
+                    }
+                };
+                if low_watermark >= high_watermark {
+                    return Err(control_tbl.value_error(
+                        "low_watermark",
+                        format!(
+                            "need low_watermark < high_watermark for hysteresis \
+                             (got {low_watermark} ≥ {high_watermark})"
+                        ),
+                    ));
+                }
+                ControlKind::Shed {
+                    tick_s,
+                    high_watermark,
+                    low_watermark,
+                }
+            }
+            other => {
+                return Err(control_tbl.value_error(
+                    "policy",
+                    format!("unknown control policy `{other}` (use static, setpoint or shed)"),
+                ))
+            }
+        };
+
+        let telemetry = if root.has("telemetry") {
+            let tel = root.table("telemetry")?;
+            tel.allow(&["sample_s", "capacity"])?;
+            Some(TelemetrySpec {
+                sample_s: tel.positive_f64("sample_s", 30.0)?,
+                capacity: tel.count("capacity", 16_384)?,
+            })
+        } else {
+            None
+        };
+
         Ok(Self {
             name,
             racks,
@@ -357,6 +609,8 @@ impl Scenario {
             mean_service_s,
             qos_weights,
             dispatcher,
+            control,
+            telemetry,
         })
     }
 
@@ -555,6 +809,33 @@ impl<'a> Ctx<'a> {
         }
     }
 
+    /// An array of numbers, `None` when the key is absent.
+    fn f64_array(&self, key: &str) -> Result<Option<Vec<f64>>, SpecError> {
+        let Some(v) = self.table.get(key) else {
+            return Ok(None);
+        };
+        let Value::Array(items) = &v.value else {
+            return Err(self.type_error(key, "array of numbers", &v.value, v.line));
+        };
+        let mut out = Vec::with_capacity(items.len());
+        for item in items {
+            out.push(match item.value {
+                Value::Float(x) => x,
+                Value::Integer(i) => i as f64,
+                ref other => {
+                    return Err(SpecError::at(
+                        item.line,
+                        format!(
+                            "`{key}` entries must be numbers, found {}",
+                            other.display_compact()
+                        ),
+                    ))
+                }
+            });
+        }
+        Ok(Some(out))
+    }
+
     /// A `[w1, w2, w3]` weight vector with a positive sum.
     fn weights3(&self, key: &str, default: [f64; 3]) -> Result<[f64; 3], SpecError> {
         let Some(v) = self.table.get(key) else {
@@ -692,6 +973,101 @@ mod tests {
         let e = Scenario::parse("[cooling]\nwater_inlet_c = 80.0\n", "x").unwrap_err();
         assert_eq!(e.line, Some(2));
         assert!(e.message.contains("5..=60"), "{e}");
+    }
+
+    #[test]
+    fn control_defaults_to_static_and_parses_all_policies() {
+        let s = Scenario::parse("[fleet]\n", "x").unwrap();
+        assert_eq!(s.control, ControlKind::Static);
+        assert_eq!(s.telemetry, None);
+
+        let s = Scenario::parse(
+            "[control]\n\
+             policy = \"setpoint\"\n\
+             times_s = [0, 150.0, 450]\n\
+             setpoints_c = [70, 45.0, 70]\n\
+             [telemetry]\n\
+             sample_s = 15.0\n\
+             capacity = 512\n",
+            "x",
+        )
+        .unwrap();
+        assert_eq!(s.control.spec_name(), "setpoint");
+        assert!(matches!(
+            &s.control,
+            ControlKind::Setpoint { times_s, setpoints_c }
+                if times_s == &[0.0, 150.0, 450.0] && setpoints_c[1] == 45.0
+        ));
+        let tel = s.telemetry.expect("telemetry table present");
+        assert_eq!(tel.sample_s, 15.0);
+        assert_eq!(tel.capacity, 512);
+        // The parsed kind instantiates without panicking.
+        assert_eq!(s.control.instantiate().name(), "setpoint");
+
+        let s = Scenario::parse(
+            "[control]\n\
+             policy = \"shed\"\n\
+             tick_s = 30.0\n\
+             high_watermark = 12\n\
+             low_watermark = 3\n",
+            "x",
+        )
+        .unwrap();
+        assert_eq!(
+            s.control,
+            ControlKind::Shed {
+                tick_s: 30.0,
+                high_watermark: 12,
+                low_watermark: 3,
+            }
+        );
+        assert_eq!(s.control.instantiate().name(), "shed");
+    }
+
+    #[test]
+    fn control_schema_violations_are_line_numbered() {
+        // Unknown policy.
+        let e = Scenario::parse("[control]\npolicy = \"pid\"\n", "x").unwrap_err();
+        assert_eq!(e.line, Some(2));
+        assert!(e.message.contains("unknown control policy `pid`"), "{e}");
+
+        // Setpoint without its program arrays.
+        let e = Scenario::parse("[control]\npolicy = \"setpoint\"\n", "x").unwrap_err();
+        assert!(e.message.contains("`times_s`"), "{e}");
+
+        // Mismatched program lengths.
+        let e = Scenario::parse(
+            "[control]\npolicy = \"setpoint\"\ntimes_s = [0, 10]\nsetpoints_c = [70]\n",
+            "x",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("equal length"), "{e}");
+
+        // Non-ascending times.
+        let e = Scenario::parse(
+            "[control]\npolicy = \"setpoint\"\ntimes_s = [10, 10]\nsetpoints_c = [70, 45]\n",
+            "x",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("strictly ascending"), "{e}");
+
+        // Inverted shedding watermarks.
+        let e = Scenario::parse(
+            "[control]\npolicy = \"shed\"\nhigh_watermark = 2\nlow_watermark = 5\n",
+            "x",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("hysteresis"), "{e}");
+
+        // Policy-specific keys under the wrong policy fail loudly…
+        let e = Scenario::parse("[control]\ntimes_s = [0]\n", "x").unwrap_err();
+        assert_eq!(e.line, Some(2));
+        assert!(e.message.contains("`times_s` only applies"), "{e}");
+        assert!(e.message.contains("sweep control.policy"), "{e}");
+
+        // …and unknown telemetry keys too.
+        let e = Scenario::parse("[telemetry]\nsample_ms = 5\n", "x").unwrap_err();
+        assert!(e.message.contains("unknown key `sample_ms`"), "{e}");
     }
 
     #[test]

@@ -20,12 +20,12 @@
 //! their key and the report rows come back in grid order.
 
 use crate::report::{SweepReport, SweepRow};
-use crate::spec::{reject_empty, Scenario, SpecError};
+use crate::spec::{reject_empty, Scenario, SpecError, SweptAxes};
 use crate::toml::{self, Spanned, Table, Value};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use tps_cluster::{FleetOutcome, OutcomeCache};
+use tps_cluster::{FleetTrace, OutcomeCache, SimResult};
 use tps_core::RunError;
 
 /// Axis paths the sweep engine accepts, mirroring the scalar keys of the
@@ -48,6 +48,10 @@ const SWEEPABLE: &[&str] = &[
     "workload.gap_s",
     "workload.mean_service_s",
     "dispatch.dispatcher",
+    "control.policy",
+    "control.tick_s",
+    "control.high_watermark",
+    "control.low_watermark",
 ];
 
 /// One sweep axis: a dotted schema path and the values it takes.
@@ -97,9 +101,10 @@ pub struct Sweep {
     /// against. Defaults to the first grid point.
     pub baseline: Option<String>,
     base: Table,
-    /// Demand models a `workload.demand` axis can switch to (relaxes the
-    /// per-model key applicability check across the whole grid).
-    swept_demands: Vec<String>,
+    /// Demand models and control policies the axes can switch to
+    /// (relaxes the per-model/per-policy key applicability checks across
+    /// the whole grid).
+    swept: SweptAxes,
 }
 
 impl Sweep {
@@ -172,25 +177,30 @@ impl Sweep {
             },
         };
 
-        let swept_demands: Vec<String> = axes
-            .iter()
-            .filter(|a| a.path == "workload.demand")
-            .flat_map(|a| &a.values)
-            .filter_map(|v| match v {
-                Value::String(s) => Some(s.clone()),
-                _ => None,
-            })
-            .collect();
+        let axis_strings = |path: &str| -> Vec<String> {
+            axes.iter()
+                .filter(|a| a.path == path)
+                .flat_map(|a| &a.values)
+                .filter_map(|v| match v {
+                    Value::String(s) => Some(s.clone()),
+                    _ => None,
+                })
+                .collect()
+        };
+        let swept = SweptAxes {
+            demands: axis_strings("workload.demand"),
+            controls: axis_strings("control.policy"),
+        };
 
         // Validate the base scenario once up front so a broken spec fails
         // before any expansion work.
-        let base_scenario = Scenario::from_table(&doc, name_hint, &swept_demands)?;
+        let base_scenario = Scenario::from_table(&doc, name_hint, &swept)?;
         Ok(Self {
             name: base_scenario.name,
             axes,
             baseline,
             base: doc,
-            swept_demands,
+            swept,
         })
     }
 
@@ -213,7 +223,7 @@ impl Sweep {
             return Ok(vec![Scenario::from_table(
                 &self.base,
                 &self.name,
-                &self.swept_demands,
+                &self.swept,
             )?]);
         }
         let mut grid = Vec::with_capacity(self.grid_len());
@@ -228,7 +238,7 @@ impl Sweep {
             }
             let name = name_parts.join(",");
             let scenario =
-                Scenario::from_table(&doc, &name, &self.swept_demands).map_err(|e| SpecError {
+                Scenario::from_table(&doc, &name, &self.swept).map_err(|e| SpecError {
                     line: e.line,
                     message: format!("grid point `{name}`: {}", e.message),
                 })?;
@@ -267,6 +277,27 @@ impl Sweep {
     /// expansion, a per-server physics failure, or a `[report] baseline`
     /// naming no grid point.
     pub fn run(&self, threads: usize) -> Result<SweepReport, SweepError> {
+        self.execute(threads, false).map(|(report, _)| report)
+    }
+
+    /// Like [`run`](Self::run), but additionally collects each grid
+    /// point's telemetry trace (per the spec's `[telemetry]` table, or
+    /// the default 30 s cadence when absent), in grid order. Traces are
+    /// byte-deterministic across runs and thread counts, like the report.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`run`](Self::run).
+    pub fn run_traced(&self, threads: usize) -> Result<(SweepReport, Vec<FleetTrace>), SweepError> {
+        self.execute(threads, true)
+            .map(|(report, traces)| (report, traces.into_iter().flatten().collect()))
+    }
+
+    fn execute(
+        &self,
+        threads: usize,
+        collect_traces: bool,
+    ) -> Result<(SweepReport, Vec<Option<FleetTrace>>), SweepError> {
         let scenarios = self.expand()?;
         // Resolve the baseline *before* the grid executes: a typo'd name
         // must not cost a full sweep's worth of solver time.
@@ -286,18 +317,22 @@ impl Sweep {
                     )))
                 })?,
         };
-        let outcomes = run_grid(&scenarios, threads)?;
-        let rows: Vec<SweepRow> = scenarios
-            .iter()
-            .zip(outcomes)
-            .map(|(s, outcome)| SweepRow::new(s, &outcome))
-            .collect();
-        Ok(SweepReport {
-            spec_name: self.name.clone(),
-            axes: self.axes.iter().map(|a| a.path.clone()).collect(),
-            rows,
-            baseline,
-        })
+        let results = run_grid(&scenarios, threads, collect_traces)?;
+        let mut rows = Vec::with_capacity(results.len());
+        let mut traces = Vec::with_capacity(results.len());
+        for (s, result) in scenarios.iter().zip(results) {
+            rows.push(SweepRow::new(s, &result.outcome));
+            traces.push(result.trace);
+        }
+        Ok((
+            SweepReport {
+                spec_name: self.name.clone(),
+                axes: self.axes.iter().map(|a| a.path.clone()).collect(),
+                rows,
+                baseline,
+            },
+            traces,
+        ))
     }
 }
 
@@ -312,7 +347,11 @@ impl Sweep {
 /// mixing pitches in one cache would alias different physics). Second,
 /// the grid points themselves run across worker threads as pure cache
 /// replays.
-fn run_grid(scenarios: &[Scenario], threads: usize) -> Result<Vec<FleetOutcome>, SweepError> {
+fn run_grid(
+    scenarios: &[Scenario],
+    threads: usize,
+    collect_traces: bool,
+) -> Result<Vec<SimResult>, SweepError> {
     let threads = threads.max(1);
     // Job streams are needed for both phases; synthesis is cheap and
     // deterministic, so do it once up front.
@@ -382,10 +421,13 @@ fn run_grid(scenarios: &[Scenario], threads: usize) -> Result<Vec<FleetOutcome>,
     };
 
     // Phase 2: replay the grid across workers (each point's internal
-    // warm-up is single-threaded — it only sees cache hits).
+    // warm-up is single-threaded — it only sees cache hits). Each point
+    // gets fresh dispatcher *and* control instances (both can be
+    // stateful); the kernel itself is sequential, so traces and outcomes
+    // stay byte-deterministic at any worker count.
     let workers = threads.clamp(1, scenarios.len().max(1));
     let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<Result<FleetOutcome, RunError>>>> =
+    let results: Vec<Mutex<Option<Result<SimResult, RunError>>>> =
         scenarios.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -399,12 +441,17 @@ fn run_grid(scenarios: &[Scenario], threads: usize) -> Result<Vec<FleetOutcome>,
                 config.threads = 1;
                 let fleet = tps_cluster::Fleet::new(config);
                 let mut dispatcher = scenario.dispatcher.instantiate();
-                let outcome = fleet.simulate(
+                let mut control = scenario.control.instantiate();
+                let telemetry =
+                    collect_traces.then(|| scenario.telemetry.unwrap_or_default().to_config());
+                let result = fleet.simulate_with(
                     &jobs[i],
                     dispatcher.as_mut(),
+                    control.as_mut(),
+                    telemetry.as_ref(),
                     cache_for(scenario.grid_pitch_mm),
                 );
-                *results[i].lock().expect("result slot poisoned") = Some(outcome);
+                *results[i].lock().expect("result slot poisoned") = Some(result);
             });
         }
     });
@@ -662,6 +709,77 @@ mod tests {
             "ran the grid first"
         );
         assert!(e.to_string().contains("baseline `oops`"), "{e}");
+    }
+
+    #[test]
+    fn control_policy_axis_compares_static_and_setpoint() {
+        // The base spec carries the set-point program; the axis switches
+        // the policy, so `times_s`/`setpoints_c` must stay legal at the
+        // static grid point.
+        let src = with_sweep(
+            "[control]\n\
+             times_s = [0.0, 30.0]\n\
+             setpoints_c = [70.0, 45.0]\n\
+             [telemetry]\n\
+             sample_s = 10.0\n\
+             [sweep]\n\
+             control.policy = [\"static\", \"setpoint\"]\n\
+             [report]\n\
+             baseline = \"control.policy=static\"",
+        );
+        let sweep = Sweep::parse(&src, "ctrl").unwrap();
+        let (report, traces) = sweep.run_traced(2).unwrap();
+        assert_eq!(report.rows.len(), 2);
+        assert_eq!(report.rows[0].control, "static");
+        assert_eq!(report.rows[1].control, "setpoint");
+        // Dropping the heat-reuse loop to 45 °C mid-run can only help the
+        // chiller: the scheduled point undercuts the static baseline.
+        assert!(report.rows[1].cooling_kwh < report.rows[0].cooling_kwh);
+        assert_eq!(report.rows[0].it_kwh, report.rows[1].it_kwh);
+        // One trace per grid point, reflecting the spec cadence, and the
+        // control column lands in both emitters.
+        assert_eq!(traces.len(), 2);
+        assert!(traces.iter().all(|t| !t.is_empty()));
+        assert!(
+            report.to_csv().contains(",setpoint,"),
+            "{}",
+            report.to_csv()
+        );
+        assert!(report.to_markdown().contains("| setpoint |"));
+
+        // Traces are byte-deterministic across worker counts.
+        let (_, again) = sweep.run_traced(1).unwrap();
+        for (a, b) in traces.iter().zip(&again) {
+            assert_eq!(a.to_csv(), b.to_csv());
+        }
+    }
+
+    #[test]
+    fn shed_control_spec_runs_and_reports_shed_jobs() {
+        // One overloaded server with an aggressive watermark: the report
+        // must surface the shed arrivals.
+        let src = "
+            [fleet]
+            racks = 1
+            servers_per_rack = 1
+            grid_pitch_mm = 3.0
+            threads = 2
+            [workload]
+            jobs = 30
+            rate = 2.0
+            demand = \"constant\"
+            [control]
+            policy = \"shed\"
+            tick_s = 5.0
+            high_watermark = 4
+            low_watermark = 1
+        ";
+        let sweep = Sweep::parse(src, "shed").unwrap();
+        let report = sweep.run(2).unwrap();
+        assert_eq!(report.rows[0].control, "shed");
+        assert!(report.rows[0].shed > 0, "overload never shed");
+        let csv = report.to_csv();
+        assert!(csv.lines().next().unwrap().contains(",shed,"), "{csv}");
     }
 
     #[test]

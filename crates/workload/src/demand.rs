@@ -188,9 +188,73 @@ impl DemandModel for BurstyDemand {
     }
 }
 
+/// An unbounded, lazily evaluated stream of arrival times drawn from a
+/// demand model — the event-source form the fleet's discrete-event
+/// kernel consumes: pull the next arrival when the simulation needs it
+/// instead of materializing a fixed-length batch up front.
+///
+/// Produced by [`arrival_source`]; [`synthesize_arrivals`] is the
+/// batched convenience over the same generator, so `source.take(n)`
+/// yields byte-identical times to `synthesize_arrivals(demand, n, seed)`.
+///
+/// ```
+/// use tps_units::Seconds;
+/// use tps_workload::{arrival_source, synthesize_arrivals, DiurnalDemand};
+///
+/// let day = DiurnalDemand::new(0.2, 1.0, Seconds::new(600.0));
+/// let streamed: Vec<Seconds> = arrival_source(&day, 7).take(50).collect();
+/// assert_eq!(streamed, synthesize_arrivals(&day, 50, 7));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArrivalSource<'a, D: DemandModel + ?Sized> {
+    demand: &'a D,
+    rng: StdRng,
+    peak: f64,
+    t: f64,
+}
+
+impl<D: DemandModel + ?Sized> Iterator for ArrivalSource<'_, D> {
+    type Item = Seconds;
+
+    /// The next arrival (the stream never ends: a demand model has a
+    /// positive peak rate, so thinning accepts with positive probability).
+    fn next(&mut self) -> Option<Seconds> {
+        loop {
+            // Exponential inter-arrival at the majorizing rate…
+            let u: f64 = self.rng.gen_range(0.0..1.0);
+            self.t += -(1.0 - u).ln() / self.peak;
+            // …thinned down to the instantaneous rate.
+            let accept: f64 = self.rng.gen_range(0.0..1.0);
+            if accept * self.peak < self.demand.rate_at(Seconds::new(self.t)) {
+                return Some(Seconds::new(self.t));
+            }
+        }
+    }
+}
+
+/// An unbounded arrival-time stream for `demand`, deterministic in
+/// `seed`, by thinning a homogeneous Poisson process at the model's peak
+/// rate. Times are non-decreasing from the model's origin (`t = 0`).
+///
+/// # Panics
+///
+/// Panics if the model's peak rate is not positive and finite.
+pub fn arrival_source<D: DemandModel + ?Sized>(demand: &D, seed: u64) -> ArrivalSource<'_, D> {
+    let peak = demand.peak_rate();
+    assert!(
+        peak > 0.0 && peak.is_finite(),
+        "peak rate must be positive and finite"
+    );
+    ArrivalSource {
+        demand,
+        rng: StdRng::seed_from_u64(seed),
+        peak,
+        t: 0.0,
+    }
+}
+
 /// Samples `count` arrival times from a demand model, deterministically
-/// from `seed`, by thinning a homogeneous Poisson process at the model's
-/// peak rate.
+/// from `seed` — the batched form of [`arrival_source`].
 ///
 /// The returned times are non-decreasing and start at the model's time
 /// origin (`t = 0`).
@@ -199,25 +263,7 @@ impl DemandModel for BurstyDemand {
 ///
 /// Panics if the model's peak rate is not positive and finite.
 pub fn synthesize_arrivals<D: DemandModel>(demand: &D, count: usize, seed: u64) -> Vec<Seconds> {
-    let peak = demand.peak_rate();
-    assert!(
-        peak > 0.0 && peak.is_finite(),
-        "peak rate must be positive and finite"
-    );
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut arrivals = Vec::with_capacity(count);
-    let mut t = 0.0;
-    while arrivals.len() < count {
-        // Exponential inter-arrival at the majorizing rate…
-        let u: f64 = rng.gen_range(0.0..1.0);
-        t += -(1.0 - u).ln() / peak;
-        // …thinned down to the instantaneous rate.
-        let accept: f64 = rng.gen_range(0.0..1.0);
-        if accept * peak < demand.rate_at(Seconds::new(t)) {
-            arrivals.push(Seconds::new(t));
-        }
-    }
-    arrivals
+    arrival_source(demand, seed).take(count).collect()
 }
 
 #[cfg(test)]
@@ -324,5 +370,21 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_rate_rejected() {
         let _ = ConstantDemand::new(0.0);
+    }
+
+    #[test]
+    fn streaming_source_matches_the_batch_and_works_unsized() {
+        let d = BurstyDemand::new(0.1, 1.5, Seconds::new(20.0), Seconds::new(80.0), 4);
+        // Pulling lazily — including through a trait object, the form the
+        // event kernel consumes — replays the batch exactly.
+        let erased: &dyn DemandModel = &d;
+        let streamed: Vec<Seconds> = arrival_source(erased, 13).take(120).collect();
+        assert_eq!(streamed, synthesize_arrivals(&d, 120, 13));
+        // Resuming the same iterator continues the stream seamlessly.
+        let mut source = arrival_source(&d, 13);
+        let head: Vec<Seconds> = source.by_ref().take(40).collect();
+        let tail: Vec<Seconds> = source.take(80).collect();
+        let joined: Vec<Seconds> = head.into_iter().chain(tail).collect();
+        assert_eq!(joined, streamed);
     }
 }

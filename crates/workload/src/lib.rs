@@ -37,7 +37,10 @@ mod trace;
 
 pub use benchmark::Benchmark;
 pub use config::{ConfigError, WorkloadConfig};
-pub use demand::{synthesize_arrivals, BurstyDemand, ConstantDemand, DemandModel, DiurnalDemand};
+pub use demand::{
+    arrival_source, synthesize_arrivals, ArrivalSource, BurstyDemand, ConstantDemand, DemandModel,
+    DiurnalDemand,
+};
 pub use exec::BenchProfile;
 pub use profiler::{profile_application, profile_config, ConfigProfile};
 pub use qos::QosClass;

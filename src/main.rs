@@ -5,7 +5,8 @@
 //! tps run <benchmark> [--qos 1x|2x|3x] [--policy NAME] [--selector NAME] [--pitch MM]
 //! tps profile <benchmark>
 //! tps fleet [--servers N] [--racks N] [--jobs N] [--seed N] [--rate R] [--demand KIND]
-//! tps sweep <spec.toml> [--out DIR] [--threads N]
+//!           [--control POLICY] [--trace-out DIR]
+//! tps sweep <spec.toml> [--out DIR] [--threads N] [--trace-out DIR]
 //! tps list
 //! ```
 //!
@@ -18,8 +19,9 @@ use cliargs::CliArgs;
 use std::path::Path;
 use std::process::ExitCode;
 use tps::cluster::{
-    synthesize_jobs, CoolestRackFirst, Fleet, FleetConfig, FleetDispatcher, FleetOutcome, Job,
-    JobMix, OutcomeCache, RoundRobin, ServerPolicy, ThermalAwareDispatch,
+    synthesize_jobs, ControlPolicy, CoolestRackFirst, Fleet, FleetConfig, FleetDispatcher,
+    FleetOutcome, Job, JobMix, LoadSheddingControl, OutcomeCache, RoundRobin, ServerPolicy,
+    SetpointScheduler, StaticControl, TelemetryConfig, ThermalAwareDispatch,
 };
 use tps::cooling::Chiller;
 use tps::core::{
@@ -63,11 +65,13 @@ fn print_usage() {
          tps fleet [--servers N] [--racks N] [--jobs N] [--seed N] [--rate JOBS/S]\n  \
          {:14}[--demand constant|diurnal|bursty] [--dispatcher all|rr|coolest|thermal]\n  \
          {:14}[--policy NAME] [--ambient C] [--pitch MM] [--threads N]\n  \
-         tps sweep <spec.toml> [--out DIR] [--threads N]\n  \
+         {:14}[--control static|setpoint|shed] [--setpoints T:C,T:C,...] [--tick S]\n  \
+         {:14}[--trace-out DIR] [--sample S]  write per-dispatcher telemetry CSVs\n  \
+         tps sweep <spec.toml> [--out DIR] [--threads N] [--trace-out DIR]\n  \
          {:14}expand a scenario spec's sweep grid, write CSV + Markdown reports\n  \
          {:14}(spec schema and cookbook: docs/SCENARIOS.md, examples: scenarios/)\n  \
          tps list                  list benchmarks, policies and selectors\n",
-        "", "", "", "", ""
+        "", "", "", "", "", "", ""
     );
 }
 
@@ -184,6 +188,7 @@ fn cmd_list() -> ExitCode {
     println!("qos:        1x, 2x, 3x");
     println!("dispatchers (tps fleet): rr (round-robin), coolest (coolest-rack-first), thermal");
     println!("demand models (tps fleet): constant, diurnal, bursty");
+    println!("control policies (tps fleet/sweep): static, setpoint (schedule), shed (admission)");
     println!("scenario specs (tps sweep): scenarios/*.toml, schema in docs/SCENARIOS.md");
     ExitCode::SUCCESS
 }
@@ -201,6 +206,60 @@ struct FleetArgs {
     ambient: f64,
     pitch: f64,
     threads: usize,
+    control: ControlSpec,
+    trace_out: Option<String>,
+    sample: f64,
+}
+
+/// Which control policy `tps fleet` runs (policies can be stateful, so
+/// each dispatcher run instantiates a fresh one from this spec).
+enum ControlSpec {
+    Static,
+    Setpoint(Vec<(Seconds, Celsius)>),
+    Shed { tick: f64 },
+}
+
+impl ControlSpec {
+    fn instantiate(&self) -> Box<dyn ControlPolicy> {
+        match self {
+            ControlSpec::Static => Box::new(StaticControl),
+            ControlSpec::Setpoint(program) => Box::new(SetpointScheduler::new(program.clone())),
+            ControlSpec::Shed { tick } => {
+                Box::new(LoadSheddingControl::new(Seconds::new(*tick), 8, 2))
+            }
+        }
+    }
+}
+
+/// Parses `--setpoints T:C,T:C,...` into a set-point program.
+fn parse_setpoints(raw: &str) -> Result<Vec<(Seconds, Celsius)>, String> {
+    let mut program = Vec::new();
+    for entry in raw.split(',') {
+        let Some((t, c)) = entry.split_once(':') else {
+            return Err(format!(
+                "bad --setpoints entry `{entry}` (expected TIME:CELSIUS, e.g. 300:45)"
+            ));
+        };
+        let t: f64 = t
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad --setpoints time `{t}`: {e}"))?;
+        let c: f64 = c
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad --setpoints temperature `{c}`: {e}"))?;
+        if !(t >= 0.0 && t.is_finite() && c.is_finite()) {
+            return Err(format!("--setpoints entry `{entry}` out of range"));
+        }
+        program.push((Seconds::new(t), Celsius::new(c)));
+    }
+    if program.is_empty() {
+        return Err("--setpoints needs at least one TIME:CELSIUS entry".to_owned());
+    }
+    if program.windows(2).any(|w| w[0].0.value() >= w[1].0.value()) {
+        return Err("--setpoints times must be strictly ascending".to_owned());
+    }
+    Ok(program)
 }
 
 fn parse_fleet_args(raw: &[String]) -> Result<FleetArgs, String> {
@@ -218,9 +277,47 @@ fn parse_fleet_args(raw: &[String]) -> Result<FleetArgs, String> {
             "ambient",
             "pitch",
             "threads",
+            "control",
+            "setpoints",
+            "tick",
+            "trace-out",
+            "sample",
         ],
         0,
     )?;
+    let control_name = args.flag_or("control", "static");
+    // Mirror the spec layer: a policy-specific flag under the wrong
+    // policy is an error, never silently dropped.
+    if args.flag("setpoints").is_some() && control_name != "setpoint" {
+        return Err(format!(
+            "--setpoints only applies to --control setpoint (got --control {control_name})"
+        ));
+    }
+    if args.flag("tick").is_some() && control_name != "shed" {
+        return Err(format!(
+            "--tick only applies to --control shed (got --control {control_name})"
+        ));
+    }
+    if args.flag("sample").is_some() && args.flag("trace-out").is_none() {
+        return Err("--sample only applies together with --trace-out DIR".to_owned());
+    }
+    let control = match control_name {
+        "static" => ControlSpec::Static,
+        "setpoint" => {
+            let raw = args
+                .flag("setpoints")
+                .ok_or_else(|| "--control setpoint needs --setpoints T:C,T:C,...".to_owned())?;
+            ControlSpec::Setpoint(parse_setpoints(raw)?)
+        }
+        "shed" => ControlSpec::Shed {
+            tick: args.parsed("tick", 60.0)?,
+        },
+        other => {
+            return Err(format!(
+                "unknown control policy `{other}` (use static, setpoint or shed)"
+            ))
+        }
+    };
     let out = FleetArgs {
         servers: args.parsed("servers", 16)?,
         racks: match args.flag("racks") {
@@ -242,6 +339,9 @@ fn parse_fleet_args(raw: &[String]) -> Result<FleetArgs, String> {
         ambient: args.parsed("ambient", 70.0)?,
         pitch: args.parsed("pitch", 2.0)?,
         threads: args.parsed("threads", FleetConfig::default_threads())?,
+        control,
+        trace_out: args.flag("trace-out").map(str::to_owned),
+        sample: args.parsed("sample", 30.0)?,
     };
     if out.servers == 0
         || out.jobs == 0
@@ -249,10 +349,17 @@ fn parse_fleet_args(raw: &[String]) -> Result<FleetArgs, String> {
         || out.rate <= 0.0
         || out.pitch <= 0.0
         || out.threads == 0
+        || out.sample <= 0.0
     {
         return Err(
-            "--servers, --racks, --jobs, --rate, --pitch and --threads must be positive".to_owned(),
+            "--servers, --racks, --jobs, --rate, --pitch, --threads and --sample must be positive"
+                .to_owned(),
         );
+    }
+    if let ControlSpec::Shed { tick } = out.control {
+        if tick <= 0.0 {
+            return Err("--tick must be positive".to_owned());
+        }
     }
     Ok(out)
 }
@@ -343,33 +450,71 @@ fn cmd_fleet(raw: &[String]) -> ExitCode {
         a.seed
     );
     println!(
-        "scenario: heat-recovery loop at {:.1} °C, water inlet {:.1}, {:.1} mm grid, {} warm-up threads\n",
+        "scenario: heat-recovery loop at {:.1} °C, water inlet {:.1}, {:.1} mm grid, {} warm-up threads",
         a.ambient,
         fleet.config().op.water_inlet(),
         a.pitch,
         a.threads
     );
+    println!(
+        "control: {}{}\n",
+        a.control.instantiate().name(),
+        match &a.trace_out {
+            Some(dir) => format!(", telemetry every {:.0} s → {dir}/", a.sample),
+            None => String::new(),
+        }
+    );
 
+    let telemetry = a.trace_out.as_ref().map(|_| TelemetryConfig {
+        sample_interval: Seconds::new(a.sample),
+        capacity: TelemetryConfig::default().capacity,
+    });
+    if let Some(dir) = &a.trace_out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            return fail(format!("cannot create `{dir}`: {e}"));
+        }
+    }
     let cache = OutcomeCache::new();
     let mut outcomes: Vec<FleetOutcome> = Vec::new();
     println!(
-        "{:<20} {:>9} {:>9} {:>9} {:>7} {:>6} {:>9} {:>9}",
-        "dispatcher", "IT kWh", "cool kWh", "tot kWh", "PUE", "viol", "wait s", "span s"
+        "{:<20} {:>9} {:>9} {:>9} {:>7} {:>6} {:>6} {:>9} {:>9}",
+        "dispatcher", "IT kWh", "cool kWh", "tot kWh", "PUE", "viol", "shed", "wait s", "span s"
     );
     for mut d in dispatchers {
-        match fleet.simulate(&jobs, d.as_mut(), &cache) {
-            Ok(out) => {
+        let mut control = a.control.instantiate();
+        match fleet.simulate_with(
+            &jobs,
+            d.as_mut(),
+            control.as_mut(),
+            telemetry.as_ref(),
+            &cache,
+        ) {
+            Ok(result) => {
+                let out = result.outcome;
                 println!(
-                    "{:<20} {:>9.3} {:>9.3} {:>9.3} {:>7.3} {:>6} {:>9.1} {:>9.1}",
+                    "{:<20} {:>9.3} {:>9.3} {:>9.3} {:>7.3} {:>6} {:>6} {:>9.1} {:>9.1}",
                     out.dispatcher,
                     out.it_energy.to_kwh(),
                     out.cooling_energy.to_kwh(),
                     out.total_energy().to_kwh(),
                     out.pue(),
                     out.violations,
+                    out.shed,
                     out.mean_wait.value(),
                     out.makespan.value()
                 );
+                if let (Some(dir), Some(trace)) = (&a.trace_out, result.trace) {
+                    let path = Path::new(dir).join(format!("trace_{}.csv", out.dispatcher));
+                    if let Err(e) = std::fs::write(&path, trace.to_csv()) {
+                        return fail(format!("cannot write `{}`: {e}", path.display()));
+                    }
+                    if trace.dropped() > 0 {
+                        println!(
+                            "  note: trace ring dropped {} oldest samples (raise [telemetry] capacity)",
+                            trace.dropped()
+                        );
+                    }
+                }
                 outcomes.push(out);
             }
             Err(e) => return fail(e),
@@ -393,7 +538,7 @@ fn cmd_fleet(raw: &[String]) -> ExitCode {
 }
 
 fn cmd_sweep(raw: &[String]) -> ExitCode {
-    let args = match CliArgs::parse(raw, &["out", "threads"], 1) {
+    let args = match CliArgs::parse(raw, &["out", "threads", "trace-out"], 1) {
         Ok(a) => a,
         Err(e) => return fail(e),
     };
@@ -436,10 +581,18 @@ fn cmd_sweep(raw: &[String]) -> ExitCode {
             .collect();
         println!("  {} = [{}]", axis.path, values.join(", "));
     }
+    let trace_out = args.flag("trace-out").map(str::to_owned);
     let started = std::time::Instant::now();
-    let report = match sweep.run(threads) {
-        Ok(r) => r,
-        Err(e) => return fail(format!("{spec_path}: {e}")),
+    let (report, traces) = if trace_out.is_some() {
+        match sweep.run_traced(threads) {
+            Ok((r, t)) => (r, t),
+            Err(e) => return fail(format!("{spec_path}: {e}")),
+        }
+    } else {
+        match sweep.run(threads) {
+            Ok(r) => (r, Vec::new()),
+            Err(e) => return fail(format!("{spec_path}: {e}")),
+        }
     };
     println!(
         "executed {} grid point(s) in {:.2} s\n",
@@ -464,5 +617,24 @@ fn cmd_sweep(raw: &[String]) -> ExitCode {
         csv_path.display(),
         md_path.display()
     );
+    if let Some(dir) = trace_out {
+        let dir = Path::new(&dir);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            return fail(format!("cannot create `{}`: {e}", dir.display()));
+        }
+        for (row, trace) in report.rows.iter().zip(&traces) {
+            // Grid-point names carry `.`/`=`/`,`; keep file names plain.
+            let stem: String = row
+                .name
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect();
+            let path = dir.join(format!("{stem}.csv"));
+            if let Err(e) = std::fs::write(&path, trace.to_csv()) {
+                return fail(format!("cannot write `{}`: {e}", path.display()));
+            }
+        }
+        println!("traces: {} files under {}", traces.len(), dir.display());
+    }
     ExitCode::SUCCESS
 }
