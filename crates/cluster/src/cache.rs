@@ -1,17 +1,20 @@
 //! Memoized per-server steady-state outcomes.
 //!
-//! A fleet run dispatches hundreds to thousands of jobs, but the per-server
-//! physics depends only on `(benchmark, qos, mapping policy, water inlet)`
-//! — the coupled thermosyphon/thermal solve is steady-state and the fleet's
-//! servers are identical. [`OutcomeCache`] therefore computes each distinct
-//! key once (in parallel across OS threads) and the event-driven simulator
-//! replays the cached [`SteadyState`] summaries, which is what lets a
-//! thousand-job scenario finish in seconds.
+//! A fleet run dispatches hundreds to thousands of jobs, but the
+//! per-server physics depends only on `(server class, benchmark, qos,
+//! mapping policy, water inlet)` — the coupled thermosyphon/thermal solve
+//! is steady-state and every server of one class is identical.
+//! [`OutcomeCache`] therefore computes each distinct key once (in
+//! parallel across OS threads) and the event-driven simulator replays the
+//! cached [`SteadyState`] summaries, which is what lets a thousand-job
+//! scenario finish in seconds even on a heterogeneous fleet.
 
+use crate::catalog::ClassId;
+use crate::fleet::PolicyId;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use tps_core::{ConfigSelector, MappingPolicy, RunError, Server};
+use tps_core::{ConfigSelector, RunError, Server};
 use tps_units::{Celsius, Watts};
 use tps_workload::{Benchmark, QosClass};
 
@@ -35,29 +38,51 @@ pub struct SteadyState {
     pub die_max: Celsius,
 }
 
-/// Cache key: the four coordinates the steady-state outcome depends on.
+/// Cache key: the five coordinates the steady-state outcome depends on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct CacheKey {
+    /// The server class the solve ran on (catalog index).
+    pub class: ClassId,
     /// The application.
     pub bench: Benchmark,
     /// The QoS class.
     pub qos: QosClass,
-    /// The mapping policy's name (policies are stateless singletons).
-    pub policy: &'static str,
+    /// The mapping policy (typed, not a name string — two policies can
+    /// never alias, and the compiler checks exhaustiveness).
+    pub policy: PolicyId,
     /// Water inlet (ambient of the server loop) in milli-°C, quantized so
     /// the key is hashable/orderable.
     pub inlet_milli: i64,
 }
 
 impl CacheKey {
-    fn new(bench: Benchmark, qos: QosClass, policy: &'static str, inlet: Celsius) -> Self {
+    fn new(
+        class: ClassId,
+        bench: Benchmark,
+        qos: QosClass,
+        policy: PolicyId,
+        inlet: Celsius,
+    ) -> Self {
         Self {
+            class,
             bench,
             qos,
             policy,
             inlet_milli: (inlet.value() * 1000.0).round() as i64,
         }
     }
+}
+
+/// One server class's solve context: what [`OutcomeCache::warm`] and the
+/// event kernel need to run jobs on that class.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassSolve<'a> {
+    /// The class's catalog index (part of the cache key).
+    pub id: ClassId,
+    /// The class's assembled server template.
+    pub server: &'a Server,
+    /// The class's (possibly overridden) mapping policy.
+    pub policy: PolicyId,
 }
 
 /// A concurrent memo table of [`SteadyState`] outcomes.
@@ -98,30 +123,31 @@ impl OutcomeCache {
         self.solves.load(Ordering::Relaxed)
     }
 
-    /// Returns the cached outcome for `(bench, qos)` on `server`, solving
-    /// the coupled problem on a miss.
+    /// Returns the cached outcome for `(bench, qos)` on the given server
+    /// class, solving the coupled problem on a miss.
     ///
     /// # Errors
     ///
     /// Propagates [`RunError`] from the per-server pipeline.
     pub fn get_or_solve(
         &self,
-        server: &Server,
+        class: &ClassSolve<'_>,
         bench: Benchmark,
         qos: QosClass,
         selector: &dyn ConfigSelector,
-        policy: &dyn MappingPolicy,
         t_case_max: Celsius,
     ) -> Result<SteadyState, RunError> {
-        let op = server.simulation().operating_point();
-        let key = CacheKey::new(bench, qos, policy.name(), op.water_inlet());
+        let op = class.server.simulation().operating_point();
+        let key = CacheKey::new(class.id, bench, qos, class.policy, op.water_inlet());
         if let Some(state) = self.map.lock().expect("cache poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(*state);
         }
         // Solve outside the lock: a rare duplicate solve beats serializing
         // every worker behind one coupled simulation.
-        let outcome = server.run(bench, qos, selector, policy)?;
+        let outcome = class
+            .server
+            .run(bench, qos, selector, class.policy.as_policy())?;
         let load = outcome.cooling_load(op, t_case_max);
         let state = SteadyState {
             package_power: outcome.profile.package_power,
@@ -136,10 +162,13 @@ impl OutcomeCache {
         Ok(state)
     }
 
-    /// Pre-computes the outcomes for every `(bench, qos)` pair across up to
+    /// Pre-computes the outcomes for every `(class, bench, qos)` triple —
+    /// the cartesian product of `classes` and `pairs` — across up to
     /// `threads` OS threads (scoped, no new dependencies). The per-server
-    /// solves are independent, so this is the simulator's parallel section;
-    /// everything after it is cache replay.
+    /// solves are independent, so this is the simulator's parallel
+    /// section; everything after it is cache replay, and since every
+    /// value is a pure function of its key the results are byte-identical
+    /// at any thread count.
     ///
     /// # Errors
     ///
@@ -147,27 +176,26 @@ impl OutcomeCache {
     /// finish their current solve and stop).
     pub fn warm(
         &self,
-        server: &Server,
+        classes: &[ClassSolve<'_>],
         pairs: &[(Benchmark, QosClass)],
         selector: &(dyn ConfigSelector + Sync),
-        policy: &(dyn MappingPolicy + Sync),
         t_case_max: Celsius,
         threads: usize,
     ) -> Result<(), RunError> {
-        let workers = threads.clamp(1, pairs.len().max(1));
+        let jobs = classes.len() * pairs.len();
+        let workers = threads.clamp(1, jobs.max(1));
         let next = AtomicUsize::new(0);
         let failure: Mutex<Option<RunError>> = Mutex::new(None);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= pairs.len() || failure.lock().expect("poisoned").is_some() {
+                    if i >= jobs || failure.lock().expect("poisoned").is_some() {
                         break;
                     }
-                    let (bench, qos) = pairs[i];
-                    if let Err(e) =
-                        self.get_or_solve(server, bench, qos, selector, policy, t_case_max)
-                    {
+                    let class = &classes[i / pairs.len()];
+                    let (bench, qos) = pairs[i % pairs.len()];
+                    if let Err(e) = self.get_or_solve(class, bench, qos, selector, t_case_max) {
                         *failure.lock().expect("poisoned") = Some(e);
                     }
                 });
@@ -183,33 +211,40 @@ impl OutcomeCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tps_core::{MinPowerSelector, ProposedMapping, T_CASE_MAX};
+    use tps_core::{MinPowerSelector, T_CASE_MAX};
 
     fn server() -> Server {
         Server::xeon(3.0)
+    }
+
+    fn class(server: &Server) -> ClassSolve<'_> {
+        ClassSolve {
+            id: 0,
+            server,
+            policy: PolicyId::Proposed,
+        }
     }
 
     #[test]
     fn second_lookup_is_a_hit() {
         let cache = OutcomeCache::new();
         let s = server();
+        let c = class(&s);
         let a = cache
             .get_or_solve(
-                &s,
+                &c,
                 Benchmark::X264,
                 QosClass::TwoX,
                 &MinPowerSelector,
-                &ProposedMapping,
                 T_CASE_MAX,
             )
             .unwrap();
         let b = cache
             .get_or_solve(
-                &s,
+                &c,
                 Benchmark::X264,
                 QosClass::TwoX,
                 &MinPowerSelector,
-                &ProposedMapping,
                 T_CASE_MAX,
             )
             .unwrap();
@@ -220,33 +255,110 @@ mod tests {
     }
 
     #[test]
-    fn warm_is_parallel_and_complete() {
+    fn distinct_class_ids_never_alias() {
+        // Same physics, different catalog index: the key keeps them
+        // apart (class ids map to distinct hardware in a real catalog).
         let cache = OutcomeCache::new();
         let s = server();
+        let a = ClassSolve {
+            id: 0,
+            server: &s,
+            policy: PolicyId::Proposed,
+        };
+        let b = ClassSolve {
+            id: 1,
+            server: &s,
+            policy: PolicyId::Proposed,
+        };
+        for c in [&a, &b] {
+            cache
+                .get_or_solve(
+                    c,
+                    Benchmark::X264,
+                    QosClass::TwoX,
+                    &MinPowerSelector,
+                    T_CASE_MAX,
+                )
+                .unwrap();
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.solves(), 2);
+    }
+
+    #[test]
+    fn inlet_quantization_collides_within_half_a_millidegree() {
+        // The key quantizes the inlet to milli-°C: two inlets within
+        // 0.5 m°C are *deliberately* the same key (they are the same
+        // physics to far beyond solver tolerance)…
+        let close_a = CacheKey::new(
+            0,
+            Benchmark::X264,
+            QosClass::TwoX,
+            PolicyId::Proposed,
+            Celsius::new(30.0001),
+        );
+        let close_b = CacheKey::new(
+            0,
+            Benchmark::X264,
+            QosClass::TwoX,
+            PolicyId::Proposed,
+            Celsius::new(30.0004),
+        );
+        assert_eq!(close_a, close_b, "inlets within 0.5 m°C must collide");
+        // …while inlets a full millidegree apart stay distinct.
+        let apart = CacheKey::new(
+            0,
+            Benchmark::X264,
+            QosClass::TwoX,
+            PolicyId::Proposed,
+            Celsius::new(30.001),
+        );
+        assert_ne!(close_a, apart, "distinct milli-°C bins must not collide");
+        // And the policy is a typed component: changing it alone changes
+        // the key.
+        let other_policy = CacheKey::new(
+            0,
+            Benchmark::X264,
+            QosClass::TwoX,
+            PolicyId::Coskun,
+            Celsius::new(30.0001),
+        );
+        assert_ne!(close_a, other_policy);
+    }
+
+    #[test]
+    fn warm_is_parallel_and_complete_across_classes() {
+        let cache = OutcomeCache::new();
+        let s = server();
+        let classes = [
+            ClassSolve {
+                id: 0,
+                server: &s,
+                policy: PolicyId::Proposed,
+            },
+            ClassSolve {
+                id: 1,
+                server: &s,
+                policy: PolicyId::Coskun,
+            },
+        ];
         let pairs: Vec<(Benchmark, QosClass)> = [
             (Benchmark::X264, QosClass::OneX),
-            (Benchmark::X264, QosClass::ThreeX),
             (Benchmark::Canneal, QosClass::ThreeX),
-            (Benchmark::Swaptions, QosClass::TwoX),
         ]
         .to_vec();
         cache
-            .warm(
-                &s,
-                &pairs,
-                &MinPowerSelector,
-                &ProposedMapping,
-                T_CASE_MAX,
-                4,
-            )
+            .warm(&classes, &pairs, &MinPowerSelector, T_CASE_MAX, 4)
             .unwrap();
         assert_eq!(cache.len(), 4);
         // Replay after warm never solves again.
         let before = cache.solves();
-        for &(b, q) in &pairs {
-            cache
-                .get_or_solve(&s, b, q, &MinPowerSelector, &ProposedMapping, T_CASE_MAX)
-                .unwrap();
+        for c in &classes {
+            for &(b, q) in &pairs {
+                cache
+                    .get_or_solve(c, b, q, &MinPowerSelector, T_CASE_MAX)
+                    .unwrap();
+            }
         }
         assert_eq!(cache.solves(), before);
     }
@@ -257,23 +369,22 @@ mod tests {
         // than a 3× job, so it caps the rack water lower.
         let cache = OutcomeCache::new();
         let s = server();
+        let c = class(&s);
         let hot = cache
             .get_or_solve(
-                &s,
+                &c,
                 Benchmark::X264,
                 QosClass::OneX,
                 &MinPowerSelector,
-                &ProposedMapping,
                 T_CASE_MAX,
             )
             .unwrap();
         let cool = cache
             .get_or_solve(
-                &s,
+                &c,
                 Benchmark::Canneal,
                 QosClass::ThreeX,
                 &MinPowerSelector,
-                &ProposedMapping,
                 T_CASE_MAX,
             )
             .unwrap();

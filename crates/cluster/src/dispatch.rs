@@ -3,27 +3,50 @@
 //! The rack constraint of Sec. V — all thermosyphons on a rack share one
 //! chiller water temperature — makes placement a fleet-wide energy
 //! decision: one thermally demanding job drags its whole rack's chiller
-//! efficiency down. [`ThermalAwareDispatch`] extends the paper's
+//! efficiency down. On a heterogeneous fleet the decision is
+//! two-dimensional: the same job runs hotter (or needs colder water) on
+//! one server class than another, so [`ThermalAwareDispatch`] ranks
+//! `(rack, class)` slots — extending the paper's
 //! minimum-incremental-power idea (Algorithm 1) from configurations to
-//! racks; [`RoundRobin`] and [`CoolestRackFirst`] are the baselines.
+//! racks *and* hardware bins — while [`RoundRobin`] stays class-blind as
+//! the baseline and [`CoolestRackFirst`] balances heat across racks
+//! before picking the cheapest class within the winner.
 
 use crate::cache::SteadyState;
+use crate::catalog::ClassId;
 use crate::job::Job;
 use tps_cooling::Chiller;
 use tps_units::{Celsius, Seconds, Watts};
 
-/// The demand an arriving job places on the fleet, after per-server
-/// configuration selection.
+/// One job's demand on one server class, after per-server configuration
+/// selection: the class's cached steady state plus the runtime and
+/// queueing slack that follow from it.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassDemand {
+    /// The job's cached steady-state outcome on this class.
+    pub state: SteadyState,
+    /// Its runtime under the class's selected configuration.
+    pub runtime: Seconds,
+    /// The queueing slack the class's slowdown leaves within the job's
+    /// QoS budget.
+    pub wait_budget: Seconds,
+}
+
+/// The demand an arriving job places on the fleet: one [`ClassDemand`]
+/// per catalog class (a homogeneous fleet has exactly one).
 #[derive(Debug, Clone, Copy)]
 pub struct JobDemand<'a> {
     /// The arriving job.
     pub job: &'a Job,
-    /// Its cached steady-state outcome on one server.
-    pub state: SteadyState,
-    /// Its runtime under the selected configuration.
-    pub runtime: Seconds,
-    /// The queueing slack its QoS class leaves.
-    pub wait_budget: Seconds,
+    /// Per-class demand, indexed by [`ClassId`].
+    pub classes: &'a [ClassDemand],
+}
+
+impl JobDemand<'_> {
+    /// The demand on one class.
+    pub fn class(&self, id: ClassId) -> &ClassDemand {
+        &self.classes[id]
+    }
 }
 
 /// The committed load of one rack at dispatch time.
@@ -50,6 +73,12 @@ pub struct FleetView<'a> {
     pub servers_per_rack: usize,
     /// The scenario's per-rack chiller model.
     pub chiller: &'a Chiller,
+    /// Per-server catalog class (global server index).
+    pub class_of: &'a [ClassId],
+    /// Distinct classes hosted by each rack, ascending by class id —
+    /// immutable for a run, so precomputed once (the dispatch hot path
+    /// must not allocate per placement).
+    pub rack_classes: &'a [Vec<ClassId>],
 }
 
 impl FleetView<'_> {
@@ -60,6 +89,39 @@ impl FleetView<'_> {
             .map(|s| (s, self.free_at[s]))
             .min_by(|a, b| a.1.value().total_cmp(&b.1.value()))
             .expect("racks have at least one server")
+    }
+
+    /// The `class` server of `rack` that frees up first (lowest index on
+    /// ties), `None` if the rack hosts no server of that class.
+    pub fn earliest_free_of_class(&self, rack: usize, class: ClassId) -> Option<(usize, Seconds)> {
+        let base = rack * self.servers_per_rack;
+        (base..base + self.servers_per_rack)
+            .filter(|&s| self.class_of[s] == class)
+            .map(|s| (s, self.free_at[s]))
+            .min_by(|a, b| a.1.value().total_cmp(&b.1.value()))
+    }
+
+    /// The distinct classes hosted by `rack`, ascending by class id.
+    pub fn classes_in_rack(&self, rack: usize) -> &[ClassId] {
+        &self.rack_classes[rack]
+    }
+
+    /// Precomputes the per-rack distinct-class lists for
+    /// [`rack_classes`](Self::rack_classes) from a per-server class map.
+    pub fn rack_classes_of(class_of: &[ClassId], servers_per_rack: usize) -> Vec<Vec<ClassId>> {
+        class_of
+            .chunks(servers_per_rack)
+            .map(|rack| {
+                let mut out: Vec<ClassId> = Vec::new();
+                for &c in rack {
+                    if !out.contains(&c) {
+                        out.push(c);
+                    }
+                }
+                out.sort_unstable();
+                out
+            })
+            .collect()
     }
 
     /// The wait a job dispatched to `server` right now would incur.
@@ -77,7 +139,8 @@ pub trait FleetDispatcher {
     fn place(&mut self, demand: &JobDemand<'_>, view: &FleetView<'_>) -> usize;
 }
 
-/// Thermally blind striping: job `k` goes to server `k mod N`.
+/// Thermally blind striping: job `k` goes to server `k mod N`. Also
+/// class-blind — the heterogeneity baseline.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RoundRobin {
     next: usize,
@@ -95,11 +158,27 @@ impl FleetDispatcher for RoundRobin {
     }
 }
 
+/// Chiller electricity the rack pays per unit time if the job joins it on
+/// the given class.
+fn marginal_power(chiller: &Chiller, rack: &RackView, state: &SteadyState) -> f64 {
+    let current = match rack.supply {
+        Some(supply) => chiller.electrical_power(rack.heat, supply),
+        None => Watts::ZERO,
+    };
+    let joint_supply = rack
+        .supply
+        .map_or(state.max_water_temp, |s| s.min(state.max_water_temp));
+    let joint = chiller.electrical_power(rack.heat + state.heat, joint_supply);
+    (joint - current).value()
+}
+
 /// Load balancing by rack heat: the job goes to the rack currently
-/// carrying the least committed heat (its earliest-free server). This is
-/// the fleet analogue of temperature-balancing policies like \[9\]: it
-/// equalizes load but, like round-robin, ends up mixing thermally
-/// demanding jobs into every rack.
+/// carrying the least committed heat. This is the fleet analogue of
+/// temperature-balancing policies like \[9\]: it equalizes load but, like
+/// round-robin, ends up mixing thermally demanding jobs into every rack.
+/// Within the chosen rack it is class-*aware*: among the rack's classes
+/// it takes the one with the cheapest marginal chiller power (earliest
+/// free server of that class).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CoolestRackFirst;
 
@@ -108,7 +187,7 @@ impl FleetDispatcher for CoolestRackFirst {
         "coolest-rack-first"
     }
 
-    fn place(&mut self, _demand: &JobDemand<'_>, view: &FleetView<'_>) -> usize {
+    fn place(&mut self, demand: &JobDemand<'_>, view: &FleetView<'_>) -> usize {
         let rack = view
             .racks
             .iter()
@@ -116,36 +195,39 @@ impl FleetDispatcher for CoolestRackFirst {
             .min_by(|a, b| a.1.heat.value().total_cmp(&b.1.heat.value()))
             .map(|(i, _)| i)
             .expect("fleet has at least one rack");
-        view.earliest_free_in(rack).0
+        // One marginal-power evaluation per class (not per comparison);
+        // ties break toward the lower class id.
+        let class = view
+            .classes_in_rack(rack)
+            .iter()
+            .map(|&c| {
+                (
+                    marginal_power(view.chiller, &view.racks[rack], &demand.class(c).state),
+                    c,
+                )
+            })
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+            .expect("racks have at least one class")
+            .1;
+        view.earliest_free_of_class(rack, class)
+            .expect("classes_in_rack only returns hosted classes")
+            .0
     }
 }
 
-/// The paper's policy, lifted to the fleet: rank racks by the *marginal
-/// chiller electrical power* of accepting the job — accounting for both
-/// the added heat and the supply-temperature drop the job forces on every
-/// co-hosted watt — and take the cheapest rack whose queue still meets the
-/// job's QoS wait budget.
+/// The paper's policy, lifted to the fleet: rank `(rack, class)` slots by
+/// the *marginal chiller electrical power* of accepting the job there —
+/// accounting for the class-specific heat, the supply-temperature drop
+/// the job forces on every co-hosted watt, and the class's QoS slack —
+/// and take the cheapest slot whose queue still meets the job's wait
+/// budget.
 ///
-/// The effect is thermal segregation: jobs that tolerate warm water gather
-/// on racks that free-cool (or run at high COP), while the few jobs that
-/// need cold supply are concentrated instead of contaminating every rack.
+/// The effect is thermal segregation in two dimensions: jobs that
+/// tolerate warm water gather on racks (and hardware bins) that free-cool
+/// or run at high COP, while the few jobs that need cold supply are
+/// concentrated instead of contaminating every rack.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ThermalAwareDispatch;
-
-impl ThermalAwareDispatch {
-    /// Chiller electricity the rack pays per unit time if `demand` joins it.
-    fn marginal_power(chiller: &Chiller, rack: &RackView, demand: &JobDemand<'_>) -> f64 {
-        let current = match rack.supply {
-            Some(supply) => chiller.electrical_power(rack.heat, supply),
-            None => Watts::ZERO,
-        };
-        let joint_supply = rack.supply.map_or(demand.state.max_water_temp, |s| {
-            s.min(demand.state.max_water_temp)
-        });
-        let joint = chiller.electrical_power(rack.heat + demand.state.heat, joint_supply);
-        (joint - current).value()
-    }
-}
 
 impl FleetDispatcher for ThermalAwareDispatch {
     fn name(&self) -> &'static str {
@@ -153,28 +235,32 @@ impl FleetDispatcher for ThermalAwareDispatch {
     }
 
     fn place(&mut self, demand: &JobDemand<'_>, view: &FleetView<'_>) -> usize {
-        let mut ranked: Vec<(f64, f64, usize)> = view
-            .racks
-            .iter()
-            .enumerate()
-            .map(|(i, rack)| {
-                (
-                    Self::marginal_power(view.chiller, rack, demand),
+        let mut ranked: Vec<(f64, f64, usize, ClassId)> = Vec::new();
+        for (i, rack) in view.racks.iter().enumerate() {
+            for &class in view.classes_in_rack(i) {
+                ranked.push((
+                    marginal_power(view.chiller, rack, &demand.class(class).state),
                     rack.heat.value(),
                     i,
-                )
-            })
-            .collect();
-        // Cheapest marginal cooling first; lighter rack, then index, on ties.
+                    class,
+                ));
+            }
+        }
+        // Cheapest marginal cooling first; lighter rack, then rack index,
+        // then class id, on ties.
         ranked.sort_by(|a, b| {
             a.0.total_cmp(&b.0)
                 .then(a.1.total_cmp(&b.1))
                 .then(a.2.cmp(&b.2))
+                .then(a.3.cmp(&b.3))
         });
-        // Take the cheapest rack that can still honour the QoS wait budget…
-        for &(_, _, rack) in &ranked {
-            let (server, _) = view.earliest_free_in(rack);
-            if view.wait_on(server) <= demand.wait_budget {
+        // Take the cheapest slot that can still honour the QoS wait
+        // budget of its class…
+        for &(_, _, rack, class) in &ranked {
+            let (server, _) = view
+                .earliest_free_of_class(rack, class)
+                .expect("classes_in_rack only returns hosted classes");
+            if view.wait_on(server) <= demand.class(class).wait_budget {
                 return server;
             }
         }
@@ -191,20 +277,23 @@ mod tests {
     use super::*;
     use tps_workload::{Benchmark, QosClass};
 
-    fn demand(job: &Job, heat: f64, max_water: f64, budget: f64) -> JobDemand<'_> {
-        JobDemand {
-            job,
-            state: SteadyState {
-                package_power: Watts::new(heat),
-                heat: Watts::new(heat),
-                max_water_temp: Celsius::new(max_water),
-                normalized_time: 1.0,
-                n_cores: 8,
-                die_max: Celsius::new(70.0),
-            },
+    fn steady(heat: f64, max_water: f64) -> SteadyState {
+        SteadyState {
+            package_power: Watts::new(heat),
+            heat: Watts::new(heat),
+            max_water_temp: Celsius::new(max_water),
+            normalized_time: 1.0,
+            n_cores: 8,
+            die_max: Celsius::new(70.0),
+        }
+    }
+
+    fn demand(heat: f64, max_water: f64, budget: f64) -> Vec<ClassDemand> {
+        vec![ClassDemand {
+            state: steady(heat, max_water),
             runtime: Seconds::new(30.0),
             wait_budget: Seconds::new(budget),
-        }
+        }]
     }
 
     fn job() -> Job {
@@ -229,16 +318,24 @@ mod tests {
             2
         ];
         let free = vec![Seconds::ZERO; 4];
+        let class_of = vec![0; 4];
         let chiller = Chiller::default();
+        let rack_classes = FleetView::rack_classes_of(&class_of, 2);
         let view = FleetView {
             now: Seconds::ZERO,
             racks: &racks,
             free_at: &free,
             servers_per_rack: 2,
             chiller: &chiller,
+            class_of: &class_of,
+            rack_classes: &rack_classes,
         };
         let mut rr = RoundRobin::default();
-        let d = demand(&j, 70.0, 64.0, 30.0);
+        let classes = demand(70.0, 64.0, 30.0);
+        let d = JobDemand {
+            job: &j,
+            classes: &classes,
+        };
         let picks: Vec<usize> = (0..5).map(|_| rr.place(&d, &view)).collect();
         assert_eq!(picks, vec![0, 1, 2, 3, 0]);
     }
@@ -264,15 +361,23 @@ mod tests {
             Seconds::new(5.0),
             Seconds::ZERO,
         ];
+        let class_of = vec![0; 4];
         let chiller = Chiller::default();
+        let rack_classes = FleetView::rack_classes_of(&class_of, 2);
         let view = FleetView {
             now: Seconds::ZERO,
             racks: &racks,
             free_at: &free,
             servers_per_rack: 2,
             chiller: &chiller,
+            class_of: &class_of,
+            rack_classes: &rack_classes,
         };
-        let d = demand(&j, 70.0, 70.0, 30.0);
+        let classes = demand(70.0, 70.0, 30.0);
+        let d = JobDemand {
+            job: &j,
+            classes: &classes,
+        };
         assert_eq!(CoolestRackFirst.place(&d, &view), 3);
     }
 
@@ -293,24 +398,36 @@ mod tests {
             },
         ];
         let free = vec![Seconds::ZERO; 4];
+        let class_of = vec![0; 4];
         // Heat-reuse loop at 60 °C: supplies below 65 °C pay compressor lift.
         let chiller = Chiller::new(Celsius::new(60.0));
+        let rack_classes = FleetView::rack_classes_of(&class_of, 2);
         let view = FleetView {
             now: Seconds::ZERO,
             racks: &racks,
             free_at: &free,
             servers_per_rack: 2,
             chiller: &chiller,
+            class_of: &class_of,
+            rack_classes: &rack_classes,
         };
         let mut ta = ThermalAwareDispatch;
         // A job needing 60 °C water joins the already-cold rack 0…
-        let cold = demand(&j, 70.0, 60.0, 30.0);
+        let cold = demand(70.0, 60.0, 30.0);
+        let d = JobDemand {
+            job: &j,
+            classes: &cold,
+        };
         assert_eq!(view.free_at.len() % 2, 0);
-        let pick = ta.place(&cold, &view);
+        let pick = ta.place(&d, &view);
         assert!(pick < 2, "cold job went to rack {}", pick / 2);
         // …while a warm-tolerant job joins the free-cooling rack 1.
-        let warm = demand(&j, 70.0, 76.0, 30.0);
-        let pick = ta.place(&warm, &view);
+        let warm = demand(70.0, 76.0, 30.0);
+        let d = JobDemand {
+            job: &j,
+            classes: &warm,
+        };
+        let pick = ta.place(&d, &view);
         assert!(pick >= 2, "warm job went to rack {}", pick / 2);
     }
 
@@ -336,17 +453,108 @@ mod tests {
             Seconds::ZERO,
             Seconds::ZERO,
         ];
+        let class_of = vec![0; 4];
         let chiller = Chiller::default();
+        let rack_classes = FleetView::rack_classes_of(&class_of, 2);
         let view = FleetView {
             now: Seconds::ZERO,
             racks: &racks,
             free_at: &free,
             servers_per_rack: 2,
             chiller: &chiller,
+            class_of: &class_of,
+            rack_classes: &rack_classes,
         };
         let mut ta = ThermalAwareDispatch;
-        let d = demand(&j, 70.0, 64.0, 10.0);
+        let classes = demand(70.0, 64.0, 10.0);
+        let d = JobDemand {
+            job: &j,
+            classes: &classes,
+        };
         let pick = ta.place(&d, &view);
         assert!(pick >= 2, "budget-violating rack chosen");
+    }
+
+    #[test]
+    fn thermal_aware_picks_the_cheaper_class_within_one_rack() {
+        let j = job();
+        // One rack, two classes side by side. On class 0 the job needs
+        // 60 °C water (compressor lift against the 60 °C reuse loop); on
+        // class 1 it tolerates 76 °C (free cooling).
+        let racks = vec![RackView {
+            heat: Watts::ZERO,
+            supply: None,
+            committed: 0,
+        }];
+        let free = vec![Seconds::ZERO; 2];
+        let class_of = vec![0, 1];
+        let chiller = Chiller::new(Celsius::new(60.0));
+        let rack_classes = FleetView::rack_classes_of(&class_of, 2);
+        let view = FleetView {
+            now: Seconds::ZERO,
+            racks: &racks,
+            free_at: &free,
+            servers_per_rack: 2,
+            chiller: &chiller,
+            class_of: &class_of,
+            rack_classes: &rack_classes,
+        };
+        let classes = vec![
+            ClassDemand {
+                state: steady(70.0, 60.0),
+                runtime: Seconds::new(30.0),
+                wait_budget: Seconds::new(30.0),
+            },
+            ClassDemand {
+                state: steady(70.0, 76.0),
+                runtime: Seconds::new(30.0),
+                wait_budget: Seconds::new(30.0),
+            },
+        ];
+        let d = JobDemand {
+            job: &j,
+            classes: &classes,
+        };
+        assert_eq!(ThermalAwareDispatch.place(&d, &view), 1);
+        // CoolestRackFirst agrees once the (single) rack is fixed.
+        assert_eq!(CoolestRackFirst.place(&d, &view), 1);
+    }
+
+    #[test]
+    fn class_helpers_report_rack_composition() {
+        let racks = vec![
+            RackView {
+                heat: Watts::ZERO,
+                supply: None,
+                committed: 0,
+            };
+            2
+        ];
+        let free = vec![
+            Seconds::new(4.0),
+            Seconds::new(2.0),
+            Seconds::ZERO,
+            Seconds::ZERO,
+        ];
+        let class_of = vec![1, 1, 0, 1];
+        let chiller = Chiller::default();
+        let rack_classes = FleetView::rack_classes_of(&class_of, 2);
+        let view = FleetView {
+            now: Seconds::ZERO,
+            racks: &racks,
+            free_at: &free,
+            servers_per_rack: 2,
+            chiller: &chiller,
+            class_of: &class_of,
+            rack_classes: &rack_classes,
+        };
+        assert_eq!(view.classes_in_rack(0), vec![1]);
+        assert_eq!(view.classes_in_rack(1), vec![0, 1]);
+        assert_eq!(
+            view.earliest_free_of_class(0, 1),
+            Some((1, Seconds::new(2.0)))
+        );
+        assert_eq!(view.earliest_free_of_class(0, 0), None);
+        assert_eq!(view.earliest_free_of_class(1, 0), Some((2, Seconds::ZERO)));
     }
 }

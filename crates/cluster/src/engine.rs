@@ -21,15 +21,16 @@
 //!    settled fleet state.
 
 use crate::cache::{OutcomeCache, SteadyState};
+use crate::catalog::ClassId;
 use crate::control::{ControlAction, ControlPolicy, ControlStatus};
-use crate::dispatch::{FleetDispatcher, FleetView, JobDemand, RackView};
-use crate::fleet::FleetConfig;
+use crate::dispatch::{ClassDemand, FleetDispatcher, FleetView, JobDemand, RackView};
+use crate::fleet::{Fleet, FleetConfig};
 use crate::job::Job;
 use crate::metrics::{
     integrate_energy, FleetSample, FleetTrace, Placement, SimResult, TelemetryConfig,
 };
 use std::collections::BTreeMap;
-use tps_core::{MinPowerSelector, RunError, Server};
+use tps_core::{MinPowerSelector, RunError};
 use tps_units::{Celsius, Seconds, Watts};
 
 /// A typed simulation event.
@@ -296,6 +297,7 @@ impl RackLoads {
 #[derive(Debug, Clone, Copy)]
 struct RunningRec {
     rack: usize,
+    class: ClassId,
     heat: f64,
     power: f64,
     water_bits: u64,
@@ -319,10 +321,14 @@ struct RunningSet {
     water: Vec<BTreeMap<u64, usize>>,
     count: Vec<usize>,
     running: usize,
+    /// Per-class running counts and active package power (telemetry's
+    /// per-class columns on heterogeneous fleets).
+    class_running: Vec<usize>,
+    class_power: Vec<f64>,
 }
 
 impl RunningSet {
-    fn new(racks: usize) -> Self {
+    fn new(racks: usize, classes: usize) -> Self {
         Self {
             starts: BTreeMap::new(),
             ends: BTreeMap::new(),
@@ -332,12 +338,22 @@ impl RunningSet {
             water: vec![BTreeMap::new(); racks],
             count: vec![0; racks],
             running: 0,
+            class_running: vec![0; classes],
+            class_power: vec![0.0; classes],
         }
     }
 
-    fn commit(&mut self, rack: usize, state: &SteadyState, start: Seconds, end: Seconds) {
+    fn commit(
+        &mut self,
+        rack: usize,
+        class: ClassId,
+        state: &SteadyState,
+        start: Seconds,
+        end: Seconds,
+    ) {
         let rec = RunningRec {
             rack,
+            class,
             heat: state.heat.value(),
             power: state.package_power.value(),
             water_bits: state.max_water_temp.value().to_bits(),
@@ -359,6 +375,8 @@ impl RunningSet {
             self.heat[rec.rack] += rec.heat;
             self.count[rec.rack] += 1;
             self.running += 1;
+            self.class_running[rec.class] += 1;
+            self.class_power[rec.class] += rec.power;
             *self.water[rec.rack].entry(rec.water_bits).or_insert(0) += 1;
         }
         while let Some((&(bits, _), _)) = self.ends.first_key_value() {
@@ -370,6 +388,8 @@ impl RunningSet {
             self.heat[rec.rack] -= rec.heat;
             self.count[rec.rack] -= 1;
             self.running -= 1;
+            self.class_running[rec.class] -= 1;
+            self.class_power[rec.class] -= rec.power;
             if let Some(n) = self.water[rec.rack].get_mut(&rec.water_bits) {
                 *n -= 1;
                 if *n == 0 {
@@ -378,6 +398,11 @@ impl RunningSet {
             }
             if self.count[rec.rack] == 0 {
                 self.heat[rec.rack] = 0.0;
+            }
+            // Pin drained sums to exact zero (fleet-wide and per class)
+            // so float residue never leaks into later samples.
+            if self.class_running[rec.class] == 0 {
+                self.class_power[rec.class] = 0.0;
             }
             if self.running == 0 {
                 self.active_power = 0.0;
@@ -403,10 +428,10 @@ pub(crate) struct FleetState {
 }
 
 impl FleetState {
-    fn new(config: &FleetConfig, pending_arrivals: usize) -> Self {
+    fn new(config: &FleetConfig, classes: usize, pending_arrivals: usize) -> Self {
         Self {
             loads: RackLoads::new(config.racks),
-            running: RunningSet::new(config.racks),
+            running: RunningSet::new(config.racks, classes),
             free_at: vec![Seconds::ZERO; config.total_servers()],
             chiller: config.chiller.clone(),
             setpoint: config.chiller.ambient(),
@@ -437,16 +462,18 @@ impl FleetState {
 /// `jobs` ([`Fleet::simulate_with`](crate::Fleet::simulate_with) warms it
 /// first); misses are still solved correctly, just serially.
 pub(crate) fn run(
-    config: &FleetConfig,
-    server: &Server,
+    fleet: &Fleet,
     jobs: &[Job],
     dispatcher: &mut dyn FleetDispatcher,
     control: &mut dyn ControlPolicy,
     telemetry: Option<&TelemetryConfig>,
     cache: &OutcomeCache,
 ) -> Result<SimResult, RunError> {
+    let config = fleet.config();
     let selector = MinPowerSelector;
-    let policy = config.policy.as_policy();
+    let solvers = fleet.class_solvers();
+    let class_of = fleet.server_classes();
+    let rack_classes = FleetView::rack_classes_of(class_of, config.servers_per_rack);
     let n_servers = config.total_servers();
 
     let mut queue = EventQueue::new();
@@ -482,7 +509,7 @@ pub(crate) fn run(
         queue.push(Seconds::ZERO, Event::TelemetrySample);
     }
 
-    let mut state = FleetState::new(config, jobs.len());
+    let mut state = FleetState::new(config, solvers.len(), jobs.len());
     // Closed-loop machinery — the running layer (telemetry's view of
     // started-not-finished jobs) and the JobCompletion events that keep
     // it and the tick/sample re-arming honest — costs two heap pushes
@@ -494,11 +521,14 @@ pub(crate) fn run(
     let closed_loop = telemetry.is_some() || tick.is_some();
     let mut placements: Vec<Placement> = Vec::with_capacity(jobs.len());
     let mut setpoints: Vec<(Seconds, Celsius)> = Vec::new();
-    let mut trace = telemetry.map(|t| FleetTrace::new(config.racks, t.capacity));
+    let mut trace =
+        telemetry.map(|t| FleetTrace::with_classes(config.racks, fleet.class_names(), t.capacity));
     let mut final_sampled = false;
-    // Scratch for the per-arrival rack views (hot path: one buffer for
-    // the whole run instead of one allocation per job).
+    // Scratch for the per-arrival rack views and per-class demands (hot
+    // path: one buffer for the whole run instead of one allocation per
+    // job).
     let mut rack_scratch: Vec<RackView> = Vec::with_capacity(config.racks);
+    let mut class_scratch: Vec<ClassDemand> = Vec::with_capacity(solvers.len());
 
     while let Some((now, event)) = queue.pop() {
         match event {
@@ -578,20 +608,27 @@ pub(crate) fn run(
                     }
                     continue;
                 }
-                let steady = cache.get_or_solve(
-                    server,
-                    job.bench,
-                    job.qos,
-                    &selector,
-                    policy,
-                    config.t_case_max,
-                )?;
-                let runtime = job.service * steady.normalized_time;
+                // The job's demand on every catalog class: the same
+                // workload runs hotter (or slower) on one hardware bin
+                // than another, and the dispatcher ranks those options.
+                class_scratch.clear();
+                for solver in &solvers {
+                    let steady = cache.get_or_solve(
+                        solver,
+                        job.bench,
+                        job.qos,
+                        &selector,
+                        config.t_case_max,
+                    )?;
+                    class_scratch.push(ClassDemand {
+                        state: steady,
+                        runtime: job.service * steady.normalized_time,
+                        wait_budget: job.wait_budget(steady.normalized_time),
+                    });
+                }
                 let demand = JobDemand {
                     job,
-                    state: steady,
-                    runtime,
-                    wait_budget: job.wait_budget(steady.normalized_time),
+                    classes: &class_scratch,
                 };
                 state.loads.views_into(&mut rack_scratch);
                 let view = FleetView {
@@ -600,14 +637,19 @@ pub(crate) fn run(
                     free_at: &state.free_at,
                     servers_per_rack: config.servers_per_rack,
                     chiller: &state.chiller,
+                    class_of,
+                    rack_classes: &rack_classes,
                 };
                 let placed = dispatcher.place(&demand, &view);
                 assert!(placed < n_servers, "dispatcher placed outside the fleet");
+                let class = class_of[placed];
+                let chosen = demand.classes[class];
+                let steady = chosen.state;
                 let start = Seconds::new(now.value().max(state.free_at[placed].value()));
                 let wait = start - now;
                 let rack = placed / config.servers_per_rack;
-                let end = start + runtime;
-                let violated = wait.value() > demand.wait_budget.value() + 1e-9;
+                let end = start + chosen.runtime;
+                let violated = wait.value() > chosen.wait_budget.value() + 1e-9;
                 if violated {
                     state.violations += 1;
                 }
@@ -615,6 +657,7 @@ pub(crate) fn run(
                     job: job.id,
                     server: placed,
                     rack,
+                    class,
                     start,
                     end,
                     wait,
@@ -624,7 +667,7 @@ pub(crate) fn run(
                 state.loads.add(rack, &steady, end);
                 state.free_at[placed] = end;
                 if closed_loop {
-                    state.running.commit(rack, &steady, start, end);
+                    state.running.commit(rack, class, &steady, start, end);
                     queue.push(
                         end,
                         Event::JobCompletion {
@@ -643,6 +686,7 @@ pub(crate) fn run(
         placements,
         state.shed,
         config,
+        &fleet.class_names(),
         &setpoints,
     );
     Ok(SimResult { outcome, trace })
@@ -680,6 +724,8 @@ fn sample(state: &FleetState, now: Seconds, config: &FleetConfig) -> FleetSample
         cooling_power: Watts::new(cooling),
         rack_heat,
         rack_water,
+        class_running: running.class_running.clone(),
+        class_it_power: running.class_power.iter().map(|&p| Watts::new(p)).collect(),
     }
 }
 
@@ -774,7 +820,7 @@ mod tests {
 
     #[test]
     fn running_set_settles_starts_before_ends_and_pins_zero() {
-        let mut run = RunningSet::new(1);
+        let mut run = RunningSet::new(1, 2);
         let state = |heat: f64| SteadyState {
             package_power: Watts::new(heat),
             heat: Watts::new(heat),
@@ -783,19 +829,23 @@ mod tests {
             n_cores: 8,
             die_max: Celsius::new(70.0),
         };
-        run.commit(0, &state(40.0), Seconds::new(0.0), Seconds::new(10.0));
-        run.commit(0, &state(60.0), Seconds::new(10.0), Seconds::new(20.0));
+        run.commit(0, 0, &state(40.0), Seconds::new(0.0), Seconds::new(10.0));
+        run.commit(0, 1, &state(60.0), Seconds::new(10.0), Seconds::new(20.0));
         run.settle(Seconds::new(5.0));
         assert_eq!(run.running, 1);
         assert_eq!(run.active_power, 40.0);
+        assert_eq!(run.class_running, vec![1, 0]);
         // At t = 10 the first job's end and the second's start coincide:
         // both fold, leaving exactly the second running.
         run.settle(Seconds::new(10.0));
         assert_eq!(run.running, 1);
         assert_eq!(run.active_power, 60.0);
+        assert_eq!(run.class_running, vec![0, 1]);
+        assert_eq!(run.class_power, vec![0.0, 60.0]);
         run.settle(Seconds::new(30.0));
         assert_eq!(run.running, 0);
         assert_eq!(run.active_power, 0.0);
         assert_eq!(run.heat[0], 0.0);
+        assert_eq!(run.class_power, vec![0.0, 0.0]);
     }
 }

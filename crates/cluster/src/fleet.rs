@@ -1,11 +1,14 @@
-//! The fleet: topology, scenario parameters and the simulation driver.
+//! The fleet: topology, server catalog, scenario parameters and the
+//! simulation driver.
 //!
 //! [`Fleet::simulate`] and [`Fleet::simulate_with`] are thin drivers over
 //! the discrete-event kernel in [`crate::engine`]: they warm the physics
-//! cache in parallel, then hand the job stream, dispatcher, control
-//! policy and telemetry settings to the sequential event loop.
+//! cache in parallel — one solve per distinct `(class, bench, qos)` —
+//! then hand the job stream, dispatcher, control policy and telemetry
+//! settings to the sequential event loop.
 
-use crate::cache::OutcomeCache;
+use crate::cache::{ClassSolve, OutcomeCache};
+use crate::catalog::{ClassId, FleetCatalog};
 use crate::control::{ControlPolicy, StaticControl};
 use crate::dispatch::FleetDispatcher;
 use crate::engine;
@@ -19,11 +22,16 @@ use tps_core::{
 use tps_power::{CState, CoreFrequency, IdlePowerModel};
 use tps_thermosyphon::OperatingPoint;
 use tps_units::{Celsius, Watts};
+use tps_workload::{Benchmark, QosClass};
 
-/// The per-server mapping policy the fleet's servers run (the paper's
-/// proposed policy or one of its baselines).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum ServerPolicy {
+/// The per-server mapping policy a fleet (or one of its server classes)
+/// runs: the paper's proposed policy or one of its baselines.
+///
+/// This is the *typed identity* the [`CacheKey`](crate::CacheKey) stores —
+/// two policies can never alias the way name strings could, and a match
+/// over it is checked for exhaustiveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum PolicyId {
     /// The paper's C-state-aware thermal mapping.
     #[default]
     Proposed,
@@ -35,19 +43,33 @@ pub enum ServerPolicy {
     Packed,
 }
 
+/// Back-compatible alias: scenario specs and the CLI call the fleet-wide
+/// default mapping policy the "server policy".
+pub type ServerPolicy = PolicyId;
+
 static PROPOSED: ProposedMapping = ProposedMapping;
 static COSKUN: CoskunBalancing = CoskunBalancing;
 static INLET: InletFirstMapping = InletFirstMapping;
 static PACKED: PackedMapping = PackedMapping;
 
-impl ServerPolicy {
+impl PolicyId {
     /// The shared policy instance (policies are stateless).
     pub fn as_policy(self) -> &'static (dyn MappingPolicy + Sync) {
         match self {
-            ServerPolicy::Proposed => &PROPOSED,
-            ServerPolicy::Coskun => &COSKUN,
-            ServerPolicy::InletFirst => &INLET,
-            ServerPolicy::Packed => &PACKED,
+            PolicyId::Proposed => &PROPOSED,
+            PolicyId::Coskun => &COSKUN,
+            PolicyId::InletFirst => &INLET,
+            PolicyId::Packed => &PACKED,
+        }
+    }
+
+    /// The spec-file/CLI spelling (`proposed`/`coskun`/`inlet`/`packed`).
+    pub fn spec_name(self) -> &'static str {
+        match self {
+            PolicyId::Proposed => "proposed",
+            PolicyId::Coskun => "coskun",
+            PolicyId::InletFirst => "inlet",
+            PolicyId::Packed => "packed",
         }
     }
 }
@@ -60,9 +82,10 @@ pub struct FleetConfig {
     /// Servers per rack (one chiller loop per rack, Sec. V).
     pub servers_per_rack: usize,
     /// Thermal-grid pitch of the per-server simulation, in millimetres
-    /// (coarser ⇒ faster cache warm-up).
+    /// (coarser ⇒ faster cache warm-up). Classes may override it.
     pub grid_pitch_mm: f64,
-    /// The servers' water-side design point.
+    /// The servers' water-side design point. Classes may override its
+    /// inlet.
     pub op: OperatingPoint,
     /// The per-rack chiller. The default rejects into a 70 °C
     /// heat-recovery loop (district-heating supply): racks whose shared
@@ -75,16 +98,20 @@ pub struct FleetConfig {
     pub t_case_max: Celsius,
     /// Draw of an idle server (all cores parked, uncore floor).
     pub idle_server_power: Watts,
-    /// Per-server mapping policy.
-    pub policy: ServerPolicy,
+    /// Fleet-wide default mapping policy. Classes may override it.
+    pub policy: PolicyId,
     /// OS threads for the cache warm-up phase.
     pub threads: usize,
+    /// The server catalog: which hardware class sits in each rack slot.
+    /// The default [`FleetCatalog::uniform`] is one fully inheriting
+    /// class everywhere — the homogeneous fleet, bit for bit.
+    pub catalog: FleetCatalog,
 }
 
 impl FleetConfig {
     /// A fleet of `racks × servers_per_rack` paper servers with the
     /// heat-reuse scenario defaults (2 mm grid, paper operating point,
-    /// 70 °C recovery loop, C6 idle floor,
+    /// 70 °C recovery loop, C6 idle floor, uniform catalog,
     /// [`default_threads`](Self::default_threads) warm-up threads).
     ///
     /// # Panics
@@ -102,8 +129,9 @@ impl FleetConfig {
             chiller: Chiller::new(Celsius::new(70.0)),
             t_case_max: T_CASE_MAX,
             idle_server_power: idle,
-            policy: ServerPolicy::default(),
+            policy: PolicyId::default(),
             threads: Self::default_threads(),
+            catalog: FleetCatalog::uniform(),
         }
     }
 
@@ -120,25 +148,68 @@ impl FleetConfig {
     }
 }
 
-/// A fleet of identical two-phase-cooled servers, ready to simulate job
-/// streams under different dispatchers and control policies.
+/// One catalog class, resolved against the fleet defaults and assembled:
+/// the server template shared read-only by every slot of that class.
+#[derive(Debug)]
+pub(crate) struct ClassRuntime {
+    pub(crate) name: String,
+    pub(crate) policy: PolicyId,
+    pub(crate) server: Server,
+}
+
+/// A fleet of two-phase-cooled servers — homogeneous or a catalog mix —
+/// ready to simulate job streams under different dispatchers and control
+/// policies.
 ///
-/// The per-server thermal model is assembled once (`Server` construction
+/// The per-class thermal models are assembled once (`Server` construction
 /// is expensive) and shared read-only by the warm-up threads.
 #[derive(Debug)]
 pub struct Fleet {
     config: FleetConfig,
-    server: Server,
+    classes: Vec<ClassRuntime>,
+    /// Global server index → class id (`index = rack · servers_per_rack
+    /// + slot`).
+    class_of: Vec<ClassId>,
 }
 
 impl Fleet {
-    /// Assembles the fleet's server template.
+    /// Assembles one server template per catalog class (fields a class
+    /// leaves at `None` inherit the fleet defaults).
     pub fn new(config: FleetConfig) -> Self {
-        let server = Server::builder()
-            .grid_pitch_mm(config.grid_pitch_mm)
-            .operating_point(config.op)
-            .build();
-        Self { config, server }
+        let classes: Vec<ClassRuntime> = config
+            .catalog
+            .classes()
+            .iter()
+            .map(|c| {
+                let pitch = c.grid_pitch_mm.unwrap_or(config.grid_pitch_mm);
+                let op = match c.water_inlet_c {
+                    Some(t) => config.op.with_inlet(Celsius::new(t)),
+                    None => config.op,
+                };
+                ClassRuntime {
+                    name: c.name.clone(),
+                    policy: c.policy.unwrap_or(config.policy),
+                    server: Server::builder()
+                        .grid_pitch_mm(pitch)
+                        .operating_point(op)
+                        .build(),
+                }
+            })
+            .collect();
+        // `FleetCatalog::assign` already validated every pattern id, so
+        // the lookup cannot go out of range.
+        let class_of: Vec<ClassId> = (0..config.total_servers())
+            .map(|i| {
+                config
+                    .catalog
+                    .class_of(i / config.servers_per_rack, i % config.servers_per_rack)
+            })
+            .collect();
+        Self {
+            config,
+            classes,
+            class_of,
+        }
     }
 
     /// The scenario parameters.
@@ -146,9 +217,57 @@ impl Fleet {
         &self.config
     }
 
-    /// The per-server template all placements run on.
+    /// The default class's server template (class 0 — the whole fleet on
+    /// a uniform catalog).
     pub fn server(&self) -> &Server {
-        &self.server
+        &self.classes[0].server
+    }
+
+    /// The catalog class names, in class-id order.
+    pub fn class_names(&self) -> Vec<String> {
+        self.classes.iter().map(|c| c.name.clone()).collect()
+    }
+
+    /// The class occupying each global server index.
+    pub fn server_classes(&self) -> &[ClassId] {
+        &self.class_of
+    }
+
+    /// The per-class solve contexts, in class-id order.
+    pub(crate) fn class_solvers(&self) -> Vec<ClassSolve<'_>> {
+        self.classes
+            .iter()
+            .enumerate()
+            .map(|(id, c)| ClassSolve {
+                id,
+                server: &c.server,
+                policy: c.policy,
+            })
+            .collect()
+    }
+
+    /// Pre-solves every `(class, bench, qos)` triple — `pairs` crossed
+    /// with the whole catalog — into `cache` across up to `threads` OS
+    /// threads. [`simulate_with`](Self::simulate_with) calls this
+    /// internally; the sweep engine calls it directly to share one warm
+    /// cache across a whole scenario grid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-server [`RunError`].
+    pub fn warm(
+        &self,
+        pairs: &[(Benchmark, QosClass)],
+        cache: &OutcomeCache,
+        threads: usize,
+    ) -> Result<(), RunError> {
+        cache.warm(
+            &self.class_solvers(),
+            pairs,
+            &MinPowerSelector,
+            self.config.t_case_max,
+            threads,
+        )
     }
 
     /// Runs `jobs` through the fleet under `dispatcher`, reusing (and
@@ -195,39 +314,21 @@ impl Fleet {
         telemetry: Option<&TelemetryConfig>,
         cache: &OutcomeCache,
     ) -> Result<SimResult, RunError> {
-        let selector = MinPowerSelector;
-        let policy = self.config.policy.as_policy();
-
-        // Parallel phase: solve each distinct (bench, qos) once.
-        let mut pairs: Vec<(tps_workload::Benchmark, tps_workload::QosClass)> =
-            jobs.iter().map(|j| (j.bench, j.qos)).collect();
+        // Parallel phase: solve each distinct (class, bench, qos) once.
+        let mut pairs: Vec<(Benchmark, QosClass)> = jobs.iter().map(|j| (j.bench, j.qos)).collect();
         pairs.sort();
         pairs.dedup();
-        cache.warm(
-            &self.server,
-            &pairs,
-            &selector,
-            policy,
-            self.config.t_case_max,
-            self.config.threads,
-        )?;
+        self.warm(&pairs, cache, self.config.threads)?;
 
         // Sequential phase: the deterministic event loop.
-        engine::run(
-            &self.config,
-            &self.server,
-            jobs,
-            dispatcher,
-            control,
-            telemetry,
-            cache,
-        )
+        engine::run(self, jobs, dispatcher, control, telemetry, cache)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::catalog::ServerClass;
     use crate::control::{LoadSheddingControl, SetpointScheduler};
     use crate::dispatch::RoundRobin;
     use crate::job::{synthesize_jobs, JobMix};
@@ -291,6 +392,71 @@ mod tests {
         assert_eq!(out.placements.len(), 0);
         assert_eq!(out.it_energy.value(), 0.0);
         assert_eq!(out.cooling_energy.value(), 0.0);
+    }
+
+    #[test]
+    fn uniform_catalog_resolves_to_the_fleet_defaults() {
+        let mut cfg = FleetConfig::new(2, 2);
+        cfg.grid_pitch_mm = 3.0;
+        cfg.policy = PolicyId::Coskun;
+        let fleet = Fleet::new(cfg);
+        assert_eq!(fleet.class_names(), vec!["default".to_owned()]);
+        assert_eq!(fleet.server_classes(), &[0, 0, 0, 0]);
+        assert_eq!(fleet.class_solvers()[0].policy, PolicyId::Coskun);
+    }
+
+    #[test]
+    fn catalog_classes_get_their_own_servers_and_policies() {
+        let mut cfg = FleetConfig::new(2, 2);
+        cfg.grid_pitch_mm = 3.0;
+        cfg.catalog = FleetCatalog::new(vec![
+            ServerClass::new("dense"),
+            ServerClass::new("sparse").pitch(4.0).inlet(35.0),
+            ServerClass::new("derated").policy(PolicyId::Packed),
+        ])
+        .assign(vec![vec![0, 1], vec![2]]);
+        let fleet = Fleet::new(cfg);
+        assert_eq!(fleet.server_classes(), &[0, 1, 2, 2]);
+        let solvers = fleet.class_solvers();
+        assert_eq!(
+            solvers[1]
+                .server
+                .simulation()
+                .operating_point()
+                .water_inlet(),
+            Celsius::new(35.0)
+        );
+        assert_eq!(solvers[2].policy, PolicyId::Packed);
+        assert_eq!(solvers[0].policy, PolicyId::Proposed);
+    }
+
+    #[test]
+    fn mixed_catalog_runs_deterministically_end_to_end() {
+        let jobs = synthesize_jobs(20, &ConstantDemand::new(0.8), JobMix::default(), 13);
+        let mut cfg = FleetConfig::new(2, 2);
+        cfg.grid_pitch_mm = 3.0;
+        cfg.catalog = FleetCatalog::new(vec![
+            ServerClass::new("dense"),
+            ServerClass::new("sparse").pitch(3.5),
+        ])
+        .assign(vec![vec![0], vec![0, 1]]);
+        let fleet = Fleet::new(cfg.clone());
+        let cache = OutcomeCache::new();
+        let a = fleet
+            .simulate(&jobs, &mut RoundRobin::default(), &cache)
+            .unwrap();
+        let again = Fleet::new(cfg);
+        let fresh = OutcomeCache::new();
+        let b = again
+            .simulate(&jobs, &mut RoundRobin::default(), &fresh)
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.placements.len(), 20);
+        assert_eq!(a.class_names, vec!["dense", "sparse"]);
+        assert_eq!(a.class_placements.iter().sum::<usize>(), 20);
+        // Round-robin strides rack 1's second slot every 4th job: the
+        // sparse class really executed part of the stream.
+        assert!(a.class_placements[1] > 0);
     }
 
     #[test]

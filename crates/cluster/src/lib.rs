@@ -12,11 +12,16 @@
 //!
 //! * [`synthesize_jobs`] — reproducible job streams from the
 //!   diurnal/bursty demand generators of `tps-workload`,
+//! * [`ServerClass`]/[`FleetCatalog`] — the server catalog: named
+//!   hardware classes (pitch/inlet/policy overrides) assigned per rack
+//!   slot; the default uniform catalog is the homogeneous fleet, bit for
+//!   bit,
 //! * [`OutcomeCache`] — per-server physics memoized by
-//!   `(benchmark, qos, policy, water inlet)` and warmed across OS threads,
+//!   `(class, benchmark, qos, policy, water inlet)` and warmed across OS
+//!   threads,
 //! * [`FleetDispatcher`] — [`RoundRobin`], [`CoolestRackFirst`] and the
-//!   paper-style [`ThermalAwareDispatch`] that ranks racks by marginal
-//!   chiller power,
+//!   paper-style [`ThermalAwareDispatch`] that ranks `(rack, class)`
+//!   slots by marginal chiller power,
 //! * [`EventQueue`]/[`Event`] — the deterministic kernel: typed events
 //!   ordered by a stable `(time, class, seq)` key, so results are
 //!   byte-identical across runs and thread counts,
@@ -82,6 +87,7 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod catalog;
 mod control;
 mod dispatch;
 mod engine;
@@ -89,16 +95,17 @@ mod fleet;
 mod job;
 mod metrics;
 
-pub use cache::{CacheKey, OutcomeCache, SteadyState};
+pub use cache::{CacheKey, ClassSolve, OutcomeCache, SteadyState};
+pub use catalog::{ClassId, FleetCatalog, ServerClass};
 pub use control::{
     ControlAction, ControlPolicy, ControlStatus, LoadSheddingControl, SetpointScheduler,
     StaticControl,
 };
 pub use dispatch::{
-    CoolestRackFirst, FleetDispatcher, FleetView, JobDemand, RackView, RoundRobin,
+    ClassDemand, CoolestRackFirst, FleetDispatcher, FleetView, JobDemand, RackView, RoundRobin,
     ThermalAwareDispatch,
 };
 pub use engine::{Event, EventQueue, RackLoads};
-pub use fleet::{Fleet, FleetConfig, ServerPolicy};
+pub use fleet::{Fleet, FleetConfig, PolicyId, ServerPolicy};
 pub use job::{synthesize_jobs, Job, JobMix};
 pub use metrics::{FleetOutcome, FleetSample, FleetTrace, Placement, SimResult, TelemetryConfig};

@@ -2,6 +2,7 @@
 //! and the time-series telemetry the kernel samples along the way.
 
 use crate::cache::SteadyState;
+use crate::catalog::ClassId;
 use crate::fleet::FleetConfig;
 use std::collections::{BTreeMap, VecDeque};
 use tps_cooling::pue;
@@ -16,6 +17,8 @@ pub struct Placement {
     pub server: usize,
     /// Rack index.
     pub rack: usize,
+    /// Catalog class of the server it ran on.
+    pub class: ClassId,
     /// Execution start (arrival + queueing).
     pub start: Seconds,
     /// Execution end.
@@ -54,6 +57,16 @@ pub struct FleetOutcome {
     pub max_wait: Seconds,
     /// Highest instantaneous heat any rack carried.
     pub peak_rack_heat: Watts,
+    /// Catalog class names, in class-id order (one entry on a
+    /// homogeneous fleet).
+    pub class_names: Vec<String>,
+    /// Active package energy per class (the idle floor is fleet-wide and
+    /// stays in [`it_energy`](Self::it_energy) only).
+    pub class_it_energy: Vec<Joules>,
+    /// QoS violations per class.
+    pub class_violations: Vec<usize>,
+    /// Placements per class.
+    pub class_placements: Vec<usize>,
 }
 
 impl FleetOutcome {
@@ -129,6 +142,10 @@ pub struct FleetSample {
     /// Per-rack shared water temperature (coldest running demand), `None`
     /// while a rack is idle.
     pub rack_water: Vec<Option<Celsius>>,
+    /// Running placements per catalog class.
+    pub class_running: Vec<usize>,
+    /// Active package power per catalog class.
+    pub class_it_power: Vec<Watts>,
 }
 
 /// A bounded ring of [`FleetSample`]s with deterministic fixed-precision
@@ -151,6 +168,8 @@ pub struct FleetSample {
 ///     cooling_power: Watts::new(8.5),
 ///     rack_heat: vec![Watts::new(95.0)],
 ///     rack_water: vec![Some(Celsius::new(61.5))],
+///     class_running: vec![1],
+///     class_it_power: vec![Watts::new(120.0)],
 /// });
 /// let csv = trace.to_csv();
 /// assert!(csv.starts_with("t_s,setpoint_c,queued,running,shed,violations"));
@@ -160,22 +179,39 @@ pub struct FleetSample {
 pub struct FleetTrace {
     samples: VecDeque<FleetSample>,
     racks: usize,
+    /// Catalog class names; per-class columns are emitted only when the
+    /// fleet declares more than one class, so homogeneous traces keep
+    /// the exact pre-catalog column set.
+    class_names: Vec<String>,
     capacity: usize,
     dropped: usize,
 }
 
 impl FleetTrace {
     /// An empty trace over `racks` racks keeping at most `capacity`
-    /// samples.
+    /// samples (single-class fleet: no per-class columns).
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn new(racks: usize, capacity: usize) -> Self {
+        Self::with_classes(racks, vec!["default".to_owned()], capacity)
+    }
+
+    /// An empty trace over `racks` racks and the given catalog classes.
+    /// Per-class `<name>_running`/`<name>_it_w` columns are emitted when
+    /// more than one class is named.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or `class_names` is empty.
+    pub fn with_classes(racks: usize, class_names: Vec<String>, capacity: usize) -> Self {
         assert!(capacity > 0, "trace capacity must be positive");
+        assert!(!class_names.is_empty(), "a fleet has at least one class");
         Self {
             samples: VecDeque::with_capacity(capacity.min(1024)),
             racks,
+            class_names,
             capacity,
             dropped: 0,
         }
@@ -217,10 +253,25 @@ impl FleetTrace {
 
     /// The full trace as CSV: header plus one line per retained sample,
     /// floats at fixed precision, idle racks' water column empty.
+    /// Heterogeneous fleets (more than one class) append per-class
+    /// `<name>_running,<name>_it_w` columns; single-class traces keep the
+    /// exact homogeneous column set.
     pub fn to_csv(&self) -> String {
         let mut out = String::from("t_s,setpoint_c,queued,running,shed,violations,it_w,cool_w");
         for r in 0..self.racks {
             out.push_str(&format!(",rack{r}_heat_w,rack{r}_water_c"));
+        }
+        let classes = if self.class_names.len() > 1 {
+            self.class_names.len()
+        } else {
+            0
+        };
+        for name in self.class_names.iter().take(classes) {
+            let name: String = name
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect();
+            out.push_str(&format!(",{name}_running,{name}_it_w"));
         }
         out.push('\n');
         for s in &self.samples {
@@ -242,6 +293,13 @@ impl FleetTrace {
                     }
                     None => out.push_str(&format!(",{:.3},", s.rack_heat[r].value())),
                 }
+            }
+            for c in 0..classes {
+                out.push_str(&format!(
+                    ",{},{:.3}",
+                    s.class_running.get(c).copied().unwrap_or(0),
+                    s.class_it_power.get(c).map_or(0.0, |p| p.value()),
+                ));
             }
             out.push('\n');
         }
@@ -265,6 +323,7 @@ pub(crate) fn integrate_energy(
     placements: Vec<Placement>,
     shed: usize,
     config: &FleetConfig,
+    class_names: &[String],
     setpoints: &[(Seconds, Celsius)],
 ) -> FleetOutcome {
     // One +/− event per placement boundary, swept in time order so each
@@ -274,7 +333,10 @@ pub(crate) fn integrate_energy(
     // accumulation is deterministic. The heat/water/pin-to-zero rules
     // mirror `engine::RackLoads` (see its invariant note): a change to
     // one accumulation must land in both, or the dispatch-time and
-    // integration-time views of rack state diverge.
+    // integration-time views of rack state diverge. The per-class
+    // accumulators ride along in separate sums: they never feed the
+    // fleet-wide `it`/`cooling` totals, so the homogeneous integration
+    // stays bit-identical.
     const REMOVE: u8 = 0;
     const SETPOINT: u8 = 1;
     const ADD: u8 = 2;
@@ -282,6 +344,7 @@ pub(crate) fn integrate_energy(
         time: f64,
         kind: u8,
         rack: usize,
+        class: ClassId,
         heat: f64,
         // Tolerable-water key: `to_bits` is monotone for the non-negative
         // temperatures in play, and round-trips the exact f64.
@@ -296,6 +359,7 @@ pub(crate) fn integrate_energy(
                 time,
                 kind,
                 rack: p.rack,
+                class: p.class,
                 heat: p.state.heat.value(),
                 water_bits: p.state.max_water_temp.value().to_bits(),
                 power: p.state.package_power.value(),
@@ -326,6 +390,7 @@ pub(crate) fn integrate_energy(
                 time: t.value(),
                 kind: SETPOINT,
                 rack: 0,
+                class: 0,
                 heat: 0.0,
                 water_bits: c.value().to_bits(),
                 power: 0.0,
@@ -340,6 +405,7 @@ pub(crate) fn integrate_energy(
     });
     let makespan = last_end;
 
+    let n_classes = class_names.len().max(1);
     let mut it = 0.0;
     let mut cooling = 0.0;
     let mut peak_rack_heat = 0.0f64;
@@ -347,6 +413,9 @@ pub(crate) fn integrate_energy(
     let mut active_power = 0.0;
     let mut rack_heat = vec![0.0f64; config.racks];
     let mut rack_water: Vec<BTreeMap<u64, usize>> = vec![BTreeMap::new(); config.racks];
+    let mut class_busy = vec![0usize; n_classes];
+    let mut class_power = vec![0.0f64; n_classes];
+    let mut class_it = vec![0.0f64; n_classes];
     let mut i = 0;
     while i < events.len() {
         let t = events[i].time;
@@ -357,6 +426,8 @@ pub(crate) fn integrate_energy(
                     busy += 1;
                     active_power += e.power;
                     rack_heat[e.rack] += e.heat;
+                    class_busy[e.class] += 1;
+                    class_power[e.class] += e.power;
                     *rack_water[e.rack].entry(e.water_bits).or_insert(0) += 1;
                 }
                 SETPOINT => {
@@ -368,6 +439,8 @@ pub(crate) fn integrate_energy(
                     busy -= 1;
                     active_power -= e.power;
                     rack_heat[e.rack] -= e.heat;
+                    class_busy[e.class] -= 1;
+                    class_power[e.class] -= e.power;
                     if let Some(count) = rack_water[e.rack].get_mut(&e.water_bits) {
                         *count -= 1;
                         if *count == 0 {
@@ -378,6 +451,9 @@ pub(crate) fn integrate_energy(
                     // never leaks into later windows.
                     if rack_water[e.rack].is_empty() {
                         rack_heat[e.rack] = 0.0;
+                    }
+                    if class_busy[e.class] == 0 {
+                        class_power[e.class] = 0.0;
                     }
                     if busy == 0 {
                         active_power = 0.0;
@@ -393,6 +469,9 @@ pub(crate) fn integrate_energy(
         }
         let idle = (config.total_servers() - busy) as f64 * config.idle_server_power.value();
         it += (active_power + idle) * dt;
+        for (sum, power) in class_it.iter_mut().zip(&class_power) {
+            *sum += power * dt;
+        }
         for r in 0..config.racks {
             peak_rack_heat = peak_rack_heat.max(rack_heat[r]);
             if let Some((&bits, _)) = rack_water[r].first_key_value() {
@@ -419,6 +498,14 @@ pub(crate) fn integrate_energy(
         .map(|p| p.wait)
         .fold(Seconds::ZERO, Seconds::max);
     let violations = placements.iter().filter(|p| p.violated).count();
+    let mut class_violations = vec![0usize; n_classes];
+    let mut class_placements = vec![0usize; n_classes];
+    for p in &placements {
+        class_placements[p.class] += 1;
+        if p.violated {
+            class_violations[p.class] += 1;
+        }
+    }
     FleetOutcome {
         dispatcher,
         control,
@@ -431,6 +518,14 @@ pub(crate) fn integrate_energy(
         mean_wait,
         max_wait,
         peak_rack_heat: Watts::new(peak_rack_heat),
+        class_names: if class_names.is_empty() {
+            vec!["default".to_owned()]
+        } else {
+            class_names.to_vec()
+        },
+        class_it_energy: class_it.into_iter().map(Joules::new).collect(),
+        class_violations,
+        class_placements,
     }
 }
 
@@ -456,6 +551,7 @@ mod tests {
             job: 0,
             server,
             rack,
+            class: 0,
             start: Seconds::new(start),
             end: Seconds::new(end),
             wait: Seconds::ZERO,
@@ -470,8 +566,12 @@ mod tests {
         cfg
     }
 
+    fn names() -> Vec<String> {
+        vec!["default".to_owned()]
+    }
+
     fn integrate(placements: Vec<Placement>, cfg: &FleetConfig) -> FleetOutcome {
-        integrate_energy("test", "static", placements, 0, cfg, &[])
+        integrate_energy("test", "static", placements, 0, cfg, &names(), &[])
     }
 
     #[test]
@@ -552,6 +652,7 @@ mod tests {
             vec![placement(0, 0, 0.0, 10.0, job)],
             0,
             &cfg,
+            &names(),
             &[(Seconds::new(5.0), Celsius::new(40.0))],
         );
         assert!(
@@ -586,6 +687,7 @@ mod tests {
             vec![placement(0, 0, 10.0, 20.0, job)],
             0,
             &cfg,
+            &names(),
             &[(Seconds::ZERO, Celsius::new(40.0))],
         );
         // The whole run free-cools, and the pre-start change neither adds
@@ -605,6 +707,7 @@ mod tests {
             vec![placement(0, 0, 0.0, 10.0, job)],
             0,
             &cfg,
+            &names(),
             &[(Seconds::new(10.0), Celsius::new(40.0))],
         );
         let plain = integrate(vec![placement(0, 0, 0.0, 10.0, job)], &cfg);
@@ -628,6 +731,8 @@ mod tests {
                 cooling_power: Watts::ZERO,
                 rack_heat: vec![Watts::ZERO],
                 rack_water: vec![None],
+                class_running: vec![0],
+                class_it_power: vec![Watts::ZERO],
             });
         }
         assert_eq!(trace.len(), 2);

@@ -139,4 +139,82 @@ proptest! {
             prop_assert!(view.supply.is_none());
         }
     }
+    /// A heterogeneous fleet commits per-class steady states — the same
+    /// job carries a different (heat, water) on each hardware bin. Any
+    /// class mix must conserve committed heat across interleaved
+    /// `add`/`expire_until`: the rack totals always equal the sum of the
+    /// live placements' class heats, and full expiry drains to exact
+    /// zero.
+    #[test]
+    fn any_class_mix_conserves_committed_heat(
+        racks in 1usize..4,
+        n_classes in 1usize..5,
+        ops in 1usize..60,
+        seed in 0u64..500,
+    ) {
+        // A fixed catalog of per-class demands, as the cache would hand
+        // the kernel: distinct heats and tolerable-water caps per class.
+        let classes: Vec<(f64, f64)> = (0..n_classes as u64)
+            .map(|c| (
+                20.0 + unit(seed ^ 0xc1a5, c) * 150.0,
+                45.0 + unit(seed ^ 0x7a7e, c) * 35.0,
+            ))
+            .collect();
+        let mut loads = RackLoads::new(racks);
+        // Naive model: (rack, class, end) of every commit.
+        let mut naive: Vec<(usize, usize, f64)> = Vec::new();
+        let mut now = 0.0f64;
+        for i in 0..ops as u64 {
+            if unit(seed, 5 * i) < 0.65 || naive.is_empty() {
+                let rack = (unit(seed, 5 * i + 1) * racks as f64) as usize % racks;
+                let class = (unit(seed, 5 * i + 2) * n_classes as f64) as usize % n_classes;
+                let (heat, water) = classes[class];
+                let end = now + unit(seed, 5 * i + 3) * 50.0;
+                loads.add(rack, &state(heat, water), Seconds::new(end));
+                naive.push((rack, class, end));
+            } else {
+                now += unit(seed, 5 * i + 4) * 40.0;
+                loads.expire_until(Seconds::new(now));
+                naive.retain(|&(_, _, end)| end > now);
+            }
+
+            // Committed heat equals the naive per-class sum on every rack.
+            let views = loads.views();
+            for (rk, view) in views.iter().enumerate() {
+                let expected: f64 = naive
+                    .iter()
+                    .filter(|p| p.0 == rk)
+                    .map(|p| classes[p.1].0)
+                    .sum();
+                prop_assert!(
+                    (view.heat.value() - expected).abs() <= 1e-9 * expected.max(1.0),
+                    "rack {} heat {} vs per-class sum {}", rk, view.heat.value(), expected
+                );
+                // The supply cap is the coldest live class on the rack.
+                let coldest = naive
+                    .iter()
+                    .filter(|p| p.0 == rk)
+                    .map(|p| classes[p.1].1)
+                    .fold(f64::INFINITY, f64::min);
+                if coldest.is_finite() {
+                    prop_assert_eq!(
+                        view.supply.map(|c| c.value().to_bits()),
+                        Some(coldest.to_bits())
+                    );
+                } else {
+                    prop_assert!(view.supply.is_none());
+                    prop_assert_eq!(view.heat.value(), 0.0);
+                }
+            }
+        }
+
+        // Drain everything: exact zero no matter the class mix.
+        let horizon = naive.iter().map(|p| p.2).fold(now, f64::max);
+        loads.expire_until(Seconds::new(horizon));
+        prop_assert_eq!(loads.total_committed(), 0);
+        for view in loads.views() {
+            prop_assert_eq!(view.heat.value(), 0.0);
+            prop_assert!(view.supply.is_none());
+        }
+    }
 }

@@ -56,6 +56,8 @@ mod spec;
 mod sweep;
 pub mod toml;
 
-pub use report::{SweepReport, SweepRow};
-pub use spec::{ControlKind, DemandKind, DispatcherKind, Scenario, SpecError, TelemetrySpec};
+pub use report::{ClassRow, SweepReport, SweepRow};
+pub use spec::{
+    ClassSpec, ControlKind, DemandKind, DispatcherKind, Scenario, SpecError, TelemetrySpec,
+};
 pub use sweep::{Axis, Sweep, SweepError};

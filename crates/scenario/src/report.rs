@@ -45,6 +45,22 @@ pub struct SweepRow {
     pub makespan_s: f64,
     /// Highest instantaneous heat any rack carried, watts.
     pub peak_rack_w: f64,
+    /// Per-class breakdown (one entry on a homogeneous fleet; emitted as
+    /// extra columns only when a report mixes classes).
+    pub classes: Vec<ClassRow>,
+}
+
+/// One catalog class's share of a grid point's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassRow {
+    /// Class name.
+    pub name: String,
+    /// Active package energy of this class, kWh (idle floor excluded).
+    pub it_kwh: f64,
+    /// QoS violations on this class.
+    pub violations: usize,
+    /// Placements on this class.
+    pub placements: usize,
 }
 
 impl SweepRow {
@@ -67,6 +83,17 @@ impl SweepRow {
             max_wait_s: outcome.max_wait.value(),
             makespan_s: outcome.makespan.value(),
             peak_rack_w: outcome.peak_rack_heat.value(),
+            classes: outcome
+                .class_names
+                .iter()
+                .enumerate()
+                .map(|(i, name)| ClassRow {
+                    name: name.clone(),
+                    it_kwh: outcome.class_it_energy[i].to_kwh(),
+                    violations: outcome.class_violations[i],
+                    placements: outcome.class_placements[i],
+                })
+                .collect(),
         }
     }
 }
@@ -97,9 +124,12 @@ impl SweepRow {
 ///             max_wait_s: 3.1,
 ///             makespan_s: 61.0,
 ///             peak_rack_w: 141.0,
+///             classes: vec![],
 ///         },
 ///     ],
 ///     baseline: 0,
+///     cache_solves: 12,
+///     cache_hits: 40,
 /// };
 /// assert!(report.to_csv().starts_with("name,dispatcher"));
 /// assert!(report.to_markdown().contains("| cooling.heat_reuse_c=45 |"));
@@ -114,6 +144,11 @@ pub struct SweepReport {
     pub rows: Vec<SweepRow>,
     /// Index into `rows` deltas are taken against.
     pub baseline: usize,
+    /// Coupled per-server solves the whole grid performed (the sweep's
+    /// core speed lever — one per distinct cache key).
+    pub cache_solves: usize,
+    /// Cache lookups served from memory across the whole grid.
+    pub cache_hits: usize,
 }
 
 impl SweepReport {
@@ -126,17 +161,42 @@ impl SweepReport {
         &self.rows[self.baseline]
     }
 
+    /// The class names any heterogeneous row carries, in order of first
+    /// appearance across the grid — empty when every row is single-class,
+    /// so homogeneous reports keep the exact pre-catalog column set.
+    fn class_columns(&self) -> Vec<String> {
+        if self.rows.iter().all(|r| r.classes.len() <= 1) {
+            return Vec::new();
+        }
+        let mut names: Vec<String> = Vec::new();
+        for r in &self.rows {
+            for c in &r.classes {
+                if !names.contains(&c.name) {
+                    names.push(c.name.clone());
+                }
+            }
+        }
+        names
+    }
+
     /// The full per-grid-point CSV (header + one line per row), floats at
-    /// fixed precision for byte-determinism.
+    /// fixed precision for byte-determinism. When the grid mixes server
+    /// classes, `class_<name>_it_kwh`/`class_<name>_viol` columns are
+    /// appended (blank where a grid point lacks the class).
     pub fn to_csv(&self) -> String {
+        let class_columns = self.class_columns();
         let mut out = String::new();
         out.push_str(
             "name,dispatcher,control,racks,servers_per_rack,jobs,it_kwh,cooling_kwh,total_kwh,\
-             pue,violations,shed,mean_wait_s,max_wait_s,makespan_s,peak_rack_w\n",
+             pue,violations,shed,mean_wait_s,max_wait_s,makespan_s,peak_rack_w",
         );
+        for name in &class_columns {
+            out.push_str(&format!(",class_{name}_it_kwh,class_{name}_viol"));
+        }
+        out.push('\n');
         for r in &self.rows {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.4},{},{},{:.3},{:.3},{:.3},{:.1}\n",
+                "{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.4},{},{},{:.3},{:.3},{:.3},{:.1}",
                 csv_field(&r.name),
                 r.dispatcher,
                 r.control,
@@ -154,6 +214,15 @@ impl SweepReport {
                 r.makespan_s,
                 r.peak_rack_w,
             ));
+            for name in &class_columns {
+                match r.classes.iter().find(|c| &c.name == name) {
+                    Some(c) => {
+                        out.push_str(&format!(",{:.6},{}", c.it_kwh, c.violations));
+                    }
+                    None => out.push_str(",,"),
+                }
+            }
+            out.push('\n');
         }
         out
     }
@@ -203,6 +272,21 @@ impl SweepReport {
                 d_cool,
             ));
         }
+        if !self.class_columns().is_empty() {
+            out.push_str(
+                "\n## Per-class breakdown\n\n\
+                 | scenario | class | IT kWh | viol | jobs |\n\
+                 |---|---|---:|---:|---:|\n",
+            );
+            for r in &self.rows {
+                for c in &r.classes {
+                    out.push_str(&format!(
+                        "| {} | {} | {:.3} | {} | {} |\n",
+                        r.name, c.name, c.it_kwh, c.violations, c.placements,
+                    ));
+                }
+            }
+        }
         out
     }
 }
@@ -248,6 +332,7 @@ mod tests {
             max_wait_s: 0.0,
             makespan_s: 100.0,
             peak_rack_w: 140.0,
+            classes: vec![],
         }
     }
 
@@ -257,6 +342,8 @@ mod tests {
             axes: vec!["cooling.heat_reuse_c".into(), "dispatch.dispatcher".into()],
             rows: vec![row("a=1,b=rr", 1.0, 0.2), row("a=2,b=rr", 0.9, 0.1)],
             baseline: 0,
+            cache_solves: 0,
+            cache_hits: 0,
         }
     }
 
@@ -285,5 +372,53 @@ mod tests {
     fn zero_baseline_energy_reports_na() {
         assert_eq!(delta_pct(1.0, 0.0), "n/a");
         assert_eq!(delta_pct(1.1, 1.0), "+10.0 %");
+    }
+
+    #[test]
+    fn heterogeneous_rows_emit_per_class_columns() {
+        let mut rep = report();
+        rep.rows[0].classes = vec![
+            ClassRow {
+                name: "dense".into(),
+                it_kwh: 0.5,
+                violations: 1,
+                placements: 10,
+            },
+            ClassRow {
+                name: "sparse".into(),
+                it_kwh: 0.3,
+                violations: 0,
+                placements: 6,
+            },
+        ];
+        // Row 1 only hosts `dense`: the sparse columns stay blank there.
+        rep.rows[1].classes = vec![ClassRow {
+            name: "dense".into(),
+            it_kwh: 0.8,
+            violations: 0,
+            placements: 16,
+        }];
+        let csv = rep.to_csv();
+        let header = csv.lines().next().unwrap();
+        assert!(
+            header.ends_with(
+                "class_dense_it_kwh,class_dense_viol,class_sparse_it_kwh,class_sparse_viol"
+            ),
+            "{header}"
+        );
+        assert!(csv
+            .lines()
+            .nth(1)
+            .unwrap()
+            .ends_with("0.500000,1,0.300000,0"));
+        assert!(csv.lines().nth(2).unwrap().ends_with("0.800000,0,,"));
+        let md = rep.to_markdown();
+        assert!(md.contains("Per-class breakdown"), "{md}");
+        assert!(md.contains("| sparse | 0.300 | 0 | 6 |"), "{md}");
+
+        // A fully homogeneous report keeps the pre-catalog column set.
+        let plain = report().to_csv();
+        assert!(plain.lines().next().unwrap().ends_with("peak_rack_w"));
+        assert!(!report().to_markdown().contains("Per-class breakdown"));
     }
 }

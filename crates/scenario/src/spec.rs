@@ -8,9 +8,9 @@
 use crate::toml::{self, Table, Value};
 use std::fmt;
 use tps_cluster::{
-    synthesize_jobs, ControlPolicy, CoolestRackFirst, FleetConfig, FleetDispatcher, Job, JobMix,
-    LoadSheddingControl, RoundRobin, ServerPolicy, SetpointScheduler, StaticControl,
-    TelemetryConfig, ThermalAwareDispatch,
+    synthesize_jobs, ControlPolicy, CoolestRackFirst, FleetCatalog, FleetConfig, FleetDispatcher,
+    Job, JobMix, LoadSheddingControl, RoundRobin, ServerClass, ServerPolicy, SetpointScheduler,
+    StaticControl, TelemetryConfig, ThermalAwareDispatch,
 };
 use tps_cooling::Chiller;
 use tps_units::{Celsius, Seconds};
@@ -229,6 +229,21 @@ impl TelemetrySpec {
     }
 }
 
+/// One `[[server_class]]` declaration: a named hardware class whose
+/// `None` fields inherit the fleet-wide defaults (`fleet.grid_pitch_mm`,
+/// `cooling.water_inlet_c`, `fleet.policy`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassSpec {
+    /// Class name (referenced from `fleet.classes`).
+    pub name: String,
+    /// Thermal-grid pitch override, mm.
+    pub grid_pitch_mm: Option<f64>,
+    /// Water-inlet override, °C.
+    pub water_inlet_c: Option<f64>,
+    /// Mapping-policy override.
+    pub policy: Option<ServerPolicy>,
+}
+
 /// The axis values a sweep makes reachable beyond the base spec's own
 /// selections — relaxes per-model key applicability checks (a `period_s`
 /// is fine under constant demand if `workload.demand` is swept to
@@ -295,6 +310,12 @@ pub struct Scenario {
     pub control: ControlKind,
     /// Telemetry options, when the spec carries a `[telemetry]` table.
     pub telemetry: Option<TelemetrySpec>,
+    /// Declared server classes (`[[server_class]]`), empty on a
+    /// homogeneous spec.
+    pub classes: Vec<ClassSpec>,
+    /// Per-rack class patterns (class ids, cycled across each rack's
+    /// slots), one entry per rack; empty on a homogeneous spec.
+    pub rack_classes: Vec<Vec<usize>>,
 }
 
 impl Scenario {
@@ -335,6 +356,7 @@ impl Scenario {
             "dispatch",
             "control",
             "telemetry",
+            "server_class",
         ])?;
         let name = root.string("name", name_hint)?;
 
@@ -345,26 +367,28 @@ impl Scenario {
             "grid_pitch_mm",
             "policy",
             "threads",
+            "classes",
         ])?;
         let racks = fleet.count("racks", 2)?;
         let servers_per_rack = fleet.count("servers_per_rack", 8)?;
         let grid_pitch_mm = fleet.positive_f64("grid_pitch_mm", 2.0)?;
-        let policy = match fleet.string("policy", "proposed")?.as_str() {
-            "proposed" => ServerPolicy::Proposed,
-            "coskun" => ServerPolicy::Coskun,
-            "inlet" => ServerPolicy::InletFirst,
-            "packed" => ServerPolicy::Packed,
-            other => {
+        let policy = match policy_from_name(&fleet.string("policy", "proposed")?) {
+            Some(p) => p,
+            None => {
+                let other = fleet.string("policy", "proposed")?;
                 return Err(fleet.value_error(
                     "policy",
                     format!("unknown policy `{other}` (use proposed, coskun, inlet or packed)"),
-                ))
+                ));
             }
         };
         let threads = match fleet.count_opt("threads")? {
             Some(n) => n,
             None => FleetConfig::default_threads(),
         };
+
+        let classes = parse_server_classes(doc)?;
+        let rack_classes = parse_rack_classes(&fleet, doc, racks, &classes)?;
 
         let cooling = root.table("cooling")?;
         cooling.allow(&["heat_reuse_c", "water_inlet_c"])?;
@@ -611,6 +635,8 @@ impl Scenario {
             dispatcher,
             control,
             telemetry,
+            classes,
+            rack_classes,
         })
     }
 
@@ -622,6 +648,21 @@ impl Scenario {
         config.chiller = Chiller::new(Celsius::new(self.heat_reuse_c));
         config.policy = self.policy;
         config.threads = self.threads;
+        if !self.classes.is_empty() {
+            config.catalog = FleetCatalog::new(
+                self.classes
+                    .iter()
+                    .map(|c| {
+                        let mut class = ServerClass::new(c.name.clone());
+                        class.grid_pitch_mm = c.grid_pitch_mm;
+                        class.water_inlet_c = c.water_inlet_c;
+                        class.policy = c.policy;
+                        class
+                    })
+                    .collect(),
+            )
+            .assign(self.rack_classes.clone());
+        }
         config
     }
 
@@ -664,6 +705,201 @@ impl Scenario {
             ),
         }
     }
+}
+
+/// Maps a spec/CLI policy spelling to its [`ServerPolicy`].
+fn policy_from_name(name: &str) -> Option<ServerPolicy> {
+    match name {
+        "proposed" => Some(ServerPolicy::Proposed),
+        "coskun" => Some(ServerPolicy::Coskun),
+        "inlet" => Some(ServerPolicy::InletFirst),
+        "packed" => Some(ServerPolicy::Packed),
+        _ => None,
+    }
+}
+
+/// Parses the `[[server_class]]` declarations, in file order.
+fn parse_server_classes(doc: &Table) -> Result<Vec<ClassSpec>, SpecError> {
+    let Some(spanned) = doc.get("server_class") else {
+        return Ok(Vec::new());
+    };
+    let Value::Array(items) = &spanned.value else {
+        return Err(SpecError::at(
+            spanned.line,
+            format!(
+                "`server_class` must be declared as `[[server_class]]` array-of-tables \
+                 headers, found a {}",
+                spanned.value.type_name()
+            ),
+        ));
+    };
+    let mut classes: Vec<ClassSpec> = Vec::with_capacity(items.len());
+    for item in items {
+        let Value::Table(table) = &item.value else {
+            return Err(SpecError::at(
+                item.line,
+                "`server_class` entries must be `[[server_class]]` tables".to_owned(),
+            ));
+        };
+        let ctx = Ctx::new(table, Some("server_class"));
+        ctx.allow(&["name", "grid_pitch_mm", "water_inlet_c", "policy"])?;
+        let name = ctx.string("name", "")?;
+        if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(SpecError::at(
+                table.get("name").map_or(item.line, |v| v.line),
+                format!(
+                    "every `[[server_class]]` needs a `name` of letters, digits and `_` \
+                     (got `{name}`)"
+                ),
+            ));
+        }
+        if classes.iter().any(|c| c.name == name) {
+            return Err(SpecError::at(
+                table.get("name").map_or(item.line, |v| v.line),
+                format!("duplicate server class `{name}`"),
+            ));
+        }
+        let grid_pitch_mm = ctx.positive_f64_opt("grid_pitch_mm")?;
+        let water_inlet_c = ctx.f64_opt("water_inlet_c")?;
+        if let Some(t) = water_inlet_c {
+            if !(5.0..=60.0).contains(&t) {
+                return Err(ctx.value_error(
+                    "water_inlet_c",
+                    format!("water inlet {t} °C outside the 5..=60 °C chiller envelope"),
+                ));
+            }
+        }
+        let policy = match ctx.string_opt("policy")? {
+            None => None,
+            Some(s) => match policy_from_name(&s) {
+                Some(p) => Some(p),
+                None => {
+                    return Err(ctx.value_error(
+                        "policy",
+                        format!("unknown policy `{s}` (use proposed, coskun, inlet or packed)"),
+                    ))
+                }
+            },
+        };
+        classes.push(ClassSpec {
+            name,
+            grid_pitch_mm,
+            water_inlet_c,
+            policy,
+        });
+    }
+    Ok(classes)
+}
+
+/// Parses the per-rack `classes` assignment of `[fleet]`.
+///
+/// Accepted forms (each entry names one rack; a lone entry broadcasts to
+/// every rack): an array `classes = ["dense", "dense+sparse"]`, or a
+/// whitespace-separated string `classes = "dense dense+sparse"` (the
+/// sweepable form). A `+`-joined entry cycles those classes across the
+/// rack's slots.
+fn parse_rack_classes(
+    fleet: &Ctx<'_>,
+    doc: &Table,
+    racks: usize,
+    classes: &[ClassSpec],
+) -> Result<Vec<Vec<usize>>, SpecError> {
+    let Some(spanned) = fleet.table.get("classes") else {
+        if !classes.is_empty() {
+            return Err(SpecError::at(
+                doc.get("server_class").map_or(0, |v| v.line).max(1),
+                "`[[server_class]]` declarations need a per-rack `classes = [...]` \
+                 assignment in `[fleet]`"
+                    .to_owned(),
+            ));
+        }
+        return Ok(Vec::new());
+    };
+    if classes.is_empty() {
+        return Err(SpecError::at(
+            spanned.line,
+            "`classes` assigns `[[server_class]]` declarations, but the spec declares none"
+                .to_owned(),
+        ));
+    }
+    let entries: Vec<String> = match &spanned.value {
+        Value::String(s) => s.split_whitespace().map(str::to_owned).collect(),
+        Value::Array(items) => {
+            let mut out = Vec::with_capacity(items.len());
+            for item in items {
+                match &item.value {
+                    Value::String(s) => out.push(s.clone()),
+                    other => {
+                        return Err(SpecError::at(
+                            item.line,
+                            format!(
+                                "`classes` entries must be class-name strings, found {}",
+                                other.display_compact()
+                            ),
+                        ))
+                    }
+                }
+            }
+            out
+        }
+        other => {
+            return Err(SpecError::at(
+                spanned.line,
+                format!(
+                    "`classes` must be an array of class names (or a whitespace-separated \
+                     string), found a {}",
+                    other.type_name()
+                ),
+            ))
+        }
+    };
+    if entries.is_empty() {
+        return Err(SpecError::at(
+            spanned.line,
+            "`classes` is empty — name one entry per rack (or one to broadcast)".to_owned(),
+        ));
+    }
+    if entries.len() != racks && entries.len() != 1 {
+        return Err(SpecError::at(
+            spanned.line,
+            format!(
+                "`classes` names {} rack(s) but the fleet has {racks} \
+                 (give one entry per rack, or one to broadcast)",
+                entries.len()
+            ),
+        ));
+    }
+    let resolve = |entry: &str| -> Result<Vec<usize>, SpecError> {
+        entry
+            .split('+')
+            .map(|part| {
+                let part = part.trim();
+                classes.iter().position(|c| c.name == part).ok_or_else(|| {
+                    SpecError::at(
+                        spanned.line,
+                        format!(
+                            "`classes` references undeclared class `{part}` (declared: {})",
+                            classes
+                                .iter()
+                                .map(|c| c.name.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ),
+                    )
+                })
+            })
+            .collect()
+    };
+    let mut patterns = Vec::with_capacity(racks);
+    if entries.len() == 1 {
+        let pattern = resolve(&entries[0])?;
+        patterns = vec![pattern; racks];
+    } else {
+        for entry in &entries {
+            patterns.push(resolve(entry)?);
+        }
+    }
+    Ok(patterns)
 }
 
 /// A typed view over one spec table: getters that turn type mismatches
@@ -755,14 +991,41 @@ impl<'a> Ctx<'a> {
         }
     }
 
-    fn f64(&self, key: &str, default: f64) -> Result<f64, SpecError> {
+    fn string_opt(&self, key: &str) -> Result<Option<String>, SpecError> {
         match self.table.get(key) {
+            None => Ok(None),
+            Some(v) => match &v.value {
+                Value::String(s) => Ok(Some(s.clone())),
+                other => Err(self.type_error(key, "string", other, v.line)),
+            },
+        }
+    }
+
+    fn f64(&self, key: &str, default: f64) -> Result<f64, SpecError> {
+        match self.f64_opt(key)? {
+            Some(x) => Ok(x),
             None => Ok(default),
+        }
+    }
+
+    fn f64_opt(&self, key: &str) -> Result<Option<f64>, SpecError> {
+        match self.table.get(key) {
+            None => Ok(None),
             Some(v) => match v.value {
-                Value::Float(x) => Ok(x),
-                Value::Integer(i) => Ok(i as f64),
+                Value::Float(x) => Ok(Some(x)),
+                Value::Integer(i) => Ok(Some(i as f64)),
                 ref other => Err(self.type_error(key, "number", other, v.line)),
             },
+        }
+    }
+
+    fn positive_f64_opt(&self, key: &str) -> Result<Option<f64>, SpecError> {
+        match self.f64_opt(key)? {
+            None => Ok(None),
+            Some(x) if x > 0.0 && x.is_finite() => Ok(Some(x)),
+            Some(x) => {
+                Err(self.value_error(key, format!("`{key}` must be positive and finite, got {x}")))
+            }
         }
     }
 
@@ -1075,5 +1338,120 @@ mod tests {
         let e = Scenario::parse("", "x").unwrap_err();
         assert!(e.message.contains("empty"), "{e}");
         assert!(e.message.contains("docs/SCENARIOS.md"), "{e}");
+    }
+
+    #[test]
+    fn server_classes_parse_and_build_the_catalog() {
+        let s = Scenario::parse(
+            "[fleet]\n\
+             racks = 3\n\
+             servers_per_rack = 4\n\
+             classes = [\"dense\", \"sparse\", \"dense+sparse\"]\n\
+             [[server_class]]\n\
+             name = \"dense\"\n\
+             grid_pitch_mm = 2.5\n\
+             [[server_class]]\n\
+             name = \"sparse\"\n\
+             water_inlet_c = 35\n\
+             policy = \"coskun\"\n",
+            "x",
+        )
+        .unwrap();
+        assert_eq!(s.classes.len(), 2);
+        assert_eq!(s.classes[0].name, "dense");
+        assert_eq!(s.classes[0].grid_pitch_mm, Some(2.5));
+        assert_eq!(s.classes[1].water_inlet_c, Some(35.0));
+        assert_eq!(s.classes[1].policy, Some(ServerPolicy::Coskun));
+        assert_eq!(s.rack_classes, vec![vec![0], vec![1], vec![0, 1]]);
+        let cfg = s.fleet_config();
+        assert_eq!(cfg.catalog.len(), 2);
+        // Rack 2 alternates dense/sparse across its 4 slots.
+        assert_eq!(cfg.catalog.class_of(2, 0), 0);
+        assert_eq!(cfg.catalog.class_of(2, 1), 1);
+        assert_eq!(cfg.catalog.class_of(2, 3), 1);
+    }
+
+    #[test]
+    fn classes_broadcast_from_a_single_entry_or_string() {
+        // One array entry broadcasts the mix to every rack.
+        let s = Scenario::parse(
+            "[fleet]\nracks = 4\nclasses = [\"a+b\"]\n\
+             [[server_class]]\nname = \"a\"\n\
+             [[server_class]]\nname = \"b\"\n",
+            "x",
+        )
+        .unwrap();
+        assert_eq!(s.rack_classes, vec![vec![0, 1]; 4]);
+        // The sweepable string form: whitespace-separated per-rack list.
+        let s = Scenario::parse(
+            "[fleet]\nracks = 2\nclasses = \"a b\"\n\
+             [[server_class]]\nname = \"a\"\n\
+             [[server_class]]\nname = \"b\"\n",
+            "x",
+        )
+        .unwrap();
+        assert_eq!(s.rack_classes, vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn class_schema_violations_are_line_numbered() {
+        // A class without a name.
+        let e = Scenario::parse(
+            "[fleet]\nclasses = [\"x\"]\n[[server_class]]\npitch = 1\n",
+            "x",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("unknown key `pitch`"), "{e}");
+        let e = Scenario::parse("[fleet]\nclasses = [\"x\"]\n[[server_class]]\n", "x").unwrap_err();
+        assert_eq!(e.line, Some(3));
+        assert!(e.message.contains("needs a `name`"), "{e}");
+
+        // Duplicate class names.
+        let e = Scenario::parse(
+            "[fleet]\nclasses = [\"a\"]\n\
+             [[server_class]]\nname = \"a\"\n\
+             [[server_class]]\nname = \"a\"\n",
+            "x",
+        )
+        .unwrap_err();
+        assert_eq!(e.line, Some(6));
+        assert!(e.message.contains("duplicate server class `a`"), "{e}");
+
+        // Classes declared but never assigned.
+        let e = Scenario::parse("[fleet]\nracks = 2\n[[server_class]]\nname = \"a\"\n", "x")
+            .unwrap_err();
+        assert!(e.message.contains("per-rack `classes"), "{e}");
+
+        // Assignment without declarations.
+        let e = Scenario::parse("[fleet]\nclasses = [\"a\"]\n", "x").unwrap_err();
+        assert_eq!(e.line, Some(2));
+        assert!(e.message.contains("declares none"), "{e}");
+
+        // Wrong entry count.
+        let e = Scenario::parse(
+            "[fleet]\nracks = 3\nclasses = [\"a\", \"a\"]\n[[server_class]]\nname = \"a\"\n",
+            "x",
+        )
+        .unwrap_err();
+        assert_eq!(e.line, Some(3));
+        assert!(e.message.contains("names 2 rack(s)"), "{e}");
+
+        // Undeclared class reference.
+        let e = Scenario::parse(
+            "[fleet]\nracks = 1\nclasses = [\"b\"]\n[[server_class]]\nname = \"a\"\n",
+            "x",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("undeclared class `b`"), "{e}");
+        assert!(e.message.contains("declared: a"), "{e}");
+
+        // Out-of-envelope class inlet.
+        let e = Scenario::parse(
+            "[fleet]\nclasses = [\"a\"]\n[[server_class]]\nname = \"a\"\nwater_inlet_c = 80\n",
+            "x",
+        )
+        .unwrap_err();
+        assert_eq!(e.line, Some(5));
+        assert!(e.message.contains("5..=60"), "{e}");
     }
 }

@@ -36,6 +36,7 @@ const SWEEPABLE: &[&str] = &[
     "fleet.grid_pitch_mm",
     "fleet.policy",
     "fleet.threads",
+    "fleet.classes",
     "cooling.heat_reuse_c",
     "cooling.water_inlet_c",
     "workload.jobs",
@@ -317,7 +318,7 @@ impl Sweep {
                     )))
                 })?,
         };
-        let results = run_grid(&scenarios, threads, collect_traces)?;
+        let (results, cache_solves, cache_hits) = run_grid(&scenarios, threads, collect_traces)?;
         let mut rows = Vec::with_capacity(results.len());
         let mut traces = Vec::with_capacity(results.len());
         for (s, result) in scenarios.iter().zip(results) {
@@ -330,6 +331,8 @@ impl Sweep {
                 axes: self.axes.iter().map(|a| a.path.clone()).collect(),
                 rows,
                 baseline,
+                cache_solves,
+                cache_hits,
             },
             traces,
         ))
@@ -337,86 +340,97 @@ impl Sweep {
 }
 
 /// Executes already-expanded scenarios across up to `threads` OS threads,
-/// collecting outcomes back into grid order.
+/// collecting outcomes back into grid order, plus the total cache
+/// solve/hit counters across the whole grid.
 ///
 /// Two phases. First, the distinct per-server solves: grid points are
-/// grouped by the coordinates the physics actually depends on — thermal
-/// pitch, water inlet, mapping policy — and each group's union of
-/// `(benchmark, qos)` pairs is warmed *once*, in parallel, into the
-/// group's shared cache (the cache key does not include the pitch, so
-/// mixing pitches in one cache would alias different physics). Second,
-/// the grid points themselves run across worker threads as pure cache
-/// replays.
+/// grouped by the coordinates the physics actually depends on — the
+/// *resolved per-class* thermal pitch, water inlet and mapping policy of
+/// their catalog — and each group's union of `(benchmark, qos)` pairs is
+/// warmed *once*, in parallel across the group's classes, into the
+/// group's shared cache. Caches are shared between groups whose
+/// per-class pitch lists match (inlet, policy and class id are part of
+/// the cache key; pitch is not, so mixing pitch lists in one cache would
+/// alias different physics). Second, the grid points themselves run
+/// across worker threads as pure cache replays.
 fn run_grid(
     scenarios: &[Scenario],
     threads: usize,
     collect_traces: bool,
-) -> Result<Vec<SimResult>, SweepError> {
+) -> Result<(Vec<SimResult>, usize, usize), SweepError> {
     let threads = threads.max(1);
     // Job streams are needed for both phases; synthesis is cheap and
     // deterministic, so do it once up front.
     let jobs: Vec<Vec<tps_cluster::Job>> =
         scenarios.iter().map(Scenario::synthesize_jobs).collect();
 
-    // Group key: (pitch bits, inlet bits, policy name).
-    type GroupKey = (u64, u64, &'static str);
-    let group_of = |s: &Scenario| -> GroupKey {
-        (
-            s.grid_pitch_mm.to_bits(),
-            s.water_inlet_c.to_bits(),
-            s.policy.as_policy().name(),
-        )
+    // Group key: the resolved (pitch, inlet, policy) of every catalog
+    // class, in class-id order (one entry on a homogeneous spec).
+    type ClassSig = (u64, u64, tps_cluster::ServerPolicy);
+    let sig_of = |s: &Scenario| -> Vec<ClassSig> {
+        if s.classes.is_empty() {
+            vec![(
+                s.grid_pitch_mm.to_bits(),
+                s.water_inlet_c.to_bits(),
+                s.policy,
+            )]
+        } else {
+            s.classes
+                .iter()
+                .map(|c| {
+                    (
+                        c.grid_pitch_mm.unwrap_or(s.grid_pitch_mm).to_bits(),
+                        c.water_inlet_c.unwrap_or(s.water_inlet_c).to_bits(),
+                        c.policy.unwrap_or(s.policy),
+                    )
+                })
+                .collect()
+        }
     };
-    let mut groups: Vec<(GroupKey, Vec<usize>)> = Vec::new();
+    let mut groups: Vec<(Vec<ClassSig>, Vec<usize>)> = Vec::new();
     for (i, s) in scenarios.iter().enumerate() {
-        let key = group_of(s);
+        let key = sig_of(s);
         match groups.iter_mut().find(|(k, _)| *k == key) {
             Some((_, members)) => members.push(i),
             None => groups.push((key, vec![i])),
         }
     }
 
-    // Phase 1: one warm-up per physics group. Caches are shared per pitch
-    // across groups (inlet and policy are part of the cache key; pitch is
-    // not, hence the split).
-    let mut caches: Vec<(u64, OutcomeCache)> = Vec::new();
+    // Phase 1: one warm-up per physics group, into the cache shared by
+    // every group with the same per-class pitch list.
+    let pitches_of = |sig: &[ClassSig]| -> Vec<u64> { sig.iter().map(|c| c.0).collect() };
+    let mut caches: Vec<(Vec<u64>, OutcomeCache)> = Vec::new();
     for (key, members) in &groups {
-        if !caches.iter().any(|(bits, _)| *bits == key.0) {
-            caches.push((key.0, OutcomeCache::new()));
+        let pitches = pitches_of(key);
+        if !caches.iter().any(|(p, _)| *p == pitches) {
+            caches.push((pitches.clone(), OutcomeCache::new()));
         }
         let cache = &caches
             .iter()
-            .find(|(bits, _)| *bits == key.0)
+            .find(|(p, _)| *p == pitches)
             .expect("just inserted")
             .1;
         let representative = &scenarios[members[0]];
-        let config = representative.fleet_config();
-        let fleet = tps_cluster::Fleet::new(config);
+        let fleet = tps_cluster::Fleet::new(representative.fleet_config());
         let mut pairs: Vec<(tps_workload::Benchmark, tps_workload::QosClass)> = members
             .iter()
             .flat_map(|&i| jobs[i].iter().map(|j| (j.bench, j.qos)))
             .collect();
         pairs.sort();
         pairs.dedup();
-        cache
-            .warm(
-                fleet.server(),
-                &pairs,
-                &tps_core::MinPowerSelector,
-                representative.policy.as_policy(),
-                fleet.config().t_case_max,
-                threads,
-            )
+        fleet
+            .warm(&pairs, cache, threads)
             .map_err(|e| SweepError::Run {
                 scenario: representative.name.clone(),
                 source: e,
             })?;
     }
-    let cache_for = |pitch: f64| {
+    let cache_for = |s: &Scenario| {
+        let pitches = pitches_of(&sig_of(s));
         &caches
             .iter()
-            .find(|(bits, _)| *bits == pitch.to_bits())
-            .expect("every pitch has a cache")
+            .find(|(p, _)| *p == pitches)
+            .expect("every pitch list has a cache")
             .1
     };
 
@@ -449,12 +463,14 @@ fn run_grid(
                     dispatcher.as_mut(),
                     control.as_mut(),
                     telemetry.as_ref(),
-                    cache_for(scenario.grid_pitch_mm),
+                    cache_for(scenario),
                 );
                 *results[i].lock().expect("result slot poisoned") = Some(result);
             });
         }
     });
+    let solves = caches.iter().map(|(_, c)| c.solves()).sum();
+    let hits = caches.iter().map(|(_, c)| c.hits()).sum();
     results
         .into_iter()
         .enumerate()
@@ -467,7 +483,8 @@ fn run_grid(
                     source: e,
                 })
         })
-        .collect()
+        .collect::<Result<Vec<_>, _>>()
+        .map(|results| (results, solves, hits))
 }
 
 fn parse_axes(table: &Table) -> Result<Vec<Axis>, SpecError> {
@@ -795,6 +812,66 @@ mod tests {
         // more of the fleet's heat pays compressor lift: chiller energy is
         // monotone in the set-point for a fixed placement stream.
         assert!(a.rows[0].cooling_kwh <= a.rows[2].cooling_kwh);
+    }
+
+    const MIXED: &str = "
+        [fleet]
+        racks = 2
+        servers_per_rack = 2
+        grid_pitch_mm = 3.0
+        threads = 2
+        classes = [\"dense\", \"sparse\"]
+        [[server_class]]
+        name = \"dense\"
+        [[server_class]]
+        name = \"sparse\"
+        grid_pitch_mm = 3.5
+        water_inlet_c = 35
+        [workload]
+        jobs = 16
+        rate = 1.0
+        demand = \"constant\"
+    ";
+
+    #[test]
+    fn heterogeneous_grid_runs_deterministically_with_class_columns() {
+        let src = format!("{MIXED}\n[sweep]\ndispatch.dispatcher = [\"rr\", \"thermal\"]\n");
+        let sweep = Sweep::parse(&src, "mixed").unwrap();
+        let a = sweep.run(4).unwrap();
+        let b = sweep.run(1).unwrap();
+        assert_eq!(a.to_csv(), b.to_csv());
+        assert_eq!(a.to_markdown(), b.to_markdown());
+        // Per-class columns surface in both emitters.
+        let header = a.to_csv().lines().next().unwrap().to_owned();
+        assert!(header.contains("class_dense_it_kwh"), "{header}");
+        assert!(header.contains("class_sparse_viol"), "{header}");
+        assert!(a.to_markdown().contains("Per-class breakdown"));
+        // Every job landed on some class.
+        for row in &a.rows {
+            assert_eq!(row.classes.iter().map(|c| c.placements).sum::<usize>(), 16);
+        }
+        // The shared cache warmed each (class, bench, qos, …) key once:
+        // replays dominate solves across the two grid points.
+        assert!(a.cache_solves > 0);
+        assert!(a.cache_hits > a.cache_solves);
+    }
+
+    #[test]
+    fn class_mix_is_sweepable_as_an_axis() {
+        let src = format!(
+            "{MIXED}\n[sweep]\nfleet.classes = [\"dense\", \"sparse\", \"dense+sparse\"]\n"
+        );
+        let sweep = Sweep::parse(&src, "mixes").unwrap();
+        let grid = sweep.expand().unwrap();
+        assert_eq!(grid.len(), 3);
+        assert_eq!(grid[0].rack_classes, vec![vec![0]; 2]);
+        assert_eq!(grid[1].rack_classes, vec![vec![1]; 2]);
+        assert_eq!(grid[2].rack_classes, vec![vec![0, 1]; 2]);
+        let report = sweep.run(2).unwrap();
+        assert_eq!(report.rows.len(), 3);
+        // The all-sparse point runs entirely on the sparse class.
+        assert_eq!(report.rows[1].classes[0].placements, 0);
+        assert_eq!(report.rows[1].classes[1].placements, 16);
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //! and nothing more:
 //!
 //! * single-level `[table]` headers,
+//! * single-level `[[table]]` array-of-tables headers (each occurrence
+//!   appends one table; the entry parses as an array of tables),
 //! * `key = value` pairs with bare (`a_b-c.d`) or `"quoted"` keys,
 //! * strings, integers, floats, booleans and single-line arrays of those,
 //! * `#` comments and blank lines.
@@ -189,9 +191,16 @@ impl Table {
 /// outside the documented subset, malformed values, or duplicate
 /// keys/tables.
 pub fn parse(src: &str) -> Result<Table, TomlError> {
+    /// Where `key = value` lines currently land.
+    enum Scope {
+        Root,
+        /// Inside a `[table]`.
+        Table(String),
+        /// Inside the latest element of a `[[table]]` array.
+        ArrayElem(String),
+    }
     let mut root = Table::default();
-    // Name of the `[table]` currently being filled; `None` = root scope.
-    let mut current: Option<String> = None;
+    let mut current = Scope::Root;
     for (idx, raw) in src.lines().enumerate() {
         let lineno = idx + 1;
         let line = strip_comment(raw, lineno)?;
@@ -199,26 +208,54 @@ pub fn parse(src: &str) -> Result<Table, TomlError> {
         if line.is_empty() {
             continue;
         }
+        if let Some(rest) = line.strip_prefix("[[") {
+            let Some(name) = rest.strip_suffix("]]") else {
+                return err(lineno, "array-of-tables header is missing its closing `]]`");
+            };
+            let name = check_header_name(name, lineno)?;
+            match root.entries.iter_mut().find(|(k, _)| k == name) {
+                None => root.insert_new(
+                    name.to_owned(),
+                    Spanned {
+                        value: Value::Array(vec![Spanned {
+                            value: Value::Table(Table::default()),
+                            line: lineno,
+                        }]),
+                        line: lineno,
+                    },
+                )?,
+                Some((_, v)) => match &mut v.value {
+                    // Only extend arrays that `[[name]]` headers built: a
+                    // scalar array `name = []`/`name = [1]` is a conflict.
+                    Value::Array(items)
+                        if !items.is_empty()
+                            && items.iter().all(|i| matches!(i.value, Value::Table(_))) =>
+                    {
+                        items.push(Spanned {
+                            value: Value::Table(Table::default()),
+                            line: lineno,
+                        });
+                    }
+                    _ => {
+                        return err(
+                            lineno,
+                            format!(
+                                "`[[{name}]]` conflicts with `{name}` defined on line {} \
+                                 (not an array of tables)",
+                                v.line
+                            ),
+                        )
+                    }
+                },
+            }
+            current = Scope::ArrayElem(name.to_owned());
+            continue;
+        }
         if let Some(rest) = line.strip_prefix('[') {
             let Some(name) = rest.strip_suffix(']') else {
                 return err(lineno, "table header is missing its closing `]`");
             };
-            let name = name.trim();
-            if name.is_empty() {
-                return err(lineno, "table header has an empty name");
-            }
-            if name.contains('.') {
-                return err(
-                    lineno,
-                    format!(
-                        "nested table header `[{name}]` is outside the supported subset \
-                         (use single-level tables like `[fleet]`)"
-                    ),
-                );
-            }
-            if !is_bare_key(name) {
-                return err(lineno, format!("invalid table name `{name}`"));
-            }
+            let name = check_header_name(name, lineno)?;
             if let Some(prev) = root.get(name) {
                 return err(
                     lineno,
@@ -235,7 +272,7 @@ pub fn parse(src: &str) -> Result<Table, TomlError> {
                     line: lineno,
                 },
             )?;
-            current = Some(name.to_owned());
+            current = Scope::Table(name.to_owned());
             continue;
         }
         let Some((key_part, value_part)) = split_key_value(line) else {
@@ -247,8 +284,8 @@ pub fn parse(src: &str) -> Result<Table, TomlError> {
         let key = parse_key(key_part.trim(), lineno)?;
         let value = parse_value(value_part.trim(), lineno)?;
         let target = match &current {
-            None => &mut root,
-            Some(name) => match root
+            Scope::Root => &mut root,
+            Scope::Table(name) => match root
                 .entries
                 .iter_mut()
                 .find(|(k, _)| k == name)
@@ -256,6 +293,18 @@ pub fn parse(src: &str) -> Result<Table, TomlError> {
             {
                 Some(Value::Table(t)) => t,
                 _ => unreachable!("current table always exists in root"),
+            },
+            Scope::ArrayElem(name) => match root
+                .entries
+                .iter_mut()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| &mut v.value)
+            {
+                Some(Value::Array(items)) => match items.last_mut().map(|i| &mut i.value) {
+                    Some(Value::Table(t)) => t,
+                    _ => unreachable!("array-of-tables elements are tables"),
+                },
+                _ => unreachable!("current array always exists in root"),
             },
         };
         target.insert_new(
@@ -267,6 +316,27 @@ pub fn parse(src: &str) -> Result<Table, TomlError> {
         )?;
     }
     Ok(root)
+}
+
+/// Validates a `[name]`/`[[name]]` header name.
+fn check_header_name(name: &str, lineno: usize) -> Result<&str, TomlError> {
+    let name = name.trim();
+    if name.is_empty() {
+        return err(lineno, "table header has an empty name");
+    }
+    if name.contains('.') {
+        return err(
+            lineno,
+            format!(
+                "nested table header `[{name}]` is outside the supported subset \
+                 (use single-level tables like `[fleet]`)"
+            ),
+        );
+    }
+    if !is_bare_key(name) {
+        return err(lineno, format!("invalid table name `{name}`"));
+    }
+    Ok(name)
 }
 
 /// Drops a trailing `# comment`, respecting `#` inside quoted strings.
@@ -556,5 +626,68 @@ mod tests {
     fn underscored_numbers_parse() {
         let doc = parse("big = 86_400\n").unwrap();
         assert_eq!(doc.get("big").unwrap().value, Value::Integer(86_400));
+    }
+
+    #[test]
+    fn array_of_tables_appends_per_header() {
+        let doc = parse(
+            "[[class]]\n\
+             name = \"dense\"\n\
+             pitch = 2.0\n\
+             [[class]]\n\
+             name = \"sparse\"\n\
+             [fleet]\n\
+             racks = 2\n",
+        )
+        .unwrap();
+        let Value::Array(items) = &doc.get("class").unwrap().value else {
+            panic!("expected array of tables");
+        };
+        assert_eq!(items.len(), 2);
+        let first = items[0].value.as_table().unwrap();
+        assert_eq!(
+            first.get("name").unwrap().value,
+            Value::String("dense".into())
+        );
+        assert_eq!(first.get("pitch").unwrap().value, Value::Float(2.0));
+        let second = items[1].value.as_table().unwrap();
+        assert_eq!(
+            second.get("name").unwrap().value,
+            Value::String("sparse".into())
+        );
+        assert!(second.get("pitch").is_none());
+        // Each element remembers its own header line.
+        assert_eq!(items[0].line, 1);
+        assert_eq!(items[1].line, 4);
+        // A later plain table closes the array scope.
+        let fleet = doc.get("fleet").unwrap().value.as_table().unwrap();
+        assert_eq!(fleet.get("racks").unwrap().value, Value::Integer(2));
+    }
+
+    #[test]
+    fn array_of_tables_conflicts_are_rejected() {
+        // `[[x]]` after `[x]`…
+        let e = parse("[x]\nk = 1\n[[x]]\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("conflicts"), "{e}");
+        // …and `[x]` after `[[x]]`.
+        let e = parse("[[x]]\nk = 1\n[x]\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("duplicate table"), "{e}");
+        // `[[x]]` after a scalar `x` — including an empty or scalar array.
+        let e = parse("x = 1\n[[x]]\n").unwrap_err();
+        assert!(e.message.contains("conflicts"), "{e}");
+        let e = parse("x = []\n[[x]]\n").unwrap_err();
+        assert!(e.message.contains("conflicts"), "{e}");
+        let e = parse("x = [1]\n[[x]]\n").unwrap_err();
+        assert!(e.message.contains("conflicts"), "{e}");
+        // Unterminated header.
+        let e = parse("[[x]\n").unwrap_err();
+        assert!(e.message.contains("closing `]]`"), "{e}");
+        // Duplicate keys within one element still fail…
+        let e = parse("[[x]]\nk = 1\nk = 2\n").unwrap_err();
+        assert!(e.message.contains("duplicate key"), "{e}");
+        // …but the same key in two elements is fine.
+        assert!(parse("[[x]]\nk = 1\n[[x]]\nk = 2\n").is_ok());
     }
 }

@@ -138,3 +138,39 @@ fn a_valid_spec_with_all_edge_syntax_still_parses() {
     assert_eq!(sweep.grid_len(), 4);
     assert_eq!(sweep.expand().unwrap().len(), 4);
 }
+
+#[test]
+fn server_class_syntax_errors_are_line_numbered() {
+    // A plain [server_class] table instead of the [[server_class]] array.
+    let e = fail_scenario("[server_class]\nname = \"a\"\n");
+    assert_eq!(e.line, Some(1));
+    assert!(e.message.contains("[[server_class]]"), "{e}");
+
+    // Mixing [x] and [[x]] headers fails at the TOML layer.
+    let e = fail_scenario("[server_class]\n[[server_class]]\n");
+    assert_eq!(e.line, Some(2));
+    assert!(e.message.contains("conflicts"), "{e}");
+
+    // An unterminated array-of-tables header.
+    let e = fail_scenario("[[server_class]\nname = \"a\"\n");
+    assert_eq!(e.line, Some(1));
+    assert!(e.message.contains("closing `]]`"), "{e}");
+
+    // A class axis value referencing an undeclared class fails at the
+    // grid point, pointing at the [sweep] axis line.
+    let src = "\
+        [fleet]\n\
+        racks = 1\n\
+        classes = [\"a\"]\n\
+        [[server_class]]\n\
+        name = \"a\"\n\
+        [sweep]\n\
+        fleet.classes = [\"a\", \"zzz\"]\n";
+    let e = Sweep::parse(src, "t")
+        .expect("base spec is valid")
+        .expand()
+        .expect_err("bad axis value");
+    assert_eq!(e.line, Some(7));
+    assert!(e.message.contains("grid point `fleet.classes=zzz`"), "{e}");
+    assert!(e.message.contains("undeclared class `zzz`"), "{e}");
+}

@@ -19,9 +19,10 @@ use cliargs::CliArgs;
 use std::path::Path;
 use std::process::ExitCode;
 use tps::cluster::{
-    synthesize_jobs, ControlPolicy, CoolestRackFirst, Fleet, FleetConfig, FleetDispatcher,
-    FleetOutcome, Job, JobMix, LoadSheddingControl, OutcomeCache, RoundRobin, ServerPolicy,
-    SetpointScheduler, StaticControl, TelemetryConfig, ThermalAwareDispatch,
+    synthesize_jobs, ControlPolicy, CoolestRackFirst, Fleet, FleetCatalog, FleetConfig,
+    FleetDispatcher, FleetOutcome, Job, JobMix, LoadSheddingControl, OutcomeCache, RoundRobin,
+    ServerClass, ServerPolicy, SetpointScheduler, StaticControl, TelemetryConfig,
+    ThermalAwareDispatch,
 };
 use tps::cooling::Chiller;
 use tps::core::{
@@ -65,13 +66,15 @@ fn print_usage() {
          tps fleet [--servers N] [--racks N] [--jobs N] [--seed N] [--rate JOBS/S]\n  \
          {:14}[--demand constant|diurnal|bursty] [--dispatcher all|rr|coolest|thermal]\n  \
          {:14}[--policy NAME] [--ambient C] [--pitch MM] [--threads N]\n  \
+         {:14}[--classes NAME[:PITCH[:INLET[:POLICY]]],...]  heterogeneous racks\n  \
+         {:14}(classes cycle across racks; fields omitted inherit the fleet flags)\n  \
          {:14}[--control static|setpoint|shed] [--setpoints T:C,T:C,...] [--tick S]\n  \
          {:14}[--trace-out DIR] [--sample S]  write per-dispatcher telemetry CSVs\n  \
          tps sweep <spec.toml> [--out DIR] [--threads N] [--trace-out DIR]\n  \
          {:14}expand a scenario spec's sweep grid, write CSV + Markdown reports\n  \
          {:14}(spec schema and cookbook: docs/SCENARIOS.md, examples: scenarios/)\n  \
          tps list                  list benchmarks, policies and selectors\n",
-        "", "", "", "", "", "", ""
+        "", "", "", "", "", "", "", "", ""
     );
 }
 
@@ -206,9 +209,66 @@ struct FleetArgs {
     ambient: f64,
     pitch: f64,
     threads: usize,
+    classes: Vec<ServerClass>,
     control: ControlSpec,
     trace_out: Option<String>,
     sample: f64,
+}
+
+/// Parses a `--classes` entry list: `NAME[:PITCH[:INLET[:POLICY]]]`,
+/// comma-separated. Omitted fields inherit the fleet-wide flags.
+fn parse_classes(raw: &str) -> Result<Vec<ServerClass>, String> {
+    let mut classes: Vec<ServerClass> = Vec::new();
+    for entry in raw.split(',') {
+        let mut fields = entry.split(':');
+        let name = fields.next().unwrap_or("").trim();
+        if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(format!(
+                "bad --classes entry `{entry}` (expected NAME[:PITCH[:INLET[:POLICY]]], \
+                 name of letters, digits and `_`)"
+            ));
+        }
+        if classes.iter().any(|c| c.name == name) {
+            return Err(format!("duplicate --classes name `{name}`"));
+        }
+        let mut class = ServerClass::new(name);
+        if let Some(pitch) = fields.next().filter(|s| !s.trim().is_empty()) {
+            let p: f64 = pitch
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad --classes pitch `{pitch}`: {e}"))?;
+            if !(p > 0.0 && p.is_finite()) {
+                return Err(format!("--classes pitch `{pitch}` must be positive"));
+            }
+            class.grid_pitch_mm = Some(p);
+        }
+        if let Some(inlet) = fields.next().filter(|s| !s.trim().is_empty()) {
+            let t: f64 = inlet
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad --classes inlet `{inlet}`: {e}"))?;
+            if !(5.0..=60.0).contains(&t) {
+                return Err(format!(
+                    "--classes inlet `{inlet}` outside the 5..=60 °C chiller envelope"
+                ));
+            }
+            class.water_inlet_c = Some(t);
+        }
+        if let Some(policy) = fields.next().filter(|s| !s.trim().is_empty()) {
+            class.policy = Some(match policy.trim() {
+                "proposed" => ServerPolicy::Proposed,
+                "coskun" => ServerPolicy::Coskun,
+                "inlet" => ServerPolicy::InletFirst,
+                "packed" => ServerPolicy::Packed,
+                other => return Err(format!("unknown --classes policy `{other}`")),
+            });
+        }
+        if let Some(extra) = fields.next() {
+            return Err(format!("trailing `:{extra}` in --classes entry `{entry}`"));
+        }
+        classes.push(class);
+    }
+    Ok(classes)
 }
 
 /// Which control policy `tps fleet` runs (policies can be stateful, so
@@ -277,6 +337,7 @@ fn parse_fleet_args(raw: &[String]) -> Result<FleetArgs, String> {
             "ambient",
             "pitch",
             "threads",
+            "classes",
             "control",
             "setpoints",
             "tick",
@@ -339,6 +400,10 @@ fn parse_fleet_args(raw: &[String]) -> Result<FleetArgs, String> {
         ambient: args.parsed("ambient", 70.0)?,
         pitch: args.parsed("pitch", 2.0)?,
         threads: args.parsed("threads", FleetConfig::default_threads())?,
+        classes: match args.flag("classes") {
+            None => Vec::new(),
+            Some(raw) => parse_classes(raw)?,
+        },
         control,
         trace_out: args.flag("trace-out").map(str::to_owned),
         sample: args.parsed("sample", 30.0)?,
@@ -440,6 +505,12 @@ fn cmd_fleet(raw: &[String]) -> ExitCode {
     config.chiller = Chiller::new(Celsius::new(a.ambient));
     config.policy = a.policy;
     config.threads = a.threads;
+    if !a.classes.is_empty() {
+        // Classes cycle across racks: rack r is entirely class r mod k.
+        let k = a.classes.len();
+        config.catalog =
+            FleetCatalog::new(a.classes.clone()).assign((0..racks).map(|r| vec![r % k]).collect());
+    }
     let fleet = Fleet::new(config);
 
     println!(
@@ -449,6 +520,23 @@ fn cmd_fleet(raw: &[String]) -> ExitCode {
         a.rate,
         a.seed
     );
+    if !a.classes.is_empty() {
+        let summary: Vec<String> = a
+            .classes
+            .iter()
+            .map(|c| {
+                format!(
+                    "{} (pitch {:.1} mm, inlet {:.1} °C, {})",
+                    c.name,
+                    c.grid_pitch_mm.unwrap_or(a.pitch),
+                    c.water_inlet_c
+                        .unwrap_or_else(|| fleet.config().op.water_inlet().value()),
+                    c.policy.unwrap_or(a.policy).spec_name(),
+                )
+            })
+            .collect();
+        println!("classes: {} — cycled across racks", summary.join(", "));
+    }
     println!(
         "scenario: heat-recovery loop at {:.1} °C, water inlet {:.1}, {:.1} mm grid, {} warm-up threads",
         a.ambient,
@@ -503,6 +591,22 @@ fn cmd_fleet(raw: &[String]) -> ExitCode {
                     out.mean_wait.value(),
                     out.makespan.value()
                 );
+                if out.class_names.len() > 1 {
+                    let per_class: Vec<String> = out
+                        .class_names
+                        .iter()
+                        .enumerate()
+                        .map(|(i, name)| {
+                            format!(
+                                "{name} {} jobs / {} viol / {:.3} kWh",
+                                out.class_placements[i],
+                                out.class_violations[i],
+                                out.class_it_energy[i].to_kwh(),
+                            )
+                        })
+                        .collect();
+                    println!("  per class: {}", per_class.join("; "));
+                }
                 if let (Some(dir), Some(trace)) = (&a.trace_out, result.trace) {
                     let path = Path::new(dir).join(format!("trace_{}.csv", out.dispatcher));
                     if let Err(e) = std::fs::write(&path, trace.to_csv()) {
@@ -595,9 +699,11 @@ fn cmd_sweep(raw: &[String]) -> ExitCode {
         }
     };
     println!(
-        "executed {} grid point(s) in {:.2} s\n",
+        "executed {} grid point(s) in {:.2} s — server-physics cache: {} distinct solves, {} replays\n",
         report.rows.len(),
-        started.elapsed().as_secs_f64()
+        started.elapsed().as_secs_f64(),
+        report.cache_solves,
+        report.cache_hits,
     );
     print!("{}", report.to_markdown());
 
