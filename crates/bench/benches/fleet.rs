@@ -49,7 +49,7 @@ fn bench_fleet_replay(c: &mut Criterion) {
     group.bench_function(BenchmarkId::from_parameter("thermal-aware"), |b| {
         b.iter(|| {
             fleet
-                .simulate(&jobs, &mut ThermalAwareDispatch, &cache)
+                .simulate(&jobs, &mut ThermalAwareDispatch::default(), &cache)
                 .unwrap()
         })
     });
@@ -83,7 +83,7 @@ fn bench_controlled_kernel(c: &mut Criterion) {
             fleet
                 .simulate_with(
                     &jobs,
-                    &mut ThermalAwareDispatch,
+                    &mut ThermalAwareDispatch::default(),
                     &mut control,
                     Some(&telemetry),
                     &cache,
@@ -97,7 +97,7 @@ fn bench_controlled_kernel(c: &mut Criterion) {
             fleet
                 .simulate_with(
                     &jobs,
-                    &mut ThermalAwareDispatch,
+                    &mut ThermalAwareDispatch::default(),
                     &mut control,
                     Some(&telemetry),
                     &cache,
@@ -117,12 +117,12 @@ fn bench_dispatch_decision(c: &mut Criterion) {
     let jobs = synthesize_jobs(300, &demand, JobMix::default(), 42);
     let cache = OutcomeCache::new();
     fleet
-        .simulate(&jobs, &mut ThermalAwareDispatch, &cache)
+        .simulate(&jobs, &mut ThermalAwareDispatch::default(), &cache)
         .expect("warm-up run");
     c.bench_function("fleet_simulate_300_jobs_8x8_thermal", |b| {
         b.iter(|| {
             fleet
-                .simulate(&jobs, &mut ThermalAwareDispatch, &cache)
+                .simulate(&jobs, &mut ThermalAwareDispatch::default(), &cache)
                 .unwrap()
         })
     });

@@ -1,0 +1,64 @@
+//! Criterion: the million-job kernel's scale trajectory — fleet replay
+//! wall time at 1k/10k/100k servers with proportionally sized job
+//! streams, per dispatcher, on a warm physics cache.
+//!
+//! These are the same (servers, jobs, dispatcher) points the
+//! `bench_kernel` binary measures into `BENCH_kernel.json`; run the
+//! binary for the machine-readable trajectory and this bench for
+//! criterion's interactive timings. The environment variable
+//! `TPS_BENCH_SCALE=smoke` trims the grid to the 1k tier so CI smoke
+//! jobs stay inside their time budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tps_cluster::{
+    synthesize_jobs, CoolestRackFirst, Fleet, FleetConfig, FleetDispatcher, JobMix, OutcomeCache,
+    RoundRobin, ThermalAwareDispatch,
+};
+use tps_units::Seconds;
+use tps_workload::DiurnalDemand;
+
+/// The pinned scale grid: (servers, jobs). 100k × 1M is the headline
+/// million-job point; smoke keeps only the first tier.
+const SCALES: &[(usize, usize)] = &[(1_000, 10_000), (10_000, 100_000), (100_000, 1_000_000)];
+
+fn dispatchers() -> Vec<(&'static str, Box<dyn FleetDispatcher>)> {
+    vec![
+        (
+            "round-robin",
+            Box::new(RoundRobin::default()) as Box<dyn FleetDispatcher>,
+        ),
+        ("coolest-rack-first", Box::new(CoolestRackFirst)),
+        ("thermal-aware", Box::new(ThermalAwareDispatch::default())),
+    ]
+}
+
+fn bench_fleet_scale(c: &mut Criterion) {
+    let smoke = std::env::var("TPS_BENCH_SCALE").as_deref() == Ok("smoke");
+    let scales: &[(usize, usize)] = if smoke { &SCALES[..1] } else { SCALES };
+    let mut group = c.benchmark_group("fleet_scale");
+    group.sample_size(10);
+    for &(servers, jobs) in scales {
+        // The CLI's rack shaping: 8 servers per rack past the toy sizes.
+        let racks = servers / 8;
+        let mut config = FleetConfig::new(racks, servers / racks);
+        config.grid_pitch_mm = 3.0;
+        let fleet = Fleet::new(config);
+        let demand = DiurnalDemand::new(0.7 * 0.2, 0.7, Seconds::new(600.0));
+        let stream = synthesize_jobs(jobs, &demand, JobMix::default(), 42);
+        let cache = OutcomeCache::new();
+        fleet
+            .simulate(&stream, &mut RoundRobin::default(), &cache)
+            .expect("warm-up run");
+        for (name, mut dispatcher) in dispatchers() {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{servers}x{jobs}")),
+                &stream,
+                |b, stream| b.iter(|| fleet.simulate(stream, dispatcher.as_mut(), &cache).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet_scale);
+criterion_main!(benches);

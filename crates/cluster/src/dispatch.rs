@@ -11,10 +11,36 @@
 //! racks *and* hardware bins — while [`RoundRobin`] stays class-blind as
 //! the baseline and [`CoolestRackFirst`] balances heat across racks
 //! before picking the cheapest class within the winner.
+//!
+//! # Scaling: the indexed fast path
+//!
+//! A [`FleetView`] is a plain snapshot; on small fleets the dispatchers
+//! enumerate every `(rack, class)` slot. At 100 k servers that
+//! enumeration is the simulator's whole runtime, so the kernel also hands
+//! dispatchers a [`FleetIndex`]: the committed racks ordered by heat, the
+//! idle racks grouped by class pattern, and a per-rack mutation stamp.
+//! Two facts make the indexed walk *bit-identical* to the full
+//! enumeration:
+//!
+//! * every idle rack of one class pattern has the exact same
+//!   [`RackView`] (`0.0` heat — drained racks are pinned to exact zero —
+//!   no supply, nothing committed), hence the exact same marginal-power
+//!   score: one group representative stands in for all of them, and
+//!   because an idle rack's servers are all free (`wait = 0`), either the
+//!   group's lowest-index rack is accepted or every member would have
+//!   been rejected;
+//! * the ranking's sort key `(power, heat, rack, class)` is a total
+//!   order, so scoring racks from the index instead of in rack order
+//!   cannot change the sorted result.
+//!
+//! The per-rack stamps drive [`ThermalAwareDispatch`]'s score memo: a
+//! rack is re-scored only when its committed load (or the chiller) moved
+//! since the last arrival with the same demand signature.
 
 use crate::cache::SteadyState;
 use crate::catalog::ClassId;
 use crate::job::Job;
+use std::collections::BTreeSet;
 use tps_cooling::Chiller;
 use tps_units::{Celsius, Seconds, Watts};
 
@@ -40,6 +66,11 @@ pub struct JobDemand<'a> {
     pub job: &'a Job,
     /// Per-class demand, indexed by [`ClassId`].
     pub classes: &'a [ClassDemand],
+    /// Identity of the job's `(benchmark, QoS)` pair within this run —
+    /// two arrivals with the same signature carry bit-identical
+    /// [`ClassDemand::state`]s, so dispatchers may key score caches on
+    /// it. Callers with a single demand kind can pass `0`.
+    pub sig: u32,
 }
 
 impl JobDemand<'_> {
@@ -60,28 +91,123 @@ pub struct RackView {
     pub committed: usize,
 }
 
-/// A read-only snapshot of the fleet as one job arrives.
-#[derive(Debug)]
-pub struct FleetView<'a> {
-    /// The arrival instant.
-    pub now: Seconds,
-    /// Per-rack committed load.
-    pub racks: &'a [RackView],
-    /// Per-server earliest availability (global server index).
-    pub free_at: &'a [Seconds],
-    /// Servers per rack (global index = `rack · servers_per_rack + slot`).
-    pub servers_per_rack: usize,
-    /// The scenario's per-rack chiller model.
-    pub chiller: &'a Chiller,
-    /// Per-server catalog class (global server index).
-    pub class_of: &'a [ClassId],
+/// Structure-of-arrays server state: availability, class and rack ids as
+/// flat vectors indexed by global server id, plus the per-rack
+/// distinct-class lists derived from them.
+///
+/// This is the kernel's mutable per-server state *and* the dispatchers'
+/// read-only lookup table — one contiguous layout instead of a
+/// per-server struct walk.
+#[derive(Debug, Clone)]
+pub struct ServerTable {
+    /// Earliest availability per server.
+    free_at: Vec<Seconds>,
+    /// Catalog class per server.
+    class_of: Vec<ClassId>,
+    /// Rack per server (`server / servers_per_rack`, precomputed flat).
+    rack_of: Vec<u32>,
+    servers_per_rack: usize,
     /// Distinct classes hosted by each rack, ascending by class id —
     /// immutable for a run, so precomputed once (the dispatch hot path
     /// must not allocate per placement).
-    pub rack_classes: &'a [Vec<ClassId>],
+    rack_classes: Vec<Vec<ClassId>>,
 }
 
-impl FleetView<'_> {
+impl ServerTable {
+    /// Builds the table from a per-server class map; every server starts
+    /// free at `t = 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers_per_rack` is zero or does not divide the server
+    /// count.
+    pub fn new(class_of: Vec<ClassId>, servers_per_rack: usize) -> Self {
+        assert!(servers_per_rack > 0, "a rack needs at least one server");
+        assert_eq!(
+            class_of.len() % servers_per_rack,
+            0,
+            "server count must be a whole number of racks"
+        );
+        let rack_of = (0..class_of.len())
+            .map(|s| (s / servers_per_rack) as u32)
+            .collect();
+        let rack_classes = class_of
+            .chunks(servers_per_rack)
+            .map(|rack| {
+                let mut out: Vec<ClassId> = Vec::new();
+                for &c in rack {
+                    if !out.contains(&c) {
+                        out.push(c);
+                    }
+                }
+                out.sort_unstable();
+                out
+            })
+            .collect();
+        Self {
+            free_at: vec![Seconds::ZERO; class_of.len()],
+            class_of,
+            rack_of,
+            servers_per_rack,
+            rack_classes,
+        }
+    }
+
+    /// Total server count.
+    pub fn len(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Whether the fleet has no servers.
+    pub fn is_empty(&self) -> bool {
+        self.free_at.is_empty()
+    }
+
+    /// Number of racks.
+    pub fn racks(&self) -> usize {
+        self.rack_classes.len()
+    }
+
+    /// Servers per rack (global index = `rack · servers_per_rack + slot`).
+    pub fn servers_per_rack(&self) -> usize {
+        self.servers_per_rack
+    }
+
+    /// The catalog class of `server`.
+    pub fn class_of(&self, server: usize) -> ClassId {
+        self.class_of[server]
+    }
+
+    /// The rack hosting `server`.
+    pub fn rack_of(&self, server: usize) -> usize {
+        self.rack_of[server] as usize
+    }
+
+    /// Earliest availability of `server`.
+    pub fn free_at(&self, server: usize) -> Seconds {
+        self.free_at[server]
+    }
+
+    /// Marks `server` busy until `t`.
+    pub fn set_free_at(&mut self, server: usize, t: Seconds) {
+        self.free_at[server] = t;
+    }
+
+    /// The flat per-server availability column.
+    pub fn free_slice(&self) -> &[Seconds] {
+        &self.free_at
+    }
+
+    /// The flat per-server class column.
+    pub fn class_slice(&self) -> &[ClassId] {
+        &self.class_of
+    }
+
+    /// The distinct classes hosted by `rack`, ascending by class id.
+    pub fn classes_in_rack(&self, rack: usize) -> &[ClassId] {
+        &self.rack_classes[rack]
+    }
+
     /// The server of `rack` that frees up first (lowest index on ties).
     pub fn earliest_free_in(&self, rack: usize) -> (usize, Seconds) {
         let base = rack * self.servers_per_rack;
@@ -100,33 +226,76 @@ impl FleetView<'_> {
             .map(|s| (s, self.free_at[s]))
             .min_by(|a, b| a.1.value().total_cmp(&b.1.value()))
     }
+}
+
+/// The kernel's incremental dispatch index over the rack state: who is
+/// committed (ordered by heat), who is idle (grouped by class pattern),
+/// and a per-rack mutation stamp for score caching.
+///
+/// Maintained by [`RackLoads`](crate::RackLoads) as placements commit and
+/// expire; see the module docs for why walking this index is
+/// bit-identical to enumerating every rack.
+#[derive(Debug)]
+pub struct FleetIndex<'a> {
+    /// Racks with committed load, ordered by `(heat bits, rack)` — the
+    /// heat key is the rack's *view* heat (clamped non-negative), so
+    /// `f64::to_bits` is monotone and the first element is exactly the
+    /// coolest-then-lowest rack.
+    pub occupied: &'a BTreeSet<(u64, u32)>,
+    /// Idle racks (nothing committed) per rack group, each set ascending
+    /// by rack index.
+    pub idle: &'a [BTreeSet<u32>],
+    /// Rack → rack-group id (racks in one group host the same class
+    /// pattern).
+    pub group_of: &'a [u32],
+    /// Rack-group → distinct classes hosted, ascending by class id.
+    pub group_classes: &'a [Vec<ClassId>],
+    /// Rack → stamp of its last committed-load mutation; a rack whose
+    /// stamp did not move has a bit-identical [`RackView`], so cached
+    /// scores for it remain exact.
+    pub stamps: &'a [u64],
+}
+
+/// A read-only snapshot of the fleet as one job arrives.
+#[derive(Debug)]
+pub struct FleetView<'a> {
+    /// The arrival instant.
+    pub now: Seconds,
+    /// Per-rack committed load.
+    pub racks: &'a [RackView],
+    /// Per-server state: availability, class and rack columns.
+    pub servers: &'a ServerTable,
+    /// The scenario's per-rack chiller model.
+    pub chiller: &'a Chiller,
+    /// Bumped whenever the run's chiller changes (set-point events);
+    /// scores cached under an older epoch are stale.
+    pub chiller_epoch: u64,
+    /// The kernel's incremental occupancy index, `None` when the caller
+    /// assembled the view by hand — dispatchers then fall back to the
+    /// full-enumeration path (same results, linear cost).
+    pub index: Option<FleetIndex<'a>>,
+}
+
+impl FleetView<'_> {
+    /// The server of `rack` that frees up first (lowest index on ties).
+    pub fn earliest_free_in(&self, rack: usize) -> (usize, Seconds) {
+        self.servers.earliest_free_in(rack)
+    }
+
+    /// The `class` server of `rack` that frees up first (lowest index on
+    /// ties), `None` if the rack hosts no server of that class.
+    pub fn earliest_free_of_class(&self, rack: usize, class: ClassId) -> Option<(usize, Seconds)> {
+        self.servers.earliest_free_of_class(rack, class)
+    }
 
     /// The distinct classes hosted by `rack`, ascending by class id.
     pub fn classes_in_rack(&self, rack: usize) -> &[ClassId] {
-        &self.rack_classes[rack]
-    }
-
-    /// Precomputes the per-rack distinct-class lists for
-    /// [`rack_classes`](Self::rack_classes) from a per-server class map.
-    pub fn rack_classes_of(class_of: &[ClassId], servers_per_rack: usize) -> Vec<Vec<ClassId>> {
-        class_of
-            .chunks(servers_per_rack)
-            .map(|rack| {
-                let mut out: Vec<ClassId> = Vec::new();
-                for &c in rack {
-                    if !out.contains(&c) {
-                        out.push(c);
-                    }
-                }
-                out.sort_unstable();
-                out
-            })
-            .collect()
+        self.servers.classes_in_rack(rack)
     }
 
     /// The wait a job dispatched to `server` right now would incur.
     pub fn wait_on(&self, server: usize) -> Seconds {
-        Seconds::new((self.free_at[server].value() - self.now.value()).max(0.0))
+        Seconds::new((self.servers.free_at(server).value() - self.now.value()).max(0.0))
     }
 }
 
@@ -137,6 +306,12 @@ pub trait FleetDispatcher {
 
     /// Picks the global server index for `demand` given the fleet state.
     fn place(&mut self, demand: &JobDemand<'_>, view: &FleetView<'_>) -> usize;
+
+    /// Called once by the kernel at the start of each run; stateful
+    /// dispatchers drop per-run caches here. State that intentionally
+    /// carries across runs (e.g. [`RoundRobin`]'s stride counter) stays
+    /// untouched by this default no-op.
+    fn begin_run(&mut self) {}
 }
 
 /// Thermally blind striping: job `k` goes to server `k mod N`. Also
@@ -152,7 +327,7 @@ impl FleetDispatcher for RoundRobin {
     }
 
     fn place(&mut self, _demand: &JobDemand<'_>, view: &FleetView<'_>) -> usize {
-        let server = self.next % view.free_at.len();
+        let server = self.next % view.servers.len();
         self.next += 1;
         server
     }
@@ -172,6 +347,17 @@ fn marginal_power(chiller: &Chiller, rack: &RackView, state: &SteadyState) -> f6
     (joint - current).value()
 }
 
+/// The view every idle rack presents: drained racks are pinned to exact
+/// zero heat, no supply, nothing committed — bit-identical across racks,
+/// which is what lets one group representative stand in for all of them.
+fn idle_rack_view() -> RackView {
+    RackView {
+        heat: Watts::new(0.0),
+        supply: None,
+        committed: 0,
+    }
+}
+
 /// Load balancing by rack heat: the job goes to the rack currently
 /// carrying the least committed heat. This is the fleet analogue of
 /// temperature-balancing policies like \[9\]: it equalizes load but, like
@@ -188,13 +374,35 @@ impl FleetDispatcher for CoolestRackFirst {
     }
 
     fn place(&mut self, demand: &JobDemand<'_>, view: &FleetView<'_>) -> usize {
-        let rack = view
-            .racks
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.heat.value().total_cmp(&b.1.heat.value()))
-            .map(|(i, _)| i)
-            .expect("fleet has at least one rack");
+        let rack = match &view.index {
+            // The coolest rack in O(log racks): the lowest-index idle rack
+            // (exact 0.0 heat) versus the occupied set's first element,
+            // compared on the same (heat bits, rack) key the linear scan
+            // minimizes — `0.0f64.to_bits() == 0`, so an idle rack wins
+            // any tie an occupied zero-heat rack doesn't win by index.
+            Some(ix) => {
+                let idle_min = ix
+                    .idle
+                    .iter()
+                    .filter_map(|set| set.first().copied())
+                    .min()
+                    .map(|r| (0u64, r));
+                let occ_min = ix.occupied.first().copied();
+                [idle_min, occ_min]
+                    .into_iter()
+                    .flatten()
+                    .min()
+                    .expect("fleet has at least one rack")
+                    .1 as usize
+            }
+            None => view
+                .racks
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.heat.value().total_cmp(&b.1.heat.value()))
+                .map(|(i, _)| i)
+                .expect("fleet has at least one rack"),
+        };
         // One marginal-power evaluation per class (not per comparison);
         // ties break toward the lower class id.
         let class = view
@@ -215,6 +423,52 @@ impl FleetDispatcher for CoolestRackFirst {
     }
 }
 
+/// One ranked `(rack, class)` candidate of the indexed thermal-aware
+/// walk. Group entries represent *every* idle rack of their group: the
+/// stored rack is the group's lowest index, and if it fails the wait
+/// check (only possible on a negative budget, since idle servers wait 0)
+/// every other member fails identically, so no per-entry marker is
+/// needed — the walk treats both kinds uniformly.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    p: f64,
+    h: f64,
+    rack: u32,
+    class: u32,
+}
+
+/// Cached marginal-power scores for one rack: valid while the rack's
+/// mutation stamp and the chiller epoch both match, one score slab per
+/// demand signature (scores are pure functions of `(rack view, chiller,
+/// class states)`, so replaying them is bit-identical to recomputing).
+#[derive(Debug, Default, Clone)]
+struct RackScores {
+    stamp: u64,
+    epoch: u64,
+    /// Signature → per-class scores in `classes_in_rack` order.
+    by_sig: Vec<Option<Box<[f64]>>>,
+}
+
+/// The incremental score memo behind [`ThermalAwareDispatch`]: per-rack
+/// slabs invalidated by the kernel's dirty stamps, plus per-group slabs
+/// for the (chiller-epoch-only) idle scores.
+#[derive(Debug, Default)]
+struct ScoreMemo {
+    racks: Vec<RackScores>,
+    groups: Vec<RackScores>,
+}
+
+impl ScoreMemo {
+    fn resize(&mut self, racks: usize, groups: usize) {
+        if self.racks.len() != racks || self.groups.len() != groups {
+            self.racks.clear();
+            self.racks.resize(racks, RackScores::default());
+            self.groups.clear();
+            self.groups.resize(groups, RackScores::default());
+        }
+    }
+}
+
 /// The paper's policy, lifted to the fleet: rank `(rack, class)` slots by
 /// the *marginal chiller electrical power* of accepting the job there —
 /// accounting for the class-specific heat, the supply-temperature drop
@@ -226,15 +480,109 @@ impl FleetDispatcher for CoolestRackFirst {
 /// tolerate warm water gather on racks (and hardware bins) that free-cool
 /// or run at high COP, while the few jobs that need cold supply are
 /// concentrated instead of contaminating every rack.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct ThermalAwareDispatch;
+///
+/// With a [`FleetIndex`] the ranking is built from the occupied racks
+/// plus one representative per idle rack group, re-scoring only racks
+/// whose committed heat moved since the last arrival with the same
+/// demand signature (the dirty-stamp memo) — bit-identical to the full
+/// `(rack, class)` enumeration it replaces (see the module docs).
+#[derive(Debug, Default)]
+pub struct ThermalAwareDispatch {
+    memo: ScoreMemo,
+    ranked: Vec<Candidate>,
+}
 
-impl FleetDispatcher for ThermalAwareDispatch {
-    fn name(&self) -> &'static str {
-        "thermal-aware"
+impl ThermalAwareDispatch {
+    /// Ranks candidates from the incremental index and picks the cheapest
+    /// slot meeting its wait budget.
+    fn place_indexed(
+        &mut self,
+        demand: &JobDemand<'_>,
+        view: &FleetView<'_>,
+        ix: &FleetIndex<'_>,
+    ) -> usize {
+        let sig = demand.sig as usize;
+        let epoch = view.chiller_epoch;
+        self.memo.resize(view.racks.len(), ix.group_classes.len());
+        self.ranked.clear();
+        for &(_, rack) in ix.occupied.iter() {
+            let r = rack as usize;
+            let entry = &mut self.memo.racks[r];
+            if entry.stamp != ix.stamps[r] || entry.epoch != epoch {
+                entry.by_sig.clear();
+                entry.stamp = ix.stamps[r];
+                entry.epoch = epoch;
+            }
+            if entry.by_sig.len() <= sig {
+                entry.by_sig.resize(sig + 1, None);
+            }
+            let scores = entry.by_sig[sig].get_or_insert_with(|| {
+                view.servers
+                    .classes_in_rack(r)
+                    .iter()
+                    .map(|&c| marginal_power(view.chiller, &view.racks[r], &demand.class(c).state))
+                    .collect()
+            });
+            let h = view.racks[r].heat.value();
+            for (k, &c) in view.servers.classes_in_rack(r).iter().enumerate() {
+                self.ranked.push(Candidate {
+                    p: scores[k],
+                    h,
+                    rack,
+                    class: c as u32,
+                });
+            }
+        }
+        let idle_view = idle_rack_view();
+        for (g, set) in ix.idle.iter().enumerate() {
+            let Some(&first) = set.first() else { continue };
+            let entry = &mut self.memo.groups[g];
+            if entry.epoch != epoch {
+                entry.by_sig.clear();
+                entry.epoch = epoch;
+            }
+            if entry.by_sig.len() <= sig {
+                entry.by_sig.resize(sig + 1, None);
+            }
+            let scores = entry.by_sig[sig].get_or_insert_with(|| {
+                ix.group_classes[g]
+                    .iter()
+                    .map(|&c| marginal_power(view.chiller, &idle_view, &demand.class(c).state))
+                    .collect()
+            });
+            for (k, &c) in ix.group_classes[g].iter().enumerate() {
+                self.ranked.push(Candidate {
+                    p: scores[k],
+                    h: 0.0,
+                    rack: first,
+                    class: c as u32,
+                });
+            }
+        }
+        // The same total order the full enumeration sorts by — within an
+        // equal (power, heat) run, a group entry stands at its lowest
+        // rack's position, and skipping the rest of a failed group is
+        // sound because its members fail the wait check identically.
+        self.ranked.sort_unstable_by(|a, b| {
+            a.p.total_cmp(&b.p)
+                .then(a.h.total_cmp(&b.h))
+                .then(a.rack.cmp(&b.rack))
+                .then(a.class.cmp(&b.class))
+        });
+        for c in &self.ranked {
+            let (server, _) = view
+                .earliest_free_of_class(c.rack as usize, c.class as usize)
+                .expect("the index only lists hosted classes");
+            if view.wait_on(server) <= demand.class(c.class as usize).wait_budget {
+                return server;
+            }
+        }
+        fallback_min_free(view)
     }
 
-    fn place(&mut self, demand: &JobDemand<'_>, view: &FleetView<'_>) -> usize {
+    /// The full `(rack, class)` enumeration — the reference path for
+    /// hand-assembled views (no index).
+    fn place_scan(demand: &JobDemand<'_>, view: &FleetView<'_>) -> usize {
         let mut ranked: Vec<(f64, f64, usize, ClassId)> = Vec::new();
         for (i, rack) in view.racks.iter().enumerate() {
             for &class in view.classes_in_rack(i) {
@@ -264,11 +612,33 @@ impl FleetDispatcher for ThermalAwareDispatch {
                 return server;
             }
         }
-        // …or, if every queue blows the deadline anyway, the server that
-        // frees up soonest fleet-wide (minimize the violation).
-        (0..view.free_at.len())
-            .min_by(|&a, &b| view.free_at[a].value().total_cmp(&view.free_at[b].value()))
-            .expect("fleet has at least one server")
+        fallback_min_free(view)
+    }
+}
+
+/// Every queue blows the deadline anyway: the server that frees up
+/// soonest fleet-wide (minimize the violation).
+fn fallback_min_free(view: &FleetView<'_>) -> usize {
+    let free = view.servers.free_slice();
+    (0..free.len())
+        .min_by(|&a, &b| free[a].value().total_cmp(&free[b].value()))
+        .expect("fleet has at least one server")
+}
+
+impl FleetDispatcher for ThermalAwareDispatch {
+    fn name(&self) -> &'static str {
+        "thermal-aware"
+    }
+
+    fn place(&mut self, demand: &JobDemand<'_>, view: &FleetView<'_>) -> usize {
+        match &view.index {
+            Some(ix) => self.place_indexed(demand, view, ix),
+            None => Self::place_scan(demand, view),
+        }
+    }
+
+    fn begin_run(&mut self) {
+        self.memo = ScoreMemo::default();
     }
 }
 
@@ -306,6 +676,14 @@ mod tests {
         }
     }
 
+    fn table(class_of: Vec<ClassId>, per_rack: usize, free: &[f64]) -> ServerTable {
+        let mut t = ServerTable::new(class_of, per_rack);
+        for (s, &f) in free.iter().enumerate() {
+            t.set_free_at(s, Seconds::new(f));
+        }
+        t
+    }
+
     #[test]
     fn round_robin_cycles() {
         let j = job();
@@ -317,24 +695,22 @@ mod tests {
             };
             2
         ];
-        let free = vec![Seconds::ZERO; 4];
-        let class_of = vec![0; 4];
+        let servers = table(vec![0; 4], 2, &[0.0; 4]);
         let chiller = Chiller::default();
-        let rack_classes = FleetView::rack_classes_of(&class_of, 2);
         let view = FleetView {
             now: Seconds::ZERO,
             racks: &racks,
-            free_at: &free,
-            servers_per_rack: 2,
+            servers: &servers,
             chiller: &chiller,
-            class_of: &class_of,
-            rack_classes: &rack_classes,
+            chiller_epoch: 0,
+            index: None,
         };
         let mut rr = RoundRobin::default();
         let classes = demand(70.0, 64.0, 30.0);
         let d = JobDemand {
             job: &j,
             classes: &classes,
+            sig: 0,
         };
         let picks: Vec<usize> = (0..5).map(|_| rr.place(&d, &view)).collect();
         assert_eq!(picks, vec![0, 1, 2, 3, 0]);
@@ -355,28 +731,21 @@ mod tests {
                 committed: 1,
             },
         ];
-        let free = vec![
-            Seconds::ZERO,
-            Seconds::ZERO,
-            Seconds::new(5.0),
-            Seconds::ZERO,
-        ];
-        let class_of = vec![0; 4];
+        let servers = table(vec![0; 4], 2, &[0.0, 0.0, 5.0, 0.0]);
         let chiller = Chiller::default();
-        let rack_classes = FleetView::rack_classes_of(&class_of, 2);
         let view = FleetView {
             now: Seconds::ZERO,
             racks: &racks,
-            free_at: &free,
-            servers_per_rack: 2,
+            servers: &servers,
             chiller: &chiller,
-            class_of: &class_of,
-            rack_classes: &rack_classes,
+            chiller_epoch: 0,
+            index: None,
         };
         let classes = demand(70.0, 70.0, 30.0);
         let d = JobDemand {
             job: &j,
             classes: &classes,
+            sig: 0,
         };
         assert_eq!(CoolestRackFirst.place(&d, &view), 3);
     }
@@ -397,28 +766,26 @@ mod tests {
                 committed: 1,
             },
         ];
-        let free = vec![Seconds::ZERO; 4];
-        let class_of = vec![0; 4];
+        let servers = table(vec![0; 4], 2, &[0.0; 4]);
         // Heat-reuse loop at 60 °C: supplies below 65 °C pay compressor lift.
         let chiller = Chiller::new(Celsius::new(60.0));
-        let rack_classes = FleetView::rack_classes_of(&class_of, 2);
         let view = FleetView {
             now: Seconds::ZERO,
             racks: &racks,
-            free_at: &free,
-            servers_per_rack: 2,
+            servers: &servers,
             chiller: &chiller,
-            class_of: &class_of,
-            rack_classes: &rack_classes,
+            chiller_epoch: 0,
+            index: None,
         };
-        let mut ta = ThermalAwareDispatch;
+        let mut ta = ThermalAwareDispatch::default();
         // A job needing 60 °C water joins the already-cold rack 0…
         let cold = demand(70.0, 60.0, 30.0);
         let d = JobDemand {
             job: &j,
             classes: &cold,
+            sig: 0,
         };
-        assert_eq!(view.free_at.len() % 2, 0);
+        assert_eq!(servers.len() % 2, 0);
         let pick = ta.place(&d, &view);
         assert!(pick < 2, "cold job went to rack {}", pick / 2);
         // …while a warm-tolerant job joins the free-cooling rack 1.
@@ -426,6 +793,7 @@ mod tests {
         let d = JobDemand {
             job: &j,
             classes: &warm,
+            sig: 1,
         };
         let pick = ta.place(&d, &view);
         assert!(pick >= 2, "warm job went to rack {}", pick / 2);
@@ -447,29 +815,22 @@ mod tests {
             },
         ];
         // Rack 0 is thermally ideal but saturated for 100 s; rack 1 is free.
-        let free = vec![
-            Seconds::new(100.0),
-            Seconds::new(100.0),
-            Seconds::ZERO,
-            Seconds::ZERO,
-        ];
-        let class_of = vec![0; 4];
+        let servers = table(vec![0; 4], 2, &[100.0, 100.0, 0.0, 0.0]);
         let chiller = Chiller::default();
-        let rack_classes = FleetView::rack_classes_of(&class_of, 2);
         let view = FleetView {
             now: Seconds::ZERO,
             racks: &racks,
-            free_at: &free,
-            servers_per_rack: 2,
+            servers: &servers,
             chiller: &chiller,
-            class_of: &class_of,
-            rack_classes: &rack_classes,
+            chiller_epoch: 0,
+            index: None,
         };
-        let mut ta = ThermalAwareDispatch;
+        let mut ta = ThermalAwareDispatch::default();
         let classes = demand(70.0, 64.0, 10.0);
         let d = JobDemand {
             job: &j,
             classes: &classes,
+            sig: 0,
         };
         let pick = ta.place(&d, &view);
         assert!(pick >= 2, "budget-violating rack chosen");
@@ -486,18 +847,15 @@ mod tests {
             supply: None,
             committed: 0,
         }];
-        let free = vec![Seconds::ZERO; 2];
-        let class_of = vec![0, 1];
+        let servers = table(vec![0, 1], 2, &[0.0; 2]);
         let chiller = Chiller::new(Celsius::new(60.0));
-        let rack_classes = FleetView::rack_classes_of(&class_of, 2);
         let view = FleetView {
             now: Seconds::ZERO,
             racks: &racks,
-            free_at: &free,
-            servers_per_rack: 2,
+            servers: &servers,
             chiller: &chiller,
-            class_of: &class_of,
-            rack_classes: &rack_classes,
+            chiller_epoch: 0,
+            index: None,
         };
         let classes = vec![
             ClassDemand {
@@ -514,8 +872,9 @@ mod tests {
         let d = JobDemand {
             job: &j,
             classes: &classes,
+            sig: 0,
         };
-        assert_eq!(ThermalAwareDispatch.place(&d, &view), 1);
+        assert_eq!(ThermalAwareDispatch::default().place(&d, &view), 1);
         // CoolestRackFirst agrees once the (single) rack is fixed.
         assert_eq!(CoolestRackFirst.place(&d, &view), 1);
     }
@@ -530,23 +889,15 @@ mod tests {
             };
             2
         ];
-        let free = vec![
-            Seconds::new(4.0),
-            Seconds::new(2.0),
-            Seconds::ZERO,
-            Seconds::ZERO,
-        ];
-        let class_of = vec![1, 1, 0, 1];
+        let servers = table(vec![1, 1, 0, 1], 2, &[4.0, 2.0, 0.0, 0.0]);
         let chiller = Chiller::default();
-        let rack_classes = FleetView::rack_classes_of(&class_of, 2);
         let view = FleetView {
             now: Seconds::ZERO,
             racks: &racks,
-            free_at: &free,
-            servers_per_rack: 2,
+            servers: &servers,
             chiller: &chiller,
-            class_of: &class_of,
-            rack_classes: &rack_classes,
+            chiller_epoch: 0,
+            index: None,
         };
         assert_eq!(view.classes_in_rack(0), vec![1]);
         assert_eq!(view.classes_in_rack(1), vec![0, 1]);
@@ -556,5 +907,94 @@ mod tests {
         );
         assert_eq!(view.earliest_free_of_class(0, 0), None);
         assert_eq!(view.earliest_free_of_class(1, 0), Some((2, Seconds::ZERO)));
+        assert_eq!(servers.rack_of(3), 1);
+        assert_eq!(servers.class_of(2), 0);
+        assert_eq!(servers.racks(), 2);
+    }
+
+    #[test]
+    fn indexed_dispatch_matches_the_full_scan() {
+        // Two rack groups — racks {0,1} host class 0, racks {2,3} host
+        // both — with rack 1 committed and the rest idle. The indexed
+        // walk (group representatives + occupied racks, via the score
+        // memo) must pick exactly what the full enumeration picks, for
+        // cold and warm demand signatures alike, across repeated calls.
+        let j = job();
+        let racks = vec![
+            idle_rack_view(),
+            RackView {
+                heat: Watts::new(140.0),
+                supply: Some(Celsius::new(60.0)),
+                committed: 2,
+            },
+            idle_rack_view(),
+            idle_rack_view(),
+        ];
+        let servers = table(vec![0, 0, 0, 0, 0, 1, 0, 1], 2, &[0.0; 8]);
+        let chiller = Chiller::new(Celsius::new(60.0));
+        let group_of = vec![0u32, 0, 1, 1];
+        let group_classes = vec![vec![0usize], vec![0, 1]];
+        let mut occupied = BTreeSet::new();
+        occupied.insert((Watts::new(140.0).value().to_bits(), 1u32));
+        let idle: Vec<BTreeSet<u32>> = vec![BTreeSet::from([0u32]), BTreeSet::from([2u32, 3])];
+        let stamps = vec![0u64; 4];
+        let mut ta_indexed = ThermalAwareDispatch::default();
+        let mut ta_scan = ThermalAwareDispatch::default();
+        for (sig, (heat, water)) in [(70.0, 60.0), (70.0, 76.0), (120.0, 55.0)]
+            .into_iter()
+            .enumerate()
+        {
+            let classes = vec![
+                ClassDemand {
+                    state: steady(heat, water),
+                    runtime: Seconds::new(30.0),
+                    wait_budget: Seconds::new(30.0),
+                },
+                ClassDemand {
+                    state: steady(heat * 0.9, water + 8.0),
+                    runtime: Seconds::new(33.0),
+                    wait_budget: Seconds::new(27.0),
+                },
+            ];
+            let d = JobDemand {
+                job: &j,
+                classes: &classes,
+                sig: sig as u32,
+            };
+            let indexed_view = FleetView {
+                now: Seconds::ZERO,
+                racks: &racks,
+                servers: &servers,
+                chiller: &chiller,
+                chiller_epoch: 0,
+                index: Some(FleetIndex {
+                    occupied: &occupied,
+                    idle: &idle,
+                    group_of: &group_of,
+                    group_classes: &group_classes,
+                    stamps: &stamps,
+                }),
+            };
+            let scan_view = FleetView {
+                now: Seconds::ZERO,
+                racks: &racks,
+                servers: &servers,
+                chiller: &chiller,
+                chiller_epoch: 0,
+                index: None,
+            };
+            for _ in 0..3 {
+                assert_eq!(
+                    ta_indexed.place(&d, &indexed_view),
+                    ta_scan.place(&d, &scan_view),
+                    "sig {sig}"
+                );
+                assert_eq!(
+                    CoolestRackFirst.place(&d, &indexed_view),
+                    CoolestRackFirst.place(&d, &scan_view),
+                    "sig {sig}"
+                );
+            }
+        }
     }
 }

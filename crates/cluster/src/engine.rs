@@ -5,7 +5,9 @@
 //!
 //! Everything in here is sequential and byte-deterministic: events are
 //! ordered by a stable `(time, class, seq)` key, so two runs of the same
-//! inputs — at any warm-up thread count — replay the identical event
+//! inputs — at any warm-up thread count, and under either event-queue
+//! implementation ([`EventQueue`] heap or
+//! [`CalendarQueue`](crate::CalendarQueue)) — replay the identical event
 //! sequence and produce bit-identical floats. The four event kinds and
 //! their same-instant ordering:
 //!
@@ -23,15 +25,19 @@
 use crate::cache::{OutcomeCache, SteadyState};
 use crate::catalog::ClassId;
 use crate::control::{ControlAction, ControlPolicy, ControlStatus};
-use crate::dispatch::{ClassDemand, FleetDispatcher, FleetView, JobDemand, RackView};
+use crate::dispatch::{
+    ClassDemand, FleetDispatcher, FleetIndex, FleetView, JobDemand, RackView, ServerTable,
+};
 use crate::fleet::{Fleet, FleetConfig};
 use crate::job::Job;
 use crate::metrics::{
-    integrate_energy, FleetSample, FleetTrace, Placement, SimResult, TelemetryConfig,
+    integrate_energy, FleetSample, FleetTrace, KernelStats, Placement, SimResult, TelemetryConfig,
 };
-use std::collections::BTreeMap;
+use crate::queue::{CalendarQueue, KernelQueue, QueueStats};
+use std::collections::{BTreeMap, BTreeSet};
 use tps_core::{MinPowerSelector, RunError};
 use tps_units::{Celsius, Seconds, Watts};
+use tps_workload::{Benchmark, QosClass};
 
 /// A typed simulation event.
 ///
@@ -61,7 +67,7 @@ pub enum Event {
 impl Event {
     /// Same-instant ordering class (lower runs first); see the module
     /// docs for the rationale of completion-before-arrival.
-    fn class(&self) -> u8 {
+    pub(crate) fn class(&self) -> u8 {
         match self {
             Event::JobCompletion { .. } => 0,
             Event::SetpointChange(_) => 1,
@@ -77,6 +83,11 @@ impl Event {
 /// `seq` is the push order, so ties within one class pop first-in
 /// first-out no matter how the queue is used — results never depend on
 /// insertion patterns, hashing or thread count.
+///
+/// This is the original binary-heap kernel queue. Production runs use the
+/// O(1)-common-case [`CalendarQueue`](crate::CalendarQueue); the heap is
+/// kept as the ordering *oracle* the calendar queue is tested against
+/// (identical pop order by construction of the shared key).
 ///
 /// ```
 /// use tps_cluster::{Event, EventQueue};
@@ -100,6 +111,7 @@ pub struct EventQueue {
     /// play.
     heap: std::collections::BinaryHeap<QueueEntry>,
     seq: u64,
+    peak: usize,
 }
 
 /// One scheduled event; ordered *descending* by key so the std max-heap
@@ -151,6 +163,7 @@ impl EventQueue {
             event,
         });
         self.seq += 1;
+        self.peak = self.peak.max(self.heap.len());
     }
 
     /// Removes and returns the earliest event.
@@ -169,12 +182,30 @@ impl EventQueue {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// Lifetime counters: total pushes and peak depth. The heap has no
+    /// arena, so its high-water mark is reported as the peak depth (every
+    /// pending event owns one heap node).
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            pushed: self.seq,
+            peak_depth: self.peak,
+            arena_high_water: self.peak,
+        }
+    }
 }
 
 /// Incremental per-rack committed load: every placement that has not
 /// finished (running or still queued) counts against its rack until its
 /// end time expires. Keeps dispatch O(racks + log jobs) per arrival
 /// instead of rescanning all placements.
+///
+/// Beyond the per-rack sums, the structure maintains the kernel's
+/// *dispatch index* incrementally: the current [`RackView`] per rack, the
+/// occupied racks ordered by `(heat bits, rack)`, the idle racks per rack
+/// group, and a per-rack mutation stamp. Each placement or expiry touches
+/// exactly one rack, so the index updates in O(log racks) — this is what
+/// lets dispatchers skip the per-arrival full-fleet rescan.
 ///
 /// Invariant note: the heat-sum / water-multiset / pin-drained-to-zero
 /// bookkeeping here is mirrored (over different windows and orderings)
@@ -194,11 +225,47 @@ pub struct RackLoads {
     expiry: BTreeMap<(u64, usize), (usize, f64, u64)>,
     seq: usize,
     total: usize,
+    /// The current dispatch view per rack, kept exactly equal to what a
+    /// from-scratch rebuild would produce (heat clamped non-negative,
+    /// coldest committed water, committed count).
+    views: Vec<RackView>,
+    /// Racks with committed load, keyed `(view-heat bits, rack)` — the
+    /// clamped heat is non-negative, so `to_bits` sorts like the float.
+    occupied: BTreeSet<(u64, u32)>,
+    /// Idle racks per rack group, ascending by rack index.
+    idle: Vec<BTreeSet<u32>>,
+    /// Rack → rack-group id.
+    group_of: Vec<u32>,
+    /// Rack → stamp of its last mutation (monotone clock).
+    stamps: Vec<u64>,
+    stamp_clock: u64,
 }
 
 impl RackLoads {
-    /// Empty loads over `racks` racks.
+    /// Empty loads over `racks` racks, all in one rack group.
     pub fn new(racks: usize) -> Self {
+        Self::with_groups(racks, vec![0; racks], 1)
+    }
+
+    /// Empty loads over `racks` racks partitioned into `groups` rack
+    /// groups (`group_of[rack]` names each rack's group). Racks in one
+    /// group must host the same class pattern — the dispatch fast path
+    /// treats any idle rack of a group as interchangeable with the rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_of` has the wrong length or names a group out of
+    /// range.
+    pub fn with_groups(racks: usize, group_of: Vec<u32>, groups: usize) -> Self {
+        assert_eq!(group_of.len(), racks, "one group id per rack");
+        assert!(
+            group_of.iter().all(|&g| (g as usize) < groups.max(1)),
+            "rack group out of range"
+        );
+        let mut idle = vec![BTreeSet::new(); groups.max(1)];
+        for (r, &g) in group_of.iter().enumerate() {
+            idle[g as usize].insert(r as u32);
+        }
         Self {
             heat: vec![0.0; racks],
             water: vec![BTreeMap::new(); racks],
@@ -206,6 +273,19 @@ impl RackLoads {
             expiry: BTreeMap::new(),
             seq: 0,
             total: 0,
+            views: vec![
+                RackView {
+                    heat: Watts::new(0.0),
+                    supply: None,
+                    committed: 0,
+                };
+                racks
+            ],
+            occupied: BTreeSet::new(),
+            idle,
+            group_of,
+            stamps: vec![0; racks],
+            stamp_clock: 0,
         }
     }
 
@@ -219,12 +299,51 @@ impl RackLoads {
         self.total
     }
 
+    /// Re-derives `rack`'s view and index membership after a mutation.
+    /// The view expressions are exactly the from-scratch rebuild's, so
+    /// the maintained views stay bit-identical to [`views`](Self::views).
+    fn sync_rack(&mut self, rack: usize, was_occupied: bool, old_bits: u64) {
+        let view = RackView {
+            heat: Watts::new(self.heat[rack].max(0.0)),
+            supply: self.water[rack]
+                .first_key_value()
+                .map(|(&bits, _)| Celsius::new(f64::from_bits(bits))),
+            committed: self.count[rack],
+        };
+        let new_bits = view.heat.value().to_bits();
+        let now_occupied = view.committed > 0;
+        self.views[rack] = view;
+        let r = rack as u32;
+        let g = self.group_of[rack] as usize;
+        match (was_occupied, now_occupied) {
+            (false, true) => {
+                self.idle[g].remove(&r);
+                self.occupied.insert((new_bits, r));
+            }
+            (true, false) => {
+                self.occupied.remove(&(old_bits, r));
+                self.idle[g].insert(r);
+            }
+            (true, true) => {
+                if old_bits != new_bits {
+                    self.occupied.remove(&(old_bits, r));
+                    self.occupied.insert((new_bits, r));
+                }
+            }
+            (false, false) => {}
+        }
+        self.stamp_clock += 1;
+        self.stamps[rack] = self.stamp_clock;
+    }
+
     /// Commits `state`'s load to `rack` until `end`.
     ///
     /// # Panics
     ///
     /// Panics if `rack` is out of range.
     pub fn add(&mut self, rack: usize, state: &SteadyState, end: Seconds) {
+        let was_occupied = self.count[rack] > 0;
+        let old_bits = self.views[rack].heat.value().to_bits();
         let water_bits = state.max_water_temp.value().to_bits();
         self.heat[rack] += state.heat.value();
         self.count[rack] += 1;
@@ -235,6 +354,7 @@ impl RackLoads {
             (rack, state.heat.value(), water_bits),
         );
         self.seq += 1;
+        self.sync_rack(rack, was_occupied, old_bits);
     }
 
     /// Drops every placement with `end ≤ now` (it covered `[start, end)`),
@@ -247,6 +367,8 @@ impl RackLoads {
                 break;
             }
             self.expiry.remove(&key);
+            let was_occupied = self.count[rack] > 0;
+            let old_bits = self.views[rack].heat.value().to_bits();
             self.heat[rack] -= heat;
             self.count[rack] -= 1;
             self.total -= 1;
@@ -261,34 +383,51 @@ impl RackLoads {
             if self.count[rack] == 0 {
                 self.heat[rack] = 0.0;
             }
+            self.sync_rack(rack, was_occupied, old_bits);
         }
+    }
+
+    /// The maintained per-rack dispatch views — always equal to what a
+    /// from-scratch rebuild would compute.
+    pub fn view_slice(&self) -> &[RackView] {
+        &self.views
+    }
+
+    /// Racks with committed load, ordered `(view-heat bits, rack)`.
+    pub fn occupied_racks(&self) -> &BTreeSet<(u64, u32)> {
+        &self.occupied
+    }
+
+    /// Idle racks per rack group, each ascending by rack index.
+    pub fn idle_groups(&self) -> &[BTreeSet<u32>] {
+        &self.idle
+    }
+
+    /// Rack → rack-group id.
+    pub fn rack_groups(&self) -> &[u32] {
+        &self.group_of
+    }
+
+    /// Rack → stamp of its last mutation; unchanged stamp ⇒ bit-identical
+    /// [`RackView`].
+    pub fn stamps(&self) -> &[u64] {
+        &self.stamps
     }
 
     /// Writes the per-rack dispatch views into `out` (cleared first).
     ///
-    /// Takes a caller-owned scratch buffer instead of allocating: the
-    /// fleet loop calls this once per arrival, and a fresh
-    /// `Vec<RackView>` per job was the simulator's hottest allocation
-    /// site (O(jobs × racks) before, O(racks) once now).
+    /// Takes a caller-owned scratch buffer instead of allocating; since
+    /// the views are now maintained incrementally this is a plain copy of
+    /// [`view_slice`](Self::view_slice).
     pub fn views_into(&self, out: &mut Vec<RackView>) {
         out.clear();
-        out.extend((0..self.heat.len()).map(|r| {
-            RackView {
-                heat: Watts::new(self.heat[r].max(0.0)),
-                supply: self.water[r]
-                    .first_key_value()
-                    .map(|(&bits, _)| Celsius::new(f64::from_bits(bits))),
-                committed: self.count[r],
-            }
-        }));
+        out.extend_from_slice(&self.views);
     }
 
     /// The per-rack dispatch views as a fresh vector (allocating
     /// convenience over [`views_into`](Self::views_into)).
     pub fn views(&self) -> Vec<RackView> {
-        let mut out = Vec::with_capacity(self.heat.len());
-        self.views_into(&mut out);
-        out
+        self.views.clone()
     }
 }
 
@@ -411,15 +550,17 @@ impl RunningSet {
     }
 }
 
-/// The kernel's mutable fleet state: per-rack committed load, per-server
-/// availability, the running layer behind telemetry, and the control
-/// surface (current chiller, shedding flag).
+/// The kernel's mutable fleet state: per-rack committed load, the
+/// structure-of-arrays server table, the running layer behind telemetry,
+/// and the control surface (current chiller, shedding flag).
 #[derive(Debug)]
 pub(crate) struct FleetState {
     loads: RackLoads,
     running: RunningSet,
-    free_at: Vec<Seconds>,
+    servers: ServerTable,
     chiller: tps_cooling::Chiller,
+    /// Bumped on every chiller change; dispatch score caches key on it.
+    chiller_epoch: u64,
     setpoint: Celsius,
     shedding: bool,
     shed: usize,
@@ -428,12 +569,19 @@ pub(crate) struct FleetState {
 }
 
 impl FleetState {
-    fn new(config: &FleetConfig, classes: usize, pending_arrivals: usize) -> Self {
+    fn new(
+        config: &FleetConfig,
+        classes: usize,
+        pending_arrivals: usize,
+        servers: ServerTable,
+        loads: RackLoads,
+    ) -> Self {
         Self {
-            loads: RackLoads::new(config.racks),
+            loads,
             running: RunningSet::new(config.racks, classes),
-            free_at: vec![Seconds::ZERO; config.total_servers()],
+            servers,
             chiller: config.chiller.clone(),
+            chiller_epoch: 0,
             setpoint: config.chiller.ambient(),
             shedding: false,
             shed: 0,
@@ -454,6 +602,32 @@ impl FleetState {
     }
 }
 
+/// Runs the event loop with the production [`CalendarQueue`].
+pub(crate) fn run(
+    fleet: &Fleet,
+    jobs: &[Job],
+    dispatcher: &mut dyn FleetDispatcher,
+    control: &mut dyn ControlPolicy,
+    telemetry: Option<&TelemetryConfig>,
+    cache: &OutcomeCache,
+) -> Result<SimResult, RunError> {
+    run_impl::<CalendarQueue>(fleet, jobs, dispatcher, control, telemetry, cache)
+}
+
+/// Runs the event loop with the original binary-heap [`EventQueue`] — the
+/// ordering oracle the determinism regression tests pit the calendar
+/// queue against.
+pub(crate) fn run_with_heap(
+    fleet: &Fleet,
+    jobs: &[Job],
+    dispatcher: &mut dyn FleetDispatcher,
+    control: &mut dyn ControlPolicy,
+    telemetry: Option<&TelemetryConfig>,
+    cache: &OutcomeCache,
+) -> Result<SimResult, RunError> {
+    run_impl::<EventQueue>(fleet, jobs, dispatcher, control, telemetry, cache)
+}
+
 /// Runs the event loop: arrivals dispatched against settled state,
 /// completions expiring committed load, control ticks and set-point
 /// changes steering the chiller, telemetry sampled on its own cadence.
@@ -461,7 +635,7 @@ impl FleetState {
 /// The physics cache must already be warm for every `(bench, qos)` in
 /// `jobs` ([`Fleet::simulate_with`](crate::Fleet::simulate_with) warms it
 /// first); misses are still solved correctly, just serially.
-pub(crate) fn run(
+fn run_impl<Q: KernelQueue + Default>(
     fleet: &Fleet,
     jobs: &[Job],
     dispatcher: &mut dyn FleetDispatcher,
@@ -473,10 +647,47 @@ pub(crate) fn run(
     let selector = MinPowerSelector;
     let solvers = fleet.class_solvers();
     let class_of = fleet.server_classes();
-    let rack_classes = FleetView::rack_classes_of(class_of, config.servers_per_rack);
     let n_servers = config.total_servers();
 
-    let mut queue = EventQueue::new();
+    // Structure-of-arrays server state: availability, class and rack ids
+    // as flat columns indexed by server id.
+    let servers = ServerTable::new(class_of.to_vec(), config.servers_per_rack);
+    // Rack groups: racks hosting the same class pattern are
+    // interchangeable while idle, which is what collapses the dispatch
+    // ranking from O(racks) to O(occupied + groups) per arrival.
+    let mut group_classes: Vec<Vec<ClassId>> = Vec::new();
+    let group_of: Vec<u32> = (0..config.racks)
+        .map(|r| {
+            let classes = servers.classes_in_rack(r);
+            match group_classes.iter().position(|g| g.as_slice() == classes) {
+                Some(i) => i as u32,
+                None => {
+                    group_classes.push(classes.to_vec());
+                    (group_classes.len() - 1) as u32
+                }
+            }
+        })
+        .collect();
+    let loads = RackLoads::with_groups(config.racks, group_of, group_classes.len());
+
+    // The per-(benchmark, QoS) demand states, solved once up front — a
+    // million arrivals share a handful of distinct demand signatures, so
+    // the per-arrival cache round-trip collapses to a slice index. The
+    // per-job fields (runtime, wait budget) are derived per arrival from
+    // the shared steady state with the exact same expressions as before.
+    let mut pairs: Vec<(Benchmark, QosClass)> = jobs.iter().map(|j| (j.bench, j.qos)).collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    let mut pair_states: Vec<Vec<SteadyState>> = Vec::with_capacity(pairs.len());
+    for &(bench, qos) in &pairs {
+        let mut per_class = Vec::with_capacity(solvers.len());
+        for solver in &solvers {
+            per_class.push(cache.get_or_solve(solver, bench, qos, &selector, config.t_case_max)?);
+        }
+        pair_states.push(per_class);
+    }
+
+    let mut queue = Q::default();
     // Arrivals in time order (id on ties), pushed in that order so the
     // queue's seq tie-break preserves it.
     let mut order: Vec<usize> = (0..jobs.len()).collect();
@@ -509,10 +720,11 @@ pub(crate) fn run(
         queue.push(Seconds::ZERO, Event::TelemetrySample);
     }
 
-    let mut state = FleetState::new(config, solvers.len(), jobs.len());
+    let mut state = FleetState::new(config, solvers.len(), jobs.len(), servers, loads);
+    dispatcher.begin_run();
     // Closed-loop machinery — the running layer (telemetry's view of
     // started-not-finished jobs) and the JobCompletion events that keep
-    // it and the tick/sample re-arming honest — costs two heap pushes
+    // it and the tick/sample re-arming honest — costs two queue pushes
     // and two ordered-map insertions per placement. When nothing reads
     // it (open loop: no ticks, no telemetry) the kernel elides it: the
     // committed layer already expires lazily at each arrival, so the
@@ -524,9 +736,9 @@ pub(crate) fn run(
     let mut trace =
         telemetry.map(|t| FleetTrace::with_classes(config.racks, fleet.class_names(), t.capacity));
     let mut final_sampled = false;
-    // Scratch for the per-arrival rack views and per-class demands (hot
+    // Scratch for the control-tick rack views and per-class demands (hot
     // path: one buffer for the whole run instead of one allocation per
-    // job).
+    // event).
     let mut rack_scratch: Vec<RackView> = Vec::with_capacity(config.racks);
     let mut class_scratch: Vec<ClassDemand> = Vec::with_capacity(solvers.len());
 
@@ -546,6 +758,7 @@ pub(crate) fn run(
             }
             Event::SetpointChange(c) => {
                 state.chiller = config.chiller.with_ambient(c);
+                state.chiller_epoch += 1;
                 state.setpoint = c;
                 setpoints.push((now, c));
             }
@@ -569,6 +782,7 @@ pub(crate) fn run(
                         match action {
                             ControlAction::SetSetpoint(c) => {
                                 state.chiller = config.chiller.with_ambient(c);
+                                state.chiller_epoch += 1;
                                 state.setpoint = c;
                                 setpoints.push((now, c));
                             }
@@ -611,17 +825,14 @@ pub(crate) fn run(
                 // The job's demand on every catalog class: the same
                 // workload runs hotter (or slower) on one hardware bin
                 // than another, and the dispatcher ranks those options.
+                let pair = pairs
+                    .binary_search(&(job.bench, job.qos))
+                    .expect("every (bench, qos) pair was precomputed")
+                    as u32;
                 class_scratch.clear();
-                for solver in &solvers {
-                    let steady = cache.get_or_solve(
-                        solver,
-                        job.bench,
-                        job.qos,
-                        &selector,
-                        config.t_case_max,
-                    )?;
+                for steady in &pair_states[pair as usize] {
                     class_scratch.push(ClassDemand {
-                        state: steady,
+                        state: *steady,
                         runtime: job.service * steady.normalized_time,
                         wait_budget: job.wait_budget(steady.normalized_time),
                     });
@@ -629,25 +840,30 @@ pub(crate) fn run(
                 let demand = JobDemand {
                     job,
                     classes: &class_scratch,
+                    sig: pair,
                 };
-                state.loads.views_into(&mut rack_scratch);
                 let view = FleetView {
                     now,
-                    racks: &rack_scratch,
-                    free_at: &state.free_at,
-                    servers_per_rack: config.servers_per_rack,
+                    racks: state.loads.view_slice(),
+                    servers: &state.servers,
                     chiller: &state.chiller,
-                    class_of,
-                    rack_classes: &rack_classes,
+                    chiller_epoch: state.chiller_epoch,
+                    index: Some(FleetIndex {
+                        occupied: state.loads.occupied_racks(),
+                        idle: state.loads.idle_groups(),
+                        group_of: state.loads.rack_groups(),
+                        group_classes: &group_classes,
+                        stamps: state.loads.stamps(),
+                    }),
                 };
                 let placed = dispatcher.place(&demand, &view);
                 assert!(placed < n_servers, "dispatcher placed outside the fleet");
-                let class = class_of[placed];
+                let class = state.servers.class_of(placed);
                 let chosen = demand.classes[class];
                 let steady = chosen.state;
-                let start = Seconds::new(now.value().max(state.free_at[placed].value()));
+                let start = Seconds::new(now.value().max(state.servers.free_at(placed).value()));
                 let wait = start - now;
-                let rack = placed / config.servers_per_rack;
+                let rack = state.servers.rack_of(placed);
                 let end = start + chosen.runtime;
                 let violated = wait.value() > chosen.wait_budget.value() + 1e-9;
                 if violated {
@@ -665,7 +881,7 @@ pub(crate) fn run(
                     state: steady,
                 });
                 state.loads.add(rack, &steady, end);
-                state.free_at[placed] = end;
+                state.servers.set_free_at(placed, end);
                 if closed_loop {
                     state.running.commit(rack, class, &steady, start, end);
                     queue.push(
@@ -680,6 +896,7 @@ pub(crate) fn run(
         }
     }
 
+    let qstats = queue.stats();
     let outcome = integrate_energy(
         dispatcher.name(),
         control.name(),
@@ -689,7 +906,15 @@ pub(crate) fn run(
         &fleet.class_names(),
         &setpoints,
     );
-    Ok(SimResult { outcome, trace })
+    Ok(SimResult {
+        outcome,
+        trace,
+        stats: KernelStats {
+            events: qstats.pushed,
+            peak_queue_depth: qstats.peak_depth,
+            arena_high_water: qstats.arena_high_water,
+        },
+    })
 }
 
 /// Captures one telemetry sample from the settled running layer.
@@ -760,6 +985,9 @@ mod tests {
         assert_eq!(q.pop(), Some((t, Event::TelemetrySample)));
         assert_eq!(q.pop(), Some((t, Event::JobArrival(0))));
         assert!(q.is_empty());
+        let stats = q.stats();
+        assert_eq!(stats.pushed, 6);
+        assert_eq!(stats.peak_depth, 6);
     }
 
     #[test]
@@ -816,6 +1044,50 @@ mod tests {
         assert_eq!(views[0].heat.value(), 0.0);
         assert_eq!(views[0].supply, None);
         assert_eq!(loads.total_committed(), 0);
+    }
+
+    #[test]
+    fn rack_loads_maintain_the_occupancy_index() {
+        let mut loads = RackLoads::with_groups(4, vec![0, 0, 1, 1], 2);
+        assert_eq!(loads.occupied_racks().len(), 0);
+        assert_eq!(loads.idle_groups()[0].len(), 2);
+        assert_eq!(loads.idle_groups()[1].len(), 2);
+
+        let state = |heat: f64| SteadyState {
+            package_power: Watts::new(heat),
+            heat: Watts::new(heat),
+            max_water_temp: Celsius::new(70.0),
+            normalized_time: 1.0,
+            n_cores: 8,
+            die_max: Celsius::new(70.0),
+        };
+        loads.add(2, &state(50.0), Seconds::new(10.0));
+        loads.add(0, &state(30.0), Seconds::new(20.0));
+        // Occupied orders by heat (bits), not rack index.
+        let occ: Vec<u32> = loads.occupied_racks().iter().map(|&(_, r)| r).collect();
+        assert_eq!(occ, vec![0, 2]);
+        assert_eq!(
+            loads.idle_groups()[0].iter().copied().collect::<Vec<_>>(),
+            vec![1]
+        );
+        assert_eq!(
+            loads.idle_groups()[1].iter().copied().collect::<Vec<_>>(),
+            vec![3]
+        );
+        let stamp_before = loads.stamps()[2];
+
+        loads.expire_until(Seconds::new(15.0));
+        // Rack 2 drained: back to its group's idle set, stamp bumped.
+        assert_eq!(loads.occupied_racks().len(), 1);
+        assert_eq!(
+            loads.idle_groups()[1].iter().copied().collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+        assert!(loads.stamps()[2] > stamp_before);
+        // Maintained views match a naive read of the drained state.
+        assert_eq!(loads.view_slice()[2].heat.value(), 0.0);
+        assert_eq!(loads.view_slice()[2].committed, 0);
+        assert_eq!(loads.view_slice()[0].heat, Watts::new(30.0));
     }
 
     #[test]

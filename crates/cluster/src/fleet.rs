@@ -323,6 +323,33 @@ impl Fleet {
         // Sequential phase: the deterministic event loop.
         engine::run(self, jobs, dispatcher, control, telemetry, cache)
     }
+
+    /// [`simulate_with`](Self::simulate_with), but driven by the original
+    /// binary-heap event queue instead of the calendar queue.
+    ///
+    /// The two queues share the `(time, class, seq)` ordering key, so
+    /// results must be byte-identical; the determinism regression tests
+    /// use this entry as the ordering oracle. Not part of the supported
+    /// API — it exists only so the oracle stays compiled and honest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-server [`RunError`].
+    #[doc(hidden)]
+    pub fn simulate_with_heap_queue(
+        &self,
+        jobs: &[Job],
+        dispatcher: &mut dyn FleetDispatcher,
+        control: &mut dyn ControlPolicy,
+        telemetry: Option<&TelemetryConfig>,
+        cache: &OutcomeCache,
+    ) -> Result<SimResult, RunError> {
+        let mut pairs: Vec<(Benchmark, QosClass)> = jobs.iter().map(|j| (j.bench, j.qos)).collect();
+        pairs.sort();
+        pairs.dedup();
+        self.warm(&pairs, cache, self.config.threads)?;
+        engine::run_with_heap(self, jobs, dispatcher, control, telemetry, cache)
+    }
 }
 
 #[cfg(test)]

@@ -22,9 +22,11 @@
 //! * [`FleetDispatcher`] — [`RoundRobin`], [`CoolestRackFirst`] and the
 //!   paper-style [`ThermalAwareDispatch`] that ranks `(rack, class)`
 //!   slots by marginal chiller power,
-//! * [`EventQueue`]/[`Event`] — the deterministic kernel: typed events
-//!   ordered by a stable `(time, class, seq)` key, so results are
-//!   byte-identical across runs and thread counts,
+//! * [`CalendarQueue`]/[`EventQueue`]/[`Event`] — the deterministic
+//!   kernel: typed events ordered by a stable `(time, class, seq)` key,
+//!   so results are byte-identical across runs and thread counts; the
+//!   arena-backed calendar queue drives production runs, the heap stays
+//!   as the ordering oracle,
 //! * [`ControlPolicy`] — runtime control evaluated on
 //!   [`ControlTick`](Event::ControlTick): [`StaticControl`] (open loop),
 //!   [`SetpointScheduler`] (chiller set-point program) and
@@ -47,7 +49,7 @@
 //! let jobs = synthesize_jobs(8, &ConstantDemand::new(0.5), JobMix::default(), 42);
 //! let cache = OutcomeCache::new();
 //! let outcome = fleet
-//!     .simulate(&jobs, &mut ThermalAwareDispatch, &cache)
+//!     .simulate(&jobs, &mut ThermalAwareDispatch::default(), &cache)
 //!     .expect("paper workloads are feasible");
 //! assert_eq!(outcome.placements.len(), 8);
 //! assert!(outcome.total_energy() > outcome.it_energy);
@@ -94,6 +96,7 @@ mod engine;
 mod fleet;
 mod job;
 mod metrics;
+mod queue;
 
 pub use cache::{CacheKey, ClassSolve, OutcomeCache, SteadyState};
 pub use catalog::{ClassId, FleetCatalog, ServerClass};
@@ -102,10 +105,13 @@ pub use control::{
     StaticControl,
 };
 pub use dispatch::{
-    ClassDemand, CoolestRackFirst, FleetDispatcher, FleetView, JobDemand, RackView, RoundRobin,
-    ThermalAwareDispatch,
+    ClassDemand, CoolestRackFirst, FleetDispatcher, FleetIndex, FleetView, JobDemand, RackView,
+    RoundRobin, ServerTable, ThermalAwareDispatch,
 };
 pub use engine::{Event, EventQueue, RackLoads};
 pub use fleet::{Fleet, FleetConfig, PolicyId, ServerPolicy};
 pub use job::{synthesize_jobs, Job, JobMix};
-pub use metrics::{FleetOutcome, FleetSample, FleetTrace, Placement, SimResult, TelemetryConfig};
+pub use metrics::{
+    FleetOutcome, FleetSample, FleetTrace, KernelStats, Placement, SimResult, TelemetryConfig,
+};
+pub use queue::{CalendarQueue, KernelQueue, QueueStats};

@@ -88,6 +88,22 @@ impl FleetOutcome {
     }
 }
 
+/// Event-kernel execution counters for one run: how much event traffic
+/// the simulation generated and how deep the queue ran. Diagnostic only —
+/// never part of the byte-determinism surface ([`FleetOutcome`] and the
+/// trace CSV exclude it), so perf-motivated queue changes can move these
+/// numbers without breaking golden outputs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Events pushed (= processed: the kernel drains its queue).
+    pub events: u64,
+    /// Most events pending at once.
+    pub peak_queue_depth: usize,
+    /// High-water mark of the calendar queue's entry arena (equals the
+    /// peak depth under the heap queue, which has no arena).
+    pub arena_high_water: usize,
+}
+
 /// One result of [`Fleet::simulate_with`](crate::Fleet::simulate_with):
 /// the aggregate outcome plus the telemetry trace when sampling was on.
 #[derive(Debug)]
@@ -96,6 +112,8 @@ pub struct SimResult {
     pub outcome: FleetOutcome,
     /// The sampled time series (`None` when telemetry was off).
     pub trace: Option<FleetTrace>,
+    /// Kernel execution counters (event count, queue depth, arena size).
+    pub stats: KernelStats,
 }
 
 /// Telemetry sampling parameters.
@@ -416,6 +434,18 @@ pub(crate) fn integrate_energy(
     let mut class_busy = vec![0usize; n_classes];
     let mut class_power = vec![0.0f64; n_classes];
     let mut class_it = vec![0.0f64; n_classes];
+    // Only racks with committed water contribute cooling (and drained
+    // racks are pinned to exactly 0.0 heat, so they can't move the peak
+    // either): the window body walks the occupied set, ascending by rack
+    // so the float accumulation order matches the full 0..racks scan it
+    // replaces. Each rack's chiller draw is cached and recomputed only
+    // when its load (dirty flag) or the chiller (era) moved — the same
+    // pure expression either way, so the cached value is bit-identical.
+    let mut occupied: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+    let mut p_cache = vec![0.0f64; config.racks];
+    let mut p_dirty = vec![true; config.racks];
+    let mut p_era = vec![0u64; config.racks];
+    let mut era = 0u64;
     let mut i = 0;
     while i < events.len() {
         let t = events[i].time;
@@ -428,12 +458,17 @@ pub(crate) fn integrate_energy(
                     rack_heat[e.rack] += e.heat;
                     class_busy[e.class] += 1;
                     class_power[e.class] += e.power;
+                    if rack_water[e.rack].is_empty() {
+                        occupied.insert(e.rack);
+                    }
                     *rack_water[e.rack].entry(e.water_bits).or_insert(0) += 1;
+                    p_dirty[e.rack] = true;
                 }
                 SETPOINT => {
                     chiller = config
                         .chiller
                         .with_ambient(Celsius::new(f64::from_bits(e.water_bits)));
+                    era += 1;
                 }
                 _ => {
                     busy -= 1;
@@ -451,7 +486,9 @@ pub(crate) fn integrate_energy(
                     // never leaks into later windows.
                     if rack_water[e.rack].is_empty() {
                         rack_heat[e.rack] = 0.0;
+                        occupied.remove(&e.rack);
                     }
+                    p_dirty[e.rack] = true;
                     if class_busy[e.class] == 0 {
                         class_power[e.class] = 0.0;
                     }
@@ -472,17 +509,22 @@ pub(crate) fn integrate_energy(
         for (sum, power) in class_it.iter_mut().zip(&class_power) {
             *sum += power * dt;
         }
-        for r in 0..config.racks {
+        for &r in &occupied {
             peak_rack_heat = peak_rack_heat.max(rack_heat[r]);
-            if let Some((&bits, _)) = rack_water[r].first_key_value() {
-                cooling += chiller
+            if p_dirty[r] || p_era[r] != era {
+                let (&bits, _) = rack_water[r]
+                    .first_key_value()
+                    .expect("occupied racks have committed water");
+                p_cache[r] = chiller
                     .electrical_power(
                         Watts::new(rack_heat[r].max(0.0)),
                         tps_units::Celsius::new(f64::from_bits(bits)),
                     )
-                    .value()
-                    * dt;
+                    .value();
+                p_dirty[r] = false;
+                p_era[r] = era;
             }
+            cooling += p_cache[r] * dt;
         }
     }
 

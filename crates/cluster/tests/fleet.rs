@@ -32,7 +32,7 @@ fn thermal_aware_beats_round_robin_on_the_heat_reuse_scenario() {
         .simulate(&jobs, &mut CoolestRackFirst, &cache)
         .unwrap();
     let ta = fleet
-        .simulate(&jobs, &mut ThermalAwareDispatch, &cache)
+        .simulate(&jobs, &mut ThermalAwareDispatch::default(), &cache)
         .unwrap();
 
     // The headline: segregating thermally demanding jobs cuts chiller
@@ -72,7 +72,7 @@ fn outcomes_are_independent_of_warmup_thread_count() {
         let cache = OutcomeCache::new();
         outcomes.push(
             fleet
-                .simulate(&jobs, &mut ThermalAwareDispatch, &cache)
+                .simulate(&jobs, &mut ThermalAwareDispatch::default(), &cache)
                 .unwrap(),
         );
     }
@@ -90,7 +90,7 @@ fn bursty_demand_runs_end_to_end() {
     let fleet = Fleet::new(config);
     let cache = OutcomeCache::new();
     let out = fleet
-        .simulate(&jobs, &mut ThermalAwareDispatch, &cache)
+        .simulate(&jobs, &mut ThermalAwareDispatch::default(), &cache)
         .unwrap();
     assert_eq!(out.placements.len(), 60);
     assert!(out.it_energy.value() > 0.0);
@@ -147,7 +147,7 @@ fn static_control_reproduces_the_pre_kernel_heat_reuse_table_bit_for_bit() {
     let mut dispatchers: Vec<Box<dyn tps_cluster::FleetDispatcher>> = vec![
         Box::new(RoundRobin::default()),
         Box::new(CoolestRackFirst),
-        Box::new(ThermalAwareDispatch),
+        Box::new(ThermalAwareDispatch::default()),
     ];
     for (d, golden) in dispatchers.iter_mut().zip(GOLDEN) {
         let out = fleet.simulate(&jobs, d.as_mut(), &cache).unwrap();
@@ -197,7 +197,7 @@ fn trace_csv_is_byte_identical_across_warmup_thread_counts() {
         let result = fleet
             .simulate_with(
                 &jobs,
-                &mut ThermalAwareDispatch,
+                &mut ThermalAwareDispatch::default(),
                 &mut StaticControl,
                 Some(&telemetry),
                 &cache,
@@ -221,7 +221,7 @@ fn setpoint_scheduler_cuts_cooling_on_the_heat_reuse_scenario() {
     let jobs = diurnal_jobs(80, 21);
     let cache = OutcomeCache::new();
     let stat = fleet
-        .simulate(&jobs, &mut ThermalAwareDispatch, &cache)
+        .simulate(&jobs, &mut ThermalAwareDispatch::default(), &cache)
         .unwrap();
     // Drop the heat-reuse loop from 70 °C to 45 °C for the middle of the
     // run: most supplies then free-cool, trading reuse-grade heat for
@@ -233,7 +233,13 @@ fn setpoint_scheduler_cuts_cooling_on_the_heat_reuse_scenario() {
         (Seconds::new(t2.value()), Celsius::new(70.0)),
     ]);
     let ctrl = fleet
-        .simulate_with(&jobs, &mut ThermalAwareDispatch, &mut sched, None, &cache)
+        .simulate_with(
+            &jobs,
+            &mut ThermalAwareDispatch::default(),
+            &mut sched,
+            None,
+            &cache,
+        )
         .unwrap()
         .outcome;
     assert!(
@@ -243,4 +249,63 @@ fn setpoint_scheduler_cuts_cooling_on_the_heat_reuse_scenario() {
         stat.cooling_energy
     );
     assert_eq!(ctrl.placements.len(), jobs.len());
+}
+
+#[test]
+fn calendar_queue_matches_the_heap_oracle_end_to_end() {
+    // Same jobs, same fleet, both queue disciplines, every dispatcher, in
+    // a closed loop (telemetry plus a set-point program) so all five
+    // event classes flow through the queue: the outcome and the trace
+    // CSV must be byte-identical. `Debug` on the outcome prints floats
+    // at round-trip precision, so equal strings pin the bit patterns.
+    let jobs = diurnal_jobs(80, 11);
+    for disp in 0..3usize {
+        let mut run = |heap: bool| {
+            let mut config = FleetConfig::new(2, 3);
+            config.grid_pitch_mm = 3.0;
+            let fleet = Fleet::new(config);
+            let cache = OutcomeCache::new();
+            let telemetry = TelemetryConfig {
+                sample_interval: Seconds::new(15.0),
+                capacity: 4096,
+            };
+            let mut control =
+                SetpointScheduler::new(vec![(Seconds::new(40.0), Celsius::new(45.0))]);
+            let mut dispatcher: Box<dyn tps_cluster::FleetDispatcher> = match disp {
+                0 => Box::new(RoundRobin::default()),
+                1 => Box::new(CoolestRackFirst),
+                _ => Box::new(ThermalAwareDispatch::default()),
+            };
+            let result = if heap {
+                fleet.simulate_with_heap_queue(
+                    &jobs,
+                    dispatcher.as_mut(),
+                    &mut control,
+                    Some(&telemetry),
+                    &cache,
+                )
+            } else {
+                fleet.simulate_with(
+                    &jobs,
+                    dispatcher.as_mut(),
+                    &mut control,
+                    Some(&telemetry),
+                    &cache,
+                )
+            }
+            .unwrap();
+            (
+                result.outcome,
+                result.trace.expect("telemetry was on").to_csv(),
+            )
+        };
+        let (cal_outcome, cal_csv) = run(false);
+        let (heap_outcome, heap_csv) = run(true);
+        assert_eq!(
+            format!("{cal_outcome:?}"),
+            format!("{heap_outcome:?}"),
+            "outcome diverged for dispatcher {disp}"
+        );
+        assert_eq!(cal_csv, heap_csv, "trace diverged for dispatcher {disp}");
+    }
 }

@@ -47,7 +47,7 @@ fn mixed_class_trace_is_byte_identical_across_warmup_thread_counts() {
         let result = fleet
             .simulate_with(
                 &jobs,
-                &mut ThermalAwareDispatch,
+                &mut ThermalAwareDispatch::default(),
                 &mut StaticControl,
                 Some(&telemetry),
                 &cache,
@@ -74,7 +74,7 @@ fn mixed_class_outcomes_are_byte_identical_across_thread_counts() {
         let cache = OutcomeCache::new();
         outcomes.push(
             fleet
-                .simulate(&jobs, &mut ThermalAwareDispatch, &cache)
+                .simulate(&jobs, &mut ThermalAwareDispatch::default(), &cache)
                 .unwrap(),
         );
     }
@@ -103,7 +103,7 @@ fn thermal_aware_beats_round_robin_on_the_mixed_catalog() {
         .simulate(&jobs, &mut RoundRobin::default(), &cache)
         .unwrap();
     let ta = fleet
-        .simulate(&jobs, &mut ThermalAwareDispatch, &cache)
+        .simulate(&jobs, &mut ThermalAwareDispatch::default(), &cache)
         .unwrap();
     assert!(
         ta.cooling_energy.value() < rr.cooling_energy.value(),
@@ -124,4 +124,42 @@ fn thermal_aware_beats_round_robin_on_the_mixed_catalog() {
         assert!(class_it <= out.it_energy.value() + 1e-6);
         assert!(class_it > 0.0);
     }
+}
+
+#[test]
+fn hundred_thousand_server_shape_stays_deterministic_across_threads() {
+    // The kernel's scale structures (SoA server table, occupancy index,
+    // calendar queue, group-representative dispatch) at the 100k-server
+    // shape the bench trajectory pins, smoke-sized job stream: outcomes
+    // must stay byte-identical across warm-up thread counts. `Debug`
+    // prints floats at round-trip precision, so equal strings pin bits.
+    let jobs = diurnal_jobs(150, 23);
+    let mut outcomes = Vec::new();
+    for threads in [1, 2, 8] {
+        let mut config = FleetConfig::new(2500, 40);
+        config.grid_pitch_mm = 3.0;
+        config.threads = threads;
+        config.catalog = FleetCatalog::new(vec![
+            ServerClass::new("dense"),
+            ServerClass::new("sparse").pitch(3.5).inlet(35.0),
+        ])
+        .assign(
+            (0..2500)
+                .map(|r| match r % 3 {
+                    0 => vec![0],
+                    1 => vec![1],
+                    _ => vec![0, 1],
+                })
+                .collect(),
+        );
+        let fleet = Fleet::new(config);
+        let cache = OutcomeCache::new();
+        let outcome = fleet
+            .simulate(&jobs, &mut ThermalAwareDispatch::default(), &cache)
+            .unwrap();
+        assert_eq!(outcome.placements.len(), jobs.len());
+        outcomes.push(format!("{outcome:?}"));
+    }
+    assert_eq!(outcomes[0], outcomes[1], "1 vs 2 threads");
+    assert_eq!(outcomes[0], outcomes[2], "1 vs 8 threads");
 }

@@ -218,3 +218,116 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// Drive the kernel's dispatch index (occupied set, idle groups,
+    /// stamps, score memo) and the legacy full-fleet rescore through the
+    /// same random interleaving of placements, expiries and set-point
+    /// changes: every placement decision must be bit-identical. The
+    /// incremental dispatcher keeps its memo warm across the whole
+    /// interleaving while the rescore dispatcher starts cold each call —
+    /// any stale cache entry or index drift shows up as a diverged pick.
+    #[test]
+    fn indexed_ranking_matches_a_full_rescore_after_any_interleaving(
+        seed in 0u64..200,
+        ops in 1usize..80,
+    ) {
+        use tps_cluster::{
+            ClassDemand, CoolestRackFirst, FleetDispatcher, FleetIndex, FleetView, Job,
+            JobDemand, ServerTable, ThermalAwareDispatch,
+        };
+        use tps_cooling::Chiller;
+        use tps_workload::{Benchmark, QosClass};
+
+        // Fleet shape: racks {0,1} host class 0 only, racks {2,3} host
+        // classes {0,1} — two rack groups, 2 servers per rack.
+        let group_classes = vec![vec![0usize], vec![0, 1]];
+        let mut servers = ServerTable::new(vec![0, 0, 0, 0, 0, 1, 0, 1], 2);
+        let mut loads = tps_cluster::RackLoads::with_groups(4, vec![0, 0, 1, 1], 2);
+        let mut chiller = Chiller::new(Celsius::new(60.0));
+        let mut chiller_epoch = 0u64;
+        let mut warm = ThermalAwareDispatch::default();
+        warm.begin_run();
+        let job = Job {
+            id: 0,
+            bench: Benchmark::X264,
+            qos: QosClass::TwoX,
+            arrival: Seconds::ZERO,
+            service: Seconds::new(30.0),
+        };
+        // A demand signature names a fixed pair of steady states (the
+        // memo caches per-signature scores); only the job-specific
+        // runtime and wait budget vary per arrival.
+        let sig_states: Vec<[SteadyState; 2]> = (0..3u64)
+            .map(|s| {
+                let heat = 60.0 + 40.0 * s as f64;
+                let water = 50.0 + 9.0 * s as f64;
+                [state(heat, water), state(heat * 0.9, water + 6.0)]
+            })
+            .collect();
+        let mut now = 0.0f64;
+        for i in 0..ops as u64 {
+            let r = mix(seed, i);
+            match r % 8 {
+                0 => {
+                    now += unit(seed, 3 * i) * 40.0;
+                    loads.expire_until(Seconds::new(now));
+                }
+                1 => {
+                    chiller = chiller
+                        .with_ambient(Celsius::new(40.0 + unit(seed, 3 * i) * 25.0));
+                    chiller_epoch += 1;
+                }
+                _ => {
+                    let sig = ((r >> 8) % 3) as usize;
+                    let runtime = 10.0 + unit(seed, 3 * i + 1) * 50.0;
+                    let budget = unit(seed, 3 * i + 2) * 30.0;
+                    let classes: Vec<ClassDemand> = sig_states[sig]
+                        .iter()
+                        .map(|s| ClassDemand {
+                            state: *s,
+                            runtime: Seconds::new(runtime),
+                            wait_budget: Seconds::new(budget),
+                        })
+                        .collect();
+                    let demand = JobDemand { job: &job, classes: &classes, sig: sig as u32 };
+                    let indexed = FleetView {
+                        now: Seconds::new(now),
+                        racks: loads.view_slice(),
+                        servers: &servers,
+                        chiller: &chiller,
+                        chiller_epoch,
+                        index: Some(FleetIndex {
+                            occupied: loads.occupied_racks(),
+                            idle: loads.idle_groups(),
+                            group_of: loads.rack_groups(),
+                            group_classes: &group_classes,
+                            stamps: loads.stamps(),
+                        }),
+                    };
+                    let scan = FleetView { index: None, ..indexed };
+                    let chosen = warm.place(&demand, &indexed);
+                    prop_assert_eq!(
+                        chosen,
+                        ThermalAwareDispatch::default().place(&demand, &scan),
+                        "thermal pick diverged at op {} (sig {})", i, sig
+                    );
+                    prop_assert_eq!(
+                        CoolestRackFirst.place(&demand, &indexed),
+                        CoolestRackFirst.place(&demand, &scan),
+                        "coolest pick diverged at op {}", i
+                    );
+                    // Commit exactly like the kernel: the fleet evolves
+                    // along the (verified) incremental decision.
+                    let class = servers.class_of(chosen);
+                    let cd = classes[class];
+                    let start = now.max(servers.free_at(chosen).value());
+                    let end = start + cd.runtime.value();
+                    let rack = servers.rack_of(chosen);
+                    loads.add(rack, &cd.state, Seconds::new(end));
+                    servers.set_free_at(chosen, Seconds::new(end));
+                }
+            }
+        }
+    }
+}

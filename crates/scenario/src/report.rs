@@ -130,6 +130,8 @@ impl SweepRow {
 ///     baseline: 0,
 ///     cache_solves: 12,
 ///     cache_hits: 40,
+///     peak_queue_depth: 33,
+///     arena_high_water: 33,
 /// };
 /// assert!(report.to_csv().starts_with("name,dispatcher"));
 /// assert!(report.to_markdown().contains("| cooling.heat_reuse_c=45 |"));
@@ -149,6 +151,11 @@ pub struct SweepReport {
     pub cache_solves: usize,
     /// Cache lookups served from memory across the whole grid.
     pub cache_hits: usize,
+    /// Deepest the event queue got on any grid point (diagnostic only —
+    /// never part of the determinism surface).
+    pub peak_queue_depth: usize,
+    /// Largest event-arena footprint on any grid point, in slots.
+    pub arena_high_water: usize,
 }
 
 impl SweepReport {
@@ -344,6 +351,8 @@ mod tests {
             baseline: 0,
             cache_solves: 0,
             cache_hits: 0,
+            peak_queue_depth: 0,
+            arena_high_water: 0,
         }
     }
 

@@ -121,7 +121,7 @@ impl DispatcherKind {
         match self {
             DispatcherKind::RoundRobin => Box::new(RoundRobin::default()),
             DispatcherKind::CoolestRackFirst => Box::new(CoolestRackFirst),
-            DispatcherKind::ThermalAware => Box::new(ThermalAwareDispatch),
+            DispatcherKind::ThermalAware => Box::new(ThermalAwareDispatch::default()),
         }
     }
 

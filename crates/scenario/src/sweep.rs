@@ -321,7 +321,11 @@ impl Sweep {
         let (results, cache_solves, cache_hits) = run_grid(&scenarios, threads, collect_traces)?;
         let mut rows = Vec::with_capacity(results.len());
         let mut traces = Vec::with_capacity(results.len());
+        let mut peak_queue_depth = 0;
+        let mut arena_high_water = 0;
         for (s, result) in scenarios.iter().zip(results) {
+            peak_queue_depth = peak_queue_depth.max(result.stats.peak_queue_depth);
+            arena_high_water = arena_high_water.max(result.stats.arena_high_water);
             rows.push(SweepRow::new(s, &result.outcome));
             traces.push(result.trace);
         }
@@ -333,6 +337,8 @@ impl Sweep {
                 baseline,
                 cache_solves,
                 cache_hits,
+                peak_queue_depth,
+                arena_high_water,
             },
             traces,
         ))
@@ -854,6 +860,10 @@ mod tests {
         // replays dominate solves across the two grid points.
         assert!(a.cache_solves > 0);
         assert!(a.cache_hits > a.cache_solves);
+        // The kernel's queue counters aggregate across the grid (every
+        // point pushes at least its arrivals through the queue).
+        assert!(a.peak_queue_depth > 0);
+        assert!(a.arena_high_water > 0);
     }
 
     #[test]

@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let open = fleet
         .simulate_with(
             &jobs,
-            &mut ThermalAwareDispatch,
+            &mut ThermalAwareDispatch::default(),
             &mut StaticControl,
             Some(&telemetry),
             &cache,
@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ]);
     let controlled = fleet.simulate_with(
         &jobs,
-        &mut ThermalAwareDispatch,
+        &mut ThermalAwareDispatch::default(),
         &mut schedule,
         Some(&telemetry),
         &cache,

@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dispatchers: Vec<Box<dyn FleetDispatcher>> = vec![
         Box::new(RoundRobin::default()),
         Box::new(CoolestRackFirst),
-        Box::new(ThermalAwareDispatch),
+        Box::new(ThermalAwareDispatch::default()),
     ];
     println!(
         "{:<20} {:>8} {:>9} {:>7} {:>6} {:>11}",

@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rows = Vec::new();
     let dispatchers: Vec<Box<dyn FleetDispatcher>> = vec![
         Box::new(RoundRobin::default()),
-        Box::new(ThermalAwareDispatch),
+        Box::new(ThermalAwareDispatch::default()),
     ];
     println!(
         "{:<20} {:>8} {:>9} {:>7} {:>6}   per-class jobs/violations",

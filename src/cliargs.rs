@@ -24,6 +24,18 @@ impl CliArgs {
     /// understands; `max_positionals` bounds the bare operands. Anything
     /// else is an error naming the offender and the alternatives.
     pub fn parse(args: &[String], known: &[&str], max_positionals: usize) -> Result<Self, String> {
+        Self::parse_with_switches(args, known, &[], max_positionals)
+    }
+
+    /// [`parse`](Self::parse), plus bare boolean `switches`: a switch
+    /// given as `--name` takes no value and reads back as `"true"`
+    /// (`--name=false` still works for an explicit off).
+    pub fn parse_with_switches(
+        args: &[String],
+        known: &[&str],
+        switches: &[&str],
+        max_positionals: usize,
+    ) -> Result<Self, String> {
         let mut out = Self {
             positionals: Vec::new(),
             flags: Vec::new(),
@@ -41,6 +53,7 @@ impl CliArgs {
             };
             let (flag, value) = match stripped.split_once('=') {
                 Some((f, v)) => (f.to_owned(), v.to_owned()),
+                None if switches.contains(&stripped) => (stripped.to_owned(), "true".to_owned()),
                 None => {
                     let value = args
                         .get(i)
@@ -49,13 +62,14 @@ impl CliArgs {
                     (stripped.to_owned(), value.clone())
                 }
             };
-            if !known.contains(&flag.as_str()) {
-                return Err(if known.is_empty() {
+            if !known.contains(&flag.as_str()) && !switches.contains(&flag.as_str()) {
+                let all: Vec<&str> = known.iter().chain(switches).copied().collect();
+                return Err(if all.is_empty() {
                     format!("unknown flag `--{flag}` (this subcommand takes no flags)")
                 } else {
                     format!(
                         "unknown flag `--{flag}` (expected one of: --{})",
-                        known.join(", --")
+                        all.join(", --")
                     )
                 });
             }
@@ -133,6 +147,34 @@ mod tests {
         assert_eq!(a.flag("qos"), Some("1x"));
         assert_eq!(a.flag_or("pitch", "1.0"), "2.0");
         assert_eq!(a.flag_or("absent", "d"), "d");
+    }
+
+    #[test]
+    fn bare_switches_need_no_value_and_read_back_true() {
+        let a = CliArgs::parse_with_switches(
+            &strs(&["--stats", "--jobs", "5"]),
+            &["jobs"],
+            &["stats"],
+            0,
+        )
+        .unwrap();
+        assert_eq!(a.flag("stats"), Some("true"));
+        assert_eq!(a.parsed("stats", false), Ok(true));
+        assert_eq!(a.flag("jobs"), Some("5"));
+
+        // Explicit `=false` still turns a switch off.
+        let b =
+            CliArgs::parse_with_switches(&strs(&["--stats=false"]), &[], &["stats"], 0).unwrap();
+        assert_eq!(b.parsed("stats", true), Ok(false));
+
+        // Absent switch falls back to the default.
+        let c = CliArgs::parse_with_switches(&strs(&[]), &[], &["stats"], 0).unwrap();
+        assert_eq!(c.parsed("stats", false), Ok(false));
+
+        // Switch names appear in the unknown-flag suggestions.
+        let e = CliArgs::parse_with_switches(&strs(&["--bogus=1"]), &["jobs"], &["stats"], 0)
+            .unwrap_err();
+        assert!(e.contains("--stats"), "{e}");
     }
 
     #[test]

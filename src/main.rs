@@ -70,11 +70,12 @@ fn print_usage() {
          {:14}(classes cycle across racks; fields omitted inherit the fleet flags)\n  \
          {:14}[--control static|setpoint|shed] [--setpoints T:C,T:C,...] [--tick S]\n  \
          {:14}[--trace-out DIR] [--sample S]  write per-dispatcher telemetry CSVs\n  \
+         {:14}[--stats]  per-dispatcher kernel timing (events/s, queue depth, arena)\n  \
          tps sweep <spec.toml> [--out DIR] [--threads N] [--trace-out DIR]\n  \
          {:14}expand a scenario spec's sweep grid, write CSV + Markdown reports\n  \
          {:14}(spec schema and cookbook: docs/SCENARIOS.md, examples: scenarios/)\n  \
          tps list                  list benchmarks, policies and selectors\n",
-        "", "", "", "", "", "", "", "", ""
+        "", "", "", "", "", "", "", "", "", ""
     );
 }
 
@@ -213,6 +214,7 @@ struct FleetArgs {
     control: ControlSpec,
     trace_out: Option<String>,
     sample: f64,
+    stats: bool,
 }
 
 /// Parses a `--classes` entry list: `NAME[:PITCH[:INLET[:POLICY]]]`,
@@ -323,7 +325,7 @@ fn parse_setpoints(raw: &str) -> Result<Vec<(Seconds, Celsius)>, String> {
 }
 
 fn parse_fleet_args(raw: &[String]) -> Result<FleetArgs, String> {
-    let args = CliArgs::parse(
+    let args = CliArgs::parse_with_switches(
         raw,
         &[
             "servers",
@@ -344,6 +346,7 @@ fn parse_fleet_args(raw: &[String]) -> Result<FleetArgs, String> {
             "trace-out",
             "sample",
         ],
+        &["stats"],
         0,
     )?;
     let control_name = args.flag_or("control", "static");
@@ -407,6 +410,7 @@ fn parse_fleet_args(raw: &[String]) -> Result<FleetArgs, String> {
         control,
         trace_out: args.flag("trace-out").map(str::to_owned),
         sample: args.parsed("sample", 30.0)?,
+        stats: args.parsed("stats", false)?,
     };
     if out.servers == 0
         || out.jobs == 0
@@ -488,11 +492,11 @@ fn cmd_fleet(raw: &[String]) -> ExitCode {
         "all" => {
             dispatchers.push(Box::new(RoundRobin::default()));
             dispatchers.push(Box::new(CoolestRackFirst));
-            dispatchers.push(Box::new(ThermalAwareDispatch));
+            dispatchers.push(Box::new(ThermalAwareDispatch::default()));
         }
         "rr" => dispatchers.push(Box::new(RoundRobin::default())),
         "coolest" => dispatchers.push(Box::new(CoolestRackFirst)),
-        "thermal" => dispatchers.push(Box::new(ThermalAwareDispatch)),
+        "thermal" => dispatchers.push(Box::new(ThermalAwareDispatch::default())),
         other => {
             return fail(format!(
                 "unknown dispatcher `{other}` (use all, rr, coolest or thermal)"
@@ -568,8 +572,11 @@ fn cmd_fleet(raw: &[String]) -> ExitCode {
         "{:<20} {:>9} {:>9} {:>9} {:>7} {:>6} {:>6} {:>9} {:>9}",
         "dispatcher", "IT kWh", "cool kWh", "tot kWh", "PUE", "viol", "shed", "wait s", "span s"
     );
+    let mut peak_queue_depth = 0usize;
+    let mut arena_high_water = 0usize;
     for mut d in dispatchers {
         let mut control = a.control.instantiate();
+        let started = std::time::Instant::now();
         match fleet.simulate_with(
             &jobs,
             d.as_mut(),
@@ -578,6 +585,9 @@ fn cmd_fleet(raw: &[String]) -> ExitCode {
             &cache,
         ) {
             Ok(result) => {
+                let elapsed = started.elapsed().as_secs_f64();
+                peak_queue_depth = peak_queue_depth.max(result.stats.peak_queue_depth);
+                arena_high_water = arena_high_water.max(result.stats.arena_high_water);
                 let out = result.outcome;
                 println!(
                     "{:<20} {:>9.3} {:>9.3} {:>9.3} {:>7.3} {:>6} {:>6} {:>9.1} {:>9.1}",
@@ -591,6 +601,16 @@ fn cmd_fleet(raw: &[String]) -> ExitCode {
                     out.mean_wait.value(),
                     out.makespan.value()
                 );
+                if a.stats {
+                    println!(
+                        "  kernel: {} events in {:.3} s ({:.2} M events/s), peak queue depth {}, arena high-water {}",
+                        result.stats.events,
+                        elapsed,
+                        result.stats.events as f64 / elapsed.max(1e-9) / 1e6,
+                        result.stats.peak_queue_depth,
+                        result.stats.arena_high_water,
+                    );
+                }
                 if out.class_names.len() > 1 {
                     let per_class: Vec<String> = out
                         .class_names
@@ -625,9 +645,11 @@ fn cmd_fleet(raw: &[String]) -> ExitCode {
         }
     }
     println!(
-        "\nserver-physics cache: {} distinct solves, {} replays",
+        "\nserver-physics cache: {} distinct solves, {} replays — event queue: peak depth {}, arena high-water {}",
         cache.solves(),
-        cache.hits()
+        cache.hits(),
+        peak_queue_depth,
+        arena_high_water,
     );
     let find = |name: &str| outcomes.iter().find(|o| o.dispatcher == name);
     if let (Some(rr), Some(ta)) = (find("round-robin"), find("thermal-aware")) {
@@ -699,11 +721,13 @@ fn cmd_sweep(raw: &[String]) -> ExitCode {
         }
     };
     println!(
-        "executed {} grid point(s) in {:.2} s — server-physics cache: {} distinct solves, {} replays\n",
+        "executed {} grid point(s) in {:.2} s — server-physics cache: {} distinct solves, {} replays — event queue: peak depth {}, arena high-water {}\n",
         report.rows.len(),
         started.elapsed().as_secs_f64(),
         report.cache_solves,
         report.cache_hits,
+        report.peak_queue_depth,
+        report.arena_high_water,
     );
     print!("{}", report.to_markdown());
 
