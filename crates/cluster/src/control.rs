@@ -10,7 +10,7 @@
 //! centers (Van Damme et al.; Rostami et al.): placement is the inner
 //! loop, set-point and admission control the outer one.
 //!
-//! Three policies ship:
+//! Four policies ship:
 //!
 //! * [`StaticControl`] — no ticks, no set-point moves; exactly the
 //!   open-loop behavior of the plain fleet simulator.
@@ -19,6 +19,10 @@
 //! * [`LoadSheddingControl`] — hysteretic admission control: shed
 //!   arrivals while the queue backlog exceeds a high watermark, re-admit
 //!   once it drains below the low one.
+//! * [`AutoscaleControl`] — hysteretic capacity control for serving
+//!   mode: grow the active-server set when queueing or tail latency
+//!   breaches its targets, shrink it when the fleet runs well under
+//!   them, and pocket the idle-floor energy in between.
 
 use crate::dispatch::RackView;
 use tps_units::{Celsius, Seconds};
@@ -45,6 +49,14 @@ pub struct ControlStatus<'a> {
     pub shedding: bool,
     /// Per-rack committed load (same views the dispatchers see).
     pub racks: &'a [RackView],
+    /// Servers currently active (eligible for placement).
+    pub active_servers: usize,
+    /// Total servers in the fleet (the activation ceiling).
+    pub total_servers: usize,
+    /// 99th-percentile request latency over the window since the last
+    /// tick (`None` in batch mode or when no request completed dispatch
+    /// in the window).
+    pub recent_p99: Option<Seconds>,
 }
 
 /// An action a control policy emits from a tick.
@@ -55,6 +67,10 @@ pub enum ControlAction {
     SetSetpoint(Celsius),
     /// Engage (`true`) or release (`false`) arrival shedding.
     SetShedding(bool),
+    /// Resize the active-server set. The kernel rounds the request to
+    /// rack granularity and clamps it to `[servers_per_rack, total]`;
+    /// running jobs on deactivated servers drain to completion.
+    SetActiveServers(usize),
 }
 
 /// A runtime control policy evaluated by the event kernel.
@@ -210,6 +226,123 @@ impl ControlPolicy for LoadSheddingControl {
     }
 }
 
+/// Hysteretic capacity control for serving mode: on every tick, compare
+/// the queued backlog *per active server* and the windowed p99 latency
+/// against their targets.
+///
+/// * **Scale up** by `step` servers when the per-server backlog reaches
+///   `queue_high` or the window's p99 breaches the SLO.
+/// * **Scale down** by `step` servers (never below `min_servers`) only
+///   when the backlog sits at or below `queue_low`, the SLO holds, *and*
+///   the backlog would still clear `queue_high` at the smaller size — the
+///   projection that, with `queue_low < queue_high`, keeps a constant
+///   load from oscillating.
+///
+/// The kernel applies the request at rack granularity; deactivated
+/// servers finish their running jobs but receive no new placements.
+///
+/// ```
+/// use tps_cluster::{AutoscaleControl, ControlPolicy};
+/// use tps_units::Seconds;
+///
+/// let ctrl = AutoscaleControl::new(Seconds::new(30.0), 8, 8, 2.0, 0.25, Seconds::new(10.0));
+/// assert_eq!(ctrl.name(), "autoscale");
+/// assert_eq!(ctrl.tick_interval(), Some(Seconds::new(30.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoscaleControl {
+    tick: Seconds,
+    min_servers: usize,
+    step: usize,
+    queue_high: f64,
+    queue_low: f64,
+    p99_slo: Seconds,
+}
+
+impl AutoscaleControl {
+    /// An autoscaler ticking every `tick` seconds, moving `step` servers
+    /// at a time, never below `min_servers`, against a per-server backlog
+    /// band `[queue_low, queue_high]` and a p99 latency SLO.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `tick` is positive and finite, `min_servers` and
+    /// `step` are at least 1, `0 ≤ queue_low < queue_high` are finite,
+    /// and `p99_slo` is positive and finite.
+    pub fn new(
+        tick: Seconds,
+        min_servers: usize,
+        step: usize,
+        queue_high: f64,
+        queue_low: f64,
+        p99_slo: Seconds,
+    ) -> Self {
+        assert!(
+            tick.value() > 0.0 && tick.value().is_finite(),
+            "tick interval must be positive and finite"
+        );
+        assert!(min_servers >= 1, "need at least one server active");
+        assert!(step >= 1, "scaling step must be at least one server");
+        assert!(
+            queue_low >= 0.0 && queue_low < queue_high && queue_high.is_finite(),
+            "need 0 <= queue_low < queue_high for hysteresis"
+        );
+        assert!(
+            p99_slo.value() > 0.0 && p99_slo.value().is_finite(),
+            "p99 SLO must be positive and finite"
+        );
+        Self {
+            tick,
+            min_servers,
+            step,
+            queue_high,
+            queue_low,
+            p99_slo,
+        }
+    }
+
+    /// The p99 latency SLO the controller defends.
+    pub fn p99_slo(&self) -> Seconds {
+        self.p99_slo
+    }
+}
+
+impl ControlPolicy for AutoscaleControl {
+    fn name(&self) -> &'static str {
+        "autoscale"
+    }
+
+    fn tick_interval(&self) -> Option<Seconds> {
+        Some(self.tick)
+    }
+
+    fn on_tick(&mut self, status: &ControlStatus<'_>) -> Vec<ControlAction> {
+        let active = status.active_servers.max(1);
+        let per_server = status.queued as f64 / active as f64;
+        let breach = status
+            .recent_p99
+            .is_some_and(|p99| p99.value() > self.p99_slo.value());
+        if (per_server >= self.queue_high || breach) && status.active_servers < status.total_servers
+        {
+            return vec![ControlAction::SetActiveServers(
+                status.active_servers.saturating_add(self.step),
+            )];
+        }
+        if per_server <= self.queue_low && !breach && status.active_servers > self.min_servers {
+            let target = status
+                .active_servers
+                .saturating_sub(self.step)
+                .max(self.min_servers);
+            // Project the same backlog onto the smaller fleet: only
+            // shrink if it stays strictly inside the scale-up trigger.
+            if (status.queued as f64) < self.queue_high * target as f64 {
+                return vec![ControlAction::SetActiveServers(target)];
+            }
+        }
+        Vec::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +358,31 @@ mod tests {
             setpoint: Celsius::new(70.0),
             shedding,
             racks: &[],
+            active_servers: 16,
+            total_servers: 16,
+            recent_p99: None,
+        }
+    }
+
+    fn serving_status(
+        queued: usize,
+        active: usize,
+        total: usize,
+        p99: Option<f64>,
+    ) -> ControlStatus<'static> {
+        ControlStatus {
+            now: Seconds::new(60.0),
+            committed: queued,
+            running: 0,
+            queued,
+            shed: 0,
+            violations: 0,
+            setpoint: Celsius::new(70.0),
+            shedding: false,
+            racks: &[],
+            active_servers: active,
+            total_servers: total,
+            recent_p99: p99.map(Seconds::new),
         }
     }
 
@@ -261,6 +419,57 @@ mod tests {
     #[should_panic(expected = "hysteresis")]
     fn shedding_rejects_inverted_watermarks() {
         let _ = LoadSheddingControl::new(Seconds::new(30.0), 2, 8);
+    }
+
+    #[test]
+    fn autoscale_scales_up_on_backlog_or_latency_breach() {
+        let mut c = AutoscaleControl::new(Seconds::new(30.0), 4, 4, 2.0, 0.25, Seconds::new(5.0));
+        // Backlog trigger: 20 queued / 8 active = 2.5 ≥ 2.0.
+        assert_eq!(
+            c.on_tick(&serving_status(20, 8, 32, None)),
+            vec![ControlAction::SetActiveServers(12)]
+        );
+        // Latency trigger fires even with an empty queue.
+        assert_eq!(
+            c.on_tick(&serving_status(0, 8, 32, Some(6.0))),
+            vec![ControlAction::SetActiveServers(12)]
+        );
+        // Already at the ceiling: hold.
+        assert!(c
+            .on_tick(&serving_status(100, 32, 32, Some(6.0)))
+            .is_empty());
+    }
+
+    #[test]
+    fn autoscale_scales_down_only_with_projected_headroom() {
+        let mut c = AutoscaleControl::new(Seconds::new(30.0), 4, 4, 2.0, 0.25, Seconds::new(5.0));
+        // 2 queued / 16 active = 0.125 ≤ 0.25, and 2 < 2.0 × 12: shrink.
+        assert_eq!(
+            c.on_tick(&serving_status(2, 16, 32, Some(1.0))),
+            vec![ControlAction::SetActiveServers(12)]
+        );
+        // Inside the hysteresis band: hold.
+        assert!(c.on_tick(&serving_status(16, 16, 32, Some(1.0))).is_empty());
+        // SLO breached: never shrink, grow instead.
+        assert_eq!(
+            c.on_tick(&serving_status(0, 16, 32, Some(9.0))),
+            vec![ControlAction::SetActiveServers(20)]
+        );
+        // At the floor: hold.
+        assert!(c.on_tick(&serving_status(0, 4, 32, None)).is_empty());
+        // The floor also clamps a partial step.
+        let mut wide =
+            AutoscaleControl::new(Seconds::new(30.0), 4, 16, 2.0, 0.25, Seconds::new(5.0));
+        assert_eq!(
+            wide.on_tick(&serving_status(0, 8, 32, None)),
+            vec![ControlAction::SetActiveServers(4)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis")]
+    fn autoscale_rejects_inverted_watermarks() {
+        let _ = AutoscaleControl::new(Seconds::new(30.0), 4, 4, 0.25, 2.0, Seconds::new(5.0));
     }
 
     #[test]

@@ -36,6 +36,16 @@
 //! The per-rack stamps drive [`ThermalAwareDispatch`]'s score memo: a
 //! rack is re-scored only when its committed load (or the chiller) moved
 //! since the last arrival with the same demand signature.
+//!
+//! # Activation: the serving-mode capacity mask
+//!
+//! [`AutoscaleControl`](crate::AutoscaleControl) shrinks and grows the
+//! placeable fleet at rack granularity: [`ServerTable`] tracks an
+//! *active prefix* — racks `0..active_racks` accept placements, the rest
+//! are powered down (no idle floor, no placements) but still drain any
+//! running jobs. Every dispatcher filters its candidates to the active
+//! prefix; at full activation the filter accepts everything, so batch
+//! runs are bit-identical to the pre-activation code.
 
 use crate::cache::SteadyState;
 use crate::catalog::ClassId;
@@ -111,6 +121,10 @@ pub struct ServerTable {
     /// immutable for a run, so precomputed once (the dispatch hot path
     /// must not allocate per placement).
     rack_classes: Vec<Vec<ClassId>>,
+    /// Servers eligible for placement: always a whole-rack prefix
+    /// (`active / servers_per_rack` leading racks). Starts at the full
+    /// fleet; only the autoscaler moves it.
+    active: usize,
 }
 
 impl ServerTable {
@@ -144,13 +158,37 @@ impl ServerTable {
                 out
             })
             .collect();
+        let active = class_of.len();
         Self {
             free_at: vec![Seconds::ZERO; class_of.len()],
             class_of,
             rack_of,
             servers_per_rack,
             rack_classes,
+            active,
         }
+    }
+
+    /// Servers currently eligible for placement (a whole-rack prefix).
+    pub fn active_servers(&self) -> usize {
+        self.active
+    }
+
+    /// Racks currently eligible for placement (the leading
+    /// `active_servers / servers_per_rack`).
+    pub fn active_racks(&self) -> usize {
+        self.active / self.servers_per_rack
+    }
+
+    /// Resizes the active prefix to hold at least `n` servers, rounded up
+    /// to whole racks and clamped to `[1 rack, all racks]`; returns the
+    /// resulting active-server count. Deactivated servers keep their
+    /// `free_at` state and drain any running job, they just stop
+    /// receiving placements.
+    pub fn set_active_servers(&mut self, n: usize) -> usize {
+        let racks = n.div_ceil(self.servers_per_rack).clamp(1, self.racks());
+        self.active = racks * self.servers_per_rack;
+        self.active
     }
 
     /// Total server count.
@@ -327,7 +365,7 @@ impl FleetDispatcher for RoundRobin {
     }
 
     fn place(&mut self, _demand: &JobDemand<'_>, view: &FleetView<'_>) -> usize {
-        let server = self.next % view.servers.len();
+        let server = self.next % view.servers.active_servers();
         self.next += 1;
         server
     }
@@ -374,34 +412,43 @@ impl FleetDispatcher for CoolestRackFirst {
     }
 
     fn place(&mut self, demand: &JobDemand<'_>, view: &FleetView<'_>) -> usize {
+        let active_racks = view.servers.active_racks();
         let rack = match &view.index {
             // The coolest rack in O(log racks): the lowest-index idle rack
             // (exact 0.0 heat) versus the occupied set's first element,
             // compared on the same (heat bits, rack) key the linear scan
             // minimizes — `0.0f64.to_bits() == 0`, so an idle rack wins
             // any tie an occupied zero-heat rack doesn't win by index.
+            // Candidates past the active prefix are skipped (each idle
+            // set and the occupied set ascend by their key, so the first
+            // in-prefix element is the set's in-prefix minimum).
             Some(ix) => {
                 let idle_min = ix
                     .idle
                     .iter()
-                    .filter_map(|set| set.first().copied())
+                    .filter_map(|set| set.iter().copied().find(|&r| (r as usize) < active_racks))
                     .min()
                     .map(|r| (0u64, r));
-                let occ_min = ix.occupied.first().copied();
+                let occ_min = ix
+                    .occupied
+                    .iter()
+                    .copied()
+                    .find(|&(_, r)| (r as usize) < active_racks);
                 [idle_min, occ_min]
                     .into_iter()
                     .flatten()
                     .min()
-                    .expect("fleet has at least one rack")
+                    .expect("at least one rack is active")
                     .1 as usize
             }
             None => view
                 .racks
                 .iter()
                 .enumerate()
+                .take(active_racks)
                 .min_by(|a, b| a.1.heat.value().total_cmp(&b.1.heat.value()))
                 .map(|(i, _)| i)
-                .expect("fleet has at least one rack"),
+                .expect("at least one rack is active"),
         };
         // One marginal-power evaluation per class (not per comparison);
         // ties break toward the lower class id.
@@ -503,10 +550,14 @@ impl ThermalAwareDispatch {
     ) -> usize {
         let sig = demand.sig as usize;
         let epoch = view.chiller_epoch;
+        let active_racks = view.servers.active_racks();
         self.memo.resize(view.racks.len(), ix.group_classes.len());
         self.ranked.clear();
         for &(_, rack) in ix.occupied.iter() {
             let r = rack as usize;
+            if r >= active_racks {
+                continue;
+            }
             let entry = &mut self.memo.racks[r];
             if entry.stamp != ix.stamps[r] || entry.epoch != epoch {
                 entry.by_sig.clear();
@@ -535,7 +586,12 @@ impl ThermalAwareDispatch {
         }
         let idle_view = idle_rack_view();
         for (g, set) in ix.idle.iter().enumerate() {
-            let Some(&first) = set.first() else { continue };
+            // The group representative is its lowest *active* rack: the
+            // representative argument (bit-identical views, identical
+            // wait checks) holds within the active prefix just as well.
+            let Some(first) = set.iter().copied().find(|&r| (r as usize) < active_racks) else {
+                continue;
+            };
             let entry = &mut self.memo.groups[g];
             if entry.epoch != epoch {
                 entry.by_sig.clear();
@@ -584,7 +640,12 @@ impl ThermalAwareDispatch {
     /// hand-assembled views (no index).
     fn place_scan(demand: &JobDemand<'_>, view: &FleetView<'_>) -> usize {
         let mut ranked: Vec<(f64, f64, usize, ClassId)> = Vec::new();
-        for (i, rack) in view.racks.iter().enumerate() {
+        for (i, rack) in view
+            .racks
+            .iter()
+            .enumerate()
+            .take(view.servers.active_racks())
+        {
             for &class in view.classes_in_rack(i) {
                 ranked.push((
                     marginal_power(view.chiller, rack, &demand.class(class).state),
@@ -616,13 +677,13 @@ impl ThermalAwareDispatch {
     }
 }
 
-/// Every queue blows the deadline anyway: the server that frees up
-/// soonest fleet-wide (minimize the violation).
+/// Every queue blows the deadline anyway: the active server that frees
+/// up soonest (minimize the violation).
 fn fallback_min_free(view: &FleetView<'_>) -> usize {
     let free = view.servers.free_slice();
-    (0..free.len())
+    (0..view.servers.active_servers())
         .min_by(|&a, &b| free[a].value().total_cmp(&free[b].value()))
-        .expect("fleet has at least one server")
+        .expect("at least one server is active")
 }
 
 impl FleetDispatcher for ThermalAwareDispatch {
@@ -913,6 +974,62 @@ mod tests {
     }
 
     #[test]
+    fn activation_rounds_to_racks_and_masks_every_dispatcher() {
+        let mut t = table(vec![0; 8], 2, &[0.0; 8]);
+        assert_eq!(t.active_servers(), 8);
+        assert_eq!(t.active_racks(), 4);
+        // Requests round up to whole racks and clamp to [1 rack, all].
+        assert_eq!(t.set_active_servers(3), 4);
+        assert_eq!(t.active_racks(), 2);
+        assert_eq!(t.set_active_servers(0), 2);
+        assert_eq!(t.set_active_servers(100), 8);
+        t.set_active_servers(4);
+
+        let j = job();
+        // Rack 1 (active) is hot; racks 2–3 (inactive) are idle and would
+        // win every heat comparison if the mask leaked.
+        let racks = vec![
+            RackView {
+                heat: Watts::new(90.0),
+                supply: Some(Celsius::new(70.0)),
+                committed: 1,
+            },
+            RackView {
+                heat: Watts::new(40.0),
+                supply: Some(Celsius::new(70.0)),
+                committed: 1,
+            },
+            idle_rack_view(),
+            idle_rack_view(),
+        ];
+        let chiller = Chiller::default();
+        let view = FleetView {
+            now: Seconds::ZERO,
+            racks: &racks,
+            servers: &t,
+            chiller: &chiller,
+            chiller_epoch: 0,
+            index: None,
+        };
+        let classes = demand(70.0, 76.0, 0.0);
+        let d = JobDemand {
+            job: &j,
+            classes: &classes,
+            sig: 0,
+        };
+        let mut rr = RoundRobin::default();
+        for i in 0..8 {
+            assert_eq!(rr.place(&d, &view), i % 4, "round-robin leaked");
+        }
+        assert!(CoolestRackFirst.place(&d, &view) < 4, "coolest leaked");
+        assert!(
+            ThermalAwareDispatch::default().place(&d, &view) < 4,
+            "thermal-aware leaked"
+        );
+        assert!(fallback_min_free(&view) < 4, "fallback leaked");
+    }
+
+    #[test]
     fn indexed_dispatch_matches_the_full_scan() {
         // Two rack groups — racks {0,1} host class 0, racks {2,3} host
         // both — with rack 1 committed and the rest idle. The indexed
@@ -996,5 +1113,61 @@ mod tests {
                 );
             }
         }
+
+        // Under an active-prefix mask (racks 0–1 only) the indexed walk
+        // must keep matching the scan: group {2,3} loses its
+        // representative entirely, occupied rack 1 stays.
+        let mut masked = table(vec![0, 0, 0, 0, 0, 1, 0, 1], 2, &[0.0; 8]);
+        masked.set_active_servers(4);
+        let classes = vec![
+            ClassDemand {
+                state: steady(70.0, 60.0),
+                runtime: Seconds::new(30.0),
+                wait_budget: Seconds::new(30.0),
+            },
+            ClassDemand {
+                state: steady(63.0, 68.0),
+                runtime: Seconds::new(33.0),
+                wait_budget: Seconds::new(27.0),
+            },
+        ];
+        let d = JobDemand {
+            job: &j,
+            classes: &classes,
+            sig: 0,
+        };
+        let indexed_view = FleetView {
+            now: Seconds::ZERO,
+            racks: &racks,
+            servers: &masked,
+            chiller: &chiller,
+            chiller_epoch: 0,
+            index: Some(FleetIndex {
+                occupied: &occupied,
+                idle: &idle,
+                group_of: &group_of,
+                group_classes: &group_classes,
+                stamps: &stamps,
+            }),
+        };
+        let scan_view = FleetView {
+            now: Seconds::ZERO,
+            racks: &racks,
+            servers: &masked,
+            chiller: &chiller,
+            chiller_epoch: 0,
+            index: None,
+        };
+        let mut ta = ThermalAwareDispatch::default();
+        let pick_indexed = ta.place(&d, &indexed_view);
+        assert_eq!(
+            pick_indexed,
+            ThermalAwareDispatch::default().place(&d, &scan_view)
+        );
+        assert!(pick_indexed < 4, "mask leaked through the index");
+        assert_eq!(
+            CoolestRackFirst.place(&d, &indexed_view),
+            CoolestRackFirst.place(&d, &scan_view)
+        );
     }
 }

@@ -31,7 +31,8 @@ use crate::dispatch::{
 use crate::fleet::{Fleet, FleetConfig};
 use crate::job::Job;
 use crate::metrics::{
-    integrate_energy, FleetSample, FleetTrace, KernelStats, Placement, SimResult, TelemetryConfig,
+    integrate_energy, FleetSample, FleetTrace, KernelStats, LatencyHistogram, Placement,
+    ServingOutcome, ServingSample, SimResult, TelemetryConfig,
 };
 use crate::queue::{CalendarQueue, KernelQueue, QueueStats};
 use std::collections::{BTreeMap, BTreeSet};
@@ -733,8 +734,22 @@ fn run_impl<Q: KernelQueue + Default>(
     let closed_loop = telemetry.is_some() || tick.is_some();
     let mut placements: Vec<Placement> = Vec::with_capacity(jobs.len());
     let mut setpoints: Vec<(Seconds, Celsius)> = Vec::new();
-    let mut trace =
-        telemetry.map(|t| FleetTrace::with_classes(config.racks, fleet.class_names(), t.capacity));
+    // Serving mode: per-request latency (dispatch wait + runtime, known
+    // at placement time) feeds two integer-bucket sketches — the whole
+    // run for reported percentiles, plus a per-tick window the
+    // autoscaler reads and clears. The active-server timeline mirrors
+    // the set-point timeline into the energy integration.
+    let serving = config.serving;
+    let mut latency_all = LatencyHistogram::default();
+    let mut latency_window = LatencyHistogram::default();
+    let mut activations: Vec<(Seconds, usize)> = Vec::new();
+    let mut trace = telemetry.map(|t| {
+        let mut trace = FleetTrace::with_classes(config.racks, fleet.class_names(), t.capacity);
+        if serving {
+            trace.enable_serving();
+        }
+        trace
+    });
     let mut final_sampled = false;
     // Scratch for the control-tick rack views and per-class demands (hot
     // path: one buffer for the whole run instead of one allocation per
@@ -751,7 +766,7 @@ fn run_impl<Q: KernelQueue + Default>(
                 // drained fleet once, at the event that drains it.
                 if state.done() && !final_sampled {
                     if let Some(trace) = trace.as_mut() {
-                        trace.push(sample(&state, now, config));
+                        trace.push(sample(&state, now, config, serving.then_some(&latency_all)));
                         final_sampled = true;
                     }
                 }
@@ -777,6 +792,13 @@ fn run_impl<Q: KernelQueue + Default>(
                         setpoint: state.setpoint,
                         shedding: state.shedding,
                         racks: &rack_scratch,
+                        active_servers: state.servers.active_servers(),
+                        total_servers: n_servers,
+                        recent_p99: if serving {
+                            latency_window.quantile(0.99)
+                        } else {
+                            None
+                        },
                     };
                     for action in control.on_tick(&status) {
                         match action {
@@ -787,7 +809,18 @@ fn run_impl<Q: KernelQueue + Default>(
                                 setpoints.push((now, c));
                             }
                             ControlAction::SetShedding(on) => state.shedding = on,
+                            ControlAction::SetActiveServers(n) => {
+                                let prev = state.servers.active_servers();
+                                let actual = state.servers.set_active_servers(n);
+                                if actual != prev {
+                                    activations.push((now, actual));
+                                }
+                            }
                         }
+                    }
+                    // Each tick reads a fresh latency window.
+                    if serving {
+                        latency_window.clear();
                     }
                     let dt = tick.expect("ticks only fire when an interval is set");
                     queue.push(now + dt, Event::ControlTick);
@@ -798,7 +831,7 @@ fn run_impl<Q: KernelQueue + Default>(
                     state.running.settle(now);
                     let t = telemetry.expect("samples only fire when telemetry is on");
                     if let Some(trace) = trace.as_mut() {
-                        trace.push(sample(&state, now, config));
+                        trace.push(sample(&state, now, config, serving.then_some(&latency_all)));
                     }
                     queue.push(now + t.sample_interval, Event::TelemetrySample);
                 }
@@ -816,7 +849,12 @@ fn run_impl<Q: KernelQueue + Default>(
                     if state.done() && !final_sampled {
                         if let Some(trace) = trace.as_mut() {
                             state.running.settle(now);
-                            trace.push(sample(&state, now, config));
+                            trace.push(sample(
+                                &state,
+                                now,
+                                config,
+                                serving.then_some(&latency_all),
+                            ));
                             final_sampled = true;
                         }
                     }
@@ -857,12 +895,22 @@ fn run_impl<Q: KernelQueue + Default>(
                     }),
                 };
                 let placed = dispatcher.place(&demand, &view);
-                assert!(placed < n_servers, "dispatcher placed outside the fleet");
+                assert!(
+                    placed < state.servers.active_servers(),
+                    "dispatcher placed outside the active fleet"
+                );
                 let class = state.servers.class_of(placed);
                 let chosen = demand.classes[class];
                 let steady = chosen.state;
                 let start = Seconds::new(now.value().max(state.servers.free_at(placed).value()));
                 let wait = start - now;
+                if serving {
+                    // Request latency is fully determined at placement:
+                    // dispatch wait plus the chosen configuration's runtime.
+                    let latency = wait + chosen.runtime;
+                    latency_all.record(latency);
+                    latency_window.record(latency);
+                }
                 let rack = state.servers.rack_of(placed);
                 let end = start + chosen.runtime;
                 let violated = wait.value() > chosen.wait_budget.value() + 1e-9;
@@ -897,7 +945,7 @@ fn run_impl<Q: KernelQueue + Default>(
     }
 
     let qstats = queue.stats();
-    let outcome = integrate_energy(
+    let mut outcome = integrate_energy(
         dispatcher.name(),
         control.name(),
         placements,
@@ -905,7 +953,41 @@ fn run_impl<Q: KernelQueue + Default>(
         config,
         &fleet.class_names(),
         &setpoints,
+        &activations,
     );
+    if serving {
+        // Time-weighted mean of the active-server timeline over the run,
+        // plus the envelope the autoscaler actually explored.
+        let makespan = outcome.makespan.value();
+        let mut mean = 0.0;
+        let mut t_prev = 0.0;
+        let mut cur = n_servers;
+        let mut min_a = n_servers;
+        let mut max_a = n_servers;
+        for &(t, n) in &activations {
+            let t = t.value().clamp(0.0, makespan);
+            mean += cur as f64 * (t - t_prev);
+            t_prev = t;
+            cur = n;
+            min_a = min_a.min(n);
+            max_a = max_a.max(n);
+        }
+        mean += cur as f64 * (makespan - t_prev);
+        let mean = if makespan > 0.0 {
+            mean / makespan
+        } else {
+            cur as f64
+        };
+        outcome.serving = Some(ServingOutcome {
+            requests: outcome.placements.len(),
+            latency_p50: latency_all.quantile(0.5).unwrap_or(Seconds::ZERO),
+            latency_p95: latency_all.quantile(0.95).unwrap_or(Seconds::ZERO),
+            latency_p99: latency_all.quantile(0.99).unwrap_or(Seconds::ZERO),
+            mean_active_servers: mean,
+            min_active_servers: min_a,
+            max_active_servers: max_a,
+        });
+    }
     Ok(SimResult {
         outcome,
         trace,
@@ -917,10 +999,21 @@ fn run_impl<Q: KernelQueue + Default>(
     })
 }
 
-/// Captures one telemetry sample from the settled running layer.
-fn sample(state: &FleetState, now: Seconds, config: &FleetConfig) -> FleetSample {
+/// Captures one telemetry sample from the settled running layer. In
+/// serving mode `latency` carries the whole-run percentile sketch and the
+/// sample gains the active-server count and latency quantiles.
+fn sample(
+    state: &FleetState,
+    now: Seconds,
+    config: &FleetConfig,
+    latency: Option<&LatencyHistogram>,
+) -> FleetSample {
     let running = &state.running;
-    let idle = (config.total_servers() - running.running) as f64 * config.idle_server_power.value();
+    let idle = state
+        .servers
+        .active_servers()
+        .saturating_sub(running.running) as f64
+        * config.idle_server_power.value();
     let mut cooling = 0.0;
     let mut rack_heat = Vec::with_capacity(config.racks);
     let mut rack_water = Vec::with_capacity(config.racks);
@@ -951,6 +1044,12 @@ fn sample(state: &FleetState, now: Seconds, config: &FleetConfig) -> FleetSample
         rack_water,
         class_running: running.class_running.clone(),
         class_it_power: running.class_power.iter().map(|&p| Watts::new(p)).collect(),
+        serving: latency.map(|h| ServingSample {
+            active_servers: state.servers.active_servers(),
+            p50: h.quantile(0.5).unwrap_or(Seconds::ZERO),
+            p95: h.quantile(0.95).unwrap_or(Seconds::ZERO),
+            p99: h.quantile(0.99).unwrap_or(Seconds::ZERO),
+        }),
     }
 }
 

@@ -106,6 +106,13 @@ pub struct FleetConfig {
     /// The default [`FleetCatalog::uniform`] is one fully inheriting
     /// class everywhere — the homogeneous fleet, bit for bit.
     pub catalog: FleetCatalog,
+    /// Serving mode: the kernel records per-request latency (dispatch
+    /// wait + runtime) into percentile sketches, telemetry samples and
+    /// the outcome gain latency/active-server fields, and
+    /// [`AutoscaleControl`](crate::AutoscaleControl) may resize the
+    /// active-server set. `false` (batch mode) leaves every output
+    /// bit-identical to a build without the serving machinery.
+    pub serving: bool,
 }
 
 impl FleetConfig {
@@ -132,6 +139,7 @@ impl FleetConfig {
             policy: PolicyId::default(),
             threads: Self::default_threads(),
             catalog: FleetCatalog::uniform(),
+            serving: false,
         }
     }
 

@@ -3,7 +3,10 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tps_units::Seconds;
-use tps_workload::{synthesize_arrivals, Benchmark, DemandModel, QosClass, WorkloadTrace};
+use tps_workload::{
+    request_stream, synthesize_arrivals, Benchmark, DemandModel, QosClass, ServingDemand,
+    WorkloadTrace,
+};
 
 /// One unit of work arriving at the fleet: a PARSEC application with a QoS
 /// class, an arrival time and a native-configuration service demand.
@@ -112,6 +115,41 @@ pub fn synthesize_jobs<D: DemandModel>(
         .collect()
 }
 
+/// Synthesizes `count` serving requests as kernel-ready [`Job`]s: arrival
+/// times and service demands from an open-loop [`request_stream`] over the
+/// serving demand model, benchmarks drawn uniformly from the PARSEC suite
+/// through the same decoupled attribute stream [`synthesize_jobs`] uses.
+///
+/// Every request carries the interactive 1× QoS class: any queueing delay
+/// at all blows the budget, so the violation count doubles as a
+/// queued-request count and dispatchers minimize wait outright.
+///
+/// # Panics
+///
+/// Panics if `mean_service` is not positive and finite (via
+/// [`request_stream`]).
+pub fn synthesize_request_jobs(
+    count: usize,
+    demand: &ServingDemand,
+    mean_service: Seconds,
+    seed: u64,
+) -> Vec<Job> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7c15_9e37_79b9_7f4a);
+    request_stream(*demand, mean_service, seed)
+        .take(count)
+        .map(|req| {
+            let bench = Benchmark::ALL[rng.gen_range(0..Benchmark::ALL.len())];
+            Job {
+                id: req.id,
+                bench,
+                qos: QosClass::OneX,
+                arrival: req.arrival,
+                service: req.service,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,5 +203,30 @@ mod tests {
         // An exactly-at-deadline config leaves none; over-deadline clamps.
         assert_eq!(job.wait_budget(2.0), Seconds::ZERO);
         assert_eq!(job.wait_budget(2.5), Seconds::ZERO);
+    }
+
+    #[test]
+    fn request_jobs_are_interactive_and_deterministic() {
+        let d = ServingDemand::new(
+            0.4,
+            2.0,
+            Seconds::new(600.0),
+            2.5,
+            Seconds::new(30.0),
+            Seconds::new(120.0),
+            42,
+        );
+        let a = synthesize_request_jobs(80, &d, Seconds::new(2.0), 42);
+        let b = synthesize_request_jobs(80, &d, Seconds::new(2.0), 42);
+        let c = synthesize_request_jobs(80, &d, Seconds::new(2.0), 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 80);
+        assert!(a.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        for j in &a {
+            assert_eq!(j.qos, QosClass::OneX);
+            // Requests are short: mean 2 s, uniform in [1, 3).
+            assert!((1.0..3.0).contains(&j.service.value()), "{}", j.service);
+        }
     }
 }

@@ -29,8 +29,10 @@
 //!   as the ordering oracle,
 //! * [`ControlPolicy`] — runtime control evaluated on
 //!   [`ControlTick`](Event::ControlTick): [`StaticControl`] (open loop),
-//!   [`SetpointScheduler`] (chiller set-point program) and
-//!   [`LoadSheddingControl`] (hysteretic admission control),
+//!   [`SetpointScheduler`] (chiller set-point program),
+//!   [`LoadSheddingControl`] (hysteretic admission control) and
+//!   [`AutoscaleControl`] (serving-mode capacity scaling against queue
+//!   depth and the p99 latency SLO),
 //! * [`FleetTrace`]/[`FleetSample`] — sampled time-series telemetry with
 //!   deterministic fixed-precision CSV emission,
 //! * [`Fleet::simulate`]/[`Fleet::simulate_with`] — thin drivers over the
@@ -101,8 +103,8 @@ mod queue;
 pub use cache::{CacheKey, ClassSolve, OutcomeCache, SteadyState};
 pub use catalog::{ClassId, FleetCatalog, ServerClass};
 pub use control::{
-    ControlAction, ControlPolicy, ControlStatus, LoadSheddingControl, SetpointScheduler,
-    StaticControl,
+    AutoscaleControl, ControlAction, ControlPolicy, ControlStatus, LoadSheddingControl,
+    SetpointScheduler, StaticControl,
 };
 pub use dispatch::{
     ClassDemand, CoolestRackFirst, FleetDispatcher, FleetIndex, FleetView, JobDemand, RackView,
@@ -110,8 +112,9 @@ pub use dispatch::{
 };
 pub use engine::{Event, EventQueue, RackLoads};
 pub use fleet::{Fleet, FleetConfig, PolicyId, ServerPolicy};
-pub use job::{synthesize_jobs, Job, JobMix};
+pub use job::{synthesize_jobs, synthesize_request_jobs, Job, JobMix};
 pub use metrics::{
-    FleetOutcome, FleetSample, FleetTrace, KernelStats, Placement, SimResult, TelemetryConfig,
+    FleetOutcome, FleetSample, FleetTrace, KernelStats, LatencyHistogram, Placement,
+    ServingOutcome, ServingSample, SimResult, TelemetryConfig,
 };
 pub use queue::{CalendarQueue, KernelQueue, QueueStats};

@@ -31,6 +31,140 @@ pub struct Placement {
     pub state: SteadyState,
 }
 
+/// A fixed-bucket latency histogram: the streaming percentile sketch for
+/// serving mode. Integer bucket counts make every quantile a pure function
+/// of the recorded multiset — no floating accumulation, so the answer is
+/// byte-identical regardless of recording order, thread count or queue
+/// backend.
+///
+/// Each recorded latency lands in the bucket `⌊latency / width⌋`; values
+/// past the last bucket saturate into an overflow bucket. A quantile is
+/// reported as the *upper edge* of the bucket holding the rank-`⌈q·n⌉`
+/// sample (overflow saturates to the top edge), so reported percentiles
+/// are conservative to within one bucket width.
+///
+/// ```
+/// use tps_cluster::LatencyHistogram;
+/// use tps_units::Seconds;
+///
+/// let mut h = LatencyHistogram::default(); // 10 ms × 6000 buckets
+/// for ms in [5.0, 15.0, 15.0, 47.0] {
+///     h.record(Seconds::new(ms / 1000.0));
+/// }
+/// assert_eq!(h.len(), 4);
+/// assert_eq!(h.quantile(0.5), Some(Seconds::new(0.02))); // 15 ms bucket edge
+/// assert_eq!(h.quantile(1.0), Some(Seconds::new(0.05)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    width_ms: u32,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Default for LatencyHistogram {
+    /// 10 ms buckets covering 60 s, plus the overflow bucket.
+    fn default() -> Self {
+        Self::new(10, 6_000)
+    }
+}
+
+impl LatencyHistogram {
+    /// A histogram of `buckets` regular buckets of `width_ms` milliseconds
+    /// each, plus one overflow bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_ms` or `buckets` is zero.
+    pub fn new(width_ms: u32, buckets: usize) -> Self {
+        assert!(width_ms > 0, "bucket width must be positive");
+        assert!(buckets > 0, "need at least one bucket");
+        Self {
+            width_ms,
+            counts: vec![0; buckets + 1],
+            total: 0,
+        }
+    }
+
+    /// The regular-bucket width in seconds.
+    pub fn width(&self) -> Seconds {
+        Seconds::new(f64::from(self.width_ms) / 1000.0)
+    }
+
+    /// Records one latency (negative values clamp to the first bucket,
+    /// values past the range saturate into the overflow bucket).
+    pub fn record(&mut self, latency: Seconds) {
+        let width = f64::from(self.width_ms) / 1000.0;
+        let regular = self.counts.len() - 1;
+        let idx = ((latency.value() / width).max(0.0) as usize).min(regular);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Recorded latency count.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Resets all counts (the bucket layout is kept).
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+    }
+
+    /// The `q`-quantile as the upper edge of the bucket holding the
+    /// rank-`max(1, ⌈q·n⌉)` recorded latency, or `None` while empty.
+    /// Overflowed samples report the top regular edge (the sketch's
+    /// saturation point).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < q ≤ 1`.
+    pub fn quantile(&self, q: f64) -> Option<Seconds> {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let width = f64::from(self.width_ms) / 1000.0;
+        let regular = self.counts.len() - 1;
+        let mut seen = 0u64;
+        for (idx, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Some(Seconds::new((idx.min(regular - 1) + 1) as f64 * width));
+            }
+        }
+        unreachable!("rank ≤ total is always reached")
+    }
+}
+
+/// The serving-mode slice of a [`FleetOutcome`]: whole-run latency
+/// percentiles from the [`LatencyHistogram`] sketch and the active-server
+/// trajectory the autoscaler drove.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingOutcome {
+    /// Requests placed (same as the placement count).
+    pub requests: usize,
+    /// Median request latency (dispatch wait + service).
+    pub latency_p50: Seconds,
+    /// 95th-percentile request latency.
+    pub latency_p95: Seconds,
+    /// 99th-percentile request latency.
+    pub latency_p99: Seconds,
+    /// Time-weighted mean of the active-server count over the run.
+    pub mean_active_servers: f64,
+    /// Smallest active-server count the controller reached.
+    pub min_active_servers: usize,
+    /// Largest active-server count the controller reached.
+    pub max_active_servers: usize,
+}
+
 /// The aggregate result of one fleet simulation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetOutcome {
@@ -67,6 +201,9 @@ pub struct FleetOutcome {
     pub class_violations: Vec<usize>,
     /// Placements per class.
     pub class_placements: Vec<usize>,
+    /// Latency percentiles and active-server trajectory, filled only by
+    /// serving-mode runs (`None` keeps batch outcomes bit-identical).
+    pub serving: Option<ServingOutcome>,
 }
 
 impl FleetOutcome {
@@ -164,6 +301,23 @@ pub struct FleetSample {
     pub class_running: Vec<usize>,
     /// Active package power per catalog class.
     pub class_it_power: Vec<Watts>,
+    /// Serving-mode columns (`None` in batch mode, keeping batch traces
+    /// byte-identical to their pre-serving form).
+    pub serving: Option<ServingSample>,
+}
+
+/// The serving-mode slice of one [`FleetSample`]: the active-server count
+/// and cumulative latency percentiles as of the sample instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServingSample {
+    /// Servers currently active (eligible for placement).
+    pub active_servers: usize,
+    /// Cumulative median request latency so far.
+    pub p50: Seconds,
+    /// Cumulative 95th-percentile request latency so far.
+    pub p95: Seconds,
+    /// Cumulative 99th-percentile request latency so far.
+    pub p99: Seconds,
 }
 
 /// A bounded ring of [`FleetSample`]s with deterministic fixed-precision
@@ -188,6 +342,7 @@ pub struct FleetSample {
 ///     rack_water: vec![Some(Celsius::new(61.5))],
 ///     class_running: vec![1],
 ///     class_it_power: vec![Watts::new(120.0)],
+///     serving: None,
 /// });
 /// let csv = trace.to_csv();
 /// assert!(csv.starts_with("t_s,setpoint_c,queued,running,shed,violations"));
@@ -203,6 +358,9 @@ pub struct FleetTrace {
     class_names: Vec<String>,
     capacity: usize,
     dropped: usize,
+    /// Serving-mode columns on; batch traces never set this, keeping
+    /// their column set byte-identical to the pre-serving format.
+    serving: bool,
 }
 
 impl FleetTrace {
@@ -232,7 +390,21 @@ impl FleetTrace {
             class_names,
             capacity,
             dropped: 0,
+            serving: false,
         }
+    }
+
+    /// Turns on the serving-mode columns
+    /// (`active_servers,lat_p50_s,lat_p95_s,lat_p99_s`). The serving
+    /// kernel calls this; batch traces never do, so their CSV stays
+    /// byte-identical to the pre-serving format.
+    pub fn enable_serving(&mut self) {
+        self.serving = true;
+    }
+
+    /// Whether the serving-mode columns are emitted.
+    pub fn serving(&self) -> bool {
+        self.serving
     }
 
     /// Appends a sample, dropping (and counting) the oldest when full.
@@ -291,6 +463,9 @@ impl FleetTrace {
                 .collect();
             out.push_str(&format!(",{name}_running,{name}_it_w"));
         }
+        if self.serving {
+            out.push_str(",active_servers,lat_p50_s,lat_p95_s,lat_p99_s");
+        }
         out.push('\n');
         for s in &self.samples {
             out.push_str(&format!(
@@ -319,6 +494,18 @@ impl FleetTrace {
                     s.class_it_power.get(c).map_or(0.0, |p| p.value()),
                 ));
             }
+            if self.serving {
+                match s.serving {
+                    Some(sv) => out.push_str(&format!(
+                        ",{},{:.3},{:.3},{:.3}",
+                        sv.active_servers,
+                        sv.p50.value(),
+                        sv.p95.value(),
+                        sv.p99.value(),
+                    )),
+                    None => out.push_str(",0,0.000,0.000,0.000"),
+                }
+            }
             out.push('\n');
         }
         out
@@ -334,7 +521,11 @@ impl FleetTrace {
 /// active packages plus the idle floor of unoccupied servers. Set-point
 /// changes from the control timeline swap the chiller between windows
 /// (an empty timeline reproduces the fixed-chiller integration exactly,
-/// bit for bit).
+/// bit for bit). Activation changes from the autoscale timeline move the
+/// idle-floor base between windows: only *active* unoccupied servers burn
+/// idle power, while servers still draining a placement keep their active
+/// package power regardless (an empty activation timeline reproduces the
+/// full-fleet idle floor exactly).
 pub(crate) fn integrate_energy(
     dispatcher: &'static str,
     control: &'static str,
@@ -343,6 +534,7 @@ pub(crate) fn integrate_energy(
     config: &FleetConfig,
     class_names: &[String],
     setpoints: &[(Seconds, Celsius)],
+    activations: &[(Seconds, usize)],
 ) -> FleetOutcome {
     // One +/− event per placement boundary, swept in time order so each
     // window is O(racks) instead of O(placements): removals before
@@ -357,7 +549,8 @@ pub(crate) fn integrate_energy(
     // stays bit-identical.
     const REMOVE: u8 = 0;
     const SETPOINT: u8 = 1;
-    const ADD: u8 = 2;
+    const ACTIVATION: u8 = 2;
+    const ADD: u8 = 3;
     struct Event {
         time: f64,
         kind: u8,
@@ -411,6 +604,24 @@ pub(crate) fn integrate_energy(
                 class: 0,
                 heat: 0.0,
                 water_bits: c.value().to_bits(),
+                power: 0.0,
+            });
+        }
+    }
+    // The active-server count in force at integration start; changes
+    // strictly inside the timeline carry the new count in `rack`.
+    let mut active = config.total_servers();
+    for &(t, n) in activations {
+        if t.value() <= first_start {
+            active = n;
+        } else if t.value() < last_end {
+            events.push(Event {
+                time: t.value(),
+                kind: ACTIVATION,
+                rack: n,
+                class: 0,
+                heat: 0.0,
+                water_bits: 0,
                 power: 0.0,
             });
         }
@@ -470,6 +681,9 @@ pub(crate) fn integrate_energy(
                         .with_ambient(Celsius::new(f64::from_bits(e.water_bits)));
                     era += 1;
                 }
+                ACTIVATION => {
+                    active = e.rack;
+                }
                 _ => {
                     busy -= 1;
                     active_power -= e.power;
@@ -504,7 +718,10 @@ pub(crate) fn integrate_energy(
         if dt <= 0.0 {
             continue;
         }
-        let idle = (config.total_servers() - busy) as f64 * config.idle_server_power.value();
+        // Draining servers past a scale-down outnumbering `active` is
+        // fine: their package power is in `active_power` and no idle
+        // floor remains.
+        let idle = active.saturating_sub(busy) as f64 * config.idle_server_power.value();
         it += (active_power + idle) * dt;
         for (sum, power) in class_it.iter_mut().zip(&class_power) {
             *sum += power * dt;
@@ -568,6 +785,7 @@ pub(crate) fn integrate_energy(
         class_it_energy: class_it.into_iter().map(Joules::new).collect(),
         class_violations,
         class_placements,
+        serving: None,
     }
 }
 
@@ -613,7 +831,7 @@ mod tests {
     }
 
     fn integrate(placements: Vec<Placement>, cfg: &FleetConfig) -> FleetOutcome {
-        integrate_energy("test", "static", placements, 0, cfg, &names(), &[])
+        integrate_energy("test", "static", placements, 0, cfg, &names(), &[], &[])
     }
 
     #[test]
@@ -696,6 +914,7 @@ mod tests {
             &cfg,
             &names(),
             &[(Seconds::new(5.0), Celsius::new(40.0))],
+            &[],
         );
         assert!(
             stepped.cooling_energy.value() < fixed.cooling_energy.value() * 0.7,
@@ -731,6 +950,7 @@ mod tests {
             &cfg,
             &names(),
             &[(Seconds::ZERO, Celsius::new(40.0))],
+            &[],
         );
         // The whole run free-cools, and the pre-start change neither adds
         // an integration window nor any idle-floor energy before t = 10.
@@ -751,6 +971,7 @@ mod tests {
             &cfg,
             &names(),
             &[(Seconds::new(10.0), Celsius::new(40.0))],
+            &[],
         );
         let plain = integrate(vec![placement(0, 0, 0.0, 10.0, job)], &cfg);
         assert_eq!(out.makespan, Seconds::new(10.0));
@@ -775,6 +996,7 @@ mod tests {
                 rack_water: vec![None],
                 class_running: vec![0],
                 class_it_power: vec![Watts::ZERO],
+                serving: None,
             });
         }
         assert_eq!(trace.len(), 2);
@@ -783,5 +1005,116 @@ mod tests {
         assert_eq!(times, vec![2.0, 3.0]);
         // Idle rack: empty water field, trailing comma preserved.
         assert!(trace.to_csv().lines().nth(1).unwrap().ends_with("0.000,"));
+    }
+
+    #[test]
+    fn serving_columns_appear_only_when_enabled() {
+        let sample = |serving| FleetSample {
+            t: Seconds::ZERO,
+            setpoint: Celsius::new(70.0),
+            queued: 0,
+            running: 0,
+            shed: 0,
+            violations: 0,
+            it_power: Watts::ZERO,
+            cooling_power: Watts::ZERO,
+            rack_heat: vec![Watts::ZERO],
+            rack_water: vec![None],
+            class_running: vec![0],
+            class_it_power: vec![Watts::ZERO],
+            serving,
+        };
+        let mut batch = FleetTrace::new(1, 4);
+        batch.push(sample(None));
+        assert!(!batch.to_csv().contains("active_servers"));
+
+        let mut serving = FleetTrace::new(1, 4);
+        serving.enable_serving();
+        serving.push(sample(Some(ServingSample {
+            active_servers: 12,
+            p50: Seconds::new(0.25),
+            p95: Seconds::new(1.5),
+            p99: Seconds::new(3.0),
+        })));
+        let csv = serving.to_csv();
+        assert!(csv
+            .lines()
+            .next()
+            .unwrap()
+            .ends_with(",active_servers,lat_p50_s,lat_p95_s,lat_p99_s"));
+        assert!(csv
+            .lines()
+            .nth(1)
+            .unwrap()
+            .ends_with(",12,0.250,1.500,3.000"));
+    }
+
+    #[test]
+    fn latency_histogram_quantiles_hit_bucket_edges() {
+        let mut h = LatencyHistogram::new(100, 50); // 0.1 s × 50
+        for v in [0.05, 0.15, 0.15, 0.32, 0.99, 7.0] {
+            h.record(Seconds::new(v));
+        }
+        assert_eq!(h.len(), 6);
+        // Rank math: ceil(0.5 × 6) = 3 → the second 0.15 s sample,
+        // bucket [0.1, 0.2) → edge 0.2.
+        assert_eq!(h.quantile(0.5), Some(Seconds::new(0.2)));
+        assert_eq!(h.quantile(1.0 / 6.0), Some(Seconds::new(0.1)));
+        // The 7 s outlier saturates into overflow: top edge 5 s.
+        assert_eq!(h.quantile(1.0), Some(Seconds::new(5.0)));
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.99), None);
+    }
+
+    #[test]
+    fn latency_histogram_saturates_past_the_range() {
+        let mut h = LatencyHistogram::new(10, 100); // covers 1 s
+        h.record(Seconds::new(250.0));
+        h.record(Seconds::new(f64::INFINITY));
+        // Both land in overflow and report the 1 s saturation edge.
+        assert_eq!(h.quantile(0.5), Some(Seconds::new(1.0)));
+        // Negative clamps into the first bucket.
+        h.record(Seconds::new(-3.0));
+        assert_eq!(h.quantile(0.1), Some(Seconds::new(0.01)));
+    }
+
+    #[test]
+    fn activation_timeline_shrinks_the_idle_floor() {
+        let mut cfg = FleetConfig::new(2, 1);
+        cfg.idle_server_power = Watts::new(10.0);
+        let run = vec![placement(0, 0, 0.0, 10.0, state(50.0, 80.0))];
+        let full = integrate(run.clone(), &cfg);
+        // Deactivate the second server from t = 5: its idle power stops.
+        let scaled = integrate_energy(
+            "test",
+            "autoscale",
+            run.clone(),
+            0,
+            &cfg,
+            &names(),
+            &[],
+            &[(Seconds::new(5.0), 1)],
+        );
+        // Full fleet: 50 W busy + 10 W idle over 10 s.
+        assert!((full.it_energy.value() - 600.0).abs() < 1e-9);
+        // Scaled: the idle floor only runs until the deactivation.
+        assert!((scaled.it_energy.value() - 550.0).abs() < 1e-9);
+        // Cooling never depends on the activation timeline.
+        assert_eq!(scaled.cooling_energy, full.cooling_energy);
+
+        // A pre-start activation sets the initial count; draining jobs on
+        // deactivated servers never produce a negative idle floor.
+        let drained = integrate_energy(
+            "test",
+            "autoscale",
+            run,
+            0,
+            &cfg,
+            &names(),
+            &[],
+            &[(Seconds::ZERO, 0)],
+        );
+        assert!((drained.it_energy.value() - 500.0).abs() < 1e-9);
     }
 }

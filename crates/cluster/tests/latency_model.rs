@@ -1,0 +1,149 @@
+//! Property tests for the serving-mode latency model: the streaming
+//! percentile sketch against a sort-the-Vec oracle (exact agreement,
+//! bucket boundaries included), and autoscale hysteresis under constant
+//! load (a bounded number of activation changes, never an oscillation).
+
+use proptest::prelude::*;
+use tps_cluster::{
+    AutoscaleControl, ControlAction, ControlPolicy, ControlStatus, LatencyHistogram,
+};
+use tps_units::{Celsius, Seconds};
+
+/// A tiny SplitMix64: the vendored proptest stub only samples scalar
+/// ranges, so the latency vectors are expanded deterministically from a
+/// sampled seed instead.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// `len` latencies uniform in `[0, max)`, fully determined by `seed`.
+fn values_from_seed(seed: u64, len: usize, max: f64) -> Vec<f64> {
+    let mut state = seed;
+    (0..len)
+        .map(|_| (splitmix(&mut state) >> 11) as f64 / (1u64 << 53) as f64 * max)
+        .collect()
+}
+
+/// The sketch's contract computed the slow way: sort, take the
+/// rank-`max(1, ⌈q·n⌉)` sample, report its bucket's upper edge. Uses the
+/// exact same float expressions as the sketch so agreement is bitwise.
+fn oracle(values: &[f64], q: f64, width_ms: u32, buckets: usize) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = (((q * sorted.len() as f64).ceil() as usize).max(1)).min(sorted.len());
+    let v = sorted[rank - 1];
+    let width = f64::from(width_ms) / 1000.0;
+    let idx = ((v / width).max(0.0) as usize).min(buckets - 1);
+    (idx + 1) as f64 * width
+}
+
+proptest! {
+    #[test]
+    fn sketch_matches_the_sort_oracle(
+        seed in 0u64..1_000_000,
+        len in 1usize..200,
+        qi in 0usize..5,
+    ) {
+        // 70 s values overflow the default 60 s range, so saturation into
+        // the overflow bucket is exercised too.
+        let values = values_from_seed(seed, len, 70.0);
+        let q = [0.5, 0.9, 0.95, 0.99, 1.0][qi];
+        let mut h = LatencyHistogram::default();
+        for &v in &values {
+            h.record(Seconds::new(v));
+        }
+        prop_assert_eq!(h.quantile(q).unwrap().value(), oracle(&values, q, 10, 6_000));
+    }
+
+    #[test]
+    fn sketch_matches_on_exact_bucket_boundaries(
+        seed in 0u64..1_000_000,
+        len in 1usize..100,
+        q in 0.01f64..=1.0,
+    ) {
+        // Values landing exactly on bucket edges are the floating-point
+        // worst case; the coarse 100 ms × 50 sketch saturates half the
+        // range on top of that.
+        let mut state = seed;
+        let values: Vec<f64> = (0..len)
+            .map(|_| (splitmix(&mut state) % 200) as f64 * 0.1)
+            .collect();
+        let mut h = LatencyHistogram::new(100, 50);
+        for &v in &values {
+            h.record(Seconds::new(v));
+        }
+        prop_assert_eq!(h.quantile(q).unwrap().value(), oracle(&values, q, 100, 50));
+    }
+}
+
+/// One synthetic control tick: a constant backlog, a healthy p99, and the
+/// kernel's clamp of the requested activation to `[1, total]`.
+fn tick(ctrl: &mut AutoscaleControl, active: usize, total: usize, queued: usize) -> Option<usize> {
+    let status = ControlStatus {
+        now: Seconds::new(0.0),
+        committed: queued,
+        running: 0,
+        queued,
+        shed: 0,
+        violations: 0,
+        setpoint: Celsius::new(70.0),
+        shedding: false,
+        racks: &[],
+        active_servers: active,
+        total_servers: total,
+        recent_p99: Some(Seconds::new(1.0)),
+    };
+    ctrl.on_tick(&status).iter().find_map(|a| match a {
+        ControlAction::SetActiveServers(n) => Some((*n).clamp(1, total)),
+        _ => None,
+    })
+}
+
+proptest! {
+    #[test]
+    fn constant_load_never_oscillates(
+        total in 2usize..128,
+        min in 1usize..32,
+        step in 1usize..32,
+        queued in 0usize..256,
+        qlow in 0.0f64..2.0,
+        band in 0.01f64..4.0,
+    ) {
+        let min = min.min(total);
+        let qhigh = qlow + band;
+        let mut ctrl = AutoscaleControl::new(
+            Seconds::new(10.0),
+            min,
+            step,
+            qhigh,
+            qlow,
+            Seconds::new(10.0),
+        );
+        let mut active = total;
+        let mut changes = 0usize;
+        let mut settled = false;
+        for _ in 0..1_000 {
+            match tick(&mut ctrl, active, total, queued) {
+                Some(n) if n != active => {
+                    // A change after a quiet tick would be an oscillation:
+                    // the input is constant, so quiet must be absorbing.
+                    prop_assert!(!settled, "changed activation after settling");
+                    active = n;
+                    changes += 1;
+                }
+                _ => settled = true,
+            }
+            prop_assert!(active >= min && active <= total);
+        }
+        // The trajectory is monotone to its fixed point: it can cross the
+        // whole fleet at most once, one step at a time.
+        prop_assert!(
+            changes <= total.div_ceil(step) + 1,
+            "{changes} activation changes on constant load"
+        );
+    }
+}

@@ -56,8 +56,9 @@ mod spec;
 mod sweep;
 pub mod toml;
 
-pub use report::{ClassRow, SweepReport, SweepRow};
+pub use report::{ClassRow, ServingRow, SweepReport, SweepRow};
 pub use spec::{
-    ClassSpec, ControlKind, DemandKind, DispatcherKind, Scenario, SpecError, TelemetrySpec,
+    ClassSpec, ControlKind, DemandKind, DispatcherKind, Scenario, ServingSpec, SpecError,
+    TelemetrySpec,
 };
 pub use sweep::{Axis, Sweep, SweepError};

@@ -45,9 +45,24 @@ pub struct SweepRow {
     pub makespan_s: f64,
     /// Highest instantaneous heat any rack carried, watts.
     pub peak_rack_w: f64,
+    /// Serving-mode latency/capacity summary; `None` for batch grid
+    /// points, which keeps batch reports byte-identical to pre-serving
+    /// output (the columns are emitted only when some row carries one).
+    pub serving: Option<ServingRow>,
     /// Per-class breakdown (one entry on a homogeneous fleet; emitted as
     /// extra columns only when a report mixes classes).
     pub classes: Vec<ClassRow>,
+}
+
+/// A serving grid point's latency percentiles and scaling footprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingRow {
+    /// Median request latency (queueing wait + service), seconds.
+    pub p50_s: f64,
+    /// 99th-percentile request latency, seconds.
+    pub p99_s: f64,
+    /// Time-weighted mean of the active-server count over the run.
+    pub mean_active_servers: f64,
 }
 
 /// One catalog class's share of a grid point's outcome.
@@ -83,6 +98,11 @@ impl SweepRow {
             max_wait_s: outcome.max_wait.value(),
             makespan_s: outcome.makespan.value(),
             peak_rack_w: outcome.peak_rack_heat.value(),
+            serving: outcome.serving.as_ref().map(|s| ServingRow {
+                p50_s: s.latency_p50.value(),
+                p99_s: s.latency_p99.value(),
+                mean_active_servers: s.mean_active_servers,
+            }),
             classes: outcome
                 .class_names
                 .iter()
@@ -124,6 +144,7 @@ impl SweepRow {
 ///             max_wait_s: 3.1,
 ///             makespan_s: 61.0,
 ///             peak_rack_w: 141.0,
+///             serving: None,
 ///             classes: vec![],
 ///         },
 ///     ],
@@ -186,17 +207,30 @@ impl SweepReport {
         names
     }
 
+    /// Whether any grid point ran in serving mode (batch-only reports
+    /// must keep the exact pre-serving column set).
+    fn has_serving(&self) -> bool {
+        self.rows.iter().any(|r| r.serving.is_some())
+    }
+
     /// The full per-grid-point CSV (header + one line per row), floats at
     /// fixed precision for byte-determinism. When the grid mixes server
     /// classes, `class_<name>_it_kwh`/`class_<name>_viol` columns are
-    /// appended (blank where a grid point lacks the class).
+    /// appended (blank where a grid point lacks the class). When any grid
+    /// point ran in serving mode, `lat_p50_s`/`lat_p99_s`/
+    /// `mean_active_servers` columns are appended ahead of the class
+    /// columns (blank for batch points).
     pub fn to_csv(&self) -> String {
         let class_columns = self.class_columns();
+        let serving = self.has_serving();
         let mut out = String::new();
         out.push_str(
             "name,dispatcher,control,racks,servers_per_rack,jobs,it_kwh,cooling_kwh,total_kwh,\
              pue,violations,shed,mean_wait_s,max_wait_s,makespan_s,peak_rack_w",
         );
+        if serving {
+            out.push_str(",lat_p50_s,lat_p99_s,mean_active_servers");
+        }
         for name in &class_columns {
             out.push_str(&format!(",class_{name}_it_kwh,class_{name}_viol"));
         }
@@ -221,6 +255,15 @@ impl SweepReport {
                 r.makespan_s,
                 r.peak_rack_w,
             ));
+            if serving {
+                match &r.serving {
+                    Some(s) => out.push_str(&format!(
+                        ",{:.3},{:.3},{:.1}",
+                        s.p50_s, s.p99_s, s.mean_active_servers
+                    )),
+                    None => out.push_str(",,,"),
+                }
+            }
             for name in &class_columns {
                 match r.classes.iter().find(|c| &c.name == name) {
                     Some(c) => {
@@ -278,6 +321,21 @@ impl SweepReport {
                 d_total,
                 d_cool,
             ));
+        }
+        if self.has_serving() {
+            out.push_str(
+                "\n## Serving latency\n\n\
+                 | scenario | p50 s | p99 s | mean active servers |\n\
+                 |---|---:|---:|---:|\n",
+            );
+            for r in &self.rows {
+                if let Some(s) = &r.serving {
+                    out.push_str(&format!(
+                        "| {} | {:.3} | {:.3} | {:.1} |\n",
+                        r.name, s.p50_s, s.p99_s, s.mean_active_servers,
+                    ));
+                }
+            }
         }
         if !self.class_columns().is_empty() {
             out.push_str(
@@ -339,6 +397,7 @@ mod tests {
             max_wait_s: 0.0,
             makespan_s: 100.0,
             peak_rack_w: 140.0,
+            serving: None,
             classes: vec![],
         }
     }
@@ -429,5 +488,37 @@ mod tests {
         let plain = report().to_csv();
         assert!(plain.lines().next().unwrap().ends_with("peak_rack_w"));
         assert!(!report().to_markdown().contains("Per-class breakdown"));
+    }
+
+    #[test]
+    fn serving_rows_emit_latency_columns_batch_rows_stay_blank() {
+        let mut rep = report();
+        rep.rows[0].serving = Some(ServingRow {
+            p50_s: 2.125,
+            p99_s: 7.25,
+            mean_active_servers: 2.5,
+        });
+        let csv = rep.to_csv();
+        let header = csv.lines().next().unwrap();
+        assert!(
+            header.ends_with("peak_rack_w,lat_p50_s,lat_p99_s,mean_active_servers"),
+            "{header}"
+        );
+        assert!(csv.lines().nth(1).unwrap().ends_with("2.125,7.250,2.5"));
+        // The batch row keeps its field count with blanks.
+        assert!(csv.lines().nth(2).unwrap().ends_with(",,,"));
+        let md = rep.to_markdown();
+        assert!(md.contains("## Serving latency"), "{md}");
+        assert!(md.contains("| 2.125 | 7.250 | 2.5 |"), "{md}");
+
+        // A batch-only report carries neither the columns nor the section.
+        let plain = report();
+        assert!(plain
+            .to_csv()
+            .lines()
+            .next()
+            .unwrap()
+            .ends_with("peak_rack_w"));
+        assert!(!plain.to_markdown().contains("Serving latency"));
     }
 }

@@ -8,13 +8,14 @@
 use crate::toml::{self, Table, Value};
 use std::fmt;
 use tps_cluster::{
-    synthesize_jobs, ControlPolicy, CoolestRackFirst, FleetCatalog, FleetConfig, FleetDispatcher,
-    Job, JobMix, LoadSheddingControl, RoundRobin, ServerClass, ServerPolicy, SetpointScheduler,
-    StaticControl, TelemetryConfig, ThermalAwareDispatch,
+    synthesize_jobs, synthesize_request_jobs, AutoscaleControl, ControlPolicy, CoolestRackFirst,
+    FleetCatalog, FleetConfig, FleetDispatcher, Job, JobMix, LoadSheddingControl, RoundRobin,
+    ServerClass, ServerPolicy, SetpointScheduler, StaticControl, TelemetryConfig,
+    ThermalAwareDispatch,
 };
 use tps_cooling::Chiller;
 use tps_units::{Celsius, Seconds};
-use tps_workload::{BurstyDemand, ConstantDemand, DiurnalDemand};
+use tps_workload::{BurstyDemand, ConstantDemand, DiurnalDemand, ServingDemand};
 
 /// A schema violation: what is wrong, and on which line of the spec.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -157,6 +158,24 @@ pub enum ControlKind {
         /// Backlog at (or below) which shedding releases.
         low_watermark: usize,
     },
+    /// Serving-mode capacity scaling: grow/shrink the active-server set
+    /// against per-server queue depth and the p99 latency SLO, with
+    /// hysteresis (requires `[workload] mode = "serving"`).
+    Autoscale {
+        /// Tick cadence, seconds.
+        tick_s: f64,
+        /// Active-server floor the policy never shrinks below.
+        min_servers: usize,
+        /// Servers added or removed per scaling move (rounded up to
+        /// whole racks by the kernel).
+        step_servers: usize,
+        /// Queued-jobs-per-active-server backlog that triggers scale-up.
+        queue_high: f64,
+        /// Backlog at (or below) which scale-down is considered.
+        queue_low: f64,
+        /// The p99 request-latency objective, seconds.
+        p99_slo_s: f64,
+    },
 }
 
 impl ControlKind {
@@ -184,6 +203,21 @@ impl ControlKind {
                 *high_watermark,
                 *low_watermark,
             )),
+            ControlKind::Autoscale {
+                tick_s,
+                min_servers,
+                step_servers,
+                queue_high,
+                queue_low,
+                p99_slo_s,
+            } => Box::new(AutoscaleControl::new(
+                Seconds::new(*tick_s),
+                *min_servers,
+                *step_servers,
+                *queue_high,
+                *queue_low,
+                Seconds::new(*p99_slo_s),
+            )),
         }
     }
 
@@ -193,6 +227,7 @@ impl ControlKind {
             ControlKind::Static => "static",
             ControlKind::Setpoint { .. } => "setpoint",
             ControlKind::Shed { .. } => "shed",
+            ControlKind::Autoscale { .. } => "autoscale",
         }
     }
 }
@@ -229,6 +264,19 @@ impl TelemetrySpec {
     }
 }
 
+/// Serving-mode parameters of the `[workload]` table: the open-loop
+/// request stream rides the diurnal cycle and multiplies it by `surge`
+/// inside seeded flash-crowd windows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServingSpec {
+    /// Rate multiplier inside a surge window (≥ 1).
+    pub surge: f64,
+    /// Surge-window duration, seconds.
+    pub surge_s: f64,
+    /// Mean quiet gap between surge windows, seconds.
+    pub surge_gap_s: f64,
+}
+
 /// One `[[server_class]]` declaration: a named hardware class whose
 /// `None` fields inherit the fleet-wide defaults (`fleet.grid_pitch_mm`,
 /// `cooling.water_inlet_c`, `fleet.policy`).
@@ -255,6 +303,8 @@ pub(crate) struct SweptAxes {
     pub demands: Vec<String>,
     /// Control policies a `control.policy` axis can switch to.
     pub controls: Vec<String>,
+    /// Workload modes a `workload.mode` axis can switch to.
+    pub modes: Vec<String>,
 }
 
 /// One fully validated scenario: everything needed to synthesize its job
@@ -300,6 +350,10 @@ pub struct Scenario {
     pub seed: u64,
     /// Arrival-stream shape.
     pub demand: DemandKind,
+    /// Serving-mode parameters (`[workload] mode = "serving"`); `None`
+    /// in batch mode. Serving streams are open-loop interactive requests
+    /// over the diurnal envelope with flash-crowd surges.
+    pub serving: Option<ServingSpec>,
     /// Mean native-configuration service time, seconds.
     pub mean_service_s: f64,
     /// Relative weights of the 1×/2×/3× QoS classes.
@@ -405,17 +459,54 @@ impl Scenario {
         workload.allow(&[
             "jobs",
             "seed",
+            "mode",
             "demand",
             "rate",
             "base_fraction",
             "period_s",
             "burst_s",
             "gap_s",
+            "surge",
+            "surge_s",
+            "surge_gap_s",
             "mean_service_s",
             "qos_weights",
         ])?;
         let jobs = workload.count("jobs", 200)?;
         let seed = workload.u64("seed", 42)?;
+        let mode = workload.string("mode", "batch")?;
+        if mode != "batch" && mode != "serving" {
+            return Err(workload.value_error(
+                "mode",
+                format!("unknown workload mode `{mode}` (use batch or serving)"),
+            ));
+        }
+        // Mode-specific keys must apply to some *reachable* mode — the
+        // selected one, or one a `workload.mode` axis can switch to. The
+        // serving stream is diurnal-with-surges by construction, so the
+        // batch demand-model selector (and its burst/QoS keys) doesn't
+        // apply; the surge keys don't apply to batch.
+        let mode_reachable = |m: &str| mode == m || swept.modes.iter().any(|x| x == m);
+        let per_mode_keys: [(&str, &str); 7] = [
+            ("demand", "batch"),
+            ("burst_s", "batch"),
+            ("gap_s", "batch"),
+            ("qos_weights", "batch"),
+            ("surge", "serving"),
+            ("surge_s", "serving"),
+            ("surge_gap_s", "serving"),
+        ];
+        for (key, m) in per_mode_keys {
+            if workload.has(key) && !mode_reachable(m) {
+                return Err(workload.value_error(
+                    key,
+                    format!(
+                        "`{key}` only applies to the {m} workload mode but mode = \
+                         `{mode}` — remove it or sweep workload.mode"
+                    ),
+                ));
+            }
+        }
         let rate = workload.positive_f64("rate", 0.7)?;
         let base_fraction = workload.f64("base_fraction", 0.2)?;
         if !(0.0..=1.0).contains(&base_fraction) {
@@ -469,6 +560,22 @@ impl Scenario {
                 ))
             }
         };
+        let serving = if mode == "serving" {
+            let surge = workload.f64("surge", 2.5)?;
+            if !(surge >= 1.0 && surge.is_finite()) {
+                return Err(workload.value_error(
+                    "surge",
+                    format!("`surge` must be a finite multiplier of at least 1, got {surge}"),
+                ));
+            }
+            Some(ServingSpec {
+                surge,
+                surge_s: workload.positive_f64("surge_s", 60.0)?,
+                surge_gap_s: workload.positive_f64("surge_gap_s", 420.0)?,
+            })
+        } else {
+            None
+        };
         let mean_service_s = workload.positive_f64("mean_service_s", 40.0)?;
         let qos_weights = workload.weights3("qos_weights", [0.2, 0.4, 0.4])?;
 
@@ -494,6 +601,11 @@ impl Scenario {
             "tick_s",
             "high_watermark",
             "low_watermark",
+            "min_servers",
+            "step_servers",
+            "queue_high",
+            "queue_low",
+            "p99_slo_s",
         ])?;
         let control_name = control_tbl.string("policy", "static")?;
         // Policy-specific keys must apply to some *reachable* policy —
@@ -501,20 +613,27 @@ impl Scenario {
         // switch to (mirrors the demand-model key check above).
         let ctrl_reachable =
             |kind: &str| control_name == kind || swept.controls.iter().any(|c| c == kind);
-        let per_policy_keys: [(&str, &str); 5] = [
-            ("times_s", "setpoint"),
-            ("setpoints_c", "setpoint"),
-            ("tick_s", "shed"),
-            ("high_watermark", "shed"),
-            ("low_watermark", "shed"),
+        let per_policy_keys: [(&str, &[&str]); 10] = [
+            ("times_s", &["setpoint"]),
+            ("setpoints_c", &["setpoint"]),
+            ("tick_s", &["shed", "autoscale"]),
+            ("high_watermark", &["shed"]),
+            ("low_watermark", &["shed"]),
+            ("min_servers", &["autoscale"]),
+            ("step_servers", &["autoscale"]),
+            ("queue_high", &["autoscale"]),
+            ("queue_low", &["autoscale"]),
+            ("p99_slo_s", &["autoscale"]),
         ];
-        for (key, policy_kind) in per_policy_keys {
-            if control_tbl.has(key) && !ctrl_reachable(policy_kind) {
+        for (key, policies) in per_policy_keys {
+            if control_tbl.has(key) && !policies.iter().any(|p| ctrl_reachable(p)) {
                 return Err(control_tbl.value_error(
                     key,
                     format!(
-                        "`{key}` only applies to the {policy_kind} control policy but policy = \
-                         `{control_name}` — remove it or sweep control.policy"
+                        "`{key}` only applies to the {} control polic{} but policy = \
+                         `{control_name}` — remove it or sweep control.policy",
+                        policies.join("/"),
+                        if policies.len() == 1 { "y" } else { "ies" },
                     ),
                 ));
             }
@@ -599,10 +718,46 @@ impl Scenario {
                     low_watermark,
                 }
             }
+            "autoscale" => {
+                if serving.is_none() && !swept.modes.iter().any(|m| m == "serving") {
+                    return Err(control_tbl.value_error(
+                        "policy",
+                        "the autoscale policy needs `mode = \"serving\"` in `[workload]` \
+                         (it scales the active-server set against request latency)"
+                            .to_owned(),
+                    ));
+                }
+                let tick_s = control_tbl.positive_f64("tick_s", 30.0)?;
+                let min_servers = control_tbl.count("min_servers", 1)?;
+                let step_servers = control_tbl.count("step_servers", 1)?;
+                let queue_high = control_tbl.positive_f64("queue_high", 2.0)?;
+                let queue_low = control_tbl.f64("queue_low", 0.25)?;
+                if !(queue_low >= 0.0 && queue_low < queue_high) {
+                    return Err(control_tbl.value_error(
+                        "queue_low",
+                        format!(
+                            "need 0 <= queue_low < queue_high for hysteresis \
+                             (got {queue_low} vs {queue_high})"
+                        ),
+                    ));
+                }
+                let p99_slo_s = control_tbl.positive_f64("p99_slo_s", 10.0)?;
+                ControlKind::Autoscale {
+                    tick_s,
+                    min_servers,
+                    step_servers,
+                    queue_high,
+                    queue_low,
+                    p99_slo_s,
+                }
+            }
             other => {
                 return Err(control_tbl.value_error(
                     "policy",
-                    format!("unknown control policy `{other}` (use static, setpoint or shed)"),
+                    format!(
+                        "unknown control policy `{other}` \
+                         (use static, setpoint, shed or autoscale)"
+                    ),
                 ))
             }
         };
@@ -630,6 +785,7 @@ impl Scenario {
             jobs,
             seed,
             demand,
+            serving,
             mean_service_s,
             qos_weights,
             dispatcher,
@@ -663,11 +819,37 @@ impl Scenario {
             )
             .assign(self.rack_classes.clone());
         }
+        config.serving = self.serving.is_some();
         config
     }
 
     /// Synthesizes the scenario's reproducible job stream.
     pub fn synthesize_jobs(&self) -> Vec<Job> {
+        if let Some(sv) = self.serving {
+            let DemandKind::Diurnal {
+                rate,
+                base_fraction,
+                period_s,
+            } = self.demand
+            else {
+                unreachable!("serving mode always parses a diurnal envelope")
+            };
+            let demand = ServingDemand::new(
+                rate * base_fraction,
+                rate,
+                Seconds::new(period_s),
+                sv.surge,
+                Seconds::new(sv.surge_s),
+                Seconds::new(sv.surge_gap_s),
+                self.seed,
+            );
+            return synthesize_request_jobs(
+                self.jobs,
+                &demand,
+                Seconds::new(self.mean_service_s),
+                self.seed,
+            );
+        }
         let mix = JobMix {
             qos_weights: self.qos_weights,
             mean_service: Seconds::new(self.mean_service_s),
@@ -1331,6 +1513,72 @@ mod tests {
         // …and unknown telemetry keys too.
         let e = Scenario::parse("[telemetry]\nsample_ms = 5\n", "x").unwrap_err();
         assert!(e.message.contains("unknown key `sample_ms`"), "{e}");
+    }
+
+    #[test]
+    fn serving_mode_parses_with_surge_defaults_and_autoscale() {
+        let s = Scenario::parse(
+            "[workload]\n\
+             mode = \"serving\"\n\
+             jobs = 40\n\
+             rate = 4.0\n\
+             surge = 2.0\n\
+             mean_service_s = 2.0\n\
+             [control]\n\
+             policy = \"autoscale\"\n\
+             tick_s = 15.0\n\
+             min_servers = 4\n\
+             step_servers = 4\n\
+             queue_high = 1.5\n\
+             queue_low = 0.25\n\
+             p99_slo_s = 6.0\n",
+            "x",
+        )
+        .unwrap();
+        let sv = s.serving.expect("serving mode");
+        assert_eq!(sv.surge, 2.0);
+        assert_eq!(sv.surge_s, 60.0);
+        assert_eq!(sv.surge_gap_s, 420.0);
+        assert!(s.fleet_config().serving);
+        assert_eq!(s.control.spec_name(), "autoscale");
+        assert_eq!(s.control.instantiate().name(), "autoscale");
+        let jobs = s.synthesize_jobs();
+        assert_eq!(jobs.len(), 40);
+        assert_eq!(jobs, s.synthesize_jobs());
+    }
+
+    #[test]
+    fn serving_and_autoscale_keys_are_guarded() {
+        // Surge keys under batch mode.
+        let e = Scenario::parse("[workload]\nsurge = 2.0\n", "x").unwrap_err();
+        assert_eq!(e.line, Some(2));
+        assert!(e.message.contains("`surge` only applies"), "{e}");
+        assert!(e.message.contains("sweep workload.mode"), "{e}");
+
+        // The batch demand selector under serving mode.
+        let e = Scenario::parse("[workload]\nmode = \"serving\"\ndemand = \"bursty\"\n", "x")
+            .unwrap_err();
+        assert_eq!(e.line, Some(3));
+        assert!(e.message.contains("`demand` only applies"), "{e}");
+
+        // Autoscale outside serving mode.
+        let e = Scenario::parse("[control]\npolicy = \"autoscale\"\n", "x").unwrap_err();
+        assert_eq!(e.line, Some(2));
+        assert!(e.message.contains("mode = \"serving\""), "{e}");
+
+        // Autoscale keys under another policy.
+        let e = Scenario::parse("[control]\nqueue_high = 2.0\n", "x").unwrap_err();
+        assert_eq!(e.line, Some(2));
+        assert!(e.message.contains("`queue_high` only applies"), "{e}");
+
+        // Inverted hysteresis watermarks.
+        let e = Scenario::parse(
+            "[workload]\nmode = \"serving\"\n[control]\npolicy = \"autoscale\"\n\
+             queue_high = 1.0\nqueue_low = 2.0\n",
+            "x",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("hysteresis"), "{e}");
     }
 
     #[test]

@@ -41,18 +41,27 @@ const SWEEPABLE: &[&str] = &[
     "cooling.water_inlet_c",
     "workload.jobs",
     "workload.seed",
+    "workload.mode",
     "workload.demand",
     "workload.rate",
     "workload.base_fraction",
     "workload.period_s",
     "workload.burst_s",
     "workload.gap_s",
+    "workload.surge",
+    "workload.surge_s",
+    "workload.surge_gap_s",
     "workload.mean_service_s",
     "dispatch.dispatcher",
     "control.policy",
     "control.tick_s",
     "control.high_watermark",
     "control.low_watermark",
+    "control.min_servers",
+    "control.step_servers",
+    "control.queue_high",
+    "control.queue_low",
+    "control.p99_slo_s",
 ];
 
 /// One sweep axis: a dotted schema path and the values it takes.
@@ -191,6 +200,7 @@ impl Sweep {
         let swept = SweptAxes {
             demands: axis_strings("workload.demand"),
             controls: axis_strings("control.policy"),
+            modes: axis_strings("workload.mode"),
         };
 
         // Validate the base scenario once up front so a broken spec fails
@@ -803,6 +813,54 @@ mod tests {
         assert!(report.rows[0].shed > 0, "overload never shed");
         let csv = report.to_csv();
         assert!(csv.lines().next().unwrap().contains(",shed,"), "{csv}");
+    }
+
+    #[test]
+    fn serving_mode_sweeps_autoscale_against_static() {
+        // Light load on a 2×2 fleet: autoscale should park most of the
+        // fleet while static keeps every server burning idle power.
+        let src = "
+            [fleet]
+            racks = 2
+            servers_per_rack = 2
+            grid_pitch_mm = 3.0
+            threads = 2
+            [workload]
+            mode = \"serving\"
+            jobs = 60
+            rate = 0.5
+            mean_service_s = 2.0
+            [control]
+            tick_s = 10.0
+            min_servers = 2
+            step_servers = 2
+            queue_high = 1.5
+            queue_low = 0.25
+            p99_slo_s = 8.0
+            [sweep]
+            control.policy = [\"autoscale\", \"static\"]
+            [report]
+            baseline = \"control.policy=static\"
+        ";
+        let sweep = Sweep::parse(src, "serve").unwrap();
+        let a = sweep.run(2).unwrap();
+        let b = sweep.run(1).unwrap();
+        assert_eq!(a.to_csv(), b.to_csv());
+        assert_eq!(a.rows.len(), 2);
+        assert_eq!(a.rows[0].control, "autoscale");
+        let auto = a.rows[0].serving.as_ref().expect("serving row");
+        let stat = a.rows[1].serving.as_ref().expect("serving row");
+        // Static control never touches the activation set.
+        assert_eq!(stat.mean_active_servers, 4.0);
+        assert!(auto.mean_active_servers < stat.mean_active_servers);
+        // Shedding idle capacity is the energy win the policy exists for.
+        assert!(a.rows[0].total_kwh < a.rows[1].total_kwh);
+        let header = a.to_csv().lines().next().unwrap().to_owned();
+        assert!(
+            header.contains("lat_p50_s,lat_p99_s,mean_active_servers"),
+            "{header}"
+        );
+        assert!(a.to_markdown().contains("## Serving latency"));
     }
 
     #[test]

@@ -140,6 +140,79 @@ fn a_valid_spec_with_all_edge_syntax_still_parses() {
 }
 
 #[test]
+fn serving_keys_are_rejected_outside_serving_mode_with_lines() {
+    // A surge key under the default batch mode points at its own line and
+    // names both escape hatches.
+    let e = fail_scenario("[workload]\njobs = 8\nsurge = 2.0\n");
+    assert_eq!(e.line, Some(3));
+    assert!(e.message.contains("`surge` only applies"), "{e}");
+    assert!(e.message.contains("serving workload mode"), "{e}");
+    assert!(e.message.contains("sweep workload.mode"), "{e}");
+
+    let e = fail_scenario("[workload]\nsurge_gap_s = 300.0\n");
+    assert_eq!(e.line, Some(2));
+    assert!(e.message.contains("`surge_gap_s` only applies"), "{e}");
+
+    // The batch demand selector is equally inapplicable under serving.
+    let e = fail_scenario("[workload]\nmode = \"serving\"\ndemand = \"bursty\"\n");
+    assert_eq!(e.line, Some(3));
+    assert!(e.message.contains("`demand` only applies"), "{e}");
+
+    // A mode typo lists the valid modes.
+    let e = fail_scenario("[workload]\nmode = \"streaming\"\n");
+    assert_eq!(e.line, Some(2));
+    assert!(
+        e.message.contains("unknown workload mode `streaming`"),
+        "{e}"
+    );
+    assert!(e.message.contains("batch or serving"), "{e}");
+
+    // …but sweeping workload.mode legitimizes serving keys in the base.
+    let sweep = Sweep::parse(
+        "[workload]\njobs = 8\nsurge = 2.0\n[sweep]\nworkload.mode = [\"batch\", \"serving\"]\n",
+        "t",
+    )
+    .unwrap();
+    assert_eq!(sweep.expand().unwrap().len(), 2);
+}
+
+#[test]
+fn autoscale_keys_are_rejected_under_other_policies_with_lines() {
+    // The policy itself needs serving mode.
+    let e = fail_scenario("[control]\npolicy = \"autoscale\"\n");
+    assert_eq!(e.line, Some(2));
+    assert!(e.message.contains("mode = \"serving\""), "{e}");
+
+    // Every autoscale-only key under the default static policy.
+    for key in [
+        "min_servers = 2",
+        "step_servers = 2",
+        "queue_high = 2.0",
+        "queue_low = 0.5",
+        "p99_slo_s = 8.0",
+    ] {
+        let e = fail_scenario(&format!("[control]\n{key}\n"));
+        let name = key.split(' ').next().unwrap();
+        assert_eq!(e.line, Some(2), "{key}: {e}");
+        assert!(e.message.contains(&format!("`{name}` only applies")), "{e}");
+        assert!(e.message.contains("autoscale"), "{e}");
+        assert!(e.message.contains("sweep control.policy"), "{e}");
+    }
+
+    // tick_s is shared between shed and autoscale — the message says so.
+    let e = fail_scenario("[control]\ntick_s = 10.0\n");
+    assert_eq!(e.line, Some(2));
+    assert!(e.message.contains("shed/autoscale"), "{e}");
+
+    // Inverted hysteresis watermarks are caught at parse time.
+    let e = fail_scenario(
+        "[workload]\nmode = \"serving\"\n[control]\npolicy = \"autoscale\"\n\
+         queue_high = 0.5\nqueue_low = 1.0\n",
+    );
+    assert!(e.message.contains("hysteresis"), "{e}");
+}
+
+#[test]
 fn server_class_syntax_errors_are_line_numbered() {
     // A plain [server_class] table instead of the [[server_class]] array.
     let e = fail_scenario("[server_class]\nname = \"a\"\n");

@@ -266,6 +266,189 @@ pub fn synthesize_arrivals<D: DemandModel>(demand: &D, count: usize, seed: u64) 
     arrival_source(demand, seed).take(count).collect()
 }
 
+/// The online-serving demand shape: a diurnal day/night cycle multiplied
+/// by flash-crowd surges — during a seed-determined burst window in each
+/// slot (one window per `surge_gap + surge_duration` of simulated time)
+/// the instantaneous rate is scaled by `surge`.
+///
+/// Like [`BurstyDemand`], window placement is a pure function of
+/// `(seed, slot index)`, so the model needs no horizon and two instances
+/// with the same parameters agree everywhere.
+///
+/// ```
+/// use tps_units::Seconds;
+/// use tps_workload::{DemandModel, ServingDemand};
+///
+/// let d = ServingDemand::new(
+///     0.6, 2.0, Seconds::new(600.0),      // diurnal: trough, peak, period
+///     3.0, Seconds::new(30.0), Seconds::new(240.0), // surge ×3, 30 s per ~270 s
+///     42,
+/// );
+/// assert_eq!(d.peak_rate(), 6.0);
+/// assert!(d.rate_at(Seconds::new(300.0)) >= 2.0 - 1e-12); // diurnal peak
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServingDemand {
+    diurnal: DiurnalDemand,
+    surge: f64,
+    window: BurstyDemand,
+}
+
+impl ServingDemand {
+    /// A serving demand: diurnal oscillation in `[base, peak]` requests/s
+    /// over `period`, multiplied by `surge` inside one window of
+    /// `surge_duration` per `surge_gap + surge_duration` of time.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the diurnal parameters satisfy
+    /// [`DiurnalDemand::new`]'s contract, `surge ≥ 1` is finite, and both
+    /// surge durations are positive.
+    pub fn new(
+        base: f64,
+        peak: f64,
+        period: Seconds,
+        surge: f64,
+        surge_duration: Seconds,
+        surge_gap: Seconds,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            surge >= 1.0 && surge.is_finite(),
+            "surge multiplier must be at least 1 and finite"
+        );
+        Self {
+            diurnal: DiurnalDemand::new(base, peak, period),
+            surge,
+            // A unit-rate bursty model reused purely for its window
+            // arithmetic: rate_at is 1.0 inside the surge window, 0.0 out.
+            window: BurstyDemand::new(0.0, 1.0, surge_duration, surge_gap, seed),
+        }
+    }
+
+    /// Whether `t` falls inside a flash-crowd surge window.
+    pub fn in_surge(&self, t: Seconds) -> bool {
+        self.window.rate_at(t) > 0.0
+    }
+}
+
+impl DemandModel for ServingDemand {
+    fn rate_at(&self, t: Seconds) -> f64 {
+        let scale = if self.in_surge(t) { self.surge } else { 1.0 };
+        self.diurnal.rate_at(t) * scale
+    }
+
+    fn peak_rate(&self) -> f64 {
+        self.diurnal.peak_rate() * self.surge
+    }
+}
+
+/// One short-lived service request in an open-loop stream: unlike a batch
+/// job it carries its nominal service demand directly (no benchmark
+/// phases), and its latency — queueing wait plus service — is the metric
+/// of interest, not completion energy alone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// Position in the stream (0-based).
+    pub id: usize,
+    /// Arrival time from the stream origin (`t = 0`).
+    pub arrival: Seconds,
+    /// Nominal service demand at 1× slowdown.
+    pub service: Seconds,
+}
+
+/// An unbounded open-loop request stream: Poisson-thinned arrivals from
+/// an owned demand model plus per-request service demands, both
+/// deterministic in the seed.
+///
+/// The arrival times are byte-identical to
+/// [`arrival_source`]`(demand, seed)` — the service draws come from an
+/// independent generator, so adding them does not perturb the arrival
+/// process.
+///
+/// ```
+/// use tps_units::Seconds;
+/// use tps_workload::{request_stream, ConstantDemand, Request};
+///
+/// let reqs: Vec<Request> = request_stream(ConstantDemand::new(2.0), Seconds::new(1.5), 42)
+///     .take(100)
+///     .collect();
+/// assert_eq!(reqs.len(), 100);
+/// assert!(reqs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+/// // Service demands are uniform in [0.5, 1.5) × the mean.
+/// assert!(reqs.iter().all(|r| (0.75..2.25).contains(&r.service.value())));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RequestStream<D: DemandModel> {
+    demand: D,
+    rng: StdRng,
+    service_rng: StdRng,
+    peak: f64,
+    t: f64,
+    mean_service: f64,
+    next_id: usize,
+}
+
+impl<D: DemandModel> Iterator for RequestStream<D> {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        // The exact thinning loop of [`ArrivalSource`]; the stream never
+        // ends because the peak rate is positive.
+        let arrival = loop {
+            let u: f64 = self.rng.gen_range(0.0..1.0);
+            self.t += -(1.0 - u).ln() / self.peak;
+            let accept: f64 = self.rng.gen_range(0.0..1.0);
+            if accept * self.peak < self.demand.rate_at(Seconds::new(self.t)) {
+                break Seconds::new(self.t);
+            }
+        };
+        let service = self.mean_service * self.service_rng.gen_range(0.5..1.5);
+        let id = self.next_id;
+        self.next_id += 1;
+        Some(Request {
+            id,
+            arrival,
+            service: Seconds::new(service),
+        })
+    }
+}
+
+/// An unbounded request stream over `demand`, deterministic in `seed`:
+/// arrivals by Poisson thinning at the model's peak rate, service demands
+/// uniform in `[0.5, 1.5) × mean_service` from an independent generator.
+///
+/// # Panics
+///
+/// Panics if the model's peak rate is not positive and finite, or if
+/// `mean_service` is not positive and finite.
+pub fn request_stream<D: DemandModel>(
+    demand: D,
+    mean_service: Seconds,
+    seed: u64,
+) -> RequestStream<D> {
+    let peak = demand.peak_rate();
+    assert!(
+        peak > 0.0 && peak.is_finite(),
+        "peak rate must be positive and finite"
+    );
+    assert!(
+        mean_service.value() > 0.0 && mean_service.value().is_finite(),
+        "mean service demand must be positive and finite"
+    );
+    RequestStream {
+        demand,
+        rng: StdRng::seed_from_u64(seed),
+        // Distinct stream: the same xor-split convention the job
+        // synthesizer uses to decouple attribute draws from arrivals.
+        service_rng: StdRng::seed_from_u64(seed ^ 0x243f_6a88_85a3_08d3),
+        peak,
+        t: 0.0,
+        mean_service: mean_service.value(),
+        next_id: 0,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,5 +569,72 @@ mod tests {
         let tail: Vec<Seconds> = source.take(80).collect();
         let joined: Vec<Seconds> = head.into_iter().chain(tail).collect();
         assert_eq!(joined, streamed);
+    }
+
+    #[test]
+    fn serving_demand_multiplies_the_diurnal_rate_inside_surges() {
+        let d = ServingDemand::new(
+            0.4,
+            2.0,
+            Seconds::new(600.0),
+            3.0,
+            Seconds::new(30.0),
+            Seconds::new(120.0),
+            17,
+        );
+        let plain = DiurnalDemand::new(0.4, 2.0, Seconds::new(600.0));
+        assert_eq!(d.peak_rate(), 6.0);
+        let mut surged = 0;
+        for i in 0..3_000 {
+            let t = Seconds::new(f64::from(i) * 0.5);
+            let expect = plain.rate_at(t) * if d.in_surge(t) { 3.0 } else { 1.0 };
+            assert!((d.rate_at(t) - expect).abs() < 1e-12);
+            if d.in_surge(t) {
+                surged += 1;
+            }
+        }
+        // One 30 s window per 150 s slot ⇒ ≈ 1/5 of samples surged.
+        let frac = f64::from(surged) / 3_000.0;
+        assert!((0.1..=0.3).contains(&frac), "surge fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn sub_unity_surge_rejected() {
+        let _ = ServingDemand::new(
+            0.4,
+            2.0,
+            Seconds::new(600.0),
+            0.5,
+            Seconds::new(30.0),
+            Seconds::new(120.0),
+            0,
+        );
+    }
+
+    #[test]
+    fn request_stream_reuses_the_arrival_process_verbatim() {
+        let d = ServingDemand::new(
+            0.5,
+            2.0,
+            Seconds::new(600.0),
+            2.0,
+            Seconds::new(30.0),
+            Seconds::new(120.0),
+            5,
+        );
+        let reqs: Vec<Request> = request_stream(d, Seconds::new(2.0), 21).take(150).collect();
+        // Arrival times are exactly the thinned process — the service
+        // draws ride a separate generator and cannot perturb them.
+        let plain = synthesize_arrivals(&d, 150, 21);
+        let times: Vec<Seconds> = reqs.iter().map(|r| r.arrival).collect();
+        assert_eq!(times, plain);
+        assert!(reqs.iter().enumerate().all(|(i, r)| r.id == i));
+        assert!(reqs.iter().all(|r| (1.0..3.0).contains(&r.service.value())));
+        // Deterministic per seed, distinct across seeds.
+        let again: Vec<Request> = request_stream(d, Seconds::new(2.0), 21).take(150).collect();
+        let other: Vec<Request> = request_stream(d, Seconds::new(2.0), 22).take(150).collect();
+        assert_eq!(reqs, again);
+        assert_ne!(reqs, other);
     }
 }

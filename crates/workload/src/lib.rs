@@ -38,8 +38,8 @@ mod trace;
 pub use benchmark::Benchmark;
 pub use config::{ConfigError, WorkloadConfig};
 pub use demand::{
-    arrival_source, synthesize_arrivals, ArrivalSource, BurstyDemand, ConstantDemand, DemandModel,
-    DiurnalDemand,
+    arrival_source, request_stream, synthesize_arrivals, ArrivalSource, BurstyDemand,
+    ConstantDemand, DemandModel, DiurnalDemand, Request, RequestStream, ServingDemand,
 };
 pub use exec::BenchProfile;
 pub use profiler::{profile_application, profile_config, ConfigProfile};

@@ -19,10 +19,10 @@ use cliargs::CliArgs;
 use std::path::Path;
 use std::process::ExitCode;
 use tps::cluster::{
-    synthesize_jobs, ControlPolicy, CoolestRackFirst, Fleet, FleetCatalog, FleetConfig,
-    FleetDispatcher, FleetOutcome, Job, JobMix, LoadSheddingControl, OutcomeCache, RoundRobin,
-    ServerClass, ServerPolicy, SetpointScheduler, StaticControl, TelemetryConfig,
-    ThermalAwareDispatch,
+    synthesize_jobs, synthesize_request_jobs, AutoscaleControl, ControlPolicy, CoolestRackFirst,
+    Fleet, FleetCatalog, FleetConfig, FleetDispatcher, FleetOutcome, Job, JobMix,
+    LoadSheddingControl, OutcomeCache, RoundRobin, ServerClass, ServerPolicy, SetpointScheduler,
+    StaticControl, TelemetryConfig, ThermalAwareDispatch,
 };
 use tps::cooling::Chiller;
 use tps::core::{
@@ -34,6 +34,7 @@ use tps::scenario::Sweep;
 use tps::units::{Celsius, Seconds};
 use tps::workload::{
     profile_application, Benchmark, BurstyDemand, ConstantDemand, DiurnalDemand, QosClass,
+    ServingDemand,
 };
 
 fn main() -> ExitCode {
@@ -68,14 +69,16 @@ fn print_usage() {
          {:14}[--policy NAME] [--ambient C] [--pitch MM] [--threads N]\n  \
          {:14}[--classes NAME[:PITCH[:INLET[:POLICY]]],...]  heterogeneous racks\n  \
          {:14}(classes cycle across racks; fields omitted inherit the fleet flags)\n  \
-         {:14}[--control static|setpoint|shed] [--setpoints T:C,T:C,...] [--tick S]\n  \
+         {:14}[--control static|setpoint|shed|autoscale] [--setpoints T:C,T:C,...] [--tick S]\n  \
+         {:14}[--serving]  open-loop request stream with latency percentiles\n  \
+         {:14}(autoscale requires --serving; steps the active set by whole racks)\n  \
          {:14}[--trace-out DIR] [--sample S]  write per-dispatcher telemetry CSVs\n  \
          {:14}[--stats]  per-dispatcher kernel timing (events/s, queue depth, arena)\n  \
          tps sweep <spec.toml> [--out DIR] [--threads N] [--trace-out DIR]\n  \
          {:14}expand a scenario spec's sweep grid, write CSV + Markdown reports\n  \
          {:14}(spec schema and cookbook: docs/SCENARIOS.md, examples: scenarios/)\n  \
          tps list                  list benchmarks, policies and selectors\n",
-        "", "", "", "", "", "", "", "", "", ""
+        "", "", "", "", "", "", "", "", "", "", "", ""
     );
 }
 
@@ -191,8 +194,13 @@ fn cmd_list() -> ExitCode {
     println!("selectors:  minpower (Algorithm 1), packcap [27]");
     println!("qos:        1x, 2x, 3x");
     println!("dispatchers (tps fleet): rr (round-robin), coolest (coolest-rack-first), thermal");
-    println!("demand models (tps fleet): constant, diurnal, bursty");
-    println!("control policies (tps fleet/sweep): static, setpoint (schedule), shed (admission)");
+    println!(
+        "demand models (tps fleet): constant, diurnal, bursty (batch); --serving for requests"
+    );
+    println!(
+        "control policies (tps fleet/sweep): static, setpoint (schedule), shed (admission), \
+         autoscale (serving capacity)"
+    );
     println!("scenario specs (tps sweep): scenarios/*.toml, schema in docs/SCENARIOS.md");
     ExitCode::SUCCESS
 }
@@ -215,6 +223,7 @@ struct FleetArgs {
     trace_out: Option<String>,
     sample: f64,
     stats: bool,
+    serving: bool,
 }
 
 /// Parses a `--classes` entry list: `NAME[:PITCH[:INLET[:POLICY]]]`,
@@ -279,16 +288,27 @@ enum ControlSpec {
     Static,
     Setpoint(Vec<(Seconds, Celsius)>),
     Shed { tick: f64 },
+    Autoscale { tick: f64 },
 }
 
 impl ControlSpec {
-    fn instantiate(&self) -> Box<dyn ControlPolicy> {
+    /// `rack_step` is the fleet's servers-per-rack: activation is
+    /// rack-granular, so the autoscaler steps (and floors) at whole racks.
+    fn instantiate(&self, rack_step: usize) -> Box<dyn ControlPolicy> {
         match self {
             ControlSpec::Static => Box::new(StaticControl),
             ControlSpec::Setpoint(program) => Box::new(SetpointScheduler::new(program.clone())),
             ControlSpec::Shed { tick } => {
                 Box::new(LoadSheddingControl::new(Seconds::new(*tick), 8, 2))
             }
+            ControlSpec::Autoscale { tick } => Box::new(AutoscaleControl::new(
+                Seconds::new(*tick),
+                rack_step,
+                rack_step,
+                2.0,
+                0.25,
+                Seconds::new(10.0),
+            )),
         }
     }
 }
@@ -346,9 +366,10 @@ fn parse_fleet_args(raw: &[String]) -> Result<FleetArgs, String> {
             "trace-out",
             "sample",
         ],
-        &["stats"],
+        &["stats", "serving"],
         0,
     )?;
+    let serving: bool = args.parsed("serving", false)?;
     let control_name = args.flag_or("control", "static");
     // Mirror the spec layer: a policy-specific flag under the wrong
     // policy is an error, never silently dropped.
@@ -357,13 +378,20 @@ fn parse_fleet_args(raw: &[String]) -> Result<FleetArgs, String> {
             "--setpoints only applies to --control setpoint (got --control {control_name})"
         ));
     }
-    if args.flag("tick").is_some() && control_name != "shed" {
+    if args.flag("tick").is_some() && !matches!(control_name, "shed" | "autoscale") {
         return Err(format!(
-            "--tick only applies to --control shed (got --control {control_name})"
+            "--tick only applies to --control shed or autoscale (got --control {control_name})"
         ));
     }
     if args.flag("sample").is_some() && args.flag("trace-out").is_none() {
         return Err("--sample only applies together with --trace-out DIR".to_owned());
+    }
+    if args.flag("demand").is_some() && serving {
+        return Err(
+            "--demand selects a batch demand model; --serving always runs the \
+             diurnal + flash-crowd request stream"
+                .to_owned(),
+        );
     }
     let control = match control_name {
         "static" => ControlSpec::Static,
@@ -376,9 +404,21 @@ fn parse_fleet_args(raw: &[String]) -> Result<FleetArgs, String> {
         "shed" => ControlSpec::Shed {
             tick: args.parsed("tick", 60.0)?,
         },
+        "autoscale" => {
+            if !serving {
+                return Err(
+                    "--control autoscale needs --serving (it scales the active-server set \
+                     against request latency)"
+                        .to_owned(),
+                );
+            }
+            ControlSpec::Autoscale {
+                tick: args.parsed("tick", 30.0)?,
+            }
+        }
         other => {
             return Err(format!(
-                "unknown control policy `{other}` (use static, setpoint or shed)"
+                "unknown control policy `{other}` (use static, setpoint, shed or autoscale)"
             ))
         }
     };
@@ -411,6 +451,7 @@ fn parse_fleet_args(raw: &[String]) -> Result<FleetArgs, String> {
         trace_out: args.flag("trace-out").map(str::to_owned),
         sample: args.parsed("sample", 30.0)?,
         stats: args.parsed("stats", false)?,
+        serving,
     };
     if out.servers == 0
         || out.jobs == 0
@@ -425,7 +466,7 @@ fn parse_fleet_args(raw: &[String]) -> Result<FleetArgs, String> {
                 .to_owned(),
         );
     }
-    if let ControlSpec::Shed { tick } = out.control {
+    if let ControlSpec::Shed { tick } | ControlSpec::Autoscale { tick } = out.control {
         if tick <= 0.0 {
             return Err("--tick must be positive".to_owned());
         }
@@ -434,6 +475,26 @@ fn parse_fleet_args(raw: &[String]) -> Result<FleetArgs, String> {
 }
 
 fn synthesize_fleet_jobs(a: &FleetArgs) -> Result<Vec<Job>, String> {
+    if a.serving {
+        // Peak `--rate` requests/s over a 10-minute diurnal cycle with
+        // 2.5× flash crowds, 2 s mean service time — the CLI counterpart
+        // of `scenarios/serving_diurnal.toml`.
+        let demand = ServingDemand::new(
+            a.rate * 0.2,
+            a.rate,
+            Seconds::new(600.0),
+            2.5,
+            Seconds::new(60.0),
+            Seconds::new(420.0),
+            a.seed,
+        );
+        return Ok(synthesize_request_jobs(
+            a.jobs,
+            &demand,
+            Seconds::new(2.0),
+            a.seed,
+        ));
+    }
     let mix = JobMix::default();
     match a.demand.as_str() {
         "constant" => Ok(synthesize_jobs(
@@ -509,6 +570,7 @@ fn cmd_fleet(raw: &[String]) -> ExitCode {
     config.chiller = Chiller::new(Celsius::new(a.ambient));
     config.policy = a.policy;
     config.threads = a.threads;
+    config.serving = a.serving;
     if !a.classes.is_empty() {
         // Classes cycle across racks: rack r is entirely class r mod k.
         let k = a.classes.len();
@@ -520,7 +582,7 @@ fn cmd_fleet(raw: &[String]) -> ExitCode {
     println!(
         "fleet: {racks} racks × {servers_per_rack} servers, {} jobs ({} demand, rate {} jobs/s, seed {})",
         jobs.len(),
-        a.demand,
+        if a.serving { "serving" } else { &a.demand },
         a.rate,
         a.seed
     );
@@ -550,7 +612,7 @@ fn cmd_fleet(raw: &[String]) -> ExitCode {
     );
     println!(
         "control: {}{}\n",
-        a.control.instantiate().name(),
+        a.control.instantiate(servers_per_rack).name(),
         match &a.trace_out {
             Some(dir) => format!(", telemetry every {:.0} s → {dir}/", a.sample),
             None => String::new(),
@@ -575,7 +637,7 @@ fn cmd_fleet(raw: &[String]) -> ExitCode {
     let mut peak_queue_depth = 0usize;
     let mut arena_high_water = 0usize;
     for mut d in dispatchers {
-        let mut control = a.control.instantiate();
+        let mut control = a.control.instantiate(servers_per_rack);
         let started = std::time::Instant::now();
         match fleet.simulate_with(
             &jobs,
@@ -609,6 +671,19 @@ fn cmd_fleet(raw: &[String]) -> ExitCode {
                         result.stats.events as f64 / elapsed.max(1e-9) / 1e6,
                         result.stats.peak_queue_depth,
                         result.stats.arena_high_water,
+                    );
+                }
+                if let Some(s) = &out.serving {
+                    println!(
+                        "  serving: {} requests, latency p50 {:.2} s / p95 {:.2} s / p99 {:.2} s, \
+                         active servers mean {:.1} (min {}, max {})",
+                        s.requests,
+                        s.latency_p50.value(),
+                        s.latency_p95.value(),
+                        s.latency_p99.value(),
+                        s.mean_active_servers,
+                        s.min_active_servers,
+                        s.max_active_servers,
                     );
                 }
                 if out.class_names.len() > 1 {
