@@ -10,7 +10,7 @@
 //! centers (Van Damme et al.; Rostami et al.): placement is the inner
 //! loop, set-point and admission control the outer one.
 //!
-//! Four policies ship:
+//! Five policies ship:
 //!
 //! * [`StaticControl`] — no ticks, no set-point moves; exactly the
 //!   open-loop behavior of the plain fleet simulator.
@@ -23,9 +23,51 @@
 //!   mode: grow the active-server set when queueing or tail latency
 //!   breaches its targets, shrink it when the fleet runs well under
 //!   them, and pocket the idle-floor energy in between.
+//! * [`PlannerControl`](crate::plan::PlannerControl) — a global
+//!   optimizing planner that re-plans joint placements and the chiller
+//!   set-point over a job horizon on every tick, publishing placement
+//!   hints the kernel consults via [`ControlPolicy::placement_hint`].
 
-use crate::dispatch::RackView;
+use crate::cache::SteadyState;
+use crate::catalog::ClassId;
+use crate::dispatch::{RackView, ServerTable};
+use crate::job::Job;
+use tps_cooling::Chiller;
 use tps_units::{Celsius, Seconds};
+use tps_workload::{Benchmark, QosClass};
+
+/// Read-only run inputs handed to [`ControlPolicy::begin_run`] before the
+/// kernel's event loop starts: the full job stream and the physics it
+/// was solved against. Planning policies capture what they need here;
+/// reactive policies ignore it.
+#[derive(Debug)]
+pub struct RunContext<'a> {
+    /// Every job in the run, in input order.
+    pub jobs: &'a [Job],
+    /// Sorted, deduplicated `(bench, qos)` pairs present in the stream.
+    pub pairs: &'a [(Benchmark, QosClass)],
+    /// Steady states per pair (outer index) × server class (inner).
+    pub pair_states: &'a [Vec<SteadyState>],
+    /// The configured chiller (base ambient for set-point candidates).
+    pub chiller: &'a Chiller,
+    /// The fleet's server table (rack layout and class placement).
+    pub servers: &'a ServerTable,
+    /// Number of server classes in the catalog.
+    pub classes: usize,
+}
+
+/// A per-job placement suggestion published by a planning control policy.
+///
+/// The kernel treats hints as advisory: a hint is validated against the
+/// live fleet (active rack, hosted class, wait budget) and silently falls
+/// back to the configured dispatcher when it no longer holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacementHint {
+    /// Target rack index.
+    pub rack: usize,
+    /// Target server class within the rack.
+    pub class: ClassId,
+}
 
 /// A read-only snapshot of the fleet handed to the control policy on
 /// every [`ControlTick`](crate::Event::ControlTick).
@@ -100,6 +142,22 @@ pub trait ControlPolicy {
     fn on_tick(&mut self, status: &ControlStatus<'_>) -> Vec<ControlAction> {
         let _ = status;
         Vec::new()
+    }
+
+    /// Called once before the event loop starts with the run's inputs.
+    /// Planning policies capture the job stream and fleet layout here;
+    /// the default keeps reactive policies oblivious.
+    fn begin_run(&mut self, ctx: &RunContext<'_>) {
+        let _ = ctx;
+    }
+
+    /// A placement hint for an arriving job, consulted by the kernel
+    /// before the configured dispatcher. Returning `None` (the default)
+    /// leaves placement entirely to the dispatcher; hints are validated
+    /// by the kernel and fall back to the dispatcher when stale.
+    fn placement_hint(&mut self, job: &Job) -> Option<PlacementHint> {
+        let _ = job;
+        None
     }
 }
 

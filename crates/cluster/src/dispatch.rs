@@ -703,6 +703,58 @@ impl FleetDispatcher for ThermalAwareDispatch {
     }
 }
 
+/// Per-arrival total-energy dispatch: the greedy single-job projection of
+/// the planner's objective. Where [`ThermalAwareDispatch`] ranks slots by
+/// marginal chiller *power*, this ranks them by the job's total *energy*
+/// — `runtime × (package power + marginal chiller power)` — so a faster
+/// class can win even at a worse instantaneous COP. It is what the
+/// planner degrades to on a one-job horizon, and the natural companion
+/// dispatcher when `PlannerControl` hints miss (`dispatcher = "planned"`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlannedDispatch;
+
+impl FleetDispatcher for PlannedDispatch {
+    fn name(&self) -> &'static str {
+        "planned"
+    }
+
+    fn place(&mut self, demand: &JobDemand<'_>, view: &FleetView<'_>) -> usize {
+        let mut ranked: Vec<(f64, f64, usize, ClassId)> = Vec::new();
+        for (i, rack) in view
+            .racks
+            .iter()
+            .enumerate()
+            .take(view.servers.active_racks())
+        {
+            for &class in view.classes_in_rack(i) {
+                let d = demand.class(class);
+                let energy = d.runtime.value()
+                    * (d.state.package_power.value()
+                        + marginal_power(view.chiller, rack, &d.state));
+                ranked.push((energy, rack.heat.value(), i, class));
+            }
+        }
+        // Cheapest total energy first; lighter rack, then rack index, then
+        // class id, on ties — the same deterministic total order the
+        // thermal-aware ranking uses.
+        ranked.sort_by(|a, b| {
+            a.0.total_cmp(&b.0)
+                .then(a.1.total_cmp(&b.1))
+                .then(a.2.cmp(&b.2))
+                .then(a.3.cmp(&b.3))
+        });
+        for &(_, _, rack, class) in &ranked {
+            let (server, _) = view
+                .earliest_free_of_class(rack, class)
+                .expect("classes_in_rack only returns hosted classes");
+            if view.wait_on(server) <= demand.class(class).wait_budget {
+                return server;
+            }
+        }
+        fallback_min_free(view)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -775,6 +827,53 @@ mod tests {
         };
         let picks: Vec<usize> = (0..5).map(|_| rr.place(&d, &view)).collect();
         assert_eq!(picks, vec![0, 1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn planned_dispatch_minimizes_total_energy_not_marginal_power() {
+        let j = job();
+        // Rack 0 hosts class 0 (cool but slow), rack 1 hosts class 1
+        // (hotter but finishes in half the time).
+        let racks = vec![
+            RackView {
+                heat: Watts::ZERO,
+                supply: None,
+                committed: 0,
+            };
+            2
+        ];
+        let servers = table(vec![0, 1], 1, &[0.0; 2]);
+        let chiller = Chiller::default();
+        let view = FleetView {
+            now: Seconds::ZERO,
+            racks: &racks,
+            servers: &servers,
+            chiller: &chiller,
+            chiller_epoch: 0,
+            index: None,
+        };
+        let classes = vec![
+            ClassDemand {
+                state: steady(100.0, 60.0),
+                runtime: Seconds::new(30.0),
+                wait_budget: Seconds::new(30.0),
+            },
+            ClassDemand {
+                state: steady(150.0, 60.0),
+                runtime: Seconds::new(15.0),
+                wait_budget: Seconds::new(30.0),
+            },
+        ];
+        let d = JobDemand {
+            job: &j,
+            classes: &classes,
+            sig: 0,
+        };
+        // Marginal chiller power favors the cooler class 0…
+        assert_eq!(ThermalAwareDispatch::place_scan(&d, &view), 0);
+        // …but total energy (runtime × power) favors the faster class 1.
+        let mut planned = PlannedDispatch;
+        assert_eq!(planned.place(&d, &view), 1);
     }
 
     #[test]

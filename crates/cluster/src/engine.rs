@@ -24,7 +24,7 @@
 
 use crate::cache::{OutcomeCache, SteadyState};
 use crate::catalog::ClassId;
-use crate::control::{ControlAction, ControlPolicy, ControlStatus};
+use crate::control::{ControlAction, ControlPolicy, ControlStatus, PlacementHint, RunContext};
 use crate::dispatch::{
     ClassDemand, FleetDispatcher, FleetIndex, FleetView, JobDemand, RackView, ServerTable,
 };
@@ -721,6 +721,16 @@ fn run_impl<Q: KernelQueue + Default>(
         queue.push(Seconds::ZERO, Event::TelemetrySample);
     }
 
+    // Planning policies capture the job stream, the solved physics and
+    // the rack layout before the first event; reactive policies no-op.
+    control.begin_run(&RunContext {
+        jobs,
+        pairs: &pairs,
+        pair_states: &pair_states,
+        chiller: &config.chiller,
+        servers: &servers,
+        classes: solvers.len(),
+    });
     let mut state = FleetState::new(config, solvers.len(), jobs.len(), servers, loads);
     dispatcher.begin_run();
     // Closed-loop machinery — the running layer (telemetry's view of
@@ -894,7 +904,13 @@ fn run_impl<Q: KernelQueue + Default>(
                         stamps: state.loads.stamps(),
                     }),
                 };
-                let placed = dispatcher.place(&demand, &view);
+                // A planning control policy may have a placement hint for
+                // this job; the kernel validates it against the live
+                // fleet and falls back to the dispatcher when it's stale,
+                // so hints can redirect placements but never add QoS
+                // violations the dispatcher would have avoided.
+                let placed = hinted_server(control.placement_hint(job), &demand, &view)
+                    .unwrap_or_else(|| dispatcher.place(&demand, &view));
                 assert!(
                     placed < state.servers.active_servers(),
                     "dispatcher placed outside the active fleet"
@@ -997,6 +1013,26 @@ fn run_impl<Q: KernelQueue + Default>(
             arena_high_water: qstats.arena_high_water,
         },
     })
+}
+
+/// Resolves a control-policy placement hint to a concrete server, or
+/// `None` when the hint no longer holds: the rack left the active
+/// prefix, the class id is unknown, the rack hosts no such class, or the
+/// earliest free server of that class would blow the job's wait budget.
+/// Falling back to the dispatcher in all of those cases means hints can
+/// only redirect placements the fleet can absorb.
+fn hinted_server(
+    hint: Option<PlacementHint>,
+    demand: &JobDemand<'_>,
+    view: &FleetView<'_>,
+) -> Option<usize> {
+    let hint = hint?;
+    if hint.rack >= view.servers.active_racks() || hint.class >= demand.classes.len() {
+        return None;
+    }
+    let (server, _) = view.servers.earliest_free_of_class(hint.rack, hint.class)?;
+    let wait = view.wait_on(server);
+    (wait.value() <= demand.class(hint.class).wait_budget.value() + 1e-9).then_some(server)
 }
 
 /// Captures one telemetry sample from the settled running layer. In

@@ -30,9 +30,13 @@
 //! * [`ControlPolicy`] — runtime control evaluated on
 //!   [`ControlTick`](Event::ControlTick): [`StaticControl`] (open loop),
 //!   [`SetpointScheduler`] (chiller set-point program),
-//!   [`LoadSheddingControl`] (hysteretic admission control) and
+//!   [`LoadSheddingControl`] (hysteretic admission control),
 //!   [`AutoscaleControl`] (serving-mode capacity scaling against queue
-//!   depth and the p99 latency SLO),
+//!   depth and the p99 latency SLO) and [`PlannerControl`] (joint
+//!   placement + set-point co-optimization over a job horizon),
+//! * [`plan`] — the planner subsystem: piecewise-linear chiller
+//!   linearization, dense-simplex lower bounds, branch-and-bound and
+//!   simulated annealing, all hand-rolled with no external deps,
 //! * [`FleetTrace`]/[`FleetSample`] — sampled time-series telemetry with
 //!   deterministic fixed-precision CSV emission,
 //! * [`Fleet::simulate`]/[`Fleet::simulate_with`] — thin drivers over the
@@ -98,17 +102,18 @@ mod engine;
 mod fleet;
 mod job;
 mod metrics;
+pub mod plan;
 mod queue;
 
 pub use cache::{CacheKey, ClassSolve, OutcomeCache, SteadyState};
 pub use catalog::{ClassId, FleetCatalog, ServerClass};
 pub use control::{
     AutoscaleControl, ControlAction, ControlPolicy, ControlStatus, LoadSheddingControl,
-    SetpointScheduler, StaticControl,
+    PlacementHint, RunContext, SetpointScheduler, StaticControl,
 };
 pub use dispatch::{
-    ClassDemand, CoolestRackFirst, FleetDispatcher, FleetIndex, FleetView, JobDemand, RackView,
-    RoundRobin, ServerTable, ThermalAwareDispatch,
+    ClassDemand, CoolestRackFirst, FleetDispatcher, FleetIndex, FleetView, JobDemand,
+    PlannedDispatch, RackView, RoundRobin, ServerTable, ThermalAwareDispatch,
 };
 pub use engine::{Event, EventQueue, RackLoads};
 pub use fleet::{Fleet, FleetConfig, PolicyId, ServerPolicy};
@@ -117,4 +122,5 @@ pub use metrics::{
     FleetOutcome, FleetSample, FleetTrace, KernelStats, LatencyHistogram, Placement,
     ServingOutcome, ServingSample, SimResult, TelemetryConfig,
 };
+pub use plan::{PlanSolver, PlannerControl};
 pub use queue::{CalendarQueue, KernelQueue, QueueStats};

@@ -213,16 +213,56 @@ impl SweepReport {
         self.rows.iter().any(|r| r.serving.is_some())
     }
 
+    /// `(planner row, greedy partner row)` index pairs: a grid point
+    /// under planner control (or planned dispatch) matched to the
+    /// non-planner point that shares every *other* axis value — the two
+    /// names agree once their `control.policy=`/`dispatch.dispatcher=`
+    /// components are stripped. This is the optimality-gap comparison the
+    /// planner sweeps exist for; a grid without such pairs (no planner
+    /// rows, or nothing to pair them with) yields none, keeping older
+    /// reports byte-identical.
+    fn gap_pairs(&self) -> Vec<(usize, usize)> {
+        fn strip(name: &str) -> Vec<&str> {
+            name.split(',')
+                .filter(|part| {
+                    !part.starts_with("control.policy=")
+                        && !part.starts_with("dispatch.dispatcher=")
+                })
+                .collect()
+        }
+        let is_planner = |r: &SweepRow| r.control == "planner" || r.dispatcher == "planned";
+        let mut pairs = Vec::new();
+        for (i, r) in self.rows.iter().enumerate() {
+            if !is_planner(r) {
+                continue;
+            }
+            let key = strip(&r.name);
+            if let Some(j) = self
+                .rows
+                .iter()
+                .position(|o| !is_planner(o) && strip(&o.name) == key)
+            {
+                pairs.push((i, j));
+            }
+        }
+        pairs
+    }
+
     /// The full per-grid-point CSV (header + one line per row), floats at
     /// fixed precision for byte-determinism. When the grid mixes server
     /// classes, `class_<name>_it_kwh`/`class_<name>_viol` columns are
     /// appended (blank where a grid point lacks the class). When any grid
     /// point ran in serving mode, `lat_p50_s`/`lat_p99_s`/
     /// `mean_active_servers` columns are appended ahead of the class
-    /// columns (blank for batch points).
+    /// columns (blank for batch points). When the grid pairs planner
+    /// points with greedy partners (see the optimality-gap section of the
+    /// Markdown report), `gap_total_kwh`/`gap_cool_kwh`/`gap_viol`
+    /// columns are appended last (blank for unpaired rows; negative gap =
+    /// the planner won).
     pub fn to_csv(&self) -> String {
         let class_columns = self.class_columns();
         let serving = self.has_serving();
+        let pairs = self.gap_pairs();
         let mut out = String::new();
         out.push_str(
             "name,dispatcher,control,racks,servers_per_rack,jobs,it_kwh,cooling_kwh,total_kwh,\
@@ -234,8 +274,11 @@ impl SweepReport {
         for name in &class_columns {
             out.push_str(&format!(",class_{name}_it_kwh,class_{name}_viol"));
         }
+        if !pairs.is_empty() {
+            out.push_str(",gap_total_kwh,gap_cool_kwh,gap_viol");
+        }
         out.push('\n');
-        for r in &self.rows {
+        for (idx, r) in self.rows.iter().enumerate() {
             out.push_str(&format!(
                 "{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.4},{},{},{:.3},{:.3},{:.3},{:.1}",
                 csv_field(&r.name),
@@ -270,6 +313,20 @@ impl SweepReport {
                         out.push_str(&format!(",{:.6},{}", c.it_kwh, c.violations));
                     }
                     None => out.push_str(",,"),
+                }
+            }
+            if !pairs.is_empty() {
+                match pairs.iter().find(|(i, _)| *i == idx) {
+                    Some(&(_, j)) => {
+                        let g = &self.rows[j];
+                        out.push_str(&format!(
+                            ",{:.6},{:.6},{}",
+                            r.total_kwh - g.total_kwh,
+                            r.cooling_kwh - g.cooling_kwh,
+                            r.violations as i64 - g.violations as i64,
+                        ));
+                    }
+                    None => out.push_str(",,,"),
                 }
             }
             out.push('\n');
@@ -335,6 +392,27 @@ impl SweepReport {
                         r.name, s.p50_s, s.p99_s, s.mean_active_servers,
                     ));
                 }
+            }
+        }
+        let pairs = self.gap_pairs();
+        if !pairs.is_empty() {
+            out.push_str(
+                "\n## Optimality gap\n\n\
+                 Planner grid points against the greedy partner sharing every other axis \
+                 value (negative Δ = the planner won).\n\n\
+                 | planner point | greedy partner | Δtotal kWh | Δcool kWh | Δviol |\n\
+                 |---|---|---:|---:|---:|\n",
+            );
+            for &(i, j) in &pairs {
+                let (p, g) = (&self.rows[i], &self.rows[j]);
+                out.push_str(&format!(
+                    "| {} | {} | {:+.6} | {:+.6} | {:+} |\n",
+                    p.name,
+                    g.name,
+                    p.total_kwh - g.total_kwh,
+                    p.cooling_kwh - g.cooling_kwh,
+                    p.violations as i64 - g.violations as i64,
+                ));
             }
         }
         if !self.class_columns().is_empty() {
@@ -488,6 +566,58 @@ mod tests {
         let plain = report().to_csv();
         assert!(plain.lines().next().unwrap().ends_with("peak_rack_w"));
         assert!(!report().to_markdown().contains("Per-class breakdown"));
+    }
+
+    #[test]
+    fn planner_rows_pair_with_greedy_partners_into_a_gap_table() {
+        let mut rep = report();
+        rep.rows = vec![
+            row("control.policy=static,workload.seed=1", 1.0, 0.30),
+            row("control.policy=planner,workload.seed=1", 0.9, 0.21),
+            row("control.policy=static,workload.seed=2", 1.1, 0.32),
+            row("control.policy=planner,workload.seed=2", 1.0, 0.25),
+        ];
+        rep.rows[1].control = "planner";
+        rep.rows[3].control = "planner";
+        rep.rows[3].violations = 1;
+        let csv = rep.to_csv();
+        let header = csv.lines().next().unwrap();
+        assert!(
+            header.ends_with("peak_rack_w,gap_total_kwh,gap_cool_kwh,gap_viol"),
+            "{header}"
+        );
+        // Planner rows carry their gap against the matched static point;
+        // static rows keep the field count with blanks.
+        assert!(csv.lines().nth(1).unwrap().ends_with(",,,"));
+        assert!(csv
+            .lines()
+            .nth(2)
+            .unwrap()
+            .ends_with("-0.100000,-0.090000,0"));
+        assert!(csv
+            .lines()
+            .nth(4)
+            .unwrap()
+            .ends_with("-0.100000,-0.070000,1"));
+        let md = rep.to_markdown();
+        assert!(md.contains("## Optimality gap"), "{md}");
+        assert!(
+            md.contains(
+                "| control.policy=planner,workload.seed=1 | \
+                 control.policy=static,workload.seed=1 | -0.100000 | -0.090000 | +0 |"
+            ),
+            "{md}"
+        );
+
+        // A planner-free report keeps the exact pre-gap surface.
+        let plain = report();
+        assert!(plain
+            .to_csv()
+            .lines()
+            .next()
+            .unwrap()
+            .ends_with("peak_rack_w"));
+        assert!(!plain.to_markdown().contains("Optimality gap"));
     }
 
     #[test]

@@ -9,9 +9,9 @@ use crate::toml::{self, Table, Value};
 use std::fmt;
 use tps_cluster::{
     synthesize_jobs, synthesize_request_jobs, AutoscaleControl, ControlPolicy, CoolestRackFirst,
-    FleetCatalog, FleetConfig, FleetDispatcher, Job, JobMix, LoadSheddingControl, RoundRobin,
-    ServerClass, ServerPolicy, SetpointScheduler, StaticControl, TelemetryConfig,
-    ThermalAwareDispatch,
+    FleetCatalog, FleetConfig, FleetDispatcher, Job, JobMix, LoadSheddingControl, PlanSolver,
+    PlannedDispatch, PlannerControl, RoundRobin, ServerClass, ServerPolicy, SetpointScheduler,
+    StaticControl, TelemetryConfig, ThermalAwareDispatch,
 };
 use tps_cooling::Chiller;
 use tps_units::{Celsius, Seconds};
@@ -113,16 +113,21 @@ pub enum DispatcherKind {
     /// Marginal-chiller-power ranking with QoS fallback (the paper's
     /// policy lifted to racks).
     ThermalAware,
+    /// Total-energy ranking (runtime × power): the greedy single-job
+    /// projection of the planner's objective, and the natural fallback
+    /// under `policy = "planner"`.
+    Planned,
 }
 
 impl DispatcherKind {
-    /// The dispatcher instance (all three are stateless or cheaply
+    /// The dispatcher instance (all four are stateless or cheaply
     /// default-initialized).
     pub fn instantiate(self) -> Box<dyn FleetDispatcher> {
         match self {
             DispatcherKind::RoundRobin => Box::new(RoundRobin::default()),
             DispatcherKind::CoolestRackFirst => Box::new(CoolestRackFirst),
             DispatcherKind::ThermalAware => Box::new(ThermalAwareDispatch::default()),
+            DispatcherKind::Planned => Box::new(PlannedDispatch),
         }
     }
 
@@ -132,6 +137,7 @@ impl DispatcherKind {
             DispatcherKind::RoundRobin => "rr",
             DispatcherKind::CoolestRackFirst => "coolest",
             DispatcherKind::ThermalAware => "thermal",
+            DispatcherKind::Planned => "planned",
         }
     }
 }
@@ -176,6 +182,23 @@ pub enum ControlKind {
         /// The p99 request-latency objective, seconds.
         p99_slo_s: f64,
     },
+    /// Joint placement + set-point co-optimization over a horizon of
+    /// pending jobs, re-planned on `ControlTick`s.
+    Planner {
+        /// Tick cadence, seconds.
+        tick_s: f64,
+        /// Look-ahead window: jobs arriving within this many seconds of
+        /// the tick enter the plan.
+        horizon_s: f64,
+        /// Re-plan every this many ticks (1 = every tick).
+        replan_ticks: usize,
+        /// Candidate chiller set-points, °C.
+        setpoint_grid: Vec<f64>,
+        /// Simulated-annealing iteration budget (`solver = "anneal"`).
+        anneal_iters: usize,
+        /// The solver core: linearized LP or simulated annealing.
+        solver: PlanSolver,
+    },
 }
 
 impl ControlKind {
@@ -218,6 +241,21 @@ impl ControlKind {
                 *queue_low,
                 Seconds::new(*p99_slo_s),
             )),
+            ControlKind::Planner {
+                tick_s,
+                horizon_s,
+                replan_ticks,
+                setpoint_grid,
+                anneal_iters,
+                solver,
+            } => Box::new(PlannerControl::new(
+                Seconds::new(*tick_s),
+                Seconds::new(*horizon_s),
+                *replan_ticks,
+                setpoint_grid.clone(),
+                *anneal_iters,
+                *solver,
+            )),
         }
     }
 
@@ -228,6 +266,7 @@ impl ControlKind {
             ControlKind::Setpoint { .. } => "setpoint",
             ControlKind::Shed { .. } => "shed",
             ControlKind::Autoscale { .. } => "autoscale",
+            ControlKind::Planner { .. } => "planner",
         }
     }
 }
@@ -585,10 +624,11 @@ impl Scenario {
             "rr" => DispatcherKind::RoundRobin,
             "coolest" => DispatcherKind::CoolestRackFirst,
             "thermal" => DispatcherKind::ThermalAware,
+            "planned" => DispatcherKind::Planned,
             other => {
                 return Err(dispatch.value_error(
                     "dispatcher",
-                    format!("unknown dispatcher `{other}` (use rr, coolest or thermal)"),
+                    format!("unknown dispatcher `{other}` (use rr, coolest, thermal or planned)"),
                 ))
             }
         };
@@ -606,6 +646,11 @@ impl Scenario {
             "queue_high",
             "queue_low",
             "p99_slo_s",
+            "horizon_s",
+            "replan_ticks",
+            "setpoint_grid",
+            "anneal_iters",
+            "solver",
         ])?;
         let control_name = control_tbl.string("policy", "static")?;
         // Policy-specific keys must apply to some *reachable* policy —
@@ -613,10 +658,10 @@ impl Scenario {
         // switch to (mirrors the demand-model key check above).
         let ctrl_reachable =
             |kind: &str| control_name == kind || swept.controls.iter().any(|c| c == kind);
-        let per_policy_keys: [(&str, &[&str]); 10] = [
+        let per_policy_keys: [(&str, &[&str]); 15] = [
             ("times_s", &["setpoint"]),
             ("setpoints_c", &["setpoint"]),
-            ("tick_s", &["shed", "autoscale"]),
+            ("tick_s", &["shed", "autoscale", "planner"]),
             ("high_watermark", &["shed"]),
             ("low_watermark", &["shed"]),
             ("min_servers", &["autoscale"]),
@@ -624,6 +669,11 @@ impl Scenario {
             ("queue_high", &["autoscale"]),
             ("queue_low", &["autoscale"]),
             ("p99_slo_s", &["autoscale"]),
+            ("horizon_s", &["planner"]),
+            ("replan_ticks", &["planner"]),
+            ("setpoint_grid", &["planner"]),
+            ("anneal_iters", &["planner"]),
+            ("solver", &["planner"]),
         ];
         for (key, policies) in per_policy_keys {
             if control_tbl.has(key) && !policies.iter().any(|p| ctrl_reachable(p)) {
@@ -751,12 +801,56 @@ impl Scenario {
                     p99_slo_s,
                 }
             }
+            "planner" => {
+                let tick_s = control_tbl.positive_f64("tick_s", 30.0)?;
+                let horizon_s = control_tbl.positive_f64("horizon_s", 120.0)?;
+                let replan_ticks = control_tbl.count("replan_ticks", 1)?;
+                let setpoint_grid = control_tbl.f64_array("setpoint_grid")?.ok_or_else(|| {
+                    control_tbl.value_error(
+                        "policy",
+                        "the planner policy needs a `setpoint_grid` array of candidate \
+                         set-points (°C)"
+                            .to_owned(),
+                    )
+                })?;
+                if setpoint_grid.is_empty() {
+                    return Err(control_tbl.value_error(
+                        "setpoint_grid",
+                        "`setpoint_grid` must list at least one candidate set-point".to_owned(),
+                    ));
+                }
+                if let Some(&bad) = setpoint_grid.iter().find(|c| !c.is_finite()) {
+                    return Err(control_tbl.value_error(
+                        "setpoint_grid",
+                        format!("set-point {bad} °C must be finite"),
+                    ));
+                }
+                let anneal_iters = control_tbl.count("anneal_iters", 2_000)?;
+                let solver = match control_tbl.string("solver", "lp")?.as_str() {
+                    "lp" => PlanSolver::Lp,
+                    "anneal" => PlanSolver::Anneal,
+                    other => {
+                        return Err(control_tbl.value_error(
+                            "solver",
+                            format!("unknown planner solver `{other}` (use lp or anneal)"),
+                        ))
+                    }
+                };
+                ControlKind::Planner {
+                    tick_s,
+                    horizon_s,
+                    replan_ticks,
+                    setpoint_grid,
+                    anneal_iters,
+                    solver,
+                }
+            }
             other => {
                 return Err(control_tbl.value_error(
                     "policy",
                     format!(
                         "unknown control policy `{other}` \
-                         (use static, setpoint, shed or autoscale)"
+                         (use static, setpoint, shed, autoscale or planner)"
                     ),
                 ))
             }

@@ -62,6 +62,10 @@ const SWEEPABLE: &[&str] = &[
     "control.queue_high",
     "control.queue_low",
     "control.p99_slo_s",
+    "control.horizon_s",
+    "control.replan_ticks",
+    "control.anneal_iters",
+    "control.solver",
 ];
 
 /// One sweep axis: a dotted schema path and the values it takes.
@@ -861,6 +865,54 @@ mod tests {
             "{header}"
         );
         assert!(a.to_markdown().contains("## Serving latency"));
+    }
+
+    #[test]
+    fn planner_policy_axis_sweeps_against_static() {
+        // The base spec carries the planner keys; the axis switches the
+        // policy, so they must stay legal at the static grid point.
+        let src = with_sweep(
+            "[control]\n\
+             tick_s = 20.0\n\
+             horizon_s = 120.0\n\
+             setpoint_grid = [35.0, 45.0, 70.0]\n\
+             [sweep]\n\
+             control.policy = [\"static\", \"planner\"]\n\
+             [report]\n\
+             baseline = \"control.policy=static\"",
+        );
+        let sweep = Sweep::parse(&src, "plan").unwrap();
+        let a = sweep.run(2).unwrap();
+        let b = sweep.run(1).unwrap();
+        assert_eq!(a.to_csv(), b.to_csv());
+        assert_eq!(a.rows.len(), 2);
+        assert_eq!(a.rows[0].control, "static");
+        assert_eq!(a.rows[1].control, "planner");
+        // The planner may move the set-point off the 70 °C base; it must
+        // never burn more cooling energy than the open-loop baseline here
+        // (the grid includes the base set-point, so staying put is free).
+        assert!(a.rows[1].cooling_kwh <= a.rows[0].cooling_kwh);
+    }
+
+    #[test]
+    fn planner_solver_and_horizon_are_sweepable() {
+        let src = with_sweep(
+            "[control]\n\
+             policy = \"planner\"\n\
+             setpoint_grid = [45.0, 70.0]\n\
+             anneal_iters = 200\n\
+             [sweep]\n\
+             control.solver = [\"lp\", \"anneal\"]\n\
+             control.horizon_s = [60.0, 240.0]",
+        );
+        let sweep = Sweep::parse(&src, "solvers").unwrap();
+        let grid = sweep.expand().unwrap();
+        assert_eq!(grid.len(), 4);
+        let report = sweep.run(2).unwrap();
+        assert_eq!(report.rows.len(), 4);
+        assert!(report.rows.iter().all(|r| r.control == "planner"));
+        // Same seed, same spec ⇒ deterministic across worker counts.
+        assert_eq!(report.to_csv(), sweep.run(1).unwrap().to_csv());
     }
 
     #[test]

@@ -199,10 +199,12 @@ fn autoscale_keys_are_rejected_under_other_policies_with_lines() {
         assert!(e.message.contains("sweep control.policy"), "{e}");
     }
 
-    // tick_s is shared between shed and autoscale — the message says so.
+    // tick_s is shared between shed, autoscale and the planner — the
+    // message says so.
     let e = fail_scenario("[control]\ntick_s = 10.0\n");
     assert_eq!(e.line, Some(2));
     assert!(e.message.contains("shed/autoscale"), "{e}");
+    assert!(e.message.contains("planner"), "{e}");
 
     // Inverted hysteresis watermarks are caught at parse time.
     let e = fail_scenario(
@@ -210,6 +212,105 @@ fn autoscale_keys_are_rejected_under_other_policies_with_lines() {
          queue_high = 0.5\nqueue_low = 1.0\n",
     );
     assert!(e.message.contains("hysteresis"), "{e}");
+}
+
+#[test]
+fn planner_keys_are_rejected_under_other_policies_with_lines() {
+    // Every planner-only key under the default static policy points at
+    // its own line, names the planner and offers the sweep escape hatch.
+    for key in [
+        "horizon_s = 120.0",
+        "replan_ticks = 2",
+        "setpoint_grid = [35.0, 45.0]",
+        "anneal_iters = 500",
+        "solver = \"lp\"",
+    ] {
+        let e = fail_scenario(&format!("[control]\n{key}\n"));
+        let name = key.split(' ').next().unwrap();
+        assert_eq!(e.line, Some(2), "{key}: {e}");
+        assert!(e.message.contains(&format!("`{name}` only applies")), "{e}");
+        assert!(e.message.contains("planner"), "{e}");
+        assert!(e.message.contains("sweep control.policy"), "{e}");
+    }
+
+    // A planner key under a non-planner, non-static policy fails too.
+    let e = fail_scenario(
+        "[control]\npolicy = \"shed\"\nhigh_watermark = 4\nlow_watermark = 1\nsolver = \"lp\"\n",
+    );
+    assert_eq!(e.line, Some(5));
+    assert!(e.message.contains("`solver` only applies"), "{e}");
+
+    // …but sweeping control.policy over "planner" legitimizes the keys.
+    let sweep = Sweep::parse(
+        "[workload]\njobs = 8\n[control]\nsetpoint_grid = [35.0, 45.0]\n\
+         [sweep]\ncontrol.policy = [\"static\", \"planner\"]\n",
+        "t",
+    )
+    .unwrap();
+    assert_eq!(sweep.expand().unwrap().len(), 2);
+}
+
+#[test]
+fn planner_policy_value_errors_are_line_numbered() {
+    // The grid is mandatory.
+    let e = fail_scenario("[control]\npolicy = \"planner\"\n");
+    assert_eq!(e.line, Some(2));
+    assert!(e.message.contains("needs a `setpoint_grid`"), "{e}");
+
+    // Empty and non-finite grids are rejected at their own line.
+    let e = fail_scenario("[control]\npolicy = \"planner\"\nsetpoint_grid = []\n");
+    assert_eq!(e.line, Some(3));
+    assert!(e.message.contains("at least one candidate"), "{e}");
+    let e = fail_scenario("[control]\npolicy = \"planner\"\nsetpoint_grid = [35.0, inf]\n");
+    assert_eq!(e.line, Some(3));
+    assert!(e.message.contains("non-finite"), "{e}");
+
+    // A bad solver name lists the two cores.
+    let e = fail_scenario(
+        "[control]\npolicy = \"planner\"\nsetpoint_grid = [35.0]\nsolver = \"cplex\"\n",
+    );
+    assert_eq!(e.line, Some(4));
+    assert!(e.message.contains("unknown planner solver `cplex`"), "{e}");
+    assert!(e.message.contains("use lp or anneal"), "{e}");
+
+    // Zero cadence/counts are caught by the shared range checks.
+    let e = fail_scenario(
+        "[control]\npolicy = \"planner\"\nsetpoint_grid = [35.0]\nreplan_ticks = 0\n",
+    );
+    assert_eq!(e.line, Some(4));
+    assert!(e.message.contains("at least 1"), "{e}");
+
+    // A policy typo now lists the planner among the alternatives.
+    let e = fail_scenario("[control]\npolicy = \"lp\"\n");
+    assert_eq!(e.line, Some(2));
+    assert!(e.message.contains("unknown control policy `lp`"), "{e}");
+    assert!(
+        e.message
+            .contains("static, setpoint, shed, autoscale or planner"),
+        "{e}"
+    );
+}
+
+#[test]
+fn planner_gap_scenario_round_trips_through_the_spec_layer() {
+    // The shipped headline spec parses, expands to its 2 × 2 grid, and
+    // carries the planner keys into the planner points only.
+    let src = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../scenarios/planner_gap.toml"
+    ))
+    .expect("scenarios/planner_gap.toml ships with the repo");
+    let sweep = Sweep::parse(&src, "planner_gap").unwrap();
+    assert_eq!(sweep.name, "planner-gap");
+    let grid = sweep.expand().unwrap();
+    assert_eq!(grid.len(), 4);
+    assert!(grid
+        .iter()
+        .any(|s| s.control.spec_name() == "planner" && s.name.contains("workload.seed=43")));
+    assert!(grid.iter().any(|s| s.control.spec_name() == "static"));
+    // Every point keeps the thermal-aware dispatcher: the sweep isolates
+    // the control-policy axis.
+    assert!(grid.iter().all(|s| s.dispatcher.spec_name() == "thermal"));
 }
 
 #[test]

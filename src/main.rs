@@ -21,8 +21,9 @@ use std::process::ExitCode;
 use tps::cluster::{
     synthesize_jobs, synthesize_request_jobs, AutoscaleControl, ControlPolicy, CoolestRackFirst,
     Fleet, FleetCatalog, FleetConfig, FleetDispatcher, FleetOutcome, Job, JobMix,
-    LoadSheddingControl, OutcomeCache, RoundRobin, ServerClass, ServerPolicy, SetpointScheduler,
-    StaticControl, TelemetryConfig, ThermalAwareDispatch,
+    LoadSheddingControl, OutcomeCache, PlanSolver, PlannedDispatch, PlannerControl, RoundRobin,
+    ServerClass, ServerPolicy, SetpointScheduler, StaticControl, TelemetryConfig,
+    ThermalAwareDispatch,
 };
 use tps::cooling::Chiller;
 use tps::core::{
@@ -65,11 +66,13 @@ fn print_usage() {
          {:14}[--selector minpower|packcap] [--pitch <mm>]\n  \
          tps profile <benchmark>   print the 48-point P/Q configuration table\n  \
          tps fleet [--servers N] [--racks N] [--jobs N] [--seed N] [--rate JOBS/S]\n  \
-         {:14}[--demand constant|diurnal|bursty] [--dispatcher all|rr|coolest|thermal]\n  \
+         {:14}[--demand constant|diurnal|bursty] [--dispatcher all|rr|coolest|thermal|planned]\n  \
          {:14}[--policy NAME] [--ambient C] [--pitch MM] [--threads N]\n  \
          {:14}[--classes NAME[:PITCH[:INLET[:POLICY]]],...]  heterogeneous racks\n  \
          {:14}(classes cycle across racks; fields omitted inherit the fleet flags)\n  \
-         {:14}[--control static|setpoint|shed|autoscale] [--setpoints T:C,T:C,...] [--tick S]\n  \
+         {:14}[--control static|setpoint|shed|autoscale|planner] [--setpoints T:C,T:C,...] [--tick S]\n  \
+         {:14}[--setpoint-grid C,C,...] [--horizon S] [--replan-ticks N]\n  \
+         {:14}[--solver lp|anneal] [--anneal-iters N]  planner knobs (see docs/SCENARIOS.md)\n  \
          {:14}[--serving]  open-loop request stream with latency percentiles\n  \
          {:14}(autoscale requires --serving; steps the active set by whole racks)\n  \
          {:14}[--trace-out DIR] [--sample S]  write per-dispatcher telemetry CSVs\n  \
@@ -78,7 +81,7 @@ fn print_usage() {
          {:14}expand a scenario spec's sweep grid, write CSV + Markdown reports\n  \
          {:14}(spec schema and cookbook: docs/SCENARIOS.md, examples: scenarios/)\n  \
          tps list                  list benchmarks, policies and selectors\n",
-        "", "", "", "", "", "", "", "", "", "", "", ""
+        "", "", "", "", "", "", "", "", "", "", "", "", "", ""
     );
 }
 
@@ -193,13 +196,16 @@ fn cmd_list() -> ExitCode {
     println!("\npolicies:   proposed (paper), coskun [9], inlet [7], packed (scenario 3)");
     println!("selectors:  minpower (Algorithm 1), packcap [27]");
     println!("qos:        1x, 2x, 3x");
-    println!("dispatchers (tps fleet): rr (round-robin), coolest (coolest-rack-first), thermal");
+    println!(
+        "dispatchers (tps fleet): rr (round-robin), coolest (coolest-rack-first), thermal, \
+         planned (total-energy greedy)"
+    );
     println!(
         "demand models (tps fleet): constant, diurnal, bursty (batch); --serving for requests"
     );
     println!(
         "control policies (tps fleet/sweep): static, setpoint (schedule), shed (admission), \
-         autoscale (serving capacity)"
+         autoscale (serving capacity), planner (joint placement + set-point)"
     );
     println!("scenario specs (tps sweep): scenarios/*.toml, schema in docs/SCENARIOS.md");
     ExitCode::SUCCESS
@@ -287,8 +293,20 @@ fn parse_classes(raw: &str) -> Result<Vec<ServerClass>, String> {
 enum ControlSpec {
     Static,
     Setpoint(Vec<(Seconds, Celsius)>),
-    Shed { tick: f64 },
-    Autoscale { tick: f64 },
+    Shed {
+        tick: f64,
+    },
+    Autoscale {
+        tick: f64,
+    },
+    Planner {
+        tick: f64,
+        horizon: f64,
+        replan_ticks: usize,
+        grid: Vec<f64>,
+        anneal_iters: usize,
+        solver: PlanSolver,
+    },
 }
 
 impl ControlSpec {
@@ -309,8 +327,42 @@ impl ControlSpec {
                 0.25,
                 Seconds::new(10.0),
             )),
+            ControlSpec::Planner {
+                tick,
+                horizon,
+                replan_ticks,
+                grid,
+                anneal_iters,
+                solver,
+            } => Box::new(PlannerControl::new(
+                Seconds::new(*tick),
+                Seconds::new(*horizon),
+                *replan_ticks,
+                grid.clone(),
+                *anneal_iters,
+                *solver,
+            )),
         }
     }
+}
+
+/// Parses `--setpoint-grid C,C,...` into the planner's candidate list.
+fn parse_setpoint_grid(raw: &str) -> Result<Vec<f64>, String> {
+    let mut grid = Vec::new();
+    for entry in raw.split(',') {
+        let c: f64 = entry
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad --setpoint-grid entry `{entry}`: {e}"))?;
+        if !c.is_finite() {
+            return Err(format!("--setpoint-grid entry `{entry}` must be finite"));
+        }
+        grid.push(c);
+    }
+    if grid.is_empty() {
+        return Err("--setpoint-grid needs at least one temperature".to_owned());
+    }
+    Ok(grid)
 }
 
 /// Parses `--setpoints T:C,T:C,...` into a set-point program.
@@ -363,6 +415,11 @@ fn parse_fleet_args(raw: &[String]) -> Result<FleetArgs, String> {
             "control",
             "setpoints",
             "tick",
+            "horizon",
+            "replan-ticks",
+            "setpoint-grid",
+            "anneal-iters",
+            "solver",
             "trace-out",
             "sample",
         ],
@@ -378,10 +435,24 @@ fn parse_fleet_args(raw: &[String]) -> Result<FleetArgs, String> {
             "--setpoints only applies to --control setpoint (got --control {control_name})"
         ));
     }
-    if args.flag("tick").is_some() && !matches!(control_name, "shed" | "autoscale") {
+    if args.flag("tick").is_some() && !matches!(control_name, "shed" | "autoscale" | "planner") {
         return Err(format!(
-            "--tick only applies to --control shed or autoscale (got --control {control_name})"
+            "--tick only applies to --control shed, autoscale or planner \
+             (got --control {control_name})"
         ));
+    }
+    for flag in [
+        "horizon",
+        "replan-ticks",
+        "setpoint-grid",
+        "anneal-iters",
+        "solver",
+    ] {
+        if args.flag(flag).is_some() && control_name != "planner" {
+            return Err(format!(
+                "--{flag} only applies to --control planner (got --control {control_name})"
+            ));
+        }
     }
     if args.flag("sample").is_some() && args.flag("trace-out").is_none() {
         return Err("--sample only applies together with --trace-out DIR".to_owned());
@@ -416,9 +487,36 @@ fn parse_fleet_args(raw: &[String]) -> Result<FleetArgs, String> {
                 tick: args.parsed("tick", 30.0)?,
             }
         }
+        "planner" => {
+            let grid = parse_setpoint_grid(args.flag("setpoint-grid").ok_or_else(|| {
+                "--control planner needs --setpoint-grid C,C,... (candidate set-points)".to_owned()
+            })?)?;
+            let replan_ticks: usize = args.parsed("replan-ticks", 1usize)?;
+            let anneal_iters: usize = args.parsed("anneal-iters", 2_000usize)?;
+            if replan_ticks == 0 || anneal_iters == 0 {
+                return Err("--replan-ticks and --anneal-iters must be positive".to_owned());
+            }
+            ControlSpec::Planner {
+                tick: args.parsed("tick", 30.0)?,
+                horizon: args.parsed("horizon", 120.0)?,
+                replan_ticks,
+                grid,
+                anneal_iters,
+                solver: match args.flag_or("solver", "lp") {
+                    "lp" => PlanSolver::Lp,
+                    "anneal" => PlanSolver::Anneal,
+                    other => {
+                        return Err(format!(
+                            "unknown planner solver `{other}` (use lp or anneal)"
+                        ))
+                    }
+                },
+            }
+        }
         other => {
             return Err(format!(
-                "unknown control policy `{other}` (use static, setpoint, shed or autoscale)"
+                "unknown control policy `{other}` \
+                 (use static, setpoint, shed, autoscale or planner)"
             ))
         }
     };
@@ -466,10 +564,14 @@ fn parse_fleet_args(raw: &[String]) -> Result<FleetArgs, String> {
                 .to_owned(),
         );
     }
-    if let ControlSpec::Shed { tick } | ControlSpec::Autoscale { tick } = out.control {
-        if tick <= 0.0 {
+    match &out.control {
+        ControlSpec::Shed { tick } | ControlSpec::Autoscale { tick } if *tick <= 0.0 => {
             return Err("--tick must be positive".to_owned());
         }
+        ControlSpec::Planner { tick, horizon, .. } if *tick <= 0.0 || *horizon <= 0.0 => {
+            return Err("--tick and --horizon must be positive".to_owned());
+        }
+        _ => {}
     }
     Ok(out)
 }
@@ -558,9 +660,10 @@ fn cmd_fleet(raw: &[String]) -> ExitCode {
         "rr" => dispatchers.push(Box::new(RoundRobin::default())),
         "coolest" => dispatchers.push(Box::new(CoolestRackFirst)),
         "thermal" => dispatchers.push(Box::new(ThermalAwareDispatch::default())),
+        "planned" => dispatchers.push(Box::new(PlannedDispatch)),
         other => {
             return fail(format!(
-                "unknown dispatcher `{other}` (use all, rr, coolest or thermal)"
+                "unknown dispatcher `{other}` (use all, rr, coolest, thermal or planned)"
             ))
         }
     }

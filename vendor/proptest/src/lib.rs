@@ -36,8 +36,15 @@ impl Default for ProptestConfig {
     fn default() -> Self {
         // Real proptest defaults to 256; the thermal/solver suites are too
         // slow for that in CI, so the stub trims the default while staying
-        // well above smoke-test territory.
-        ProptestConfig { cases: 32 }
+        // well above smoke-test territory. Like real proptest, the
+        // `PROPTEST_CASES` environment variable overrides it — CI's fast
+        // oracle job dials the count down, soak runs dial it up.
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(32);
+        ProptestConfig { cases }
     }
 }
 
