@@ -1,27 +1,33 @@
 //! The kernel's scale-trajectory bench: wall time per (servers, jobs,
-//! dispatcher) grid point, emitted as machine-readable
+//! dispatcher, shards) grid point, emitted as machine-readable
 //! `BENCH_kernel.json` so CI can regenerate the file and diff it for
 //! structural drift.
 //!
 //! ```text
-//! bench_kernel [--scale smoke|full] [--out PATH]   measure and write
-//! bench_kernel --check PATH                        validate a file's schema
+//! bench_kernel [--scale smoke|full] [--reps N] [--out PATH]   measure and write
+//! bench_kernel --check PATH                                   validate a file's schema
 //! ```
 //!
-//! The emitted document (`schema: tps-kernel-bench/1`) carries two
+//! The emitted document (`schema: tps-kernel-bench/2`) carries two
 //! sections:
 //!
 //! * `baseline` — the pinned pre-kernel trajectory (binary-heap event
 //!   queue + per-arrival full-fleet rescan, measured on the v5 seed);
-//!   constants, never re-measured.
-//! * `current` — this build, measured now: `wall_ms` plus the kernel's
-//!   queue counters (`events`, `peak_queue_depth`, `arena_high_water`).
+//!   constants, never re-measured. Baseline points predate sharding and
+//!   carry no `shards` key.
+//! * `current` — this build, measured now: `wall_ms` (minimum over
+//!   `--reps` runs, so a noisy box cannot inflate a point) plus the
+//!   kernel's queue counters (`events`, `peak_queue_depth`,
+//!   `arena_high_water`) and the hall count (`shards`).
 //!
 //! `--scale smoke` measures only the 1k-server tier (CI-sized);
 //! `--scale full` walks the whole 1k/10k/100k grid, the 100k × 1M point
-//! being the million-job headline. The methodology matches `tps fleet`:
-//! racks of 8, 3 mm grid, diurnal demand at 0.7 jobs/s, seed 42, one
-//! shared physics cache warmed by an untimed round-robin pass per tier.
+//! being the million-job headline. Every tier runs the 1/2/4/8-hall
+//! shard axis per dispatcher — the 8-hall thermal-aware point at
+//! 100k × 1M against its 1-hall twin is the sharded-dispatch headline
+//! ratio. The methodology matches `tps fleet`: racks of 8, 3 mm grid,
+//! diurnal demand at 0.7 jobs/s, seed 42, one shared physics cache
+//! warmed by an untimed round-robin pass per tier.
 
 use std::time::Instant;
 use tps_cluster::{
@@ -33,6 +39,9 @@ use tps_workload::DiurnalDemand;
 
 /// The pinned scale grid: (servers, jobs).
 const SCALES: &[(usize, usize)] = &[(1_000, 10_000), (10_000, 100_000), (100_000, 1_000_000)];
+
+/// The hall counts every (tier, dispatcher) cell is measured at.
+const SHARDS: &[usize] = &[1, 2, 4, 8];
 
 /// The pre-kernel trajectory, measured on the v5 seed (debug-free
 /// release build, single core). 100k × 1M was only feasible for
@@ -60,53 +69,72 @@ struct Point {
     servers: usize,
     jobs: usize,
     dispatcher: &'static str,
+    shards: usize,
     wall_ms: f64,
     events: u64,
     peak_queue_depth: usize,
     arena_high_water: usize,
 }
 
-fn measure(scales: &[(usize, usize)]) -> Vec<Point> {
+fn measure(scales: &[(usize, usize)], reps: usize) -> Vec<Point> {
     let mut points = Vec::new();
     for &(servers, jobs) in scales {
         let racks = servers / 8;
-        let mut config = FleetConfig::new(racks, servers / racks);
-        config.grid_pitch_mm = 3.0;
-        let fleet = Fleet::new(config);
         let demand = DiurnalDemand::new(0.7 * 0.2, 0.7, Seconds::new(600.0));
         let stream = synthesize_jobs(jobs, &demand, JobMix::default(), 42);
         let cache = OutcomeCache::new();
-        fleet
-            .simulate(&stream, &mut RoundRobin::default(), &cache)
-            .expect("warm-up run");
+        {
+            let config = base_config(racks, servers);
+            Fleet::new(config)
+                .simulate(&stream, &mut RoundRobin::default(), &cache)
+                .expect("warm-up run");
+        }
         for name in ["round-robin", "coolest-rack-first", "thermal-aware"] {
-            let mut d = dispatcher(name);
-            let started = Instant::now();
-            let result = fleet
-                .simulate_with(&stream, d.as_mut(), &mut StaticControl, None, &cache)
-                .expect("bench run");
-            let wall_ms = started.elapsed().as_secs_f64() * 1e3;
-            eprintln!(
-                "{servers} servers x {jobs} jobs, {name}: {wall_ms:.0} ms, {} events",
-                result.stats.events
-            );
-            points.push(Point {
-                servers,
-                jobs,
-                dispatcher: name,
-                wall_ms,
-                events: result.stats.events,
-                peak_queue_depth: result.stats.peak_queue_depth,
-                arena_high_water: result.stats.arena_high_water,
-            });
+            for &shards in SHARDS {
+                let mut config = base_config(racks, servers);
+                config.shards = shards;
+                let fleet = Fleet::new(config);
+                let mut wall_ms = f64::INFINITY;
+                let mut result = None;
+                for _ in 0..reps.max(1) {
+                    let mut d = dispatcher(name);
+                    let started = Instant::now();
+                    let r = fleet
+                        .simulate_with(&stream, d.as_mut(), &mut StaticControl, None, &cache)
+                        .expect("bench run");
+                    wall_ms = wall_ms.min(started.elapsed().as_secs_f64() * 1e3);
+                    result = Some(r);
+                }
+                let result = result.expect("at least one rep ran");
+                eprintln!(
+                    "{servers} servers x {jobs} jobs, {name}, {shards} halls: {wall_ms:.0} ms, {} events",
+                    result.stats.events
+                );
+                points.push(Point {
+                    servers,
+                    jobs,
+                    dispatcher: name,
+                    shards,
+                    wall_ms,
+                    events: result.stats.events,
+                    peak_queue_depth: result.stats.peak_queue_depth,
+                    arena_high_water: result.stats.arena_high_water,
+                });
+            }
         }
     }
     points
 }
 
+fn base_config(racks: usize, servers: usize) -> FleetConfig {
+    let mut config = FleetConfig::new(racks, servers / racks);
+    config.grid_pitch_mm = 3.0;
+    config
+}
+
 fn emit(scale: &str, points: &[Point]) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"tps-kernel-bench/1\",\n");
+    out.push_str("{\n  \"schema\": \"tps-kernel-bench/2\",\n");
     out.push_str(&format!("  \"scale\": \"{scale}\",\n"));
     out.push_str("  \"baseline\": {\n    \"name\": \"pre-kernel: binary heap + per-arrival full rescan (v5 seed)\",\n    \"points\": [\n");
     for (i, &(servers, jobs, dispatcher, wall_ms)) in BASELINE.iter().enumerate() {
@@ -116,13 +144,14 @@ fn emit(scale: &str, points: &[Point]) -> String {
         ));
     }
     out.push_str("    ]\n  },\n");
-    out.push_str("  \"current\": {\n    \"name\": \"soa-fleet + calendar queue + incremental ranking\",\n    \"points\": [\n");
+    out.push_str("  \"current\": {\n    \"name\": \"sharded halls + streamed arrivals + calendar queue + incremental ranking\",\n    \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
-            "      {{\"servers\": {}, \"jobs\": {}, \"dispatcher\": \"{}\", \"wall_ms\": {:.1}, \"events\": {}, \"peak_queue_depth\": {}, \"arena_high_water\": {}}}{}\n",
+            "      {{\"servers\": {}, \"jobs\": {}, \"dispatcher\": \"{}\", \"shards\": {}, \"wall_ms\": {:.1}, \"events\": {}, \"peak_queue_depth\": {}, \"arena_high_water\": {}}}{}\n",
             p.servers,
             p.jobs,
             p.dispatcher,
+            p.shards,
             p.wall_ms,
             p.events,
             p.peak_queue_depth,
@@ -134,12 +163,23 @@ fn emit(scale: &str, points: &[Point]) -> String {
     out
 }
 
-/// Structural validation: the schema header, both sections, and every
-/// point carrying the required keys. Timings are free to drift — CI
-/// fails only on shape.
+/// Structural validation: the v2 schema header (exactly one schema
+/// version anywhere in the file — a document mixing `tps-kernel-bench/1`
+/// points into a `/2` header is rejected), both sections, and every
+/// point carrying the required keys (`current` points must carry the v2
+/// `shards` axis and the kernel counters). Timings are free to drift —
+/// CI fails only on shape.
 fn check(doc: &str) -> Result<(), String> {
-    if !doc.contains("\"schema\": \"tps-kernel-bench/1\"") {
-        return Err("missing or wrong schema marker (want tps-kernel-bench/1)".into());
+    if !doc.contains("\"schema\": \"tps-kernel-bench/2\"") {
+        return Err("missing or wrong schema marker (want tps-kernel-bench/2)".into());
+    }
+    for version in doc.split("tps-kernel-bench/").skip(1) {
+        if !version.starts_with('2') {
+            return Err(format!(
+                "mixed schema versions: found tps-kernel-bench/{} alongside /2",
+                version.chars().next().unwrap_or('?')
+            ));
+        }
     }
     if !doc.contains("\"scale\": ") {
         return Err("missing \"scale\"".into());
@@ -176,6 +216,7 @@ fn check(doc: &str) -> Result<(), String> {
             }
             if section == "current" {
                 for key in [
+                    "\"shards\":",
                     "\"events\":",
                     "\"peak_queue_depth\":",
                     "\"arena_high_water\":",
@@ -194,6 +235,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = "smoke".to_owned();
     let mut out = "BENCH_kernel.json".to_owned();
+    let mut reps: Option<usize> = None;
     let mut check_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -206,11 +248,20 @@ fn main() {
                 i += 1;
                 out = args.get(i).expect("--out needs a value").clone();
             }
+            "--reps" => {
+                i += 1;
+                reps = Some(
+                    args.get(i)
+                        .expect("--reps needs a value")
+                        .parse()
+                        .expect("--reps must be a positive integer"),
+                );
+            }
             "--check" => {
                 i += 1;
                 check_path = Some(args.get(i).expect("--check needs a path").clone());
             }
-            other => panic!("unknown argument {other} (use --scale, --out or --check)"),
+            other => panic!("unknown argument {other} (use --scale, --reps, --out or --check)"),
         }
         i += 1;
     }
@@ -219,7 +270,7 @@ fn main() {
         let doc =
             std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
         match check(&doc) {
-            Ok(()) => println!("{path}: structurally valid tps-kernel-bench/1"),
+            Ok(()) => println!("{path}: structurally valid tps-kernel-bench/2"),
             Err(e) => {
                 eprintln!("{path}: {e}");
                 std::process::exit(1);
@@ -233,7 +284,13 @@ fn main() {
         "full" => SCALES,
         other => panic!("unknown scale {other} (use smoke or full)"),
     };
-    let points = measure(scales);
+    // Smoke keeps CI fast with single runs; full takes the min of three
+    // so the headline shard ratio is measured, not box noise.
+    let reps = reps.unwrap_or(match scale.as_str() {
+        "full" => 3,
+        _ => 1,
+    });
+    let points = measure(scales, reps);
     let doc = emit(&scale, &points);
     check(&doc).expect("self-emitted document must validate");
     std::fs::write(&out, &doc).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));

@@ -49,8 +49,8 @@
 
 use crate::cache::SteadyState;
 use crate::catalog::ClassId;
+use crate::engine::RackLoads;
 use crate::job::Job;
-use std::collections::BTreeSet;
 use tps_cooling::Chiller;
 use tps_units::{Celsius, Seconds, Watts};
 
@@ -275,14 +275,16 @@ impl ServerTable {
 /// bit-identical to enumerating every rack.
 #[derive(Debug)]
 pub struct FleetIndex<'a> {
-    /// Racks with committed load, ordered by `(heat bits, rack)` — the
-    /// heat key is the rack's *view* heat (clamped non-negative), so
-    /// `f64::to_bits` is monotone and the first element is exactly the
-    /// coolest-then-lowest rack.
-    pub occupied: &'a BTreeSet<(u64, u32)>,
-    /// Idle racks (nothing committed) per rack group, each set ascending
-    /// by rack index.
-    pub idle: &'a [BTreeSet<u32>],
+    /// Racks with committed load, an ascending sorted slice keyed
+    /// `(heat bits, rack)` — the heat key is the rack's *view* heat
+    /// (clamped non-negative), so `f64::to_bits` is monotone and the
+    /// first element is exactly the coolest-then-lowest rack.
+    pub occupied: &'a [(u64, u32)],
+    /// Per-group lowest idle rack (`None` while the group has no idle
+    /// racks). The sets themselves stay inside [`RackLoads`]: every
+    /// dispatch decision only ever needs each group's representative —
+    /// its minimum — and the cached minimum is read in O(1).
+    pub idle_min: &'a [Option<u32>],
     /// Rack → rack-group id (racks in one group host the same class
     /// pattern).
     pub group_of: &'a [u32],
@@ -294,12 +296,46 @@ pub struct FleetIndex<'a> {
     pub stamps: &'a [u64],
 }
 
+/// The sharded-kernel fleet snapshot: one [`RackLoads`] per hall, each
+/// owning a contiguous rack range. Dispatchers reduce one candidate per
+/// hall on the same total tie-break key the global walk sorts by, so the
+/// pick — and therefore the whole run — is bit-identical to `shards = 1`.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetHalls<'a> {
+    /// Per-hall committed load, ascending by rack range. Each hall's
+    /// vectors are full-size and globally indexed; only its owned range
+    /// is live.
+    pub parts: &'a [RackLoads],
+    /// Hall → `[lo, hi)` owned rack range.
+    pub bounds: &'a [(usize, usize)],
+    /// Rack → owning hall.
+    pub hall_of: &'a [u32],
+    /// Rack-group → distinct classes hosted, ascending by class id
+    /// (groups span halls; an idle rack's view is bit-identical in every
+    /// hall, so per-group scores are shared).
+    pub group_classes: &'a [Vec<ClassId>],
+}
+
+impl FleetHalls<'_> {
+    /// The live dispatch view of `rack`, read from its owning hall.
+    pub fn rack_view(&self, rack: usize) -> &RackView {
+        &self.parts[self.hall_of[rack] as usize].view_slice()[rack]
+    }
+
+    /// Total racks across all halls.
+    pub fn racks(&self) -> usize {
+        self.hall_of.len()
+    }
+}
+
 /// A read-only snapshot of the fleet as one job arrives.
 #[derive(Debug)]
 pub struct FleetView<'a> {
     /// The arrival instant.
     pub now: Seconds,
-    /// Per-rack committed load.
+    /// Per-rack committed load (empty under a sharded kernel — the live
+    /// views then hang off [`FleetView::halls`], see
+    /// [`rack_view`](FleetView::rack_view)).
     pub racks: &'a [RackView],
     /// Per-server state: availability, class and rack columns.
     pub servers: &'a ServerTable,
@@ -312,9 +348,22 @@ pub struct FleetView<'a> {
     /// assembled the view by hand — dispatchers then fall back to the
     /// full-enumeration path (same results, linear cost).
     pub index: Option<FleetIndex<'a>>,
+    /// The per-hall state of a sharded kernel (`--shards ≥ 2`); `None`
+    /// for unsharded runs and hand-assembled views. Mutually exclusive
+    /// with [`index`](FleetView::index).
+    pub halls: Option<FleetHalls<'a>>,
 }
 
 impl FleetView<'_> {
+    /// The live dispatch view of `rack`, wherever it lives: the global
+    /// slice for unsharded views, the owning hall under `--shards ≥ 2`.
+    pub fn rack_view(&self, rack: usize) -> &RackView {
+        match &self.halls {
+            Some(h) => h.rack_view(rack),
+            None => &self.racks[rack],
+        }
+    }
+
     /// The server of `rack` that frees up first (lowest index on ties).
     pub fn earliest_free_in(&self, rack: usize) -> (usize, Seconds) {
         self.servers.earliest_free_in(rack)
@@ -413,42 +462,71 @@ impl FleetDispatcher for CoolestRackFirst {
 
     fn place(&mut self, demand: &JobDemand<'_>, view: &FleetView<'_>) -> usize {
         let active_racks = view.servers.active_racks();
-        let rack = match &view.index {
-            // The coolest rack in O(log racks): the lowest-index idle rack
-            // (exact 0.0 heat) versus the occupied set's first element,
-            // compared on the same (heat bits, rack) key the linear scan
-            // minimizes — `0.0f64.to_bits() == 0`, so an idle rack wins
-            // any tie an occupied zero-heat rack doesn't win by index.
-            // Candidates past the active prefix are skipped (each idle
-            // set and the occupied set ascend by their key, so the first
-            // in-prefix element is the set's in-prefix minimum).
-            Some(ix) => {
-                let idle_min = ix
-                    .idle
-                    .iter()
-                    .filter_map(|set| set.iter().copied().find(|&r| (r as usize) < active_racks))
-                    .min()
-                    .map(|r| (0u64, r));
-                let occ_min = ix
-                    .occupied
-                    .iter()
-                    .copied()
-                    .find(|&(_, r)| (r as usize) < active_racks);
-                [idle_min, occ_min]
-                    .into_iter()
-                    .flatten()
-                    .min()
-                    .expect("at least one rack is active")
-                    .1 as usize
-            }
-            None => view
-                .racks
+        let rack = if let Some(hv) = &view.halls {
+            // Sharded: each hall's occupied set and idle sets are ordered
+            // by the same keys the global index uses, so folding their
+            // per-hall minima reproduces the global minimum exactly.
+            let idle_min = hv
+                .parts
                 .iter()
-                .enumerate()
-                .take(active_racks)
-                .min_by(|a, b| a.1.heat.value().total_cmp(&b.1.heat.value()))
-                .map(|(i, _)| i)
-                .expect("at least one rack is active"),
+                .flat_map(|p| p.idle_group_mins().iter())
+                .filter_map(|&m| m.filter(|&r| (r as usize) < active_racks))
+                .min()
+                .map(|r| (0u64, r));
+            let occ_min = hv
+                .parts
+                .iter()
+                .filter_map(|p| {
+                    p.occupied_racks()
+                        .iter()
+                        .copied()
+                        .find(|&(_, r)| (r as usize) < active_racks)
+                })
+                .min();
+            [idle_min, occ_min]
+                .into_iter()
+                .flatten()
+                .min()
+                .expect("at least one rack is active")
+                .1 as usize
+        } else {
+            match &view.index {
+                // The coolest rack in O(log racks): the lowest-index idle rack
+                // (exact 0.0 heat) versus the occupied set's first element,
+                // compared on the same (heat bits, rack) key the linear scan
+                // minimizes — `0.0f64.to_bits() == 0`, so an idle rack wins
+                // any tie an occupied zero-heat rack doesn't win by index.
+                // Candidates past the active prefix are skipped (each idle
+                // set and the occupied set ascend by their key, so the first
+                // in-prefix element is the set's in-prefix minimum).
+                Some(ix) => {
+                    let idle_min = ix
+                        .idle_min
+                        .iter()
+                        .filter_map(|&m| m.filter(|&r| (r as usize) < active_racks))
+                        .min()
+                        .map(|r| (0u64, r));
+                    let occ_min = ix
+                        .occupied
+                        .iter()
+                        .copied()
+                        .find(|&(_, r)| (r as usize) < active_racks);
+                    [idle_min, occ_min]
+                        .into_iter()
+                        .flatten()
+                        .min()
+                        .expect("at least one rack is active")
+                        .1 as usize
+                }
+                None => view
+                    .racks
+                    .iter()
+                    .enumerate()
+                    .take(active_racks)
+                    .min_by(|a, b| a.1.heat.value().total_cmp(&b.1.heat.value()))
+                    .map(|(i, _)| i)
+                    .expect("at least one rack is active"),
+            }
         };
         // One marginal-power evaluation per class (not per comparison);
         // ties break toward the lower class id.
@@ -457,7 +535,7 @@ impl FleetDispatcher for CoolestRackFirst {
             .iter()
             .map(|&c| {
                 (
-                    marginal_power(view.chiller, &view.racks[rack], &demand.class(c).state),
+                    marginal_power(view.chiller, view.rack_view(rack), &demand.class(c).state),
                     c,
                 )
             })
@@ -537,6 +615,13 @@ impl ScoreMemo {
 pub struct ThermalAwareDispatch {
     memo: ScoreMemo,
     ranked: Vec<Candidate>,
+    /// Per-rack `(stamp, epoch, COP at the rack's settled supply, current
+    /// chiller power)`. Neither term depends on the arrival's demand
+    /// signature, so they replay across all rotating signatures where the
+    /// full per-`(rack, sig)` score memo would miss.
+    cop_racks: Vec<(u64, u64, f64, f64)>,
+    /// Per-class `cop(max_water_temp)` for the current arrival.
+    cop_mwt: Vec<f64>,
 }
 
 impl ThermalAwareDispatch {
@@ -585,11 +670,13 @@ impl ThermalAwareDispatch {
             }
         }
         let idle_view = idle_rack_view();
-        for (g, set) in ix.idle.iter().enumerate() {
+        for (g, &m) in ix.idle_min.iter().enumerate() {
             // The group representative is its lowest *active* rack: the
             // representative argument (bit-identical views, identical
-            // wait checks) holds within the active prefix just as well.
-            let Some(first) = set.iter().copied().find(|&r| (r as usize) < active_racks) else {
+            // wait checks) holds within the active prefix just as well
+            // (the sets ascend, so a cached minimum past the prefix means
+            // no member is inside it).
+            let Some(first) = m.filter(|&r| (r as usize) < active_racks) else {
                 continue;
             };
             let entry = &mut self.memo.groups[g];
@@ -636,16 +723,240 @@ impl ThermalAwareDispatch {
         fallback_min_free(view)
     }
 
+    /// Sharded dispatch: each hall contributes its best candidates and a
+    /// left-to-right fold in hall order reduces them under the exact
+    /// total key the global walk sorts by — `(power, heat, rack, class)`.
+    ///
+    /// Why the reduction preserves the sequential pick: the candidate set
+    /// here is *identical* to [`place_indexed`](Self::place_indexed)'s —
+    /// the halls' occupied sets partition the global occupied set, and
+    /// each idle group's representative is its lowest active rack across
+    /// halls (hall ranges ascend by rack, so the first hall with a member
+    /// holds the global minimum). The key is a total order, so the fold's
+    /// minimum is exactly the sorted walk's first element. When that
+    /// winner meets its wait budget — the overwhelmingly common case —
+    /// dispatch finishes with no gather and no sort, which is what makes
+    /// a sharded run *faster* than the memoized global walk. Otherwise
+    /// the full ranking is rebuilt and walked, bit-identical to the
+    /// unsharded path.
+    fn place_halls(
+        &mut self,
+        demand: &JobDemand<'_>,
+        view: &FleetView<'_>,
+        halls: &FleetHalls<'_>,
+    ) -> usize {
+        let sig = demand.sig as usize;
+        let epoch = view.chiller_epoch;
+        let active_racks = view.servers.active_racks();
+        self.memo.resize(halls.racks(), halls.group_classes.len());
+        if self.cop_racks.len() != halls.racks() {
+            self.cop_racks.clear();
+            self.cop_racks
+                .resize(halls.racks(), (u64::MAX, u64::MAX, f64::NAN, f64::NAN));
+        }
+        self.cop_mwt.clear();
+        self.cop_mwt.extend(
+            demand
+                .classes
+                .iter()
+                .map(|cd| view.chiller.cop(cd.state.max_water_temp)),
+        );
+        let mut best: Option<Candidate> = None;
+        let consider = |cand: Candidate, best: &mut Option<Candidate>| {
+            let replace = match best {
+                Some(b) => {
+                    b.p.total_cmp(&cand.p)
+                        .then(b.h.total_cmp(&cand.h))
+                        .then(b.rack.cmp(&cand.rack))
+                        .then(b.class.cmp(&cand.class))
+                        .is_gt()
+                }
+                None => true,
+            };
+            if replace {
+                *best = Some(cand);
+            }
+        };
+        for part in halls.parts {
+            let stamps = part.stamps();
+            let group_of = part.rack_groups();
+            for &(_, rack) in part.occupied_racks() {
+                let r = rack as usize;
+                if r >= active_racks {
+                    continue;
+                }
+                let rv = &part.view_slice()[r];
+                let h = rv.heat.value();
+                let slot = &mut self.cop_racks[r];
+                if slot.0 != stamps[r] || slot.1 != epoch {
+                    let cop_s = rv.supply.map_or(f64::NAN, |s| view.chiller.cop(s));
+                    // `current` replays `electrical_power(heat, supply)`;
+                    // an idle supply contributes exact 0.0, and
+                    // `x - 0.0 == x` keeps the subtraction bit-exact.
+                    let current = if rv.supply.is_some() { h / cop_s } else { 0.0 };
+                    *slot = (stamps[r], epoch, cop_s, current);
+                }
+                let (cop_s, current) = (slot.2, slot.3);
+                // `group_classes[group_of[r]]` is `classes_in_rack(r)` by
+                // construction (groups are keyed on exact slice equality)
+                // — same classes, without chasing the per-rack vectors.
+                for &c in &halls.group_classes[group_of[r] as usize] {
+                    let st = &demand.class(c).state;
+                    // Bit-identical unrolling of `marginal_power`: both
+                    // branches of `min(supply, max_water_temp)` replay a
+                    // COP cached from the same pure function on the same
+                    // input.
+                    let joint_cop = match rv.supply {
+                        Some(s) if s.value() <= st.max_water_temp.value() => cop_s,
+                        _ => self.cop_mwt[c],
+                    };
+                    let p = (h + st.heat.value()) / joint_cop - current;
+                    consider(
+                        Candidate {
+                            p,
+                            h,
+                            rack,
+                            class: c as u32,
+                        },
+                        &mut best,
+                    );
+                }
+            }
+        }
+        let idle_view = idle_rack_view();
+        for (g, classes) in halls.group_classes.iter().enumerate() {
+            let Some(first) = halls
+                .parts
+                .iter()
+                .find_map(|p| p.idle_group_mins()[g].filter(|&r| (r as usize) < active_racks))
+            else {
+                continue;
+            };
+            let entry = &mut self.memo.groups[g];
+            if entry.epoch != epoch {
+                entry.by_sig.clear();
+                entry.epoch = epoch;
+            }
+            if entry.by_sig.len() <= sig {
+                entry.by_sig.resize(sig + 1, None);
+            }
+            let scores = entry.by_sig[sig].get_or_insert_with(|| {
+                classes
+                    .iter()
+                    .map(|&c| marginal_power(view.chiller, &idle_view, &demand.class(c).state))
+                    .collect()
+            });
+            for (k, &c) in classes.iter().enumerate() {
+                consider(
+                    Candidate {
+                        p: scores[k],
+                        h: 0.0,
+                        rack: first,
+                        class: c as u32,
+                    },
+                    &mut best,
+                );
+            }
+        }
+        if let Some(c) = best {
+            let (server, _) = view
+                .earliest_free_of_class(c.rack as usize, c.class as usize)
+                .expect("halls only list hosted classes");
+            if view.wait_on(server) <= demand.class(c.class as usize).wait_budget {
+                return server;
+            }
+        }
+        self.walk_halls(demand, view, halls)
+    }
+
+    /// The sharded slow path, taken only when the reduced winner blows
+    /// its wait budget: gather the full candidate list (same entries as
+    /// the fold above), sort it under the same key, and walk it exactly
+    /// like [`place_indexed`](Self::place_indexed) does.
+    fn walk_halls(
+        &mut self,
+        demand: &JobDemand<'_>,
+        view: &FleetView<'_>,
+        halls: &FleetHalls<'_>,
+    ) -> usize {
+        let sig = demand.sig as usize;
+        let epoch = view.chiller_epoch;
+        let active_racks = view.servers.active_racks();
+        self.ranked.clear();
+        for part in halls.parts {
+            let group_of = part.rack_groups();
+            for &(_, rack) in part.occupied_racks() {
+                let r = rack as usize;
+                if r >= active_racks {
+                    continue;
+                }
+                let rv = &part.view_slice()[r];
+                let h = rv.heat.value();
+                for &c in &halls.group_classes[group_of[r] as usize] {
+                    self.ranked.push(Candidate {
+                        p: marginal_power(view.chiller, rv, &demand.class(c).state),
+                        h,
+                        rack,
+                        class: c as u32,
+                    });
+                }
+            }
+        }
+        let idle_view = idle_rack_view();
+        for (g, classes) in halls.group_classes.iter().enumerate() {
+            let Some(first) = halls
+                .parts
+                .iter()
+                .find_map(|p| p.idle_group_mins()[g].filter(|&r| (r as usize) < active_racks))
+            else {
+                continue;
+            };
+            let entry = &mut self.memo.groups[g];
+            if entry.epoch != epoch {
+                entry.by_sig.clear();
+                entry.epoch = epoch;
+            }
+            if entry.by_sig.len() <= sig {
+                entry.by_sig.resize(sig + 1, None);
+            }
+            let scores = entry.by_sig[sig].get_or_insert_with(|| {
+                classes
+                    .iter()
+                    .map(|&c| marginal_power(view.chiller, &idle_view, &demand.class(c).state))
+                    .collect()
+            });
+            for (k, &c) in classes.iter().enumerate() {
+                self.ranked.push(Candidate {
+                    p: scores[k],
+                    h: 0.0,
+                    rack: first,
+                    class: c as u32,
+                });
+            }
+        }
+        self.ranked.sort_unstable_by(|a, b| {
+            a.p.total_cmp(&b.p)
+                .then(a.h.total_cmp(&b.h))
+                .then(a.rack.cmp(&b.rack))
+                .then(a.class.cmp(&b.class))
+        });
+        for c in &self.ranked {
+            let (server, _) = view
+                .earliest_free_of_class(c.rack as usize, c.class as usize)
+                .expect("halls only list hosted classes");
+            if view.wait_on(server) <= demand.class(c.class as usize).wait_budget {
+                return server;
+            }
+        }
+        fallback_min_free(view)
+    }
+
     /// The full `(rack, class)` enumeration — the reference path for
     /// hand-assembled views (no index).
     fn place_scan(demand: &JobDemand<'_>, view: &FleetView<'_>) -> usize {
         let mut ranked: Vec<(f64, f64, usize, ClassId)> = Vec::new();
-        for (i, rack) in view
-            .racks
-            .iter()
-            .enumerate()
-            .take(view.servers.active_racks())
-        {
+        for i in 0..view.servers.active_racks() {
+            let rack = view.rack_view(i);
             for &class in view.classes_in_rack(i) {
                 ranked.push((
                     marginal_power(view.chiller, rack, &demand.class(class).state),
@@ -692,6 +1003,9 @@ impl FleetDispatcher for ThermalAwareDispatch {
     }
 
     fn place(&mut self, demand: &JobDemand<'_>, view: &FleetView<'_>) -> usize {
+        if let Some(halls) = &view.halls {
+            return self.place_halls(demand, view, halls);
+        }
         match &view.index {
             Some(ix) => self.place_indexed(demand, view, ix),
             None => Self::place_scan(demand, view),
@@ -720,12 +1034,8 @@ impl FleetDispatcher for PlannedDispatch {
 
     fn place(&mut self, demand: &JobDemand<'_>, view: &FleetView<'_>) -> usize {
         let mut ranked: Vec<(f64, f64, usize, ClassId)> = Vec::new();
-        for (i, rack) in view
-            .racks
-            .iter()
-            .enumerate()
-            .take(view.servers.active_racks())
-        {
+        for i in 0..view.servers.active_racks() {
+            let rack = view.rack_view(i);
             for &class in view.classes_in_rack(i) {
                 let d = demand.class(class);
                 let energy = d.runtime.value()
@@ -811,6 +1121,7 @@ mod tests {
         let servers = table(vec![0; 4], 2, &[0.0; 4]);
         let chiller = Chiller::default();
         let view = FleetView {
+            halls: None,
             now: Seconds::ZERO,
             racks: &racks,
             servers: &servers,
@@ -845,6 +1156,7 @@ mod tests {
         let servers = table(vec![0, 1], 1, &[0.0; 2]);
         let chiller = Chiller::default();
         let view = FleetView {
+            halls: None,
             now: Seconds::ZERO,
             racks: &racks,
             servers: &servers,
@@ -894,6 +1206,7 @@ mod tests {
         let servers = table(vec![0; 4], 2, &[0.0, 0.0, 5.0, 0.0]);
         let chiller = Chiller::default();
         let view = FleetView {
+            halls: None,
             now: Seconds::ZERO,
             racks: &racks,
             servers: &servers,
@@ -930,6 +1243,7 @@ mod tests {
         // Heat-reuse loop at 60 °C: supplies below 65 °C pay compressor lift.
         let chiller = Chiller::new(Celsius::new(60.0));
         let view = FleetView {
+            halls: None,
             now: Seconds::ZERO,
             racks: &racks,
             servers: &servers,
@@ -978,6 +1292,7 @@ mod tests {
         let servers = table(vec![0; 4], 2, &[100.0, 100.0, 0.0, 0.0]);
         let chiller = Chiller::default();
         let view = FleetView {
+            halls: None,
             now: Seconds::ZERO,
             racks: &racks,
             servers: &servers,
@@ -1010,6 +1325,7 @@ mod tests {
         let servers = table(vec![0, 1], 2, &[0.0; 2]);
         let chiller = Chiller::new(Celsius::new(60.0));
         let view = FleetView {
+            halls: None,
             now: Seconds::ZERO,
             racks: &racks,
             servers: &servers,
@@ -1052,6 +1368,7 @@ mod tests {
         let servers = table(vec![1, 1, 0, 1], 2, &[4.0, 2.0, 0.0, 0.0]);
         let chiller = Chiller::default();
         let view = FleetView {
+            halls: None,
             now: Seconds::ZERO,
             racks: &racks,
             servers: &servers,
@@ -1103,6 +1420,7 @@ mod tests {
         ];
         let chiller = Chiller::default();
         let view = FleetView {
+            halls: None,
             now: Seconds::ZERO,
             racks: &racks,
             servers: &t,
@@ -1150,9 +1468,8 @@ mod tests {
         let chiller = Chiller::new(Celsius::new(60.0));
         let group_of = vec![0u32, 0, 1, 1];
         let group_classes = vec![vec![0usize], vec![0, 1]];
-        let mut occupied = BTreeSet::new();
-        occupied.insert((Watts::new(140.0).value().to_bits(), 1u32));
-        let idle: Vec<BTreeSet<u32>> = vec![BTreeSet::from([0u32]), BTreeSet::from([2u32, 3])];
+        let occupied = vec![(Watts::new(140.0).value().to_bits(), 1u32)];
+        let idle_min: Vec<Option<u32>> = vec![Some(0), Some(2)];
         let stamps = vec![0u64; 4];
         let mut ta_indexed = ThermalAwareDispatch::default();
         let mut ta_scan = ThermalAwareDispatch::default();
@@ -1178,6 +1495,7 @@ mod tests {
                 sig: sig as u32,
             };
             let indexed_view = FleetView {
+                halls: None,
                 now: Seconds::ZERO,
                 racks: &racks,
                 servers: &servers,
@@ -1185,13 +1503,14 @@ mod tests {
                 chiller_epoch: 0,
                 index: Some(FleetIndex {
                     occupied: &occupied,
-                    idle: &idle,
+                    idle_min: &idle_min,
                     group_of: &group_of,
                     group_classes: &group_classes,
                     stamps: &stamps,
                 }),
             };
             let scan_view = FleetView {
+                halls: None,
                 now: Seconds::ZERO,
                 racks: &racks,
                 servers: &servers,
@@ -1236,6 +1555,7 @@ mod tests {
             sig: 0,
         };
         let indexed_view = FleetView {
+            halls: None,
             now: Seconds::ZERO,
             racks: &racks,
             servers: &masked,
@@ -1243,13 +1563,14 @@ mod tests {
             chiller_epoch: 0,
             index: Some(FleetIndex {
                 occupied: &occupied,
-                idle: &idle,
+                idle_min: &idle_min,
                 group_of: &group_of,
                 group_classes: &group_classes,
                 stamps: &stamps,
             }),
         };
         let scan_view = FleetView {
+            halls: None,
             now: Seconds::ZERO,
             racks: &racks,
             servers: &masked,

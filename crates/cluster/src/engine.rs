@@ -26,12 +26,13 @@ use crate::cache::{OutcomeCache, SteadyState};
 use crate::catalog::ClassId;
 use crate::control::{ControlAction, ControlPolicy, ControlStatus, PlacementHint, RunContext};
 use crate::dispatch::{
-    ClassDemand, FleetDispatcher, FleetIndex, FleetView, JobDemand, RackView, ServerTable,
+    ClassDemand, FleetDispatcher, FleetHalls, FleetIndex, FleetView, JobDemand, RackView,
+    ServerTable,
 };
 use crate::fleet::{Fleet, FleetConfig};
 use crate::job::Job;
 use crate::metrics::{
-    integrate_energy, FleetSample, FleetTrace, KernelStats, LatencyHistogram, Placement,
+    integrate_energy, FleetSample, FleetTrace, HallStats, KernelStats, LatencyHistogram, Placement,
     ServingOutcome, ServingSample, SimResult, TelemetryConfig,
 };
 use crate::queue::{CalendarQueue, KernelQueue, QueueStats};
@@ -39,6 +40,19 @@ use std::collections::{BTreeMap, BTreeSet};
 use tps_core::{MinPowerSelector, RunError};
 use tps_units::{Celsius, Seconds, Watts};
 use tps_workload::{Benchmark, QosClass};
+
+/// How many future arrivals the kernel keeps enqueued ahead of the event
+/// horizon. Arrivals are streamed from the time-sorted order, one pushed
+/// per arrival processed, so the queue holds O(`ARRIVAL_LOOKAHEAD` +
+/// in-flight completions) events instead of the whole job stream. Any
+/// positive window preserves pop order (see `run_impl`); this one is
+/// large enough to keep the calendar queue's buckets well fed.
+pub const ARRIVAL_LOOKAHEAD: usize = 1024;
+
+/// Minimum fleet size (racks) before a telemetry sample fans its per-rack
+/// cooling pass out to worker threads: below this the per-sample scoped
+/// spawn costs more than the arithmetic it parallelizes.
+const HALL_FANOUT_MIN_RACKS: usize = 1024;
 
 /// A typed simulation event.
 ///
@@ -217,24 +231,38 @@ impl EventQueue {
 #[derive(Debug)]
 pub struct RackLoads {
     heat: Vec<f64>,
-    /// Multiset of tolerable-water keys per rack; `f64::to_bits` is
-    /// monotone for the non-negative temperatures in play and round-trips
-    /// the exact value.
-    water: Vec<BTreeMap<u64, usize>>,
+    /// Multiset of tolerable-water keys per rack, as an ascending sorted
+    /// `(key, count)` vector; `f64::to_bits` is monotone for the
+    /// non-negative temperatures in play and round-trips the exact value.
+    /// A vector, not a `BTreeMap`: the handful of distinct keys per rack
+    /// makes the binary search trivial, and the capacity survives the
+    /// rack draining — no node allocation per placement on the hot path.
+    water: Vec<Vec<(u64, u32)>>,
     count: Vec<usize>,
-    /// `(end_bits, insertion seq) → (rack, heat, water_bits)`.
-    expiry: BTreeMap<(u64, usize), (usize, f64, u64)>,
+    /// Min-heap of `(end_bits, insertion seq, rack, heat_bits,
+    /// water_bits)`. The unique seq makes the key total, so pops replay
+    /// the exact `(end, insertion)` order a sorted map would — on a flat
+    /// array instead of B-tree nodes (this is a per-placement hot path).
+    expiry: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize, u32, u64, u64)>>,
     seq: usize,
     total: usize,
     /// The current dispatch view per rack, kept exactly equal to what a
     /// from-scratch rebuild would produce (heat clamped non-negative,
     /// coldest committed water, committed count).
     views: Vec<RackView>,
-    /// Racks with committed load, keyed `(view-heat bits, rack)` — the
-    /// clamped heat is non-negative, so `to_bits` sorts like the float.
-    occupied: BTreeSet<(u64, u32)>,
+    /// Racks with committed load, an ascending sorted vector keyed
+    /// `(view-heat bits, rack)` — the clamped heat is non-negative, so
+    /// `to_bits` sorts like the float. A vector, not a tree: dispatchers
+    /// scan it on every arrival, and membership churn moves only a few
+    /// dozen in-flight entries per mutation.
+    occupied: Vec<(u64, u32)>,
     /// Idle racks per rack group, ascending by rack index.
     idle: Vec<BTreeSet<u32>>,
+    /// Cached per-group minimum idle rack — always exactly
+    /// `idle[g].first()`, so the dispatch hot path reads each group's
+    /// representative in O(1) instead of chasing B-tree nodes per
+    /// arrival.
+    idle_min: Vec<Option<u32>>,
     /// Rack → rack-group id.
     group_of: Vec<u32>,
     /// Rack → stamp of its last mutation (monotone clock).
@@ -258,20 +286,43 @@ impl RackLoads {
     /// Panics if `group_of` has the wrong length or names a group out of
     /// range.
     pub fn with_groups(racks: usize, group_of: Vec<u32>, groups: usize) -> Self {
+        Self::with_groups_range(racks, group_of, groups, 0, racks)
+    }
+
+    /// Empty loads *owning only the contiguous rack range `[lo, hi)`* of a
+    /// fleet with `racks` racks in total — one hall of a sharded kernel.
+    /// Vectors are full-size and globally indexed (so hall views compose
+    /// into one global view by range), but only the owned range is seeded
+    /// idle: the hall tracks exactly its own racks and nothing else.
+    /// `with_groups` is the whole-fleet special case `[0, racks)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_of` has the wrong length, names a group out of
+    /// range, or the rack range is empty or out of bounds.
+    pub fn with_groups_range(
+        racks: usize,
+        group_of: Vec<u32>,
+        groups: usize,
+        lo: usize,
+        hi: usize,
+    ) -> Self {
         assert_eq!(group_of.len(), racks, "one group id per rack");
         assert!(
             group_of.iter().all(|&g| (g as usize) < groups.max(1)),
             "rack group out of range"
         );
+        assert!(lo < hi && hi <= racks, "rack range out of bounds");
         let mut idle = vec![BTreeSet::new(); groups.max(1)];
-        for (r, &g) in group_of.iter().enumerate() {
+        for (r, &g) in group_of.iter().enumerate().take(hi).skip(lo) {
             idle[g as usize].insert(r as u32);
         }
+        let idle_min = idle.iter().map(|s| s.first().copied()).collect();
         Self {
             heat: vec![0.0; racks],
-            water: vec![BTreeMap::new(); racks],
+            water: vec![Vec::new(); racks],
             count: vec![0; racks],
-            expiry: BTreeMap::new(),
+            expiry: std::collections::BinaryHeap::new(),
             seq: 0,
             total: 0,
             views: vec![
@@ -282,8 +333,9 @@ impl RackLoads {
                 };
                 racks
             ],
-            occupied: BTreeSet::new(),
+            occupied: Vec::new(),
             idle,
+            idle_min,
             group_of,
             stamps: vec![0; racks],
             stamp_clock: 0,
@@ -307,8 +359,8 @@ impl RackLoads {
         let view = RackView {
             heat: Watts::new(self.heat[rack].max(0.0)),
             supply: self.water[rack]
-                .first_key_value()
-                .map(|(&bits, _)| Celsius::new(f64::from_bits(bits))),
+                .first()
+                .map(|&(bits, _)| Celsius::new(f64::from_bits(bits))),
             committed: self.count[rack],
         };
         let new_bits = view.heat.value().to_bits();
@@ -319,16 +371,30 @@ impl RackLoads {
         match (was_occupied, now_occupied) {
             (false, true) => {
                 self.idle[g].remove(&r);
-                self.occupied.insert((new_bits, r));
+                if self.idle_min[g] == Some(r) {
+                    self.idle_min[g] = self.idle[g].first().copied();
+                }
+                if let Err(at) = self.occupied.binary_search(&(new_bits, r)) {
+                    self.occupied.insert(at, (new_bits, r));
+                }
             }
             (true, false) => {
-                self.occupied.remove(&(old_bits, r));
+                if let Ok(at) = self.occupied.binary_search(&(old_bits, r)) {
+                    self.occupied.remove(at);
+                }
                 self.idle[g].insert(r);
+                if self.idle_min[g].map_or(true, |m| r < m) {
+                    self.idle_min[g] = Some(r);
+                }
             }
             (true, true) => {
                 if old_bits != new_bits {
-                    self.occupied.remove(&(old_bits, r));
-                    self.occupied.insert((new_bits, r));
+                    if let Ok(at) = self.occupied.binary_search(&(old_bits, r)) {
+                        self.occupied.remove(at);
+                    }
+                    if let Err(at) = self.occupied.binary_search(&(new_bits, r)) {
+                        self.occupied.insert(at, (new_bits, r));
+                    }
                 }
             }
             (false, false) => {}
@@ -349,34 +415,44 @@ impl RackLoads {
         self.heat[rack] += state.heat.value();
         self.count[rack] += 1;
         self.total += 1;
-        *self.water[rack].entry(water_bits).or_insert(0) += 1;
-        self.expiry.insert(
-            (end.value().to_bits(), self.seq),
-            (rack, state.heat.value(), water_bits),
-        );
+        match self.water[rack].binary_search_by_key(&water_bits, |e| e.0) {
+            Ok(i) => self.water[rack][i].1 += 1,
+            Err(i) => self.water[rack].insert(i, (water_bits, 1)),
+        }
+        self.expiry.push(std::cmp::Reverse((
+            end.value().to_bits(),
+            self.seq,
+            rack as u32,
+            state.heat.value().to_bits(),
+            water_bits,
+        )));
         self.seq += 1;
         self.sync_rack(rack, was_occupied, old_bits);
     }
 
     /// Drops every placement with `end ≤ now` (it covered `[start, end)`),
     /// in `(end, insertion)` order so float accumulation is deterministic.
-    pub fn expire_until(&mut self, now: Seconds) {
-        while let Some((&key @ (end_bits, _), &(rack, heat, water_bits))) =
-            self.expiry.first_key_value()
+    /// Returns how many placements expired.
+    pub fn expire_until(&mut self, now: Seconds) -> usize {
+        let mut expired = 0;
+        while let Some(&std::cmp::Reverse((end_bits, _, rack, heat_bits, water_bits))) =
+            self.expiry.peek()
         {
             if f64::from_bits(end_bits) > now.value() {
                 break;
             }
-            self.expiry.remove(&key);
+            let (rack, heat) = (rack as usize, f64::from_bits(heat_bits));
+            expired += 1;
+            self.expiry.pop();
             let was_occupied = self.count[rack] > 0;
             let old_bits = self.views[rack].heat.value().to_bits();
             self.heat[rack] -= heat;
             self.count[rack] -= 1;
             self.total -= 1;
-            if let Some(n) = self.water[rack].get_mut(&water_bits) {
-                *n -= 1;
-                if *n == 0 {
-                    self.water[rack].remove(&water_bits);
+            if let Ok(i) = self.water[rack].binary_search_by_key(&water_bits, |e| e.0) {
+                self.water[rack][i].1 -= 1;
+                if self.water[rack][i].1 == 0 {
+                    self.water[rack].remove(i);
                 }
             }
             // Pin drained racks back to exact zero: float residue must not
@@ -386,6 +462,14 @@ impl RackLoads {
             }
             self.sync_rack(rack, was_occupied, old_bits);
         }
+        expired
+    }
+
+    /// The earliest pending expiry, `None` while nothing is committed.
+    pub fn next_expiry(&self) -> Option<f64> {
+        self.expiry
+            .peek()
+            .map(|&std::cmp::Reverse((end_bits, ..))| f64::from_bits(end_bits))
     }
 
     /// The maintained per-rack dispatch views — always equal to what a
@@ -395,13 +479,20 @@ impl RackLoads {
     }
 
     /// Racks with committed load, ordered `(view-heat bits, rack)`.
-    pub fn occupied_racks(&self) -> &BTreeSet<(u64, u32)> {
+    pub fn occupied_racks(&self) -> &[(u64, u32)] {
         &self.occupied
     }
 
     /// Idle racks per rack group, each ascending by rack index.
     pub fn idle_groups(&self) -> &[BTreeSet<u32>] {
         &self.idle
+    }
+
+    /// Per-group cached minimum idle rack, always equal to
+    /// `idle_groups()[g].first()` (`None` while the group has no idle
+    /// racks).
+    pub fn idle_group_mins(&self) -> &[Option<u32>] {
+        &self.idle_min
     }
 
     /// Rack → rack-group id.
@@ -429,6 +520,152 @@ impl RackLoads {
     /// convenience over [`views_into`](Self::views_into)).
     pub fn views(&self) -> Vec<RackView> {
         self.views.clone()
+    }
+}
+
+/// The fleet's committed load partitioned into **halls**: contiguous rack
+/// ranges, each owning its racks' [`RackLoads`] (views, occupancy index,
+/// expiry events) outright. Halls share nothing, so between global
+/// decision points they can advance expiries and score candidates
+/// independently; every cross-hall reduction here folds in ascending hall
+/// order, which is what keeps a sharded run bit-identical to `shards = 1`
+/// (see `ARCHITECTURE.md`, "Sharded halls").
+///
+/// With one hall this is exactly the old single-`RackLoads` kernel — the
+/// same struct, the same mutation order, the same bits.
+#[derive(Debug)]
+pub struct HallLoads {
+    parts: Vec<RackLoads>,
+    /// Hall → `[lo, hi)` rack range (contiguous, covering all racks).
+    bounds: Vec<(usize, usize)>,
+    /// Rack → owning hall.
+    hall_of: Vec<u32>,
+    /// Committed placements across all halls (Σ per-hall totals — an
+    /// integer, so the split cannot perturb it).
+    total: usize,
+    /// Per-hall placement counters (diagnostics only).
+    adds: Vec<u64>,
+    /// Per-hall expiry counters (diagnostics only).
+    expired: Vec<u64>,
+    /// Per-hall earliest pending expiry (`f64::INFINITY` when drained) —
+    /// one contiguous compare per hall lets `expire_until` skip quiet
+    /// halls without touching their heaps. Always a lower bound on the
+    /// hall's true front, so a skip expires exactly what the hall itself
+    /// would have expired: nothing.
+    next_end: Vec<f64>,
+}
+
+impl HallLoads {
+    /// Partitions `racks` racks into `shards` contiguous halls of
+    /// near-equal size (the first `racks % shards` halls get one extra).
+    /// `shards` is clamped to `[1, racks]`.
+    pub fn new(racks: usize, group_of: Vec<u32>, groups: usize, shards: usize) -> Self {
+        let shards = shards.clamp(1, racks.max(1));
+        let base = racks / shards;
+        let rem = racks % shards;
+        let mut bounds = Vec::with_capacity(shards);
+        let mut lo = 0;
+        for h in 0..shards {
+            let hi = lo + base + usize::from(h < rem);
+            bounds.push((lo, hi));
+            lo = hi;
+        }
+        let hall_of = (0..racks as u32)
+            .map(|r| {
+                bounds
+                    .iter()
+                    .position(|&(lo, hi)| (r as usize) >= lo && (r as usize) < hi)
+                    .expect("every rack is in exactly one hall") as u32
+            })
+            .collect();
+        let parts = bounds
+            .iter()
+            .map(|&(lo, hi)| RackLoads::with_groups_range(racks, group_of.clone(), groups, lo, hi))
+            .collect();
+        Self {
+            parts,
+            bounds,
+            hall_of,
+            total: 0,
+            adds: vec![0; shards],
+            expired: vec![0; shards],
+            next_end: vec![f64::INFINITY; shards],
+        }
+    }
+
+    /// Number of halls.
+    pub fn shards(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The halls' `RackLoads`, ascending by rack range.
+    pub fn parts(&self) -> &[RackLoads] {
+        &self.parts
+    }
+
+    /// Hall → `[lo, hi)` owned rack range.
+    pub fn bounds(&self) -> &[(usize, usize)] {
+        &self.bounds
+    }
+
+    /// Rack → owning hall.
+    pub fn hall_of(&self) -> &[u32] {
+        &self.hall_of
+    }
+
+    /// Per-hall `(placements, expiries)` counters.
+    pub fn counters(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.adds.iter().copied().zip(self.expired.iter().copied())
+    }
+
+    /// The single hall when the fleet is unsharded — the kernel then runs
+    /// the exact pre-hall code path (global index, global views slice).
+    pub fn single(&self) -> Option<&RackLoads> {
+        (self.parts.len() == 1).then(|| &self.parts[0])
+    }
+
+    /// Committed placements across all halls.
+    pub fn total_committed(&self) -> usize {
+        self.total
+    }
+
+    /// Commits `state`'s load to `rack`'s hall until `end`.
+    pub fn add(&mut self, rack: usize, state: &SteadyState, end: Seconds) {
+        let h = self.hall_of[rack] as usize;
+        self.parts[h].add(rack, state, end);
+        self.adds[h] += 1;
+        self.total += 1;
+        if end.value() < self.next_end[h] {
+            self.next_end[h] = end.value();
+        }
+    }
+
+    /// Expires every placement with `end ≤ now`, hall by hall in
+    /// ascending order. Halls are disjoint — each expiry touches only its
+    /// own rack's floats, and the per-rack `(end, insertion)` fold order
+    /// inside a hall matches the global kernel's, so the cross-hall
+    /// processing order cannot change any bit of state. Halls whose
+    /// cached earliest expiry is still in the future are skipped without
+    /// touching their heaps — they would have expired nothing.
+    pub fn expire_until(&mut self, now: Seconds) {
+        for (h, part) in self.parts.iter_mut().enumerate() {
+            if now.value() < self.next_end[h] {
+                continue;
+            }
+            let n = part.expire_until(now);
+            self.expired[h] += n as u64;
+            self.total -= n;
+            self.next_end[h] = part.next_expiry().unwrap_or(f64::INFINITY);
+        }
+    }
+
+    /// Writes the global per-rack dispatch views into `out` (cleared
+    /// first) by concatenating each hall's owned range in rack order.
+    pub fn views_into(&self, out: &mut Vec<RackView>) {
+        out.clear();
+        for (part, &(lo, hi)) in self.parts.iter().zip(&self.bounds) {
+            out.extend_from_slice(&part.view_slice()[lo..hi]);
+        }
     }
 }
 
@@ -556,7 +793,7 @@ impl RunningSet {
 /// and the control surface (current chiller, shedding flag).
 #[derive(Debug)]
 pub(crate) struct FleetState {
-    loads: RackLoads,
+    loads: HallLoads,
     running: RunningSet,
     servers: ServerTable,
     chiller: tps_cooling::Chiller,
@@ -575,7 +812,7 @@ impl FleetState {
         classes: usize,
         pending_arrivals: usize,
         servers: ServerTable,
-        loads: RackLoads,
+        loads: HallLoads,
     ) -> Self {
         Self {
             loads,
@@ -636,6 +873,7 @@ pub(crate) fn run_with_heap(
 /// The physics cache must already be warm for every `(bench, qos)` in
 /// `jobs` ([`Fleet::simulate_with`](crate::Fleet::simulate_with) warms it
 /// first); misses are still solved correctly, just serially.
+
 fn run_impl<Q: KernelQueue + Default>(
     fleet: &Fleet,
     jobs: &[Job],
@@ -669,7 +907,17 @@ fn run_impl<Q: KernelQueue + Default>(
             }
         })
         .collect();
-    let loads = RackLoads::with_groups(config.racks, group_of, group_classes.len());
+    // The hall partition: `shards = 1` is the old single-`RackLoads`
+    // kernel verbatim; more shards split the racks into contiguous halls
+    // whose candidate reductions and expiry streams merge back
+    // deterministically (bit-identical outcomes either way — the
+    // determinism matrix pins it).
+    let loads = HallLoads::new(
+        config.racks,
+        group_of,
+        group_classes.len(),
+        config.shards.max(1),
+    );
 
     // The per-(benchmark, QoS) demand states, solved once up front — a
     // million arrivals share a handful of distinct demand signatures, so
@@ -690,7 +938,13 @@ fn run_impl<Q: KernelQueue + Default>(
 
     let mut queue = Q::default();
     // Arrivals in time order (id on ties), pushed in that order so the
-    // queue's seq tie-break preserves it.
+    // queue's seq tie-break preserves it. Only a bounded lookahead window
+    // is in the queue at once: each processed arrival streams the next
+    // one in, so peak queue depth (and the calendar arena) stay O(window
+    // + in-flight) instead of O(total jobs). Order is unaffected — every
+    // unpushed arrival is no earlier than the latest pending one, and on
+    // exact time ties the arrival class pops last anyway, so nothing can
+    // pop before the window catches up to it.
     let mut order: Vec<usize> = (0..jobs.len()).collect();
     order.sort_by(|&a, &b| {
         jobs[a]
@@ -699,9 +953,10 @@ fn run_impl<Q: KernelQueue + Default>(
             .total_cmp(&jobs[b].arrival.value())
             .then(jobs[a].id.cmp(&jobs[b].id))
     });
-    for &ji in &order {
+    for &ji in order.iter().take(ARRIVAL_LOOKAHEAD) {
         queue.push(jobs[ji].arrival, Event::JobArrival(ji));
     }
+    let mut next_arrival = order.len().min(ARRIVAL_LOOKAHEAD);
     // The control policy's pre-scheduled set-point program…
     for (t, c) in control.setpoint_program() {
         queue.push(t, Event::SetpointChange(c));
@@ -847,6 +1102,13 @@ fn run_impl<Q: KernelQueue + Default>(
                 }
             }
             Event::JobArrival(ji) => {
+                // Stream the next arrival in to replace this one, keeping
+                // the lookahead window full until the stream runs dry.
+                if next_arrival < order.len() {
+                    let nj = order[next_arrival];
+                    queue.push(jobs[nj].arrival, Event::JobArrival(nj));
+                    next_arrival += 1;
+                }
                 let job = &jobs[ji];
                 state.pending_arrivals -= 1;
                 state.loads.expire_until(now);
@@ -890,18 +1152,29 @@ fn run_impl<Q: KernelQueue + Default>(
                     classes: &class_scratch,
                     sig: pair,
                 };
+                // Unsharded: the exact pre-hall view (global slice +
+                // incremental index). Sharded: the per-hall view, where
+                // each dispatcher reduces one candidate per hall on the
+                // same total tie-break key the global walk sorts by.
+                let single = state.loads.single();
                 let view = FleetView {
                     now,
-                    racks: state.loads.view_slice(),
+                    racks: single.map_or(&[][..], |l| l.view_slice()),
                     servers: &state.servers,
                     chiller: &state.chiller,
                     chiller_epoch: state.chiller_epoch,
-                    index: Some(FleetIndex {
-                        occupied: state.loads.occupied_racks(),
-                        idle: state.loads.idle_groups(),
-                        group_of: state.loads.rack_groups(),
+                    index: single.map(|l| FleetIndex {
+                        occupied: l.occupied_racks(),
+                        idle_min: l.idle_group_mins(),
+                        group_of: l.rack_groups(),
                         group_classes: &group_classes,
-                        stamps: state.loads.stamps(),
+                        stamps: l.stamps(),
+                    }),
+                    halls: single.is_none().then(|| FleetHalls {
+                        parts: state.loads.parts(),
+                        bounds: state.loads.bounds(),
+                        hall_of: state.loads.hall_of(),
+                        group_classes: &group_classes,
                     }),
                 };
                 // A planning control policy may have a placement hint for
@@ -1004,6 +1277,22 @@ fn run_impl<Q: KernelQueue + Default>(
             max_active_servers: max_a,
         });
     }
+    let halls = state
+        .loads
+        .bounds()
+        .iter()
+        .zip(state.loads.counters())
+        .enumerate()
+        .map(
+            |(hall, (&(rack_lo, rack_hi), (placements, expiries)))| HallStats {
+                hall,
+                rack_lo,
+                rack_hi,
+                placements,
+                expiries,
+            },
+        )
+        .collect();
     Ok(SimResult {
         outcome,
         trace,
@@ -1011,6 +1300,7 @@ fn run_impl<Q: KernelQueue + Default>(
             events: qstats.pushed,
             peak_queue_depth: qstats.peak_depth,
             arena_high_water: qstats.arena_high_water,
+            halls,
         },
     })
 }
@@ -1038,6 +1328,37 @@ fn hinted_server(
 /// Captures one telemetry sample from the settled running layer. In
 /// serving mode `latency` carries the whole-run percentile sketch and the
 /// sample gains the active-server count and latency quantiles.
+/// Fills one contiguous rack range's telemetry columns: settled running
+/// heat, coldest running supply, and that rack's chiller electrical power
+/// (left at `0.0` for racks with no supply — the caller's sequential sum
+/// skips those, exactly like the old fused loop did).
+fn cooling_chunk(
+    running: &RunningSet,
+    chiller: &tps_cooling::Chiller,
+    lo: usize,
+    heat_out: &mut [Watts],
+    water_out: &mut [Option<Celsius>],
+    cooling_out: &mut [f64],
+) {
+    for (i, ((h, w), c)) in heat_out
+        .iter_mut()
+        .zip(water_out.iter_mut())
+        .zip(cooling_out.iter_mut())
+        .enumerate()
+    {
+        let r = lo + i;
+        let heat = running.heat[r].max(0.0);
+        let supply = running.water[r]
+            .first_key_value()
+            .map(|(&bits, _)| Celsius::new(f64::from_bits(bits)));
+        if let Some(supply) = supply {
+            *c = chiller.electrical_power(Watts::new(heat), supply).value();
+        }
+        *h = Watts::new(heat);
+        *w = supply;
+    }
+}
+
 fn sample(
     state: &FleetState,
     now: Seconds,
@@ -1050,22 +1371,57 @@ fn sample(
         .active_servers()
         .saturating_sub(running.running) as f64
         * config.idle_server_power.value();
+    // Two-pass cooling: per-rack heat/supply/chiller power first (each
+    // rack's values are independent, so halls can fill their ranges on
+    // worker threads), then one *sequential* rack-order sum — the exact
+    // accumulation order of the unsharded kernel, so the fan-out can
+    // never perturb a bit of the trace.
+    let racks = config.racks;
+    let mut rack_heat = vec![Watts::ZERO; racks];
+    let mut rack_water: Vec<Option<Celsius>> = vec![None; racks];
+    let mut rack_cooling = vec![0.0f64; racks];
+    let bounds = state.loads.bounds();
+    let workers = config.threads.min(bounds.len());
+    if workers > 1 && racks >= HALL_FANOUT_MIN_RACKS {
+        // Group the halls into `workers` contiguous runs (the thread
+        // budget is shared with sweep workers — see `thread_budget`), one
+        // scoped worker per run, each writing disjoint rack ranges.
+        let per = bounds.len().div_ceil(workers);
+        let chiller = &state.chiller;
+        std::thread::scope(|s| {
+            let mut heat_rest = &mut rack_heat[..];
+            let mut water_rest = &mut rack_water[..];
+            let mut cool_rest = &mut rack_cooling[..];
+            let mut lo = 0;
+            for run in bounds.chunks(per) {
+                // Hall ranges are contiguous from rack 0, so each run of
+                // halls owns exactly the racks `[lo, hi)`.
+                let hi = run[run.len() - 1].1;
+                let (heat, hr) = heat_rest.split_at_mut(hi - lo);
+                let (water, wr) = water_rest.split_at_mut(hi - lo);
+                let (cool, cr) = cool_rest.split_at_mut(hi - lo);
+                heat_rest = hr;
+                water_rest = wr;
+                cool_rest = cr;
+                s.spawn(move || cooling_chunk(running, chiller, lo, heat, water, cool));
+                lo = hi;
+            }
+        });
+    } else {
+        cooling_chunk(
+            running,
+            &state.chiller,
+            0,
+            &mut rack_heat,
+            &mut rack_water,
+            &mut rack_cooling,
+        );
+    }
     let mut cooling = 0.0;
-    let mut rack_heat = Vec::with_capacity(config.racks);
-    let mut rack_water = Vec::with_capacity(config.racks);
-    for r in 0..config.racks {
-        let heat = running.heat[r].max(0.0);
-        let supply = running.water[r]
-            .first_key_value()
-            .map(|(&bits, _)| Celsius::new(f64::from_bits(bits)));
-        if let Some(supply) = supply {
-            cooling += state
-                .chiller
-                .electrical_power(Watts::new(heat), supply)
-                .value();
+    for r in 0..racks {
+        if rack_water[r].is_some() {
+            cooling += rack_cooling[r];
         }
-        rack_heat.push(Watts::new(heat));
-        rack_water.push(supply);
     }
     FleetSample {
         t: now,

@@ -100,8 +100,20 @@ pub struct FleetConfig {
     pub idle_server_power: Watts,
     /// Fleet-wide default mapping policy. Classes may override it.
     pub policy: PolicyId,
-    /// OS threads for the cache warm-up phase.
+    /// OS threads for the cache warm-up phase and for hall-level
+    /// parallelism inside a sharded run (telemetry fan-out). Thread count
+    /// never changes simulation results, only wall time; callers nesting
+    /// simulations inside their own worker pool should derive this via
+    /// [`thread_budget`] so the two levels never oversubscribe.
     pub threads: usize,
+    /// Number of **halls** the kernel partitions the racks into:
+    /// contiguous rack ranges that own their committed load, occupancy
+    /// index and expiry events outright, and whose per-hall dispatch
+    /// candidates merge through a deterministic reduction. Any value
+    /// produces bit-identical outcomes and traces (`1`, the default, is
+    /// the classic single-index kernel); values above the rack count are
+    /// clamped. See `ARCHITECTURE.md`, "Sharded halls".
+    pub shards: usize,
     /// The server catalog: which hardware class sits in each rack slot.
     /// The default [`FleetCatalog::uniform`] is one fully inheriting
     /// class everywhere — the homogeneous fleet, bit for bit.
@@ -138,6 +150,7 @@ impl FleetConfig {
             idle_server_power: idle,
             policy: PolicyId::default(),
             threads: Self::default_threads(),
+            shards: 1,
             catalog: FleetCatalog::uniform(),
             serving: false,
         }
@@ -154,6 +167,16 @@ impl FleetConfig {
     pub fn total_servers(&self) -> usize {
         self.racks * self.servers_per_rack
     }
+}
+
+/// Splits a thread budget across `outer` concurrent workers: the threads
+/// each worker may use internally so the two levels of parallelism never
+/// oversubscribe the machine. The scenario sweep hands each grid worker
+/// `thread_budget(threads, workers)` for its per-point simulations
+/// (warm-up and hall fan-out); a single foreground run is the `outer = 1`
+/// case and keeps the whole budget. Never returns zero.
+pub fn thread_budget(total: usize, outer: usize) -> usize {
+    (total / outer.max(1)).max(1)
 }
 
 /// One catalog class, resolved against the fleet defaults and assembled:

@@ -112,14 +112,14 @@ pub use control::{
     PlacementHint, RunContext, SetpointScheduler, StaticControl,
 };
 pub use dispatch::{
-    ClassDemand, CoolestRackFirst, FleetDispatcher, FleetIndex, FleetView, JobDemand,
+    ClassDemand, CoolestRackFirst, FleetDispatcher, FleetHalls, FleetIndex, FleetView, JobDemand,
     PlannedDispatch, RackView, RoundRobin, ServerTable, ThermalAwareDispatch,
 };
-pub use engine::{Event, EventQueue, RackLoads};
-pub use fleet::{Fleet, FleetConfig, PolicyId, ServerPolicy};
+pub use engine::{Event, EventQueue, HallLoads, RackLoads, ARRIVAL_LOOKAHEAD};
+pub use fleet::{thread_budget, Fleet, FleetConfig, PolicyId, ServerPolicy};
 pub use job::{synthesize_jobs, synthesize_request_jobs, Job, JobMix};
 pub use metrics::{
-    FleetOutcome, FleetSample, FleetTrace, KernelStats, LatencyHistogram, Placement,
+    FleetOutcome, FleetSample, FleetTrace, HallStats, KernelStats, LatencyHistogram, Placement,
     ServingOutcome, ServingSample, SimResult, TelemetryConfig,
 };
 pub use plan::{PlanSolver, PlannerControl};

@@ -4,7 +4,7 @@
 use crate::cache::SteadyState;
 use crate::catalog::ClassId;
 use crate::fleet::FleetConfig;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 use tps_cooling::pue;
 use tps_units::{Celsius, Joules, Seconds, Watts};
 
@@ -230,7 +230,7 @@ impl FleetOutcome {
 /// never part of the byte-determinism surface ([`FleetOutcome`] and the
 /// trace CSV exclude it), so perf-motivated queue changes can move these
 /// numbers without breaking golden outputs.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct KernelStats {
     /// Events pushed (= processed: the kernel drains its queue).
     pub events: u64,
@@ -239,6 +239,27 @@ pub struct KernelStats {
     /// High-water mark of the calendar queue's entry arena (equals the
     /// peak depth under the heap queue, which has no arena).
     pub arena_high_water: usize,
+    /// Per-hall traffic when the run was sharded (one entry per hall,
+    /// ascending by rack range; a single entry covering every rack for
+    /// `shards = 1`).
+    pub halls: Vec<HallStats>,
+}
+
+/// One hall's share of the kernel traffic — how the `--shards` partition
+/// actually split the work. Diagnostic only, like the rest of
+/// [`KernelStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HallStats {
+    /// Hall index (ascending by rack range).
+    pub hall: usize,
+    /// First rack the hall owns.
+    pub rack_lo: usize,
+    /// One past the last rack the hall owns.
+    pub rack_hi: usize,
+    /// Placements committed into this hall's racks.
+    pub placements: u64,
+    /// Placements expired out of this hall's racks.
+    pub expiries: u64,
 }
 
 /// One result of [`Fleet::simulate_with`](crate::Fleet::simulate_with):
@@ -561,12 +582,24 @@ pub(crate) fn integrate_energy(
         // temperatures in play, and round-trips the exact f64.
         water_bits: u64,
         power: f64,
+        // Position in the pre-sort event vector: makes the sort key total,
+        // so an in-place unstable sort reproduces the stable order (same
+        // float accumulation, bit for bit) without the stable sort's
+        // half-array scratch allocation.
+        seq: u32,
     }
-    let mut events: Vec<Event> = placements
-        .iter()
-        .filter(|p| p.end.value() > p.start.value())
-        .flat_map(|p| {
-            let make = |time: f64, kind: u8| Event {
+    // Two streams instead of one flat vector: removals (always arriving
+    // out of order — ends are starts plus varying runtimes) and everything
+    // else (starts usually arrive already in time order, plus the rare
+    // set-point/activation changes). The kinds never overlap across the
+    // streams, so a two-pointer merge under the same `(time, kind, rack,
+    // seq)` key replays the single-vector sort exactly — while only the
+    // 1M-element removal stream ever pays for a full sort.
+    let mut others: Vec<Event> = Vec::with_capacity(placements.len() + setpoints.len());
+    let mut removes: Vec<Event> = Vec::with_capacity(placements.len());
+    for p in &placements {
+        if p.end.value() > p.start.value() {
+            let make = |time: f64, kind: u8, seq: u32| Event {
                 time,
                 kind,
                 rack: p.rack,
@@ -574,20 +607,14 @@ pub(crate) fn integrate_energy(
                 heat: p.state.heat.value(),
                 water_bits: p.state.max_water_temp.value().to_bits(),
                 power: p.state.package_power.value(),
+                seq,
             };
-            [make(p.start.value(), ADD), make(p.end.value(), REMOVE)]
-        })
-        .collect();
-    let first_start = events
-        .iter()
-        .filter(|e| e.kind == ADD)
-        .map(|e| e.time)
-        .fold(f64::INFINITY, f64::min);
-    let last_end = events
-        .iter()
-        .filter(|e| e.kind == REMOVE)
-        .map(|e| e.time)
-        .fold(0.0f64, f64::max);
+            others.push(make(p.start.value(), ADD, others.len() as u32));
+            removes.push(make(p.end.value(), REMOVE, removes.len() as u32));
+        }
+    }
+    let first_start = others.iter().map(|e| e.time).fold(f64::INFINITY, f64::min);
+    let last_end = removes.iter().map(|e| e.time).fold(0.0f64, f64::max);
     // The chiller in force when integration starts is the last set-point
     // at or before the first placement start; changes strictly inside
     // the timeline become events. Changes at/after the last end are
@@ -597,7 +624,7 @@ pub(crate) fn integrate_energy(
         if t.value() <= first_start {
             chiller = config.chiller.with_ambient(c);
         } else if t.value() < last_end {
-            events.push(Event {
+            others.push(Event {
                 time: t.value(),
                 kind: SETPOINT,
                 rack: 0,
@@ -605,6 +632,7 @@ pub(crate) fn integrate_energy(
                 heat: 0.0,
                 water_bits: c.value().to_bits(),
                 power: 0.0,
+                seq: others.len() as u32,
             });
         }
     }
@@ -615,7 +643,7 @@ pub(crate) fn integrate_energy(
         if t.value() <= first_start {
             active = n;
         } else if t.value() < last_end {
-            events.push(Event {
+            others.push(Event {
                 time: t.value(),
                 kind: ACTIVATION,
                 rack: n,
@@ -623,15 +651,27 @@ pub(crate) fn integrate_energy(
                 heat: 0.0,
                 water_bits: 0,
                 power: 0.0,
+                seq: others.len() as u32,
             });
         }
     }
-    events.sort_by(|a, b| {
+    // Per-stream seq indices replay the flat-vector tie-break: seq only
+    // ever compares events of equal `(time, kind, rack)`, which always
+    // live in the same stream, and each stream preserves build order.
+    let by_key = |a: &Event, b: &Event| {
         a.time
             .total_cmp(&b.time)
             .then(a.kind.cmp(&b.kind))
             .then(a.rack.cmp(&b.rack))
-    });
+            .then(a.seq.cmp(&b.seq))
+    };
+    if !others
+        .windows(2)
+        .all(|w| by_key(&w[0], &w[1]) != std::cmp::Ordering::Greater)
+    {
+        others.sort_unstable_by(by_key);
+    }
+    removes.sort_unstable_by(by_key);
     let makespan = last_end;
 
     let n_classes = class_names.len().max(1);
@@ -640,8 +680,29 @@ pub(crate) fn integrate_energy(
     let mut peak_rack_heat = 0.0f64;
     let mut busy = 0usize;
     let mut active_power = 0.0;
-    let mut rack_heat = vec![0.0f64; config.racks];
-    let mut rack_water: Vec<BTreeMap<u64, usize>> = vec![BTreeMap::new(); config.racks];
+    // Per-rack window state packed into one struct: the window walk below
+    // reads heat, the cached chiller draw and its validity per occupied
+    // rack, and one cache line beats four scattered arrays.
+    #[derive(Clone)]
+    struct RackAcc {
+        heat: f64,
+        power: f64,
+        era: u64,
+        dirty: bool,
+    }
+    let mut acc = vec![
+        RackAcc {
+            heat: 0.0,
+            power: 0.0,
+            era: 0,
+            dirty: true,
+        };
+        config.racks
+    ];
+    // Ascending sorted `(key, count)` vectors, not `BTreeMap`s: few
+    // distinct keys per rack, and the capacity survives rack drains, so
+    // the 2M-event sweep never allocates tree nodes.
+    let mut rack_water: Vec<Vec<(u64, u32)>> = vec![Vec::new(); config.racks];
     let mut class_busy = vec![0usize; n_classes];
     let mut class_power = vec![0.0f64; n_classes];
     let mut class_it = vec![0.0f64; n_classes];
@@ -652,29 +713,55 @@ pub(crate) fn integrate_energy(
     // replaces. Each rack's chiller draw is cached and recomputed only
     // when its load (dirty flag) or the chiller (era) moved — the same
     // pure expression either way, so the cached value is bit-identical.
-    let mut occupied: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
-    let mut p_cache = vec![0.0f64; config.racks];
-    let mut p_dirty = vec![true; config.racks];
-    let mut p_era = vec![0u64; config.racks];
+    // A sorted vector, not a BTreeSet: the per-window walk dominates this
+    // sweep, and a contiguous ascending scan is both faster and exactly
+    // the same visit order (so the same float accumulation).
+    let mut occupied: Vec<u32> = Vec::new();
     let mut era = 0u64;
-    let mut i = 0;
-    while i < events.len() {
-        let t = events[i].time;
-        while i < events.len() && events[i].time == t {
-            let e = &events[i];
-            match e.kind {
-                ADD => {
-                    busy += 1;
-                    active_power += e.power;
-                    rack_heat[e.rack] += e.heat;
-                    class_busy[e.class] += 1;
-                    class_power[e.class] += e.power;
-                    if rack_water[e.rack].is_empty() {
-                        occupied.insert(e.rack);
-                    }
-                    *rack_water[e.rack].entry(e.water_bits).or_insert(0) += 1;
-                    p_dirty[e.rack] = true;
+    let (mut ri, mut oi) = (0usize, 0usize);
+    // The head of the merged stream. Removals sort before every other
+    // kind at equal times (REMOVE is the smallest kind), so the min of
+    // the two stream heads is always the global head.
+    let next_time = |ri: usize, oi: usize| match (removes.get(ri), others.get(oi)) {
+        (Some(r), Some(o)) => Some(r.time.min(o.time)),
+        (Some(r), None) => Some(r.time),
+        (None, Some(o)) => Some(o.time),
+        (None, None) => None,
+    };
+    while let Some(t) = next_time(ri, oi) {
+        while ri < removes.len() && removes[ri].time == t {
+            let e = &removes[ri];
+            busy -= 1;
+            active_power -= e.power;
+            acc[e.rack].heat -= e.heat;
+            class_busy[e.class] -= 1;
+            class_power[e.class] -= e.power;
+            if let Ok(at) = rack_water[e.rack].binary_search_by_key(&e.water_bits, |w| w.0) {
+                rack_water[e.rack][at].1 -= 1;
+                if rack_water[e.rack][at].1 == 0 {
+                    rack_water[e.rack].remove(at);
                 }
+            }
+            // Pin drained sums back to exact zero so float residue
+            // never leaks into later windows.
+            if rack_water[e.rack].is_empty() {
+                acc[e.rack].heat = 0.0;
+                if let Ok(at) = occupied.binary_search(&(e.rack as u32)) {
+                    occupied.remove(at);
+                }
+            }
+            acc[e.rack].dirty = true;
+            if class_busy[e.class] == 0 {
+                class_power[e.class] = 0.0;
+            }
+            if busy == 0 {
+                active_power = 0.0;
+            }
+            ri += 1;
+        }
+        while oi < others.len() && others[oi].time == t {
+            let e = &others[oi];
+            match e.kind {
                 SETPOINT => {
                     chiller = config
                         .chiller
@@ -685,36 +772,33 @@ pub(crate) fn integrate_energy(
                     active = e.rack;
                 }
                 _ => {
-                    busy -= 1;
-                    active_power -= e.power;
-                    rack_heat[e.rack] -= e.heat;
-                    class_busy[e.class] -= 1;
-                    class_power[e.class] -= e.power;
-                    if let Some(count) = rack_water[e.rack].get_mut(&e.water_bits) {
-                        *count -= 1;
-                        if *count == 0 {
-                            rack_water[e.rack].remove(&e.water_bits);
+                    busy += 1;
+                    active_power += e.power;
+                    acc[e.rack].heat += e.heat;
+                    // The running max only ever grows at additions (heat
+                    // is non-negative and drains pin back to zero), so
+                    // observing it here instead of once per window sees
+                    // every candidate the window walk saw — same max,
+                    // without the per-window pass.
+                    peak_rack_heat = peak_rack_heat.max(acc[e.rack].heat);
+                    class_busy[e.class] += 1;
+                    class_power[e.class] += e.power;
+                    if rack_water[e.rack].is_empty() {
+                        if let Err(at) = occupied.binary_search(&(e.rack as u32)) {
+                            occupied.insert(at, e.rack as u32);
                         }
                     }
-                    // Pin drained sums back to exact zero so float residue
-                    // never leaks into later windows.
-                    if rack_water[e.rack].is_empty() {
-                        rack_heat[e.rack] = 0.0;
-                        occupied.remove(&e.rack);
+                    match rack_water[e.rack].binary_search_by_key(&e.water_bits, |w| w.0) {
+                        Ok(at) => rack_water[e.rack][at].1 += 1,
+                        Err(at) => rack_water[e.rack].insert(at, (e.water_bits, 1)),
                     }
-                    p_dirty[e.rack] = true;
-                    if class_busy[e.class] == 0 {
-                        class_power[e.class] = 0.0;
-                    }
-                    if busy == 0 {
-                        active_power = 0.0;
-                    }
+                    acc[e.rack].dirty = true;
                 }
             }
-            i += 1;
+            oi += 1;
         }
-        let Some(next) = events.get(i) else { break };
-        let dt = next.time - t;
+        let Some(next) = next_time(ri, oi) else { break };
+        let dt = next - t;
         if dt <= 0.0 {
             continue;
         }
@@ -727,21 +811,21 @@ pub(crate) fn integrate_energy(
             *sum += power * dt;
         }
         for &r in &occupied {
-            peak_rack_heat = peak_rack_heat.max(rack_heat[r]);
-            if p_dirty[r] || p_era[r] != era {
-                let (&bits, _) = rack_water[r]
-                    .first_key_value()
+            let a = &mut acc[r as usize];
+            if a.dirty || a.era != era {
+                let &(bits, _) = rack_water[r as usize]
+                    .first()
                     .expect("occupied racks have committed water");
-                p_cache[r] = chiller
+                a.power = chiller
                     .electrical_power(
-                        Watts::new(rack_heat[r].max(0.0)),
+                        Watts::new(a.heat.max(0.0)),
                         tps_units::Celsius::new(f64::from_bits(bits)),
                     )
                     .value();
-                p_dirty[r] = false;
-                p_era[r] = era;
+                a.dirty = false;
+                a.era = era;
             }
-            cooling += p_cache[r] * dt;
+            cooling += a.power * dt;
         }
     }
 

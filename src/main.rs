@@ -67,7 +67,8 @@ fn print_usage() {
          tps profile <benchmark>   print the 48-point P/Q configuration table\n  \
          tps fleet [--servers N] [--racks N] [--jobs N] [--seed N] [--rate JOBS/S]\n  \
          {:14}[--demand constant|diurnal|bursty] [--dispatcher all|rr|coolest|thermal|planned]\n  \
-         {:14}[--policy NAME] [--ambient C] [--pitch MM] [--threads N]\n  \
+         {:14}[--policy NAME] [--ambient C] [--pitch MM] [--threads N] [--shards N]\n  \
+         {:14}(shards split racks into halls simulated with a deterministic merge)\n  \
          {:14}[--classes NAME[:PITCH[:INLET[:POLICY]]],...]  heterogeneous racks\n  \
          {:14}(classes cycle across racks; fields omitted inherit the fleet flags)\n  \
          {:14}[--control static|setpoint|shed|autoscale|planner] [--setpoints T:C,T:C,...] [--tick S]\n  \
@@ -81,7 +82,7 @@ fn print_usage() {
          {:14}expand a scenario spec's sweep grid, write CSV + Markdown reports\n  \
          {:14}(spec schema and cookbook: docs/SCENARIOS.md, examples: scenarios/)\n  \
          tps list                  list benchmarks, policies and selectors\n",
-        "", "", "", "", "", "", "", "", "", "", "", "", "", ""
+        "", "", "", "", "", "", "", "", "", "", "", "", "", "", ""
     );
 }
 
@@ -224,6 +225,7 @@ struct FleetArgs {
     ambient: f64,
     pitch: f64,
     threads: usize,
+    shards: usize,
     classes: Vec<ServerClass>,
     control: ControlSpec,
     trace_out: Option<String>,
@@ -411,6 +413,7 @@ fn parse_fleet_args(raw: &[String]) -> Result<FleetArgs, String> {
             "ambient",
             "pitch",
             "threads",
+            "shards",
             "classes",
             "control",
             "setpoints",
@@ -541,6 +544,7 @@ fn parse_fleet_args(raw: &[String]) -> Result<FleetArgs, String> {
         ambient: args.parsed("ambient", 70.0)?,
         pitch: args.parsed("pitch", 2.0)?,
         threads: args.parsed("threads", FleetConfig::default_threads())?,
+        shards: args.parsed("shards", 1usize)?,
         classes: match args.flag("classes") {
             None => Vec::new(),
             Some(raw) => parse_classes(raw)?,
@@ -557,10 +561,12 @@ fn parse_fleet_args(raw: &[String]) -> Result<FleetArgs, String> {
         || out.rate <= 0.0
         || out.pitch <= 0.0
         || out.threads == 0
+        || out.shards == 0
         || out.sample <= 0.0
     {
         return Err(
-            "--servers, --racks, --jobs, --rate, --pitch, --threads and --sample must be positive"
+            "--servers, --racks, --jobs, --rate, --pitch, --threads, --shards and --sample \
+             must be positive"
                 .to_owned(),
         );
     }
@@ -657,9 +663,9 @@ fn cmd_fleet(raw: &[String]) -> ExitCode {
             dispatchers.push(Box::new(CoolestRackFirst));
             dispatchers.push(Box::new(ThermalAwareDispatch::default()));
         }
-        "rr" => dispatchers.push(Box::new(RoundRobin::default())),
-        "coolest" => dispatchers.push(Box::new(CoolestRackFirst)),
-        "thermal" => dispatchers.push(Box::new(ThermalAwareDispatch::default())),
+        "rr" | "round-robin" => dispatchers.push(Box::new(RoundRobin::default())),
+        "coolest" | "coolest-rack-first" => dispatchers.push(Box::new(CoolestRackFirst)),
+        "thermal" | "thermal-aware" => dispatchers.push(Box::new(ThermalAwareDispatch::default())),
         "planned" => dispatchers.push(Box::new(PlannedDispatch)),
         other => {
             return fail(format!(
@@ -668,11 +674,22 @@ fn cmd_fleet(raw: &[String]) -> ExitCode {
         }
     }
 
+    let shards = if a.shards > racks {
+        eprintln!(
+            "warning: --shards {} exceeds {racks} racks; clamping to {racks} halls",
+            a.shards
+        );
+        racks
+    } else {
+        a.shards
+    };
+
     let mut config = FleetConfig::new(racks, servers_per_rack);
     config.grid_pitch_mm = a.pitch;
     config.chiller = Chiller::new(Celsius::new(a.ambient));
     config.policy = a.policy;
     config.threads = a.threads;
+    config.shards = shards;
     config.serving = a.serving;
     if !a.classes.is_empty() {
         // Classes cycle across racks: rack r is entirely class r mod k.
@@ -707,11 +724,16 @@ fn cmd_fleet(raw: &[String]) -> ExitCode {
         println!("classes: {} — cycled across racks", summary.join(", "));
     }
     println!(
-        "scenario: heat-recovery loop at {:.1} °C, water inlet {:.1}, {:.1} mm grid, {} warm-up threads",
+        "scenario: heat-recovery loop at {:.1} °C, water inlet {:.1}, {:.1} mm grid, {} warm-up threads{}",
         a.ambient,
         fleet.config().op.water_inlet(),
         a.pitch,
-        a.threads
+        a.threads,
+        if shards > 1 {
+            format!(", {shards} halls")
+        } else {
+            String::new()
+        }
     );
     println!(
         "control: {}{}\n",
@@ -775,6 +797,14 @@ fn cmd_fleet(raw: &[String]) -> ExitCode {
                         result.stats.peak_queue_depth,
                         result.stats.arena_high_water,
                     );
+                    if result.stats.halls.len() > 1 {
+                        for h in &result.stats.halls {
+                            println!(
+                                "  hall {}: racks {}..{}, {} placements, {} expiries",
+                                h.hall, h.rack_lo, h.rack_hi, h.placements, h.expiries
+                            );
+                        }
+                    }
                 }
                 if let Some(s) = &out.serving {
                     println!(
