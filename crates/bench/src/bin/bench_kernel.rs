@@ -8,7 +8,7 @@
 //! bench_kernel --check PATH                                   validate a file's schema
 //! ```
 //!
-//! The emitted document (`schema: tps-kernel-bench/2`) carries two
+//! The emitted document (`schema: tps-kernel-bench/3`) carries two
 //! sections:
 //!
 //! * `baseline` — the pinned pre-kernel trajectory (binary-heap event
@@ -18,7 +18,12 @@
 //! * `current` — this build, measured now: `wall_ms` (minimum over
 //!   `--reps` runs, so a noisy box cannot inflate a point) plus the
 //!   kernel's queue counters (`events`, `peak_queue_depth`,
-//!   `arena_high_water`) and the hall count (`shards`).
+//!   `arena_high_water`), the hall count (`shards`), the two-tier cache
+//!   counters of the last rep (`table_hits`, `miss_solves`,
+//!   `lock_acquisitions` — the last two read 0 on every steady-state
+//!   point: the pre-published `SolveTable` absorbs all lookups lock-free)
+//!   and the tier's one-off `warm_ms` (solving + publishing the physics
+//!   table, paid once per tier and excluded from `wall_ms`).
 //!
 //! `--scale smoke` measures only the 1k-server tier (CI-sized);
 //! `--scale full` walks the whole 1k/10k/100k grid, the 100k × 1M point
@@ -74,6 +79,10 @@ struct Point {
     events: u64,
     peak_queue_depth: usize,
     arena_high_water: usize,
+    table_hits: usize,
+    miss_solves: usize,
+    lock_acquisitions: usize,
+    warm_ms: f64,
 }
 
 fn measure(scales: &[(usize, usize)], reps: usize) -> Vec<Point> {
@@ -83,6 +92,21 @@ fn measure(scales: &[(usize, usize)], reps: usize) -> Vec<Point> {
         let demand = DiurnalDemand::new(0.7 * 0.2, 0.7, Seconds::new(600.0));
         let stream = synthesize_jobs(jobs, &demand, JobMix::default(), 42);
         let cache = OutcomeCache::new();
+        // One-off per tier: solve the distinct physics and freeze them
+        // into a published table, timed separately (`warm_ms`), then an
+        // untimed replay to warm page tables and branch predictors.
+        let warm_ms = {
+            let mut pairs: Vec<_> = stream.iter().map(|j| (j.bench, j.qos)).collect();
+            pairs.sort();
+            pairs.dedup();
+            let fleet = Fleet::new(base_config(racks, servers));
+            let started = Instant::now();
+            fleet
+                .warm(&pairs, &cache, FleetConfig::default_threads())
+                .expect("cache warm");
+            cache.publish();
+            started.elapsed().as_secs_f64() * 1e3
+        };
         {
             let config = base_config(racks, servers);
             Fleet::new(config)
@@ -119,6 +143,10 @@ fn measure(scales: &[(usize, usize)], reps: usize) -> Vec<Point> {
                     events: result.stats.events,
                     peak_queue_depth: result.stats.peak_queue_depth,
                     arena_high_water: result.stats.arena_high_water,
+                    table_hits: result.stats.table_hits,
+                    miss_solves: result.stats.miss_solves,
+                    lock_acquisitions: result.stats.lock_acquisitions,
+                    warm_ms,
                 });
             }
         }
@@ -134,7 +162,7 @@ fn base_config(racks: usize, servers: usize) -> FleetConfig {
 
 fn emit(scale: &str, points: &[Point]) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"tps-kernel-bench/2\",\n");
+    out.push_str("{\n  \"schema\": \"tps-kernel-bench/3\",\n");
     out.push_str(&format!("  \"scale\": \"{scale}\",\n"));
     out.push_str("  \"baseline\": {\n    \"name\": \"pre-kernel: binary heap + per-arrival full rescan (v5 seed)\",\n    \"points\": [\n");
     for (i, &(servers, jobs, dispatcher, wall_ms)) in BASELINE.iter().enumerate() {
@@ -144,10 +172,10 @@ fn emit(scale: &str, points: &[Point]) -> String {
         ));
     }
     out.push_str("    ]\n  },\n");
-    out.push_str("  \"current\": {\n    \"name\": \"sharded halls + streamed arrivals + calendar queue + incremental ranking\",\n    \"points\": [\n");
+    out.push_str("  \"current\": {\n    \"name\": \"frozen solve table + sharded halls + streamed arrivals + calendar queue + incremental ranking\",\n    \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
-            "      {{\"servers\": {}, \"jobs\": {}, \"dispatcher\": \"{}\", \"shards\": {}, \"wall_ms\": {:.1}, \"events\": {}, \"peak_queue_depth\": {}, \"arena_high_water\": {}}}{}\n",
+            "      {{\"servers\": {}, \"jobs\": {}, \"dispatcher\": \"{}\", \"shards\": {}, \"wall_ms\": {:.1}, \"events\": {}, \"peak_queue_depth\": {}, \"arena_high_water\": {}, \"table_hits\": {}, \"miss_solves\": {}, \"lock_acquisitions\": {}, \"warm_ms\": {:.1}}}{}\n",
             p.servers,
             p.jobs,
             p.dispatcher,
@@ -156,6 +184,10 @@ fn emit(scale: &str, points: &[Point]) -> String {
             p.events,
             p.peak_queue_depth,
             p.arena_high_water,
+            p.table_hits,
+            p.miss_solves,
+            p.lock_acquisitions,
+            p.warm_ms,
             if i + 1 < points.len() { "," } else { "" }
         ));
     }
@@ -163,20 +195,21 @@ fn emit(scale: &str, points: &[Point]) -> String {
     out
 }
 
-/// Structural validation: the v2 schema header (exactly one schema
+/// Structural validation: the v3 schema header (exactly one schema
 /// version anywhere in the file — a document mixing `tps-kernel-bench/1`
-/// points into a `/2` header is rejected), both sections, and every
-/// point carrying the required keys (`current` points must carry the v2
-/// `shards` axis and the kernel counters). Timings are free to drift —
-/// CI fails only on shape.
+/// or `/2` points into a `/3` header is rejected, and a plain v2 file
+/// fails the header check), both sections, and every point carrying the
+/// required keys (`current` points must carry the v2 `shards` axis and
+/// kernel counters plus the v3 cache counters and `warm_ms`). Timings
+/// are free to drift — CI fails only on shape.
 fn check(doc: &str) -> Result<(), String> {
-    if !doc.contains("\"schema\": \"tps-kernel-bench/2\"") {
-        return Err("missing or wrong schema marker (want tps-kernel-bench/2)".into());
+    if !doc.contains("\"schema\": \"tps-kernel-bench/3\"") {
+        return Err("missing or wrong schema marker (want tps-kernel-bench/3)".into());
     }
     for version in doc.split("tps-kernel-bench/").skip(1) {
-        if !version.starts_with('2') {
+        if !version.starts_with('3') {
             return Err(format!(
-                "mixed schema versions: found tps-kernel-bench/{} alongside /2",
+                "mixed schema versions: found tps-kernel-bench/{} alongside /3",
                 version.chars().next().unwrap_or('?')
             ));
         }
@@ -220,6 +253,10 @@ fn check(doc: &str) -> Result<(), String> {
                     "\"events\":",
                     "\"peak_queue_depth\":",
                     "\"arena_high_water\":",
+                    "\"table_hits\":",
+                    "\"miss_solves\":",
+                    "\"lock_acquisitions\":",
+                    "\"warm_ms\":",
                 ] {
                     if !o.contains(key) {
                         return Err(format!("{section} point {i}: missing {key}"));
@@ -270,7 +307,7 @@ fn main() {
         let doc =
             std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
         match check(&doc) {
-            Ok(()) => println!("{path}: structurally valid tps-kernel-bench/2"),
+            Ok(()) => println!("{path}: structurally valid tps-kernel-bench/3"),
             Err(e) => {
                 eprintln!("{path}: {e}");
                 std::process::exit(1);

@@ -49,7 +49,7 @@
 
 use crate::cache::SteadyState;
 use crate::catalog::ClassId;
-use crate::engine::RackLoads;
+use crate::engine::{OccupiedRack, RackLoads};
 use crate::job::Job;
 use tps_cooling::Chiller;
 use tps_units::{Celsius, Seconds, Watts};
@@ -278,8 +278,11 @@ pub struct FleetIndex<'a> {
     /// Racks with committed load, an ascending sorted slice keyed
     /// `(heat bits, rack)` — the heat key is the rack's *view* heat
     /// (clamped non-negative), so `f64::to_bits` is monotone and the
-    /// first element is exactly the coolest-then-lowest rack.
-    pub occupied: &'a [(u64, u32)],
+    /// first element is exactly the coolest-then-lowest rack. Each entry
+    /// carries the rack's fold inputs inline
+    /// ([`OccupiedRack`](crate::OccupiedRack)), so the candidate scan is
+    /// one contiguous read.
+    pub occupied: &'a [OccupiedRack],
     /// Per-group lowest idle rack (`None` while the group has no idle
     /// racks). The sets themselves stay inside [`RackLoads`]: every
     /// dispatch decision only ever needs each group's representative —
@@ -399,6 +402,16 @@ pub trait FleetDispatcher {
     /// carries across runs (e.g. [`RoundRobin`]'s stride counter) stays
     /// untouched by this default no-op.
     fn begin_run(&mut self) {}
+
+    /// Whether this dispatcher's candidate fold benefits from the hall
+    /// partition. Dispatchers whose per-arrival work is already O(1) or
+    /// a group-min scan (round-robin, coolest-rack-first, hint replay)
+    /// return `false` and the kernel keeps the cheaper single-hall
+    /// indexed path — the `--shards` knob still yields bit-identical
+    /// results, it just stops paying a merge that buys nothing.
+    fn wants_hall_fanout(&self) -> bool {
+        true
+    }
 }
 
 /// Thermally blind striping: job `k` goes to server `k mod N`. Also
@@ -417,6 +430,10 @@ impl FleetDispatcher for RoundRobin {
         let server = self.next % view.servers.active_servers();
         self.next += 1;
         server
+    }
+
+    fn wants_hall_fanout(&self) -> bool {
+        false
     }
 }
 
@@ -479,7 +496,7 @@ impl FleetDispatcher for CoolestRackFirst {
                 .filter_map(|p| {
                     p.occupied_racks()
                         .iter()
-                        .copied()
+                        .map(|e| e.key())
                         .find(|&(_, r)| (r as usize) < active_racks)
                 })
                 .min();
@@ -509,7 +526,7 @@ impl FleetDispatcher for CoolestRackFirst {
                     let occ_min = ix
                         .occupied
                         .iter()
-                        .copied()
+                        .map(|e| e.key())
                         .find(|&(_, r)| (r as usize) < active_racks);
                     [idle_min, occ_min]
                         .into_iter()
@@ -546,6 +563,13 @@ impl FleetDispatcher for CoolestRackFirst {
             .expect("classes_in_rack only returns hosted classes")
             .0
     }
+
+    /// The O(log racks) group-min/occupied-head lookup gains nothing from
+    /// a per-hall fold — sharding only added the merge cost (the 1072 →
+    /// 1249 ms regression the kernel bench caught).
+    fn wants_hall_fanout(&self) -> bool {
+        false
+    }
 }
 
 /// One ranked `(rack, class)` candidate of the indexed thermal-aware
@@ -560,6 +584,38 @@ struct Candidate {
     h: f64,
     rack: u32,
     class: u32,
+}
+
+/// The fold's initial accumulator: loses to every real candidate (`p`
+/// compares by `total_cmp`, and a real fold never produces a non-finite
+/// power), and its `rack` doubles as the "no candidates at all" marker.
+const SENTINEL: Candidate = Candidate {
+    p: f64::INFINITY,
+    h: f64::INFINITY,
+    rack: u32::MAX,
+    class: u32::MAX,
+};
+
+/// Folds one candidate into the running minimum under the exact total
+/// key the ranked walk sorts by — `(power, heat, rack, class)`. The
+/// power comparison almost always decides, so the tie keys are only
+/// evaluated on an exact power tie.
+#[inline]
+fn consider(cand: Candidate, best: &mut Candidate) {
+    use std::cmp::Ordering;
+    let replace = match best.p.total_cmp(&cand.p) {
+        Ordering::Greater => true,
+        Ordering::Less => false,
+        Ordering::Equal => best
+            .h
+            .total_cmp(&cand.h)
+            .then(best.rack.cmp(&cand.rack))
+            .then(best.class.cmp(&cand.class))
+            .is_gt(),
+    };
+    if replace {
+        *best = cand;
+    }
 }
 
 /// Cached marginal-power scores for one rack: valid while the rack's
@@ -615,19 +671,259 @@ impl ScoreMemo {
 pub struct ThermalAwareDispatch {
     memo: ScoreMemo,
     ranked: Vec<Candidate>,
-    /// Per-rack `(stamp, epoch, COP at the rack's settled supply, current
-    /// chiller power)`. Neither term depends on the arrival's demand
-    /// signature, so they replay across all rotating signatures where the
-    /// full per-`(rack, sig)` score memo would miss.
-    cop_racks: Vec<(u64, u64, f64, f64)>,
-    /// Per-class `cop(max_water_temp)` for the current arrival.
-    cop_mwt: Vec<f64>,
+    /// Per-rack COP cache — see [`CopSlot`]. Neither cached term depends
+    /// on the arrival's demand signature, so the slots replay across all
+    /// rotating signatures where a full per-`(rack, sig)` score memo
+    /// would miss; caching them removes two of the three float divisions
+    /// from the fold's dependency chain.
+    cop_racks: Vec<CopSlot>,
+    /// Per-signature `(epoch, per-class [`SigClass`])` slabs — pure
+    /// functions of the chiller and the signature's frozen demand states,
+    /// so they replay until a set-point change. Flattening the fold's
+    /// class inputs into one contiguous record keeps the hot loop off the
+    /// scattered `ClassDemand`/`SteadyState` structs.
+    sig_lab: Vec<Option<(u64, Box<[SigClass]>)>>,
+}
+
+/// One class's fold inputs under a fixed signature and chiller epoch:
+/// the class's added heat, its water ceiling, `cop(max_water_temp)`, and
+/// the (rack-independent) idle-rack marginal power.
+#[derive(Debug, Clone, Copy)]
+struct SigClass {
+    heat: f64,
+    mwt: f64,
+    cop_mwt: f64,
+    idle_p: f64,
+}
+
+/// One rack's cached COP terms: `cop(supply)` and the rack's current
+/// chiller draw `heat / cop(supply)`. Both are pure functions of the
+/// entry's `(heat, supply)` bits and the chiller, so validity is a
+/// compare against the contiguous [`OccupiedRack`] fields already in
+/// registers — no rack-indexed stamp load, and immune to stamp bumps
+/// that left the view bits unchanged.
+#[derive(Debug, Clone, Copy)]
+struct CopSlot {
+    heat_bits: u64,
+    supply_bits: u64,
+    epoch: u64,
+    cop_s: f64,
+    current: f64,
+}
+
+impl CopSlot {
+    /// Never matches a real entry: view heats are clamped non-negative,
+    /// so their bit patterns keep the sign bit clear.
+    const EMPTY: CopSlot = CopSlot {
+        heat_bits: u64::MAX,
+        supply_bits: u64::MAX,
+        epoch: u64::MAX,
+        cop_s: f64::NAN,
+        current: f64::NAN,
+    };
+}
+
+/// Refreshes `slot` for entry `e` if stale and returns `(cop_s, current,
+/// supply_f)` — the rack-dependent fold inputs. `current` replays
+/// `electrical_power(heat, supply)` bit-for-bit (an idle supply
+/// contributes exact `0.0`, and `x - 0.0 == x` keeps the fold's
+/// subtraction exact); a missing supply folds as `+∞` so the per-class
+/// comparison below selects `cop_mwt`, like the `None` arm of
+/// `marginal_power`'s `map_or` does.
+#[inline]
+fn entry_cop(
+    slot: &mut CopSlot,
+    e: &OccupiedRack,
+    epoch: u64,
+    chiller: &Chiller,
+) -> (f64, f64, f64) {
+    if slot.heat_bits != e.heat_bits || slot.supply_bits != e.supply_bits || slot.epoch != epoch {
+        let h = e.heat();
+        let cop_s = e.supply().map_or(f64::NAN, |s| chiller.cop(s));
+        let current = if e.supply_bits != OccupiedRack::NO_SUPPLY {
+            h / cop_s
+        } else {
+            0.0
+        };
+        *slot = CopSlot {
+            heat_bits: e.heat_bits,
+            supply_bits: e.supply_bits,
+            epoch,
+            cop_s,
+            current,
+        };
+    }
+    let supply_f = if e.supply_bits != OccupiedRack::NO_SUPPLY {
+        f64::from_bits(e.supply_bits)
+    } else {
+        f64::INFINITY
+    };
+    (slot.cop_s, slot.current, supply_f)
 }
 
 impl ThermalAwareDispatch {
-    /// Ranks candidates from the incremental index and picks the cheapest
-    /// slot meeting its wait budget.
+    /// Refreshes the per-signature [`SigClass`] slab for `sig` under the
+    /// current chiller epoch (a no-op when it is already fresh).
+    fn refresh_sig_lab(
+        &mut self,
+        sig: usize,
+        epoch: u64,
+        demand: &JobDemand<'_>,
+        view: &FleetView<'_>,
+    ) {
+        if self.sig_lab.len() <= sig {
+            self.sig_lab.resize_with(sig + 1, || None);
+        }
+        let fresh = matches!(
+            &self.sig_lab[sig],
+            Some((e, v)) if *e == epoch && v.len() == demand.classes.len()
+        );
+        if !fresh {
+            let idle_view = idle_rack_view();
+            self.sig_lab[sig] = Some((
+                epoch,
+                demand
+                    .classes
+                    .iter()
+                    .map(|cd| SigClass {
+                        heat: cd.state.heat.value(),
+                        mwt: cd.state.max_water_temp.value(),
+                        cop_mwt: view.chiller.cop(cd.state.max_water_temp),
+                        idle_p: marginal_power(view.chiller, &idle_view, &cd.state),
+                    })
+                    .collect(),
+            ));
+        }
+    }
+
+    /// Scores candidates from the incremental index and picks the
+    /// cheapest slot meeting its wait budget.
+    ///
+    /// Fast path first: the same single-pass minimum fold the hall path
+    /// runs — contiguous [`OccupiedRack`] entries plus one representative
+    /// per idle group, reduced under the `(power, heat, rack, class)`
+    /// total key. When the fold's winner meets its wait budget (the
+    /// overwhelmingly common case) no ranking is materialized at all;
+    /// otherwise [`walk_indexed`](Self::walk_indexed) rebuilds and walks
+    /// the full sorted ranking, bit-identical to the fold's order.
     fn place_indexed(
+        &mut self,
+        demand: &JobDemand<'_>,
+        view: &FleetView<'_>,
+        ix: &FleetIndex<'_>,
+    ) -> usize {
+        let sig = demand.sig as usize;
+        let epoch = view.chiller_epoch;
+        let active_racks = view.servers.active_racks();
+        self.refresh_sig_lab(sig, epoch, demand, view);
+        if self.cop_racks.len() != view.racks.len() {
+            self.cop_racks.clear();
+            self.cop_racks.resize(view.racks.len(), CopSlot::EMPTY);
+        }
+        let lab: &[SigClass] = match &self.sig_lab[sig] {
+            Some((_, v)) => v,
+            None => unreachable!("slab was just filled"),
+        };
+        let mut best = SENTINEL;
+        // Idle representatives first — their scores are rack-independent
+        // slab reads. The fold's minimum under the strict `(p, h, rack,
+        // class)` total order is the same whatever the visit order, since
+        // every candidate's `(rack, class)` is unique.
+        for (g, &m) in ix.idle_min.iter().enumerate() {
+            let Some(first) = m.filter(|&r| (r as usize) < active_racks) else {
+                continue;
+            };
+            for &c in &ix.group_classes[g] {
+                consider(
+                    Candidate {
+                        p: lab[c].idle_p,
+                        h: 0.0,
+                        rack: first,
+                        class: c as u32,
+                    },
+                    &mut best,
+                );
+            }
+        }
+        // Hoist the single-group single-class fleet (the uniform catalog)
+        // out of the fold: the class constants live in registers and the
+        // inner loop disappears. Bit-identical unrolling of
+        // `marginal_power` over the entry's cached bits either way — see
+        // `place_halls` for the argument.
+        match ix.group_classes {
+            [single] if single.len() == 1 => {
+                let c = single[0];
+                let sc = lab[c];
+                for e in ix.occupied.iter() {
+                    let r = e.rack as usize;
+                    if r >= active_racks {
+                        continue;
+                    }
+                    let h = e.heat();
+                    let (cop_s, current, supply_f) =
+                        entry_cop(&mut self.cop_racks[r], e, epoch, view.chiller);
+                    let joint_cop = if supply_f <= sc.mwt {
+                        cop_s
+                    } else {
+                        sc.cop_mwt
+                    };
+                    let p = (h + sc.heat) / joint_cop - current;
+                    consider(
+                        Candidate {
+                            p,
+                            h,
+                            rack: e.rack,
+                            class: c as u32,
+                        },
+                        &mut best,
+                    );
+                }
+            }
+            _ => {
+                for e in ix.occupied.iter() {
+                    let r = e.rack as usize;
+                    if r >= active_racks {
+                        continue;
+                    }
+                    let h = e.heat();
+                    let (cop_s, current, supply_f) =
+                        entry_cop(&mut self.cop_racks[r], e, epoch, view.chiller);
+                    for &c in &ix.group_classes[e.group as usize] {
+                        let sc = &lab[c];
+                        let joint_cop = if supply_f <= sc.mwt {
+                            cop_s
+                        } else {
+                            sc.cop_mwt
+                        };
+                        let p = (h + sc.heat) / joint_cop - current;
+                        consider(
+                            Candidate {
+                                p,
+                                h,
+                                rack: e.rack,
+                                class: c as u32,
+                            },
+                            &mut best,
+                        );
+                    }
+                }
+            }
+        }
+        if best.rack != u32::MAX {
+            let (server, _) = view
+                .earliest_free_of_class(best.rack as usize, best.class as usize)
+                .expect("the index only lists hosted classes");
+            if view.wait_on(server) <= demand.class(best.class as usize).wait_budget {
+                return server;
+            }
+        }
+        self.walk_indexed(demand, view, ix)
+    }
+
+    /// The indexed slow path, taken only when the fold's winner blows its
+    /// wait budget: materialize the full candidate list (same entries as
+    /// the fold), sort it under the same key, and walk it in order.
+    fn walk_indexed(
         &mut self,
         demand: &JobDemand<'_>,
         view: &FleetView<'_>,
@@ -638,8 +934,8 @@ impl ThermalAwareDispatch {
         let active_racks = view.servers.active_racks();
         self.memo.resize(view.racks.len(), ix.group_classes.len());
         self.ranked.clear();
-        for &(_, rack) in ix.occupied.iter() {
-            let r = rack as usize;
+        for e in ix.occupied.iter() {
+            let r = e.rack as usize;
             if r >= active_racks {
                 continue;
             }
@@ -664,7 +960,7 @@ impl ThermalAwareDispatch {
                 self.ranked.push(Candidate {
                     p: scores[k],
                     h,
-                    rack,
+                    rack: e.rack,
                     class: c as u32,
                 });
             }
@@ -739,6 +1035,12 @@ impl ThermalAwareDispatch {
     /// a sharded run *faster* than the memoized global walk. Otherwise
     /// the full ranking is rebuilt and walked, bit-identical to the
     /// unsharded path.
+    ///
+    /// The fold itself reads only the contiguous [`OccupiedRack`] entries
+    /// — heat, group and supply travel with the rack id — so scoring an
+    /// occupied rack costs one cache line instead of four scattered
+    /// rack-indexed loads, and the COP arithmetic is recomputed inline
+    /// (it is ~5 flops against a memory-latency-bound loop).
     fn place_halls(
         &mut self,
         demand: &JobDemand<'_>,
@@ -748,82 +1050,20 @@ impl ThermalAwareDispatch {
         let sig = demand.sig as usize;
         let epoch = view.chiller_epoch;
         let active_racks = view.servers.active_racks();
-        self.memo.resize(halls.racks(), halls.group_classes.len());
+        self.refresh_sig_lab(sig, epoch, demand, view);
         if self.cop_racks.len() != halls.racks() {
             self.cop_racks.clear();
-            self.cop_racks
-                .resize(halls.racks(), (u64::MAX, u64::MAX, f64::NAN, f64::NAN));
+            self.cop_racks.resize(halls.racks(), CopSlot::EMPTY);
         }
-        self.cop_mwt.clear();
-        self.cop_mwt.extend(
-            demand
-                .classes
-                .iter()
-                .map(|cd| view.chiller.cop(cd.state.max_water_temp)),
-        );
-        let mut best: Option<Candidate> = None;
-        let consider = |cand: Candidate, best: &mut Option<Candidate>| {
-            let replace = match best {
-                Some(b) => {
-                    b.p.total_cmp(&cand.p)
-                        .then(b.h.total_cmp(&cand.h))
-                        .then(b.rack.cmp(&cand.rack))
-                        .then(b.class.cmp(&cand.class))
-                        .is_gt()
-                }
-                None => true,
-            };
-            if replace {
-                *best = Some(cand);
-            }
+        let lab: &[SigClass] = match &self.sig_lab[sig] {
+            Some((_, v)) => v,
+            None => unreachable!("slab was just filled"),
         };
-        for part in halls.parts {
-            let stamps = part.stamps();
-            let group_of = part.rack_groups();
-            for &(_, rack) in part.occupied_racks() {
-                let r = rack as usize;
-                if r >= active_racks {
-                    continue;
-                }
-                let rv = &part.view_slice()[r];
-                let h = rv.heat.value();
-                let slot = &mut self.cop_racks[r];
-                if slot.0 != stamps[r] || slot.1 != epoch {
-                    let cop_s = rv.supply.map_or(f64::NAN, |s| view.chiller.cop(s));
-                    // `current` replays `electrical_power(heat, supply)`;
-                    // an idle supply contributes exact 0.0, and
-                    // `x - 0.0 == x` keeps the subtraction bit-exact.
-                    let current = if rv.supply.is_some() { h / cop_s } else { 0.0 };
-                    *slot = (stamps[r], epoch, cop_s, current);
-                }
-                let (cop_s, current) = (slot.2, slot.3);
-                // `group_classes[group_of[r]]` is `classes_in_rack(r)` by
-                // construction (groups are keyed on exact slice equality)
-                // — same classes, without chasing the per-rack vectors.
-                for &c in &halls.group_classes[group_of[r] as usize] {
-                    let st = &demand.class(c).state;
-                    // Bit-identical unrolling of `marginal_power`: both
-                    // branches of `min(supply, max_water_temp)` replay a
-                    // COP cached from the same pure function on the same
-                    // input.
-                    let joint_cop = match rv.supply {
-                        Some(s) if s.value() <= st.max_water_temp.value() => cop_s,
-                        _ => self.cop_mwt[c],
-                    };
-                    let p = (h + st.heat.value()) / joint_cop - current;
-                    consider(
-                        Candidate {
-                            p,
-                            h,
-                            rack,
-                            class: c as u32,
-                        },
-                        &mut best,
-                    );
-                }
-            }
-        }
-        let idle_view = idle_rack_view();
+        let mut best = SENTINEL;
+        // Idle representatives first — their scores are rack-independent
+        // slab reads. The fold's minimum under the strict `(p, h, rack,
+        // class)` total order is the same whatever the visit order, since
+        // every candidate's `(rack, class)` is unique.
         for (g, classes) in halls.group_classes.iter().enumerate() {
             let Some(first) = halls
                 .parts
@@ -832,24 +1072,10 @@ impl ThermalAwareDispatch {
             else {
                 continue;
             };
-            let entry = &mut self.memo.groups[g];
-            if entry.epoch != epoch {
-                entry.by_sig.clear();
-                entry.epoch = epoch;
-            }
-            if entry.by_sig.len() <= sig {
-                entry.by_sig.resize(sig + 1, None);
-            }
-            let scores = entry.by_sig[sig].get_or_insert_with(|| {
-                classes
-                    .iter()
-                    .map(|&c| marginal_power(view.chiller, &idle_view, &demand.class(c).state))
-                    .collect()
-            });
-            for (k, &c) in classes.iter().enumerate() {
+            for &c in classes {
                 consider(
                     Candidate {
-                        p: scores[k],
+                        p: lab[c].idle_p,
                         h: 0.0,
                         rack: first,
                         class: c as u32,
@@ -858,11 +1084,83 @@ impl ThermalAwareDispatch {
                 );
             }
         }
-        if let Some(c) = best {
+        // `heat()`/`supply()` replay the rack view's fields bit-for-bit
+        // (the entry caches their raw bits), and `group_classes[e.group]`
+        // is `classes_in_rack(r)` by construction (groups are keyed on
+        // exact slice equality). Bit-identical unrolling of
+        // `marginal_power`: both branches of
+        // `min(supply, max_water_temp)` replay the same pure COP on the
+        // same input (a tie gives equal COP bits either way). The uniform
+        // catalog's single `(group, class)` is hoisted so the class
+        // constants live in registers across the whole fold.
+        match halls.group_classes {
+            [single] if single.len() == 1 => {
+                let c = single[0];
+                let sc = lab[c];
+                for part in halls.parts.iter() {
+                    for e in part.occupied_racks() {
+                        let r = e.rack as usize;
+                        if r >= active_racks {
+                            continue;
+                        }
+                        let h = e.heat();
+                        let (cop_s, current, supply_f) =
+                            entry_cop(&mut self.cop_racks[r], e, epoch, view.chiller);
+                        let joint_cop = if supply_f <= sc.mwt {
+                            cop_s
+                        } else {
+                            sc.cop_mwt
+                        };
+                        let p = (h + sc.heat) / joint_cop - current;
+                        consider(
+                            Candidate {
+                                p,
+                                h,
+                                rack: e.rack,
+                                class: c as u32,
+                            },
+                            &mut best,
+                        );
+                    }
+                }
+            }
+            _ => {
+                for part in halls.parts.iter() {
+                    for e in part.occupied_racks() {
+                        let r = e.rack as usize;
+                        if r >= active_racks {
+                            continue;
+                        }
+                        let h = e.heat();
+                        let (cop_s, current, supply_f) =
+                            entry_cop(&mut self.cop_racks[r], e, epoch, view.chiller);
+                        for &c in &halls.group_classes[e.group as usize] {
+                            let sc = &lab[c];
+                            let joint_cop = if supply_f <= sc.mwt {
+                                cop_s
+                            } else {
+                                sc.cop_mwt
+                            };
+                            let p = (h + sc.heat) / joint_cop - current;
+                            consider(
+                                Candidate {
+                                    p,
+                                    h,
+                                    rack: e.rack,
+                                    class: c as u32,
+                                },
+                                &mut best,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        if best.rack != u32::MAX {
             let (server, _) = view
-                .earliest_free_of_class(c.rack as usize, c.class as usize)
+                .earliest_free_of_class(best.rack as usize, best.class as usize)
                 .expect("halls only list hosted classes");
-            if view.wait_on(server) <= demand.class(c.class as usize).wait_budget {
+            if view.wait_on(server) <= demand.class(best.class as usize).wait_budget {
                 return server;
             }
         }
@@ -882,21 +1180,21 @@ impl ThermalAwareDispatch {
         let sig = demand.sig as usize;
         let epoch = view.chiller_epoch;
         let active_racks = view.servers.active_racks();
+        self.memo.resize(halls.racks(), halls.group_classes.len());
         self.ranked.clear();
         for part in halls.parts {
-            let group_of = part.rack_groups();
-            for &(_, rack) in part.occupied_racks() {
-                let r = rack as usize;
+            for e in part.occupied_racks() {
+                let r = e.rack as usize;
                 if r >= active_racks {
                     continue;
                 }
                 let rv = &part.view_slice()[r];
                 let h = rv.heat.value();
-                for &c in &halls.group_classes[group_of[r] as usize] {
+                for &c in &halls.group_classes[e.group as usize] {
                     self.ranked.push(Candidate {
                         p: marginal_power(view.chiller, rv, &demand.class(c).state),
                         h,
-                        rack,
+                        rack: e.rack,
                         class: c as u32,
                     });
                 }
@@ -1014,6 +1312,8 @@ impl FleetDispatcher for ThermalAwareDispatch {
 
     fn begin_run(&mut self) {
         self.memo = ScoreMemo::default();
+        self.cop_racks.clear();
+        self.sig_lab.clear();
     }
 }
 
@@ -1062,6 +1362,12 @@ impl FleetDispatcher for PlannedDispatch {
             }
         }
         fallback_min_free(view)
+    }
+
+    /// The exhaustive energy scan walks every rack regardless of the
+    /// partition; a hall fold would only add merge overhead.
+    fn wants_hall_fanout(&self) -> bool {
+        false
     }
 }
 
@@ -1468,7 +1774,12 @@ mod tests {
         let chiller = Chiller::new(Celsius::new(60.0));
         let group_of = vec![0u32, 0, 1, 1];
         let group_classes = vec![vec![0usize], vec![0, 1]];
-        let occupied = vec![(Watts::new(140.0).value().to_bits(), 1u32)];
+        let occupied = vec![OccupiedRack {
+            heat_bits: Watts::new(140.0).value().to_bits(),
+            rack: 1,
+            group: 0,
+            supply_bits: Celsius::new(60.0).value().to_bits(),
+        }];
         let idle_min: Vec<Option<u32>> = vec![Some(0), Some(2)];
         let stamps = vec![0u64; 4];
         let mut ta_indexed = ThermalAwareDispatch::default();

@@ -22,7 +22,7 @@
 //! 5. [`Event::JobArrival`] — the dispatcher places the job against the
 //!    settled fleet state.
 
-use crate::cache::{OutcomeCache, SteadyState};
+use crate::cache::{OutcomeCache, SolveTable, SteadyState};
 use crate::catalog::ClassId;
 use crate::control::{ControlAction, ControlPolicy, ControlStatus, PlacementHint, RunContext};
 use crate::dispatch::{
@@ -254,8 +254,11 @@ pub struct RackLoads {
     /// `(view-heat bits, rack)` — the clamped heat is non-negative, so
     /// `to_bits` sorts like the float. A vector, not a tree: dispatchers
     /// scan it on every arrival, and membership churn moves only a few
-    /// dozen in-flight entries per mutation.
-    occupied: Vec<(u64, u32)>,
+    /// dozen in-flight entries per mutation. Each entry carries the
+    /// rack's fold inputs (heat, supply, group) inline, so the dispatch
+    /// hot loop reads one contiguous array instead of chasing four
+    /// rack-indexed arrays across the cache.
+    occupied: Vec<OccupiedRack>,
     /// Idle racks per rack group, ascending by rack index.
     idle: Vec<BTreeSet<u32>>,
     /// Cached per-group minimum idle rack — always exactly
@@ -268,6 +271,51 @@ pub struct RackLoads {
     /// Rack → stamp of its last mutation (monotone clock).
     stamps: Vec<u64>,
     stamp_clock: u64,
+}
+
+/// One entry of the occupied-rack index: the sort key `(heat bits,
+/// rack)` plus the rack's dispatch-fold inputs, denormalized inline so a
+/// per-arrival candidate scan is a single contiguous read. The fields
+/// replay the rack's [`RackView`] bit-for-bit: `heat_bits` is the view
+/// heat's `to_bits` (clamped non-negative, so the sort order matches the
+/// float) and `supply_bits` the view supply's, with [`Self::NO_SUPPLY`]
+/// standing in for `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OccupiedRack {
+    /// `to_bits` of the rack's clamped committed heat (key, major).
+    pub heat_bits: u64,
+    /// The rack id (key, minor — makes the key total).
+    pub rack: u32,
+    /// The rack's group id (its class pattern).
+    pub group: u32,
+    /// `to_bits` of the coldest committed water demand, or
+    /// [`Self::NO_SUPPLY`] when the rack has none.
+    pub supply_bits: u64,
+}
+
+impl OccupiedRack {
+    /// Sentinel for "no settled supply" — an all-ones NaN pattern no real
+    /// temperature produces.
+    pub const NO_SUPPLY: u64 = u64::MAX;
+
+    /// The sort key.
+    #[inline]
+    pub fn key(&self) -> (u64, u32) {
+        (self.heat_bits, self.rack)
+    }
+
+    /// The rack's committed heat, exactly the [`RackView`]'s.
+    #[inline]
+    pub fn heat(&self) -> f64 {
+        f64::from_bits(self.heat_bits)
+    }
+
+    /// The rack's settled supply, exactly the [`RackView`]'s.
+    #[inline]
+    pub fn supply(&self) -> Option<Celsius> {
+        (self.supply_bits != Self::NO_SUPPLY)
+            .then(|| Celsius::new(f64::from_bits(self.supply_bits)))
+    }
 }
 
 impl RackLoads {
@@ -365,21 +413,36 @@ impl RackLoads {
         };
         let new_bits = view.heat.value().to_bits();
         let now_occupied = view.committed > 0;
+        let supply_bits = view
+            .supply
+            .map_or(OccupiedRack::NO_SUPPLY, |s| s.value().to_bits());
         self.views[rack] = view;
         let r = rack as u32;
         let g = self.group_of[rack] as usize;
+        let entry = OccupiedRack {
+            heat_bits: new_bits,
+            rack: r,
+            group: self.group_of[rack],
+            supply_bits,
+        };
         match (was_occupied, now_occupied) {
             (false, true) => {
                 self.idle[g].remove(&r);
                 if self.idle_min[g] == Some(r) {
                     self.idle_min[g] = self.idle[g].first().copied();
                 }
-                if let Err(at) = self.occupied.binary_search(&(new_bits, r)) {
-                    self.occupied.insert(at, (new_bits, r));
+                if let Err(at) = self
+                    .occupied
+                    .binary_search_by_key(&(new_bits, r), |e| e.key())
+                {
+                    self.occupied.insert(at, entry);
                 }
             }
             (true, false) => {
-                if let Ok(at) = self.occupied.binary_search(&(old_bits, r)) {
+                if let Ok(at) = self
+                    .occupied
+                    .binary_search_by_key(&(old_bits, r), |e| e.key())
+                {
                     self.occupied.remove(at);
                 }
                 self.idle[g].insert(r);
@@ -389,12 +452,27 @@ impl RackLoads {
             }
             (true, true) => {
                 if old_bits != new_bits {
-                    if let Ok(at) = self.occupied.binary_search(&(old_bits, r)) {
+                    if let Ok(at) = self
+                        .occupied
+                        .binary_search_by_key(&(old_bits, r), |e| e.key())
+                    {
                         self.occupied.remove(at);
                     }
-                    if let Err(at) = self.occupied.binary_search(&(new_bits, r)) {
-                        self.occupied.insert(at, (new_bits, r));
+                    if let Err(at) = self
+                        .occupied
+                        .binary_search_by_key(&(new_bits, r), |e| e.key())
+                    {
+                        self.occupied.insert(at, entry);
                     }
+                } else if let Ok(at) = self
+                    .occupied
+                    .binary_search_by_key(&(new_bits, r), |e| e.key())
+                {
+                    // Heat unchanged but the supply may have moved (e.g. a
+                    // zero-heat placement changing the coldest water
+                    // demand): keep the inline fields in lockstep with the
+                    // view.
+                    self.occupied[at].supply_bits = supply_bits;
                 }
             }
             (false, false) => {}
@@ -478,8 +556,9 @@ impl RackLoads {
         &self.views
     }
 
-    /// Racks with committed load, ordered `(view-heat bits, rack)`.
-    pub fn occupied_racks(&self) -> &[(u64, u32)] {
+    /// Racks with committed load, ordered `(view-heat bits, rack)`, each
+    /// entry carrying its fold inputs inline (see [`OccupiedRack`]).
+    pub fn occupied_racks(&self) -> &[OccupiedRack] {
         &self.occupied
     }
 
@@ -848,8 +927,9 @@ pub(crate) fn run(
     control: &mut dyn ControlPolicy,
     telemetry: Option<&TelemetryConfig>,
     cache: &OutcomeCache,
+    table: Option<&SolveTable>,
 ) -> Result<SimResult, RunError> {
-    run_impl::<CalendarQueue>(fleet, jobs, dispatcher, control, telemetry, cache)
+    run_impl::<CalendarQueue>(fleet, jobs, dispatcher, control, telemetry, cache, table)
 }
 
 /// Runs the event loop with the original binary-heap [`EventQueue`] — the
@@ -862,18 +942,21 @@ pub(crate) fn run_with_heap(
     control: &mut dyn ControlPolicy,
     telemetry: Option<&TelemetryConfig>,
     cache: &OutcomeCache,
+    table: Option<&SolveTable>,
 ) -> Result<SimResult, RunError> {
-    run_impl::<EventQueue>(fleet, jobs, dispatcher, control, telemetry, cache)
+    run_impl::<EventQueue>(fleet, jobs, dispatcher, control, telemetry, cache, table)
 }
 
 /// Runs the event loop: arrivals dispatched against settled state,
 /// completions expiring committed load, control ticks and set-point
 /// changes steering the chiller, telemetry sampled on its own cadence.
 ///
-/// The physics cache must already be warm for every `(bench, qos)` in
-/// `jobs` ([`Fleet::simulate_with`](crate::Fleet::simulate_with) warms it
-/// first); misses are still solved correctly, just serially.
-
+/// When a published [`SolveTable`] is supplied the run's demand states
+/// resolve lock-free off the frozen epoch ([`Fleet::simulate_with`](crate::Fleet::simulate_with)
+/// publishes a covering table first); keys the table lacks — and the
+/// whole resolution when `table` is `None`, the mutex-map oracle path —
+/// fall back to [`OutcomeCache::get_or_solve`], still correct, just
+/// locked.
 fn run_impl<Q: KernelQueue + Default>(
     fleet: &Fleet,
     jobs: &[Job],
@@ -881,8 +964,10 @@ fn run_impl<Q: KernelQueue + Default>(
     control: &mut dyn ControlPolicy,
     telemetry: Option<&TelemetryConfig>,
     cache: &OutcomeCache,
+    table: Option<&SolveTable>,
 ) -> Result<SimResult, RunError> {
     let config = fleet.config();
+    let locks_at_entry = cache.lock_acquisitions();
     let selector = MinPowerSelector;
     let solvers = fleet.class_solvers();
     let class_of = fleet.server_classes();
@@ -911,13 +996,18 @@ fn run_impl<Q: KernelQueue + Default>(
     // kernel verbatim; more shards split the racks into contiguous halls
     // whose candidate reductions and expiry streams merge back
     // deterministically (bit-identical outcomes either way — the
-    // determinism matrix pins it).
-    let loads = HallLoads::new(
-        config.racks,
-        group_of,
-        group_classes.len(),
-        config.shards.max(1),
-    );
+    // determinism matrix pins it). Dispatchers whose candidate fold
+    // gains nothing from the partition (round-robin's counter, the
+    // planner's hint replay, coolest-rack-first's group-min scan) opt
+    // out and keep the cheaper single-hall indexed path — telemetry
+    // sampling fans out over raw rack ranges either way, so no
+    // parallelism is lost.
+    let shards = if dispatcher.wants_hall_fanout() {
+        config.shards.max(1)
+    } else {
+        1
+    };
+    let loads = HallLoads::new(config.racks, group_of, group_classes.len(), shards);
 
     // The per-(benchmark, QoS) demand states, solved once up front — a
     // million arrivals share a handful of distinct demand signatures, so
@@ -927,13 +1017,43 @@ fn run_impl<Q: KernelQueue + Default>(
     let mut pairs: Vec<(Benchmark, QosClass)> = jobs.iter().map(|j| (j.bench, j.qos)).collect();
     pairs.sort_unstable();
     pairs.dedup();
+    // With a published table, each class's `(policy, inlet)` solve slot
+    // resolves once and every `(bench, qos)` lookup after that is pure
+    // arithmetic on the shared frozen epoch — zero lock acquisitions.
+    // Keys the table predates (or the oracle path, `table: None`) fall
+    // back to the striped solve path.
+    let class_slots: Vec<Option<usize>> = match table {
+        Some(t) => solvers.iter().map(|s| t.class_slot(s)).collect(),
+        None => Vec::new(),
+    };
+    let mut table_hits = 0usize;
+    let mut miss_solves = 0usize;
     let mut pair_states: Vec<Vec<SteadyState>> = Vec::with_capacity(pairs.len());
     for &(bench, qos) in &pairs {
         let mut per_class = Vec::with_capacity(solvers.len());
-        for solver in &solvers {
-            per_class.push(cache.get_or_solve(solver, bench, qos, &selector, config.t_case_max)?);
+        for (ci, solver) in solvers.iter().enumerate() {
+            let frozen = table
+                .and_then(|t| class_slots[ci].and_then(|slot| t.get(slot, solver.id, bench, qos)));
+            per_class.push(match frozen {
+                Some(state) => {
+                    table_hits += 1;
+                    state
+                }
+                None => {
+                    if table.is_some() {
+                        miss_solves += 1;
+                    }
+                    cache.get_or_solve(solver, bench, qos, &selector, config.t_case_max)?
+                }
+            });
         }
         pair_states.push(per_class);
+    }
+    if table_hits > 0 {
+        cache.record_table_hits(table_hits);
+    }
+    if miss_solves > 0 {
+        cache.record_miss_solves(miss_solves);
     }
 
     let mut queue = Q::default();
@@ -1300,6 +1420,11 @@ fn run_impl<Q: KernelQueue + Default>(
             events: qstats.pushed,
             peak_queue_depth: qstats.peak_depth,
             arena_high_water: qstats.arena_high_water,
+            table_hits,
+            miss_solves,
+            // Cache locks observed over this run. A steady-state replay
+            // on a covering table reads 0 — the zero-lock smoke pins it.
+            lock_acquisitions: cache.lock_acquisitions() - locks_at_entry,
             halls,
         },
     })
@@ -1380,23 +1505,24 @@ fn sample(
     let mut rack_heat = vec![Watts::ZERO; racks];
     let mut rack_water: Vec<Option<Celsius>> = vec![None; racks];
     let mut rack_cooling = vec![0.0f64; racks];
-    let bounds = state.loads.bounds();
-    let workers = config.threads.min(bounds.len());
+    // The fan-out chunks raw rack ranges, not hall bounds: per-rack
+    // values are independent, so the partition owes nothing to the hall
+    // layout — a dispatcher that opts out of hall sharding keeps full
+    // telemetry parallelism.
+    let workers = config.threads.max(1);
     if workers > 1 && racks >= HALL_FANOUT_MIN_RACKS {
-        // Group the halls into `workers` contiguous runs (the thread
+        // Split `0..racks` into `workers` contiguous ranges (the thread
         // budget is shared with sweep workers — see `thread_budget`), one
-        // scoped worker per run, each writing disjoint rack ranges.
-        let per = bounds.len().div_ceil(workers);
+        // scoped worker per range, each writing disjoint rack slices.
+        let per = racks.div_ceil(workers);
         let chiller = &state.chiller;
         std::thread::scope(|s| {
             let mut heat_rest = &mut rack_heat[..];
             let mut water_rest = &mut rack_water[..];
             let mut cool_rest = &mut rack_cooling[..];
             let mut lo = 0;
-            for run in bounds.chunks(per) {
-                // Hall ranges are contiguous from rack 0, so each run of
-                // halls owns exactly the racks `[lo, hi)`.
-                let hi = run[run.len() - 1].1;
+            while lo < racks {
+                let hi = (lo + per).min(racks);
                 let (heat, hr) = heat_rest.split_at_mut(hi - lo);
                 let (water, wr) = water_rest.split_at_mut(hi - lo);
                 let (cool, cr) = cool_rest.split_at_mut(hi - lo);
@@ -1555,7 +1681,7 @@ mod tests {
         loads.add(2, &state(50.0), Seconds::new(10.0));
         loads.add(0, &state(30.0), Seconds::new(20.0));
         // Occupied orders by heat (bits), not rack index.
-        let occ: Vec<u32> = loads.occupied_racks().iter().map(|&(_, r)| r).collect();
+        let occ: Vec<u32> = loads.occupied_racks().iter().map(|e| e.rack).collect();
         assert_eq!(occ, vec![0, 2]);
         assert_eq!(
             loads.idle_groups()[0].iter().copied().collect::<Vec<_>>(),

@@ -125,6 +125,12 @@ pub struct FleetConfig {
     /// active-server set. `false` (batch mode) leaves every output
     /// bit-identical to a build without the serving machinery.
     pub serving: bool,
+    /// Resolve demand states through the frozen dense
+    /// [`SolveTable`](crate::SolveTable) (the default): each run fetches
+    /// a covering epoch at its synchronization point, then replays
+    /// lock-free. `false` keeps the mutex-map oracle path — the
+    /// determinism matrix pins both paths byte-identical.
+    pub solve_table: bool,
 }
 
 impl FleetConfig {
@@ -153,6 +159,7 @@ impl FleetConfig {
             shards: 1,
             catalog: FleetCatalog::uniform(),
             serving: false,
+            solve_table: true,
         }
     }
 
@@ -345,14 +352,38 @@ impl Fleet {
         telemetry: Option<&TelemetryConfig>,
         cache: &OutcomeCache,
     ) -> Result<SimResult, RunError> {
-        // Parallel phase: solve each distinct (class, bench, qos) once.
+        // Synchronization point: make sure a covering table epoch is
+        // published (solving only the missing keys, in parallel), or warm
+        // the mutex map on the oracle path. Either way the work is one
+        // solve per distinct (class, bench, qos).
         let mut pairs: Vec<(Benchmark, QosClass)> = jobs.iter().map(|j| (j.bench, j.qos)).collect();
         pairs.sort();
         pairs.dedup();
-        self.warm(&pairs, cache, self.config.threads)?;
+        let table = if self.config.solve_table {
+            let solvers = self.class_solvers();
+            Some(cache.ensure_published(
+                &solvers,
+                &pairs,
+                &MinPowerSelector,
+                self.config.t_case_max,
+                self.config.threads,
+            )?)
+        } else {
+            self.warm(&pairs, cache, self.config.threads)?;
+            None
+        };
 
-        // Sequential phase: the deterministic event loop.
-        engine::run(self, jobs, dispatcher, control, telemetry, cache)
+        // Sequential phase: the deterministic event loop, reading the
+        // frozen epoch lock-free (or the mutex map on the oracle path).
+        engine::run(
+            self,
+            jobs,
+            dispatcher,
+            control,
+            telemetry,
+            cache,
+            table.as_deref(),
+        )
     }
 
     /// [`simulate_with`](Self::simulate_with), but driven by the original
@@ -378,8 +409,28 @@ impl Fleet {
         let mut pairs: Vec<(Benchmark, QosClass)> = jobs.iter().map(|j| (j.bench, j.qos)).collect();
         pairs.sort();
         pairs.dedup();
-        self.warm(&pairs, cache, self.config.threads)?;
-        engine::run_with_heap(self, jobs, dispatcher, control, telemetry, cache)
+        let table = if self.config.solve_table {
+            let solvers = self.class_solvers();
+            Some(cache.ensure_published(
+                &solvers,
+                &pairs,
+                &MinPowerSelector,
+                self.config.t_case_max,
+                self.config.threads,
+            )?)
+        } else {
+            self.warm(&pairs, cache, self.config.threads)?;
+            None
+        };
+        engine::run_with_heap(
+            self,
+            jobs,
+            dispatcher,
+            control,
+            telemetry,
+            cache,
+            table.as_deref(),
+        )
     }
 }
 

@@ -105,7 +105,7 @@ mod metrics;
 pub mod plan;
 mod queue;
 
-pub use cache::{CacheKey, ClassSolve, OutcomeCache, SteadyState};
+pub use cache::{CacheKey, ClassSolve, OutcomeCache, SolveTable, SteadyState};
 pub use catalog::{ClassId, FleetCatalog, ServerClass};
 pub use control::{
     AutoscaleControl, ControlAction, ControlPolicy, ControlStatus, LoadSheddingControl,
@@ -115,7 +115,7 @@ pub use dispatch::{
     ClassDemand, CoolestRackFirst, FleetDispatcher, FleetHalls, FleetIndex, FleetView, JobDemand,
     PlannedDispatch, RackView, RoundRobin, ServerTable, ThermalAwareDispatch,
 };
-pub use engine::{Event, EventQueue, HallLoads, RackLoads, ARRIVAL_LOOKAHEAD};
+pub use engine::{Event, EventQueue, HallLoads, OccupiedRack, RackLoads, ARRIVAL_LOOKAHEAD};
 pub use fleet::{thread_budget, Fleet, FleetConfig, PolicyId, ServerPolicy};
 pub use job::{synthesize_jobs, synthesize_request_jobs, Job, JobMix};
 pub use metrics::{

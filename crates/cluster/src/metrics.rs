@@ -239,6 +239,16 @@ pub struct KernelStats {
     /// High-water mark of the calendar queue's entry arena (equals the
     /// peak depth under the heap queue, which has no arena).
     pub arena_high_water: usize,
+    /// Demand-state lookups served lock-free off the frozen
+    /// [`SolveTable`](crate::SolveTable) epoch.
+    pub table_hits: usize,
+    /// Demand-state lookups the table lacked, solved through the striped
+    /// miss path (always 0 once a covering table is published).
+    pub miss_solves: usize,
+    /// Cache lock acquisitions observed over the run — stripe and
+    /// publication locks. A steady-state replay on a covering table
+    /// reads **zero**; the determinism smoke asserts it.
+    pub lock_acquisitions: usize,
     /// Per-hall traffic when the run was sharded (one entry per hall,
     /// ascending by rack range; a single entry covering every rack for
     /// `shards = 1`).

@@ -151,6 +151,9 @@ impl SweepRow {
 ///     baseline: 0,
 ///     cache_solves: 12,
 ///     cache_hits: 40,
+///     table_hits: 40,
+///     miss_solves: 0,
+///     lock_acquisitions: 12,
 ///     peak_queue_depth: 33,
 ///     arena_high_water: 33,
 /// };
@@ -172,6 +175,19 @@ pub struct SweepReport {
     pub cache_solves: usize,
     /// Cache lookups served from memory across the whole grid.
     pub cache_hits: usize,
+    /// Demand-state lookups served lock-free from published
+    /// [`SolveTable`](tps_cluster::SolveTable) epochs across the grid —
+    /// after the phase-boundary publication, every grid point's lookups
+    /// land here.
+    pub table_hits: usize,
+    /// Solves taken through the striped miss path because a published
+    /// table lacked the key (zero on a grid whose phase-1 warm covered
+    /// every pair).
+    pub miss_solves: usize,
+    /// Stripe/publication lock acquisitions across the grid — the warm
+    /// phase owns effectively all of them; phase-2 replays add one table
+    /// fetch each.
+    pub lock_acquisitions: usize,
     /// Deepest the event queue got on any grid point (diagnostic only —
     /// never part of the determinism surface).
     pub peak_queue_depth: usize,
@@ -488,6 +504,9 @@ mod tests {
             baseline: 0,
             cache_solves: 0,
             cache_hits: 0,
+            table_hits: 0,
+            miss_solves: 0,
+            lock_acquisitions: 0,
             peak_queue_depth: 0,
             arena_high_water: 0,
         }

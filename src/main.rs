@@ -797,6 +797,12 @@ fn cmd_fleet(raw: &[String]) -> ExitCode {
                         result.stats.peak_queue_depth,
                         result.stats.arena_high_water,
                     );
+                    println!(
+                        "  cache: {} table hits, {} miss solves, {} lock acquisitions",
+                        result.stats.table_hits,
+                        result.stats.miss_solves,
+                        result.stats.lock_acquisitions,
+                    );
                     if result.stats.halls.len() > 1 {
                         for h in &result.stats.halls {
                             println!(
@@ -853,9 +859,12 @@ fn cmd_fleet(raw: &[String]) -> ExitCode {
         }
     }
     println!(
-        "\nserver-physics cache: {} distinct solves, {} replays — event queue: peak depth {}, arena high-water {}",
+        "\nserver-physics cache: {} distinct solves, {} replays ({} table hits, {} miss solves, {} locks) — event queue: peak depth {}, arena high-water {}",
         cache.solves(),
         cache.hits(),
+        cache.table_hits(),
+        cache.miss_solves(),
+        cache.lock_acquisitions(),
         peak_queue_depth,
         arena_high_water,
     );
@@ -929,11 +938,14 @@ fn cmd_sweep(raw: &[String]) -> ExitCode {
         }
     };
     println!(
-        "executed {} grid point(s) in {:.2} s — server-physics cache: {} distinct solves, {} replays — event queue: peak depth {}, arena high-water {}\n",
+        "executed {} grid point(s) in {:.2} s — server-physics cache: {} distinct solves, {} replays ({} table hits, {} miss solves, {} locks) — event queue: peak depth {}, arena high-water {}\n",
         report.rows.len(),
         started.elapsed().as_secs_f64(),
         report.cache_solves,
         report.cache_hits,
+        report.table_hits,
+        report.miss_solves,
+        report.lock_acquisitions,
         report.peak_queue_depth,
         report.arena_high_water,
     );
